@@ -1,0 +1,91 @@
+#ifndef RGAE_BENCH_BENCH_COMMON_H_
+#define RGAE_BENCH_BENCH_COMMON_H_
+
+// Shared helpers for the table/figure bench binaries. Every bench prints
+// paper-style rows to stdout; effort scales with the RGAE_TRIALS and
+// RGAE_EPOCH_SCALE environment variables (see eval/harness.h).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/eval/datasets.h"
+#include "src/eval/harness.h"
+#include "src/eval/table.h"
+
+namespace rgae_bench {
+
+/// Per-method aggregate over trials for one dataset.
+struct MethodResult {
+  rgae::Aggregate base;
+  rgae::Aggregate rvariant;
+};
+
+/// Runs `trials` shared-pretrain couples of `model` on fresh instances of
+/// `dataset` (trial t uses generation seed `t+1`), mutating the config via
+/// `tweak` when non-null.
+inline MethodResult RunCoupleTrials(
+    const std::string& model, const std::string& dataset, int trials,
+    void (*tweak)(rgae::CoupleConfig*) = nullptr) {
+  std::vector<rgae::TrialOutcome> base_trials, r_trials;
+  for (int t = 0; t < trials; ++t) {
+    const uint64_t seed = static_cast<uint64_t>(t) + 1;
+    rgae::CoupleConfig config = rgae::MakeCoupleConfig(model, dataset, seed);
+    if (tweak != nullptr) tweak(&config);
+    const rgae::AttributedGraph graph = rgae::MakeDataset(dataset, seed);
+    rgae::CoupleOutcome outcome = RunCouple(config, graph);
+    base_trials.push_back(std::move(outcome.base));
+    r_trials.push_back(std::move(outcome.rmodel));
+  }
+  return {rgae::AggregateTrials(base_trials),
+          rgae::AggregateTrials(r_trials)};
+}
+
+/// Runs `trials` single runs of one configuration on fresh `dataset`
+/// instances and aggregates.
+inline rgae::Aggregate RunSingleTrials(
+    const std::string& model, const std::string& dataset, int trials,
+    bool use_operators,
+    void (*tweak)(rgae::TrainerOptions*) = nullptr) {
+  std::vector<rgae::TrialOutcome> outcomes;
+  for (int t = 0; t < trials; ++t) {
+    const uint64_t seed = static_cast<uint64_t>(t) + 1;
+    rgae::CoupleConfig config = rgae::MakeCoupleConfig(model, dataset, seed);
+    rgae::TrainerOptions opts =
+        use_operators ? config.rvariant : config.base;
+    if (tweak != nullptr) tweak(&opts);
+    const rgae::AttributedGraph graph = rgae::MakeDataset(dataset, seed);
+    outcomes.push_back(
+        RunSingle(model, graph, config.model_options, opts));
+  }
+  return rgae::AggregateTrials(outcomes);
+}
+
+/// Three "best" score cells (ACC NMI ARI) as strings.
+inline std::vector<std::string> BestCells(const rgae::Aggregate& a) {
+  return {rgae::FormatPct(a.best.acc), rgae::FormatPct(a.best.nmi),
+          rgae::FormatPct(a.best.ari)};
+}
+
+/// Three "mean ± std" score cells.
+inline std::vector<std::string> MeanCells(const rgae::Aggregate& a) {
+  return {rgae::FormatMeanStd(a.mean.acc, a.stddev.acc),
+          rgae::FormatMeanStd(a.mean.nmi, a.stddev.nmi),
+          rgae::FormatMeanStd(a.mean.ari, a.stddev.ari)};
+}
+
+inline void AppendCells(std::vector<std::string>* row,
+                        const std::vector<std::string>& cells) {
+  row->insert(row->end(), cells.begin(), cells.end());
+}
+
+inline void PrintRunBanner(const char* what, int trials = -1) {
+  std::printf("rgae bench: %s (trials=%d, epoch_scale=%.2f)\n", what,
+              trials > 0 ? trials : rgae::NumTrialsFromEnv(),
+              rgae::EpochScaleFromEnv());
+  std::fflush(stdout);
+}
+
+}  // namespace rgae_bench
+
+#endif  // RGAE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,124 @@
+// Micro-benchmarks (google-benchmark) for the substrate kernels and the
+// paper's two operators. Verifies the complexity claims of Section 4:
+// Ξ is O(N·K²·d)-ish and Υ is near-linear in N + |E|, so neither adds a
+// meaningful constant to a training epoch (whose cost is dominated by the
+// O(N²·d) decoder).
+
+#include <benchmark/benchmark.h>
+
+#include "src/clustering/kmeans.h"
+#include "src/core/operators.h"
+#include "src/eval/datasets.h"
+#include "src/graph/generators.h"
+#include "src/metrics/hungarian.h"
+#include "src/models/model_factory.h"
+
+namespace {
+
+rgae::AttributedGraph MakeGraph(int n) {
+  rgae::CitationLikeOptions o;
+  o.num_nodes = n;
+  o.num_clusters = 7;
+  o.feature_dim = 300;
+  o.topic_words = 40;
+  rgae::Rng rng(1);
+  return MakeCitationLike(o, rng);
+}
+
+void BM_SpMM(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const rgae::AttributedGraph g = MakeGraph(n);
+  const rgae::CsrMatrix filter = g.NormalizedAdjacency();
+  const rgae::Matrix x = g.features();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.Multiply(x));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SpMM)->Arg(200)->Arg(400)->Arg(800)->Complexity();
+
+void BM_DenseMatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  rgae::Rng rng(2);
+  const rgae::Matrix a = GaussianMatrix(n, 64, 1.0, rng);
+  const rgae::Matrix b = GaussianMatrix(64, 32, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+}
+BENCHMARK(BM_DenseMatMul)->Arg(200)->Arg(800);
+
+void BM_OperatorXi(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const rgae::AttributedGraph g = MakeGraph(n);
+  rgae::Rng rng(3);
+  const rgae::Matrix z = GaussianMatrix(n, 16, 1.0, rng);
+  const rgae::Matrix p = SoftenHardAssignments(
+      z, rgae::KMeans(z, 7, rng).assignments, 7);
+  rgae::XiOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OperatorXi(p, opts));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_OperatorXi)->Arg(200)->Arg(400)->Arg(800)->Complexity();
+
+void BM_OperatorUpsilon(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const rgae::AttributedGraph g = MakeGraph(n);
+  rgae::Rng rng(4);
+  const rgae::Matrix z = GaussianMatrix(n, 16, 1.0, rng);
+  const rgae::Matrix p = SoftenHardAssignments(
+      z, rgae::KMeans(z, 7, rng).assignments, 7);
+  std::vector<int> omega(n);
+  for (int i = 0; i < n; ++i) omega[i] = i;
+  rgae::UpsilonOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OperatorUpsilon(g, z, p, omega, opts));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_OperatorUpsilon)->Arg(200)->Arg(400)->Arg(800)->Complexity();
+
+void BM_KMeans(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  rgae::Rng rng(5);
+  const rgae::Matrix z = GaussianMatrix(n, 16, 1.0, rng);
+  for (auto _ : state) {
+    rgae::Rng seed_rng(7);
+    benchmark::DoNotOptimize(rgae::KMeans(z, 7, seed_rng));
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(200)->Arg(800);
+
+void BM_Hungarian(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  rgae::Rng rng(6);
+  rgae::Matrix cost(k, k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) cost(i, j) = rng.Uniform(0, 100);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rgae::SolveAssignment(cost));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_GaeTrainStep(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const rgae::AttributedGraph g = MakeGraph(n);
+  rgae::ModelOptions opts;
+  auto model = rgae::CreateModel("GAE", g, opts);
+  const rgae::CsrMatrix adj = g.Adjacency();
+  rgae::TrainContext ctx;
+  ctx.recon = rgae::MakeReconTarget(&adj);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->TrainStep(ctx));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_GaeTrainStep)->Arg(200)->Arg(400)->Arg(800)->Complexity();
+
+}  // namespace
+
+BENCHMARK_MAIN();

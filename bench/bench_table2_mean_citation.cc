@@ -1,0 +1,30 @@
+// Table 2: mean ± standard deviation of ACC/NMI/ARI over trials for every
+// (model, R-model) couple on the three citation-like datasets.
+
+#include "bench/bench_common.h"
+
+int main() {
+  rgae_bench::PrintRunBanner("Table 2 — mean/std clustering, citation");
+  const int trials = rgae::NumTrialsFromEnv();
+
+  rgae::TablePrinter table({"Method", "Cora ACC", "NMI", "ARI",
+                            "Citeseer ACC", "NMI", "ARI", "Pubmed ACC",
+                            "NMI", "ARI"});
+  for (const std::string& model : rgae::AllModelNames()) {
+    std::vector<std::string> base_row = {model};
+    std::vector<std::string> r_row = {"R-" + model};
+    for (const std::string& dataset : rgae::CitationDatasetNames()) {
+      const rgae_bench::MethodResult result =
+          rgae_bench::RunCoupleTrials(model, dataset, trials);
+      rgae_bench::AppendCells(&base_row, rgae_bench::MeanCells(result.base));
+      rgae_bench::AppendCells(&r_row, rgae_bench::MeanCells(result.rvariant));
+    }
+    table.AddRow(base_row);
+    table.AddRow(r_row);
+    std::printf("  finished %s\n", model.c_str());
+    std::fflush(stdout);
+  }
+  table.Print(
+      "Table 2: mean +/- std clustering performance (citation networks)");
+  return 0;
+}

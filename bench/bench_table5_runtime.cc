@@ -1,0 +1,38 @@
+// Table 5: execution time (seconds) of the clustering phase for the couples
+// (GMM-VGAE, R-GMM-VGAE) and (DGAE, R-DGAE) on the citation datasets.
+// The paper's claim to verify: the operators add only a small constant
+// overhead (their complexity is O(NK²d) and O(N(d+K)+|E|(N+K))), even on
+// the largest dataset.
+
+#include "bench/bench_common.h"
+
+int main() {
+  rgae_bench::PrintRunBanner("Table 5 — execution time");
+  const int trials = rgae::NumTrialsFromEnv();
+
+  rgae::TablePrinter table({"Method", "Cora best", "mean", "var",
+                            "Citeseer best", "mean", "var", "Pubmed best",
+                            "mean", "var"});
+  for (const std::string& model : {std::string("GMM-VGAE"),
+                                   std::string("DGAE")}) {
+    std::vector<std::string> base_row = {model};
+    std::vector<std::string> r_row = {"R-" + model};
+    for (const std::string& dataset : rgae::CitationDatasetNames()) {
+      const rgae_bench::MethodResult result =
+          rgae_bench::RunCoupleTrials(model, dataset, trials);
+      for (const rgae::Aggregate* agg :
+           {&result.base, &result.rvariant}) {
+        std::vector<std::string>& row =
+            agg == &result.base ? base_row : r_row;
+        row.push_back(rgae::FormatSeconds(agg->best_seconds));
+        row.push_back(rgae::FormatSeconds(agg->mean_seconds));
+        row.push_back(rgae::FormatSeconds(agg->var_seconds));
+      }
+    }
+    table.AddRow(base_row);
+    table.AddRow(r_row);
+    std::fflush(stdout);
+  }
+  table.Print("Table 5: clustering-phase execution time in seconds");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Quickstart: generate an attributed graph, train R-GMM-VGAE (the paper's
+// strongest variant), and print ACC / NMI / ARI against the ground truth.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "src/core/rgae_trainer.h"
+#include "src/graph/generators.h"
+#include "src/models/model_factory.h"
+
+int main() {
+  // 1. A citation-like attributed graph: 7 clusters, sparse homophilous
+  //    structure, bag-of-words features (stands in for Cora).
+  rgae::CitationLikeOptions graph_options;
+  graph_options.num_nodes = 400;
+  graph_options.num_clusters = 7;
+  graph_options.feature_dim = 300;
+  rgae::Rng rng(42);
+  const rgae::AttributedGraph graph = MakeCitationLike(graph_options, rng);
+  std::printf("graph: %d nodes, %d edges, %d features, homophily %.2f\n",
+              graph.num_nodes(), graph.num_edges(), graph.feature_dim(),
+              graph.EdgeHomophily());
+
+  // 2. A GMM-VGAE model from the zoo.
+  rgae::ModelOptions model_options;
+  model_options.seed = 7;
+  auto model = rgae::CreateModel("GMM-VGAE", graph, model_options);
+
+  // 3. R-training: operators Ξ (reliable-node sampling) and Υ (gradual
+  //    graph transformation) wrap the base model's training loop.
+  rgae::TrainerOptions trainer_options;
+  trainer_options.use_operators = true;  // This makes it R-GMM-VGAE.
+  trainer_options.pretrain_epochs = 80;
+  trainer_options.max_cluster_epochs = 100;
+  trainer_options.xi.alpha1 = 0.3;
+  rgae::RGaeTrainer trainer(model.get(), trainer_options);
+  const rgae::TrainResult result = trainer.Run();
+
+  std::printf("R-GMM-VGAE:  ACC %.1f%%  NMI %.1f%%  ARI %.1f%%  (%d epochs)\n",
+              100 * result.scores.acc, 100 * result.scores.nmi,
+              100 * result.scores.ari, result.cluster_epochs_run);
+  std::printf("self-supervision graph now has %d edges (started with %d)\n",
+              trainer.self_graph().num_edges(), graph.num_edges());
+  return 0;
+}

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Plot the t-SNE CSVs written by examples/latent_tsne.
+
+Usage:
+    ./build/examples/latent_tsne
+    python3 scripts/plot_tsne.py tsne_gmm_vgae.csv tsne_r_gmm_vgae.csv
+
+Produces side-by-side scatter plots colored by ground-truth label — the
+visual counterpart of the paper's Figure 10. Requires matplotlib.
+"""
+
+import csv
+import sys
+
+
+def load(path):
+    xs, ys, labels = [], [], []
+    with open(path) as f:
+        for row in csv.DictReader(f):
+            xs.append(float(row["x"]))
+            ys.append(float(row["y"]))
+            labels.append(int(row["label"]))
+    return xs, ys, labels
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 1
+    try:
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib is required: pip install matplotlib")
+        return 1
+    paths = argv[1:]
+    fig, axes = plt.subplots(1, len(paths), figsize=(6 * len(paths), 5))
+    if len(paths) == 1:
+        axes = [axes]
+    for ax, path in zip(axes, paths):
+        xs, ys, labels = load(path)
+        ax.scatter(xs, ys, c=labels, cmap="tab10", s=8)
+        ax.set_title(path)
+        ax.set_xticks([])
+        ax.set_yticks([])
+    fig.tight_layout()
+    out = "tsne_figure10.png"
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

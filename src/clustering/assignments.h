@@ -1,0 +1,40 @@
+#ifndef RGAE_CLUSTERING_ASSIGNMENTS_H_
+#define RGAE_CLUSTERING_ASSIGNMENTS_H_
+
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace rgae {
+
+/// Soft/hard clustering-assignment utilities shared by the model zoo and
+/// by operator Ξ.
+
+/// Hard argmax assignment per row of a soft-assignment matrix (n x k).
+std::vector<int> HardAssign(const Matrix& soft);
+
+/// One-hot encoding of hard assignments into an n x k matrix.
+Matrix OneHot(const std::vector<int>& assignments, int k);
+
+/// Student's t-distribution soft assignment (DEC / DGAE, Eq. 20):
+/// p_ij ∝ (1 + ||z_i - mu_j||²)^-1, rows normalized.
+Matrix StudentTAssignments(const Matrix& z, const Matrix& centers);
+
+/// DEC target distribution: q_ij ∝ p_ij² / f_j with f_j = Σ_i p_ij, rows
+/// normalized. Sharpened "hard-ish" version of P used as Q in Eq. 19.
+Matrix DecTargetDistribution(const Matrix& p);
+
+/// Gaussian soft scores of Eq. (15): similarity of each embedded point to
+/// each cluster representative under a diagonal covariance, rows normalized.
+/// `centers` is k x d, `variances` is k x d (floored at 1e-6).
+Matrix GaussianSoftAssignments(const Matrix& z, const Matrix& centers,
+                               const Matrix& variances);
+
+/// Per-cluster diagonal variances of `z` under hard `assignments`
+/// (k x d, floored at `min_variance`).
+Matrix ClusterVariances(const Matrix& z, const std::vector<int>& assignments,
+                        int k, double min_variance = 1e-6);
+
+}  // namespace rgae
+
+#endif  // RGAE_CLUSTERING_ASSIGNMENTS_H_

@@ -1,0 +1,155 @@
+#include "src/clustering/gmm.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/clustering/kmeans.h"
+
+namespace rgae {
+
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;
+
+// Per-row log joint densities log(pi_k) + log N(x_i; mu_k, var_k): n x k.
+Matrix LogJoint(const GmmModel& m, const Matrix& data) {
+  const int n = data.rows();
+  const int k = m.num_components();
+  const int d = m.dim();
+  Matrix lj(n, k);
+  std::vector<double> log_norm(k, 0.0);  // Precomputed per-component parts.
+  for (int c = 0; c < k; ++c) {
+    double s = std::log(std::max(m.weights[c], 1e-300));
+    for (int j = 0; j < d; ++j) {
+      s -= 0.5 * (std::log(m.variances(c, j)) + kLog2Pi);
+    }
+    log_norm[c] = s;
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < k; ++c) {
+      double s = log_norm[c];
+      for (int j = 0; j < d; ++j) {
+        const double diff = data(i, j) - m.means(c, j);
+        s -= 0.5 * diff * diff / m.variances(c, j);
+      }
+      lj(i, c) = s;
+    }
+  }
+  return lj;
+}
+
+}  // namespace
+
+Matrix GmmModel::Responsibilities(const Matrix& data) const {
+  Matrix lj = LogJoint(*this, data);
+  for (int i = 0; i < lj.rows(); ++i) {
+    double row_max = lj(i, 0);
+    for (int c = 1; c < lj.cols(); ++c) row_max = std::max(row_max, lj(i, c));
+    double sum = 0.0;
+    for (int c = 0; c < lj.cols(); ++c) {
+      lj(i, c) = std::exp(lj(i, c) - row_max);
+      sum += lj(i, c);
+    }
+    for (int c = 0; c < lj.cols(); ++c) lj(i, c) /= sum;
+  }
+  return lj;
+}
+
+double GmmModel::MeanLogLikelihood(const Matrix& data) const {
+  const Matrix lj = LogJoint(*this, data);
+  double total = 0.0;
+  for (int i = 0; i < lj.rows(); ++i) {
+    double row_max = lj(i, 0);
+    for (int c = 1; c < lj.cols(); ++c) row_max = std::max(row_max, lj(i, c));
+    double sum = 0.0;
+    for (int c = 0; c < lj.cols(); ++c) sum += std::exp(lj(i, c) - row_max);
+    total += row_max + std::log(sum);
+  }
+  return data.rows() > 0 ? total / data.rows() : 0.0;
+}
+
+std::vector<int> GmmModel::HardAssignments(const Matrix& data) const {
+  const Matrix r = Responsibilities(data);
+  std::vector<int> out(r.rows(), 0);
+  for (int i = 0; i < r.rows(); ++i) {
+    for (int c = 1; c < r.cols(); ++c) {
+      if (r(i, c) > r(i, out[i])) out[i] = c;
+    }
+  }
+  return out;
+}
+
+GmmModel FitGmm(const Matrix& data, int k, Rng& rng,
+                const GmmOptions& options) {
+  assert(k > 0 && data.rows() >= k);
+  const int n = data.rows();
+  const int d = data.cols();
+
+  // Initialize from k-means.
+  const KMeansResult km = KMeans(data, k, rng);
+  GmmModel model;
+  model.means = km.centers;
+  model.variances = Matrix(k, d, 1.0);
+  model.weights.assign(k, 1.0 / k);
+  {
+    std::vector<int> counts(k, 0);
+    Matrix sq(k, d);
+    for (int i = 0; i < n; ++i) {
+      const int c = km.assignments[i];
+      ++counts[c];
+      for (int j = 0; j < d; ++j) {
+        const double diff = data(i, j) - model.means(c, j);
+        sq(c, j) += diff * diff;
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      model.weights[c] = std::max(1, counts[c]) / static_cast<double>(n);
+      for (int j = 0; j < d; ++j) {
+        model.variances(c, j) =
+            std::max(options.min_variance,
+                     counts[c] > 0 ? sq(c, j) / counts[c] : 1.0);
+      }
+    }
+  }
+
+  EmIterations(&model, data, options.max_iterations, options);
+  return model;
+}
+
+void EmIterations(GmmModel* model, const Matrix& data, int iterations,
+                  const GmmOptions& options) {
+  const int n = data.rows();
+  const int k = model->num_components();
+  const int d = model->dim();
+  double prev_ll = -1e300;
+  for (int it = 0; it < iterations; ++it) {
+    // E-step.
+    const Matrix resp = model->Responsibilities(data);
+    // M-step.
+    for (int c = 0; c < k; ++c) {
+      double nk = 0.0;
+      for (int i = 0; i < n; ++i) nk += resp(i, c);
+      nk = std::max(nk, 1e-10);
+      model->weights[c] = nk / n;
+      for (int j = 0; j < d; ++j) {
+        double mean = 0.0;
+        for (int i = 0; i < n; ++i) mean += resp(i, c) * data(i, j);
+        mean /= nk;
+        model->means(c, j) = mean;
+      }
+      for (int j = 0; j < d; ++j) {
+        double var = 0.0;
+        for (int i = 0; i < n; ++i) {
+          const double diff = data(i, j) - model->means(c, j);
+          var += resp(i, c) * diff * diff;
+        }
+        model->variances(c, j) = std::max(options.min_variance, var / nk);
+      }
+    }
+    const double ll = model->MeanLogLikelihood(data);
+    if (ll - prev_ll < options.tolerance) break;
+    prev_ll = ll;
+  }
+}
+
+}  // namespace rgae

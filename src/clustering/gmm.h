@@ -1,0 +1,53 @@
+#ifndef RGAE_CLUSTERING_GMM_H_
+#define RGAE_CLUSTERING_GMM_H_
+
+#include <vector>
+
+#include "src/tensor/matrix.h"
+#include "src/tensor/random.h"
+
+namespace rgae {
+
+/// Diagonal-covariance Gaussian Mixture Model fitted by EM.
+///
+/// Used (a) to initialize GMM-VGAE's mixture parameters after pretraining
+/// and (b) as the soft-assignment backend of operator Ξ when the base model
+/// produces hard assignments (Eq. 15 of the paper).
+struct GmmModel {
+  Matrix means;     // k x d.
+  Matrix variances; // k x d (diagonal covariances).
+  std::vector<double> weights;  // Mixture weights, sum to 1.
+
+  int num_components() const { return means.rows(); }
+  int dim() const { return means.cols(); }
+
+  /// Posterior responsibilities p(k | x_i); rows sum to 1. `data` is n x d.
+  Matrix Responsibilities(const Matrix& data) const;
+
+  /// Mean log-likelihood of the data under the mixture.
+  double MeanLogLikelihood(const Matrix& data) const;
+
+  /// Hard assignment = argmax responsibility per row.
+  std::vector<int> HardAssignments(const Matrix& data) const;
+};
+
+struct GmmOptions {
+  int max_iterations = 100;
+  double tolerance = 1e-5;
+  /// Variance floor to keep EM numerically sane.
+  double min_variance = 1e-6;
+};
+
+/// Fits a k-component diagonal GMM with k-means initialization.
+GmmModel FitGmm(const Matrix& data, int k, Rng& rng,
+                const GmmOptions& options = {});
+
+/// Runs up to `iterations` EM updates on an existing model (warm start).
+/// Stops early once the mean log-likelihood improves by less than
+/// `options.tolerance`. Used by GMM-VGAE to track the moving embedding.
+void EmIterations(GmmModel* model, const Matrix& data, int iterations,
+                  const GmmOptions& options = {});
+
+}  // namespace rgae
+
+#endif  // RGAE_CLUSTERING_GMM_H_

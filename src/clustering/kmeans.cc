@@ -1,0 +1,139 @@
+#include "src/clustering/kmeans.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace rgae {
+
+namespace {
+
+// k-means++ seeding.
+Matrix SeedCenters(const Matrix& data, int k, Rng& rng) {
+  const int n = data.rows();
+  Matrix centers(k, data.cols());
+  std::vector<double> min_dist(n, std::numeric_limits<double>::max());
+  int first = rng.UniformInt(n);
+  std::copy(data.row(first), data.row(first) + data.cols(), centers.row(0));
+  for (int c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double d = RowSquaredDistance(data, i, centers, c - 1);
+      min_dist[i] = std::min(min_dist[i], d);
+      total += min_dist[i];
+    }
+    int chosen = 0;
+    if (total > 0.0) {
+      double x = rng.Uniform() * total;
+      for (int i = 0; i < n; ++i) {
+        x -= min_dist[i];
+        if (x <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.UniformInt(n);
+    }
+    std::copy(data.row(chosen), data.row(chosen) + data.cols(),
+              centers.row(c));
+  }
+  return centers;
+}
+
+KMeansResult RunOnce(const Matrix& data, int k, Rng& rng,
+                     const KMeansOptions& options) {
+  const int n = data.rows();
+  KMeansResult result;
+  result.centers = SeedCenters(data, k, rng);
+  result.assignments.assign(n, 0);
+  double prev_inertia = std::numeric_limits<double>::max();
+  for (int it = 0; it < options.max_iterations; ++it) {
+    result.iterations = it + 1;
+    // Assignment step.
+    bool changed = false;
+    double inertia = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      int best_c = 0;
+      for (int c = 0; c < k; ++c) {
+        const double d = RowSquaredDistance(data, i, result.centers, c);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (best_c != result.assignments[i]) changed = true;
+      result.assignments[i] = best_c;
+      inertia += best;
+    }
+    result.inertia = inertia;
+    // Update step.
+    result.centers = ClusterMeans(data, result.assignments, k);
+    if (!changed || prev_inertia - inertia < options.tolerance) break;
+    prev_inertia = inertia;
+  }
+  return result;
+}
+
+}  // namespace
+
+KMeansResult KMeans(const Matrix& data, int k, Rng& rng,
+                    const KMeansOptions& options) {
+  assert(k > 0 && data.rows() >= k);
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::max();
+  for (int r = 0; r < std::max(1, options.restarts); ++r) {
+    KMeansResult candidate = RunOnce(data, k, rng, options);
+    if (candidate.inertia < best.inertia) best = std::move(candidate);
+  }
+  return best;
+}
+
+std::vector<int> NearestCenters(const Matrix& data, const Matrix& centers) {
+  std::vector<int> out(data.rows(), 0);
+  for (int i = 0; i < data.rows(); ++i) {
+    double best = std::numeric_limits<double>::max();
+    for (int c = 0; c < centers.rows(); ++c) {
+      const double d = RowSquaredDistance(data, i, centers, c);
+      if (d < best) {
+        best = d;
+        out[i] = c;
+      }
+    }
+  }
+  return out;
+}
+
+Matrix ClusterMeans(const Matrix& data, const std::vector<int>& assignments,
+                    int k) {
+  assert(static_cast<int>(assignments.size()) == data.rows());
+  Matrix centers(k, data.cols());
+  std::vector<int> counts(k, 0);
+  for (int i = 0; i < data.rows(); ++i) {
+    const int c = assignments[i];
+    assert(c >= 0 && c < k);
+    ++counts[c];
+    const double* row = data.row(i);
+    double* center = centers.row(c);
+    for (int j = 0; j < data.cols(); ++j) center[j] += row[j];
+  }
+  // Overall mean as the fallback for empty clusters.
+  Matrix overall(1, data.cols());
+  for (int i = 0; i < data.rows(); ++i) {
+    const double* row = data.row(i);
+    for (int j = 0; j < data.cols(); ++j) overall(0, j) += row[j];
+  }
+  if (data.rows() > 0) overall *= 1.0 / data.rows();
+  for (int c = 0; c < k; ++c) {
+    double* center = centers.row(c);
+    if (counts[c] == 0) {
+      std::copy(overall.row(0), overall.row(0) + data.cols(), center);
+    } else {
+      for (int j = 0; j < data.cols(); ++j) center[j] /= counts[c];
+    }
+  }
+  return centers;
+}
+
+}  // namespace rgae

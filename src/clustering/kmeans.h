@@ -1,0 +1,41 @@
+#ifndef RGAE_CLUSTERING_KMEANS_H_
+#define RGAE_CLUSTERING_KMEANS_H_
+
+#include <vector>
+
+#include "src/tensor/matrix.h"
+#include "src/tensor/random.h"
+
+namespace rgae {
+
+/// Result of a k-means run.
+struct KMeansResult {
+  Matrix centers;               // k x d.
+  std::vector<int> assignments; // One cluster id per input row.
+  double inertia = 0.0;         // Sum of squared distances to centers.
+  int iterations = 0;           // Lloyd iterations executed.
+};
+
+struct KMeansOptions {
+  int max_iterations = 100;
+  /// Converged when no assignment changes or inertia improves by less.
+  double tolerance = 1e-6;
+  /// Number of independent restarts; the best inertia wins.
+  int restarts = 3;
+};
+
+/// Lloyd's k-means with k-means++ seeding. `data` is n x d with n >= k.
+KMeansResult KMeans(const Matrix& data, int k, Rng& rng,
+                    const KMeansOptions& options = {});
+
+/// Assigns each row of `data` to its nearest row of `centers`.
+std::vector<int> NearestCenters(const Matrix& data, const Matrix& centers);
+
+/// Mean of the rows of `data` belonging to each cluster; empty clusters get
+/// a copy of the overall mean.
+Matrix ClusterMeans(const Matrix& data, const std::vector<int>& assignments,
+                    int k);
+
+}  // namespace rgae
+
+#endif  // RGAE_CLUSTERING_KMEANS_H_

@@ -1,0 +1,78 @@
+#include "src/clustering/spectral.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/clustering/kmeans.h"
+
+namespace rgae {
+
+namespace {
+
+// Gram-Schmidt orthonormalization of the columns of y (in place). Columns
+// that collapse numerically are re-randomized.
+void Orthonormalize(Matrix* y, Rng& rng) {
+  const int n = y->rows();
+  const int k = y->cols();
+  for (int c = 0; c < k; ++c) {
+    for (int prev = 0; prev < c; ++prev) {
+      double dot = 0.0;
+      for (int i = 0; i < n; ++i) dot += (*y)(i, c) * (*y)(i, prev);
+      for (int i = 0; i < n; ++i) (*y)(i, c) -= dot * (*y)(i, prev);
+    }
+    double norm = 0.0;
+    for (int i = 0; i < n; ++i) norm += (*y)(i, c) * (*y)(i, c);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      for (int i = 0; i < n; ++i) (*y)(i, c) = rng.Gaussian();
+      // One more pass will re-orthogonalize this column next iteration.
+      norm = 0.0;
+      for (int i = 0; i < n; ++i) norm += (*y)(i, c) * (*y)(i, c);
+      norm = std::sqrt(norm);
+    }
+    for (int i = 0; i < n; ++i) (*y)(i, c) /= norm;
+  }
+}
+
+}  // namespace
+
+Matrix SpectralEmbedding(const CsrMatrix& filter, int k, Rng& rng,
+                         const SpectralOptions& options) {
+  assert(filter.rows() == filter.cols());
+  const int n = filter.rows();
+  assert(k >= 1 && k <= n);
+  Matrix y = GaussianMatrix(n, k, 1.0, rng);
+  Orthonormalize(&y, rng);
+  Matrix prev = y;
+  for (int it = 0; it < options.power_iterations; ++it) {
+    // Shifted operator (Ã + I)/2: y <- (filter*y + y) / 2.
+    Matrix next = filter.Multiply(y);
+    next += y;
+    next *= 0.5;
+    Orthonormalize(&next, rng);
+    // Convergence: subspace change measured entrywise up to column sign.
+    double delta = 0.0;
+    for (int c = 0; c < k; ++c) {
+      double dot = 0.0;
+      for (int i = 0; i < n; ++i) dot += next(i, c) * prev(i, c);
+      const double sign = dot >= 0.0 ? 1.0 : -1.0;
+      for (int i = 0; i < n; ++i) {
+        delta = std::max(delta,
+                         std::abs(next(i, c) - sign * prev(i, c)));
+      }
+    }
+    prev = next;
+    y = std::move(next);
+    if (delta < options.tolerance) break;
+  }
+  return y;
+}
+
+std::vector<int> SpectralClustering(const CsrMatrix& filter, int k, Rng& rng,
+                                    const SpectralOptions& options) {
+  Matrix embedding = SpectralEmbedding(filter, k, rng, options);
+  NormalizeRowsL2(&embedding);  // Ng-Jordan-Weiss row normalization.
+  return KMeans(embedding, k, rng).assignments;
+}
+
+}  // namespace rgae

@@ -1,0 +1,40 @@
+#ifndef RGAE_CLUSTERING_SPECTRAL_H_
+#define RGAE_CLUSTERING_SPECTRAL_H_
+
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/tensor/matrix.h"
+#include "src/tensor/random.h"
+
+namespace rgae {
+
+/// Spectral embedding + clustering baseline (structure-only; one of the
+/// classical comparators behind the Table-17 method field).
+///
+/// Computes the top-k eigenvectors of the symmetrically normalized
+/// adjacency Ã = D^-1/2 (A+I) D^-1/2 by block power iteration with
+/// Gram-Schmidt re-orthonormalization. Since Ã's spectrum lies in [-1, 1]
+/// and clustering structure concentrates in the leading eigenvectors, the
+/// shifted operator (Ã + I)/2 makes the leading eigenvalues dominant in
+/// magnitude, which the power iteration needs.
+
+struct SpectralOptions {
+  int power_iterations = 200;
+  double tolerance = 1e-8;
+};
+
+/// Top-k eigenvectors (n x k, orthonormal columns) of the shifted filter.
+/// `filter` must be symmetric.
+Matrix SpectralEmbedding(const CsrMatrix& filter, int k, Rng& rng,
+                         const SpectralOptions& options = {});
+
+/// Full baseline: spectral embedding of Ã followed by k-means with
+/// row-normalized eigenvectors (Ng-Jordan-Weiss style). Returns hard
+/// assignments.
+std::vector<int> SpectralClustering(const CsrMatrix& filter, int k, Rng& rng,
+                                    const SpectralOptions& options = {});
+
+}  // namespace rgae
+
+#endif  // RGAE_CLUSTERING_SPECTRAL_H_

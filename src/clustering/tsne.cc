@@ -1,0 +1,158 @@
+#include "src/clustering/tsne.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace rgae {
+
+namespace {
+
+// Row of conditional affinities for point i with the Gaussian bandwidth
+// beta = 1/(2σ²); returns the row's Shannon entropy (in nats).
+double FillConditionalRow(const Matrix& d2, int i, double beta,
+                          std::vector<double>* row) {
+  const int n = d2.rows();
+  double sum = 0.0;
+  for (int j = 0; j < n; ++j) {
+    (*row)[j] = j == i ? 0.0 : std::exp(-beta * d2(i, j));
+    sum += (*row)[j];
+  }
+  if (sum <= 0.0) {
+    // Degenerate (all duplicates): uniform over the others.
+    for (int j = 0; j < n; ++j) (*row)[j] = j == i ? 0.0 : 1.0 / (n - 1);
+    return std::log(static_cast<double>(n - 1));
+  }
+  double entropy = 0.0;
+  for (int j = 0; j < n; ++j) {
+    (*row)[j] /= sum;
+    if ((*row)[j] > 1e-12) entropy -= (*row)[j] * std::log((*row)[j]);
+  }
+  return entropy;
+}
+
+}  // namespace
+
+Matrix TsneInputAffinities(const Matrix& data, double perplexity) {
+  const int n = data.rows();
+  assert(n >= 3);
+  assert(perplexity > 1.0);
+  const double target_entropy =
+      std::log(std::min(perplexity, static_cast<double>(n - 1)));
+
+  // Pairwise squared distances.
+  Matrix d2(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double d = RowSquaredDistance(data, i, data, j);
+      d2(i, j) = d;
+      d2(j, i) = d;
+    }
+  }
+
+  Matrix p(n, n);
+  std::vector<double> row(n);
+  for (int i = 0; i < n; ++i) {
+    // Binary search the bandwidth to the target entropy.
+    double beta = 1.0, beta_lo = 0.0, beta_hi = 1e300;
+    double entropy = FillConditionalRow(d2, i, beta, &row);
+    for (int it = 0; it < 50 && std::abs(entropy - target_entropy) > 1e-5;
+         ++it) {
+      if (entropy > target_entropy) {
+        beta_lo = beta;
+        beta = beta_hi >= 1e300 ? beta * 2.0 : 0.5 * (beta + beta_hi);
+      } else {
+        beta_hi = beta;
+        beta = beta_lo <= 0.0 ? beta / 2.0 : 0.5 * (beta + beta_lo);
+      }
+      entropy = FillConditionalRow(d2, i, beta, &row);
+    }
+    for (int j = 0; j < n; ++j) p(i, j) = row[j];
+  }
+
+  // Symmetrize and normalize to a joint distribution. Only the upper
+  // triangle is averaged (writing both entries) so that the in-place
+  // update cannot read an already-averaged value.
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double v = 0.5 * (p(i, j) + p(j, i));
+      p(i, j) = v;
+      p(j, i) = v;
+      total += 2.0 * v;
+    }
+    p(i, i) = 0.0;
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      p(i, j) = std::max(p(i, j) / total, 1e-12);
+    }
+  }
+  return p;
+}
+
+Matrix Tsne(const Matrix& data, const TsneOptions& options, Rng& rng) {
+  const int n = data.rows();
+  const int out_dim = options.output_dim;
+  assert(out_dim >= 1);
+  Matrix p = TsneInputAffinities(data, options.perplexity);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) p(i, j) *= options.early_exaggeration;
+  }
+
+  Matrix y = GaussianMatrix(n, out_dim, 1e-2, rng);
+  Matrix velocity(n, out_dim);
+  Matrix grad(n, out_dim);
+  Matrix q_num(n, n);  // Unnormalized Student-t affinities.
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    if (iter == options.exaggeration_until) {
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) p(i, j) /= options.early_exaggeration;
+      }
+    }
+    // Q numerators and their sum.
+    double q_total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      q_num(i, i) = 0.0;
+      for (int j = i + 1; j < n; ++j) {
+        const double u = 1.0 / (1.0 + RowSquaredDistance(y, i, y, j));
+        q_num(i, j) = u;
+        q_num(j, i) = u;
+        q_total += 2.0 * u;
+      }
+    }
+    // Gradient: 4 Σ_j (p_ij - q_ij) u_ij (y_i - y_j).
+    grad.Zero();
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double u = q_num(i, j);
+        const double coeff = 4.0 * (p(i, j) - u / q_total) * u;
+        for (int c = 0; c < out_dim; ++c) {
+          grad(i, c) += coeff * (y(i, c) - y(j, c));
+        }
+      }
+    }
+    const double momentum = iter < options.momentum_switch
+                                ? options.initial_momentum
+                                : options.final_momentum;
+    for (int i = 0; i < n; ++i) {
+      for (int c = 0; c < out_dim; ++c) {
+        velocity(i, c) = momentum * velocity(i, c) -
+                         options.learning_rate * grad(i, c);
+        y(i, c) += velocity(i, c);
+      }
+    }
+    // Re-center to keep the embedding bounded.
+    for (int c = 0; c < out_dim; ++c) {
+      double mean = 0.0;
+      for (int i = 0; i < n; ++i) mean += y(i, c);
+      mean /= n;
+      for (int i = 0; i < n; ++i) y(i, c) -= mean;
+    }
+  }
+  return y;
+}
+
+}  // namespace rgae

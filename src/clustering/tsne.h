@@ -1,0 +1,39 @@
+#ifndef RGAE_CLUSTERING_TSNE_H_
+#define RGAE_CLUSTERING_TSNE_H_
+
+#include "src/tensor/matrix.h"
+#include "src/tensor/random.h"
+
+namespace rgae {
+
+/// Exact (O(N²)) t-SNE, used to reproduce the latent-space visualizations
+/// of the paper's Figure 10. Suitable for the library's graph sizes
+/// (hundreds to a few thousands of points); no Barnes-Hut approximation.
+struct TsneOptions {
+  int output_dim = 2;
+  double perplexity = 30.0;
+  int iterations = 500;
+  double learning_rate = 100.0;
+  /// Momentum switches from `initial_momentum` to `final_momentum` at
+  /// iteration `momentum_switch`.
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  int momentum_switch = 100;
+  /// Early exaggeration factor applied for the first `exaggeration_until`
+  /// iterations.
+  double early_exaggeration = 4.0;
+  int exaggeration_until = 50;
+};
+
+/// Embeds the rows of `data` (n x d) into `options.output_dim` dimensions.
+/// Deterministic given the RNG state.
+Matrix Tsne(const Matrix& data, const TsneOptions& options, Rng& rng);
+
+/// Perplexity-calibrated symmetric input affinities P (n x n, rows of the
+/// conditional distribution binary-searched to the target perplexity, then
+/// symmetrized and normalized to sum 1). Exposed for tests.
+Matrix TsneInputAffinities(const Matrix& data, double perplexity);
+
+}  // namespace rgae
+
+#endif  // RGAE_CLUSTERING_TSNE_H_

@@ -1,0 +1,152 @@
+#include "src/core/operators.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "src/clustering/assignments.h"
+
+namespace rgae {
+
+XiResult OperatorXi(const Matrix& soft_assignments, const XiOptions& options) {
+  const int n = soft_assignments.rows();
+  const int k = soft_assignments.cols();
+  assert(k >= 2);
+  XiResult result;
+  result.lambda1.resize(n);
+  result.lambda2.resize(n);
+  const double alpha2 = options.EffectiveAlpha2();
+  for (int i = 0; i < n; ++i) {
+    // First and second high-confidence scores (Eqs. 16-17).
+    double l1 = -std::numeric_limits<double>::max();
+    double l2 = -std::numeric_limits<double>::max();
+    for (int j = 0; j < k; ++j) {
+      const double p = soft_assignments(i, j);
+      if (p > l1) {
+        l2 = l1;
+        l1 = p;
+      } else if (p > l2) {
+        l2 = p;
+      }
+    }
+    result.lambda1[i] = l1;
+    result.lambda2[i] = l2;
+    const bool pass1 = !options.use_alpha1 || l1 >= options.alpha1;
+    const bool pass2 = !options.use_alpha2 || (l1 - l2) >= alpha2;
+    if (pass1 && pass2) result.omega.push_back(i);
+  }
+  return result;
+}
+
+Matrix SoftenHardAssignments(const Matrix& z,
+                             const std::vector<int>& hard_assignments,
+                             int k) {
+  const Matrix variances = ClusterVariances(z, hard_assignments, k);
+  // Cluster representatives = per-cluster means of the embeddings.
+  Matrix means(k, z.cols());
+  std::vector<int> counts(k, 0);
+  for (int i = 0; i < z.rows(); ++i) {
+    const int c = hard_assignments[i];
+    ++counts[c];
+    for (int j = 0; j < z.cols(); ++j) means(c, j) += z(i, j);
+  }
+  for (int c = 0; c < k; ++c) {
+    if (counts[c] > 0) {
+      for (int j = 0; j < z.cols(); ++j) means(c, j) /= counts[c];
+    }
+  }
+  return GaussianSoftAssignments(z, means, variances);
+}
+
+AttributedGraph OperatorUpsilon(const AttributedGraph& original,
+                                const Matrix& z, const Matrix& p,
+                                const std::vector<int>& omega,
+                                const UpsilonOptions& options,
+                                UpsilonStats* stats) {
+  const int k = p.cols();
+  assert(z.rows() == original.num_nodes() && p.rows() == original.num_nodes());
+  UpsilonStats local_stats;
+  UpsilonStats* st = stats != nullptr ? stats : &local_stats;
+  *st = UpsilonStats();
+  st->centroids.assign(k, -1);
+
+  AttributedGraph out = original;  // A^self_clus starts from A (Alg. 2, l.4).
+  if (omega.empty()) return out;
+
+  const std::vector<int> hard = HardAssign(p);
+
+  // Guideline 1: per-cluster mean of reliable embeddings, then Π[j] =
+  // 1-NN(μ̃_j, Ω).
+  Matrix mu(k, z.cols());
+  std::vector<int> counts(k, 0);
+  for (int i : omega) {
+    const int c = hard[i];
+    ++counts[c];
+    for (int j = 0; j < z.cols(); ++j) mu(c, j) += z(i, j);
+  }
+  for (int c = 0; c < k; ++c) {
+    if (counts[c] > 0) {
+      for (int j = 0; j < z.cols(); ++j) mu(c, j) /= counts[c];
+    }
+  }
+  for (int c = 0; c < k; ++c) {
+    if (counts[c] == 0) continue;  // No reliable node for this cluster yet.
+    double best = std::numeric_limits<double>::max();
+    for (int i : omega) {
+      const double d = RowSquaredDistance(z, i, mu, c);
+      if (d < best) {
+        best = d;
+        st->centroids[c] = i;
+      }
+    }
+  }
+
+  // Guideline 2: add star edges; drop cross-cluster edges within Ω.
+  std::vector<char> in_omega(original.num_nodes(), 0);
+  for (int i : omega) in_omega[i] = 1;
+  const bool labeled = original.has_labels();
+  // Adjacency lists of the original graph, built once.
+  std::vector<std::vector<int>> neighbors(original.num_nodes());
+  for (const auto& [a, b] : original.edges()) {
+    neighbors[a].push_back(b);
+    neighbors[b].push_back(a);
+  }
+  for (int i : omega) {
+    const int k1 = hard[i];
+    const int centroid = st->centroids[k1];
+    if (options.add_edges && centroid >= 0 && centroid != i &&
+        !out.HasEdge(i, centroid)) {
+      // Only connect when the centroid itself agrees on the cluster.
+      if (hard[centroid] == k1 && out.AddEdge(i, centroid)) {
+        ++st->added_edges;
+        if (labeled) {
+          if (original.labels()[i] == original.labels()[centroid]) {
+            ++st->added_true;
+          } else {
+            ++st->added_false;
+          }
+        }
+      }
+    }
+    if (options.drop_edges) {
+      // Iterate over the *original* neighborhood of i (Alg. 2, l.12).
+      for (int l : neighbors[i]) {
+        if (in_omega[l] && hard[l] != k1) {
+          if (out.RemoveEdge(i, l)) {
+            ++st->dropped_edges;
+            if (labeled) {
+              if (original.labels()[i] == original.labels()[l]) {
+                ++st->dropped_true;
+              } else {
+                ++st->dropped_false;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace rgae

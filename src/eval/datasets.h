@@ -1,0 +1,50 @@
+#ifndef RGAE_EVAL_DATASETS_H_
+#define RGAE_EVAL_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace rgae {
+
+/// Dataset registry for the benchmark harness.
+///
+/// The paper evaluates on three citation networks (Cora, Citeseer, Pubmed)
+/// and three air-traffic networks (USA, Europe, Brazil). Those datasets are
+/// not redistributable here, so each name maps to a synthetic generator
+/// whose statistics (N, K, feature dimension, sparsity, homophily, feature
+/// informativeness — scaled down to laptop size) mirror the original; see
+/// DESIGN.md §2 for the substitution rationale.
+
+/// Per-dataset R-operator hyper-parameters (paper Appendix C): α₁ and the
+/// Ω / A^self_clus refresh periods M₁, M₂.
+struct RHyperParams {
+  double alpha1 = 0.3;
+  int m1 = 20;
+  int m2 = 10;
+};
+
+/// {"Cora", "Citeseer", "Pubmed"}.
+const std::vector<std::string>& CitationDatasetNames();
+/// {"USA", "Europe", "Brazil"}.
+const std::vector<std::string>& AirTrafficDatasetNames();
+
+/// True if `name` is a registered dataset.
+bool IsKnownDataset(const std::string& name);
+
+/// Generates the named dataset deterministically from `seed`.
+AttributedGraph MakeDataset(const std::string& name, uint64_t seed);
+
+/// Number of clusters of the named dataset.
+int DatasetClusters(const std::string& name);
+
+/// Appendix-C hyper-parameters for (dataset, model); model names are the
+/// base names ("GAE", "DGAE", "GMM-VGAE", ...). Falls back to the dataset
+/// default when the model has no dedicated row.
+RHyperParams GetRHyperParams(const std::string& dataset,
+                             const std::string& model);
+
+}  // namespace rgae
+
+#endif  // RGAE_EVAL_DATASETS_H_

@@ -1,0 +1,168 @@
+#include "src/eval/harness.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+
+namespace rgae {
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point begin) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       begin)
+      .count();
+}
+
+int ScaledEpochs(int epochs) {
+  const double scale = EpochScaleFromEnv();
+  return std::max(1, static_cast<int>(epochs * scale));
+}
+
+}  // namespace
+
+int NumTrialsFromEnv(int default_trials) {
+  const char* env = std::getenv("RGAE_TRIALS");
+  if (env == nullptr) return default_trials;
+  const int v = std::atoi(env);
+  return v > 0 ? v : default_trials;
+}
+
+double EpochScaleFromEnv() {
+  const char* env = std::getenv("RGAE_EPOCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+CoupleConfig MakeCoupleConfig(const std::string& model_name,
+                              const std::string& dataset, uint64_t seed) {
+  CoupleConfig config;
+  config.model_name = model_name;
+  config.dataset = dataset;
+  config.model_options.seed = seed;
+
+  TrainerOptions t;
+  // Variational encoders need roughly twice the pretraining budget to
+  // reach a comparable embedding quality (the sampling path is noisy).
+  const bool variational = model_name == "VGAE" || model_name == "ARVGAE" ||
+                           model_name == "GMM-VGAE";
+  t.pretrain_epochs = ScaledEpochs(variational ? 200 : 100);
+  t.max_cluster_epochs = ScaledEpochs(150);
+  t.num_clusters = DatasetClusters(dataset);
+  t.seed = seed * 2654435761ULL + 17;
+
+  const RHyperParams rp = GetRHyperParams(dataset, model_name);
+  config.base = t;
+  config.base.use_operators = false;
+
+  config.rvariant = t;
+  config.rvariant.use_operators = true;
+  config.rvariant.xi.alpha1 = rp.alpha1;
+  config.rvariant.m1 = rp.m1;
+  config.rvariant.m2 = rp.m2;
+  // First-group models transform the reconstruction target during the
+  // second half of pretraining.
+  config.rvariant.first_group_transform_start = t.pretrain_epochs / 2;
+  return config;
+}
+
+TrialOutcome RunSingle(const std::string& model_name,
+                       const AttributedGraph& graph,
+                       const ModelOptions& model_options,
+                       const TrainerOptions& trainer) {
+  std::unique_ptr<GaeModel> model =
+      CreateModel(model_name, graph, model_options);
+  assert(model != nullptr);
+  RGaeTrainer t(model.get(), trainer);
+  TrialOutcome outcome;
+  outcome.result = t.Run();
+  outcome.scores = outcome.result.scores;
+  outcome.seconds = outcome.result.cluster_seconds;
+  return outcome;
+}
+
+CoupleOutcome RunCouple(const CoupleConfig& config,
+                        const AttributedGraph& graph) {
+  CoupleOutcome outcome;
+  std::unique_ptr<GaeModel> base_model =
+      CreateModel(config.model_name, graph, config.model_options);
+  assert(base_model != nullptr);
+
+  if (base_model->has_clustering_head()) {
+    // Second group: pretrain once, share the weights, run both clustering
+    // phases from the identical checkpoint.
+    RGaeTrainer base_trainer(base_model.get(), config.base);
+    const auto pre_begin = std::chrono::steady_clock::now();
+    base_trainer.Pretrain();
+    const double pretrain_seconds = Seconds(pre_begin);
+    const std::vector<Matrix> weights = base_model->SaveWeights();
+
+    outcome.base.result = base_trainer.TrainClustering();
+    outcome.base.result.pretrain_seconds = pretrain_seconds;
+    outcome.base.scores = outcome.base.result.scores;
+    outcome.base.seconds = outcome.base.result.cluster_seconds;
+
+    std::unique_ptr<GaeModel> r_model =
+        CreateModel(config.model_name, graph, config.model_options);
+    r_model->LoadWeights(weights);
+    RGaeTrainer r_trainer(r_model.get(), config.rvariant);
+    outcome.rmodel.result = r_trainer.TrainClustering();
+    outcome.rmodel.result.pretrain_seconds = pretrain_seconds;
+    outcome.rmodel.scores = outcome.rmodel.result.scores;
+    outcome.rmodel.seconds = outcome.rmodel.result.cluster_seconds;
+  } else {
+    // First group: the operators act during pretraining, so the couple
+    // shares the initial weights (same model seed) and the identical plain
+    // prefix of the pretraining schedule.
+    RGaeTrainer base_trainer(base_model.get(), config.base);
+    outcome.base.result = base_trainer.Run();
+    outcome.base.scores = outcome.base.result.scores;
+    outcome.base.seconds = outcome.base.result.pretrain_seconds;
+
+    std::unique_ptr<GaeModel> r_model =
+        CreateModel(config.model_name, graph, config.model_options);
+    RGaeTrainer r_trainer(r_model.get(), config.rvariant);
+    outcome.rmodel.result = r_trainer.Run();
+    outcome.rmodel.scores = outcome.rmodel.result.scores;
+    outcome.rmodel.seconds = outcome.rmodel.result.pretrain_seconds;
+  }
+  return outcome;
+}
+
+Aggregate AggregateTrials(const std::vector<TrialOutcome>& trials) {
+  Aggregate agg;
+  assert(!trials.empty());
+  const TrialOutcome* best = &trials[0];
+  for (const TrialOutcome& t : trials) {
+    if (t.scores.acc > best->scores.acc) best = &t;
+  }
+  agg.best = best->scores;
+  agg.best_seconds = trials[0].seconds;
+  double sum_acc = 0.0, sum_nmi = 0.0, sum_ari = 0.0, sum_sec = 0.0;
+  for (const TrialOutcome& t : trials) {
+    sum_acc += t.scores.acc;
+    sum_nmi += t.scores.nmi;
+    sum_ari += t.scores.ari;
+    sum_sec += t.seconds;
+    agg.best_seconds = std::min(agg.best_seconds, t.seconds);
+  }
+  const double n = static_cast<double>(trials.size());
+  agg.mean = {sum_acc / n, sum_nmi / n, sum_ari / n};
+  agg.mean_seconds = sum_sec / n;
+  double var_acc = 0.0, var_nmi = 0.0, var_ari = 0.0, var_sec = 0.0;
+  for (const TrialOutcome& t : trials) {
+    var_acc += (t.scores.acc - agg.mean.acc) * (t.scores.acc - agg.mean.acc);
+    var_nmi += (t.scores.nmi - agg.mean.nmi) * (t.scores.nmi - agg.mean.nmi);
+    var_ari += (t.scores.ari - agg.mean.ari) * (t.scores.ari - agg.mean.ari);
+    var_sec += (t.seconds - agg.mean_seconds) * (t.seconds - agg.mean_seconds);
+  }
+  agg.stddev = {std::sqrt(var_acc / n), std::sqrt(var_nmi / n),
+                std::sqrt(var_ari / n)};
+  agg.var_seconds = var_sec / n;
+  return agg;
+}
+
+}  // namespace rgae

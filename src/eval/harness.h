@@ -1,0 +1,77 @@
+#ifndef RGAE_EVAL_HARNESS_H_
+#define RGAE_EVAL_HARNESS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/rgae_trainer.h"
+#include "src/eval/datasets.h"
+#include "src/models/model_factory.h"
+
+namespace rgae {
+
+/// Multi-trial experiment harness used by every table bench. Reproduces the
+/// paper's comparison protocol: a couple (𝒟, R-𝒟) shares the same
+/// pretrained weights before the clustering phase, then diverges only by
+/// the operators Ξ / Υ.
+
+/// One trial of one method.
+struct TrialOutcome {
+  ClusteringScores scores;
+  double seconds = 0.0;  // Clustering-phase wall time.
+  TrainResult result;
+};
+
+/// Outcomes of the base model and its R-variant for one shared-pretrain
+/// trial.
+struct CoupleOutcome {
+  TrialOutcome base;
+  TrialOutcome rmodel;
+};
+
+/// Everything needed to run one couple.
+struct CoupleConfig {
+  std::string model_name;   // "GAE", ..., "GMM-VGAE".
+  std::string dataset;      // Registry name; hyper-params resolved from it.
+  ModelOptions model_options;
+  TrainerOptions base;      // use_operators forced false.
+  TrainerOptions rvariant;  // use_operators forced true.
+};
+
+/// Builds default trainer options for (dataset, model) with the Appendix-C
+/// α₁ / M₁ / M₂ values, scaled epoch counts, and the given seed.
+CoupleConfig MakeCoupleConfig(const std::string& model_name,
+                              const std::string& dataset, uint64_t seed);
+
+/// Runs one couple on the given graph with shared pretraining.
+CoupleOutcome RunCouple(const CoupleConfig& config,
+                        const AttributedGraph& graph);
+
+/// Runs a single method (base when `use_operators` is false in `trainer`).
+TrialOutcome RunSingle(const std::string& model_name,
+                       const AttributedGraph& graph,
+                       const ModelOptions& model_options,
+                       const TrainerOptions& trainer);
+
+/// Best / mean / standard deviation across trials.
+struct Aggregate {
+  ClusteringScores best;
+  ClusteringScores mean;
+  ClusteringScores stddev;
+  double best_seconds = 0.0;
+  double mean_seconds = 0.0;
+  double var_seconds = 0.0;
+};
+
+/// Aggregates trial outcomes; "best" is the trial with the highest ACC.
+Aggregate AggregateTrials(const std::vector<TrialOutcome>& trials);
+
+/// Environment-controlled effort scaling: reads RGAE_TRIALS /
+/// RGAE_EPOCH_SCALE (a float multiplier on epoch counts) so the bench suite
+/// can be shrunk for smoke runs. Defaults: 3 trials, scale 1.0.
+int NumTrialsFromEnv(int default_trials = 3);
+double EpochScaleFromEnv();
+
+}  // namespace rgae
+
+#endif  // RGAE_EVAL_HARNESS_H_

@@ -1,0 +1,61 @@
+#include "src/eval/table.h"
+
+#include <cstdio>
+#include <iostream>
+
+namespace rgae {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(const std::string& title) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::cout << "\n== " << title << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::cout << cell;
+      if (c + 1 < widths.size()) {
+        std::cout << std::string(widths[c] - cell.size() + 2, ' ');
+      }
+    }
+    std::cout << '\n';
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  std::cout << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+  std::cout.flush();
+}
+
+std::string FormatPct(double fraction) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", fraction * 100.0);
+  return buf;
+}
+
+std::string FormatMeanStd(double mean_fraction, double std_fraction) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f +/- %.1f", mean_fraction * 100.0,
+                std_fraction * 100.0);
+  return buf;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", seconds);
+  return buf;
+}
+
+}  // namespace rgae

@@ -1,0 +1,32 @@
+#ifndef RGAE_EVAL_TABLE_H_
+#define RGAE_EVAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace rgae {
+
+/// Minimal aligned-column table printer for the paper-style bench output.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> row);
+  /// Prints the table to stdout with a title line above it.
+  void Print(const std::string& title) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// "61.3" — a score in percent with one decimal (paper convention).
+std::string FormatPct(double fraction);
+/// "55.6 ± 4.9".
+std::string FormatMeanStd(double mean_fraction, double std_fraction);
+/// Fixed-precision double, e.g. "17.135".
+std::string FormatSeconds(double seconds);
+
+}  // namespace rgae
+
+#endif  // RGAE_EVAL_TABLE_H_

@@ -1,0 +1,113 @@
+#include "src/graph/analysis.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace rgae {
+
+namespace {
+
+std::vector<std::vector<int>> AdjacencyLists(const AttributedGraph& g) {
+  std::vector<std::vector<int>> adj(g.num_nodes());
+  for (const auto& [u, v] : g.edges()) {
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  }
+  return adj;
+}
+
+}  // namespace
+
+double Modularity(const AttributedGraph& g,
+                  const std::vector<int>& assignments, int num_clusters) {
+  assert(static_cast<int>(assignments.size()) == g.num_nodes());
+  const double m = g.num_edges();
+  if (m == 0.0) return 0.0;
+  std::vector<double> intra(num_clusters, 0.0);
+  std::vector<double> degree(num_clusters, 0.0);
+  for (const auto& [u, v] : g.edges()) {
+    assert(assignments[u] >= 0 && assignments[u] < num_clusters);
+    assert(assignments[v] >= 0 && assignments[v] < num_clusters);
+    if (assignments[u] == assignments[v]) intra[assignments[u]] += 1.0;
+    degree[assignments[u]] += 1.0;
+    degree[assignments[v]] += 1.0;
+  }
+  double q = 0.0;
+  for (int c = 0; c < num_clusters; ++c) {
+    const double frac = degree[c] / (2.0 * m);
+    q += intra[c] / m - frac * frac;
+  }
+  return q;
+}
+
+std::vector<int> ConnectedComponents(const AttributedGraph& g, int* count) {
+  const int n = g.num_nodes();
+  const auto adj = AdjacencyLists(g);
+  std::vector<int> component(n, -1);
+  int next = 0;
+  for (int start = 0; start < n; ++start) {
+    if (component[start] >= 0) continue;
+    std::queue<int> frontier;
+    frontier.push(start);
+    component[start] = next;
+    while (!frontier.empty()) {
+      const int u = frontier.front();
+      frontier.pop();
+      for (int v : adj[u]) {
+        if (component[v] < 0) {
+          component[v] = next;
+          frontier.push(v);
+        }
+      }
+    }
+    ++next;
+  }
+  if (count != nullptr) *count = next;
+  return component;
+}
+
+int LargestComponentSize(const AttributedGraph& g) {
+  int count = 0;
+  const std::vector<int> component = ConnectedComponents(g, &count);
+  std::vector<int> sizes(count, 0);
+  for (int c : component) ++sizes[c];
+  return sizes.empty() ? 0 : *std::max_element(sizes.begin(), sizes.end());
+}
+
+double GlobalClusteringCoefficient(const AttributedGraph& g) {
+  const auto adj = AdjacencyLists(g);
+  long triangles_times_3 = 0;
+  long triples = 0;
+  for (int u = 0; u < g.num_nodes(); ++u) {
+    const long deg = static_cast<long>(adj[u].size());
+    triples += deg * (deg - 1) / 2;
+    for (size_t a = 0; a < adj[u].size(); ++a) {
+      for (size_t b = a + 1; b < adj[u].size(); ++b) {
+        if (g.HasEdge(adj[u][a], adj[u][b])) ++triangles_times_3;
+      }
+    }
+  }
+  if (triples == 0) return 0.0;
+  return static_cast<double>(triangles_times_3) / triples;
+}
+
+GraphStats ComputeStats(const AttributedGraph& g) {
+  GraphStats s;
+  s.nodes = g.num_nodes();
+  s.edges = g.num_edges();
+  const std::vector<int> degrees = g.Degrees();
+  long total = 0;
+  for (int d : degrees) {
+    total += d;
+    s.max_degree = std::max(s.max_degree, d);
+  }
+  s.mean_degree = s.nodes > 0 ? static_cast<double>(total) / s.nodes : 0.0;
+  ConnectedComponents(g, &s.components);
+  s.largest_component = LargestComponentSize(g);
+  if (g.has_labels()) s.homophily = g.EdgeHomophily();
+  s.clustering_coefficient = GlobalClusteringCoefficient(g);
+  return s;
+}
+
+}  // namespace rgae

@@ -1,0 +1,50 @@
+#ifndef RGAE_GRAPH_ANALYSIS_H_
+#define RGAE_GRAPH_ANALYSIS_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace rgae {
+
+/// Structural analysis utilities for attributed graphs. Used by the
+/// dataset-statistics reporting, the Υ evaluation (how clustering-oriented
+/// is A^self_clus really?) and the spectral baseline.
+
+/// Newman modularity of a partition: Q = Σ_c (e_c/m - (d_c/2m)²) where e_c
+/// is the number of intra-cluster edges and d_c the total degree of
+/// cluster c. Returns 0 for an empty graph.
+double Modularity(const AttributedGraph& g,
+                  const std::vector<int>& assignments, int num_clusters);
+
+/// Connected components; returns one component id per node (ids are dense,
+/// 0-based, in order of first appearance) and writes the component count to
+/// `*count` when non-null.
+std::vector<int> ConnectedComponents(const AttributedGraph& g,
+                                     int* count = nullptr);
+
+/// Size of the largest connected component.
+int LargestComponentSize(const AttributedGraph& g);
+
+/// Global clustering coefficient (3 * triangles / connected triples);
+/// 0 for graphs without any wedge.
+double GlobalClusteringCoefficient(const AttributedGraph& g);
+
+/// Summary statistics bundle for dataset reporting.
+struct GraphStats {
+  int nodes = 0;
+  int edges = 0;
+  double mean_degree = 0.0;
+  int max_degree = 0;
+  int components = 0;
+  int largest_component = 0;
+  double homophily = -1.0;  // -1 when unlabeled.
+  double clustering_coefficient = 0.0;
+};
+
+/// Computes all statistics in one pass.
+GraphStats ComputeStats(const AttributedGraph& g);
+
+}  // namespace rgae
+
+#endif  // RGAE_GRAPH_ANALYSIS_H_

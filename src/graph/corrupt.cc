@@ -1,0 +1,56 @@
+#include "src/graph/corrupt.h"
+
+#include <vector>
+
+namespace rgae {
+
+int AddRandomEdges(AttributedGraph* g, int count, Rng& rng) {
+  const int n = g->num_nodes();
+  int added = 0;
+  int attempts = 0;
+  const int max_attempts = count * 50 + 100;
+  while (added < count && attempts < max_attempts) {
+    ++attempts;
+    const int u = rng.UniformInt(n);
+    const int v = rng.UniformInt(n);
+    if (u == v) continue;
+    if (g->AddEdge(u, v)) ++added;
+  }
+  return added;
+}
+
+int DropRandomEdges(AttributedGraph* g, int count, Rng& rng) {
+  std::vector<std::pair<int, int>> edges(g->edges().begin(),
+                                         g->edges().end());
+  int dropped = 0;
+  while (dropped < count && !edges.empty()) {
+    const int idx = rng.UniformInt(static_cast<int>(edges.size()));
+    g->RemoveEdge(edges[idx].first, edges[idx].second);
+    edges[idx] = edges.back();
+    edges.pop_back();
+    ++dropped;
+  }
+  return dropped;
+}
+
+void AddFeatureNoise(AttributedGraph* g, double stddev, Rng& rng) {
+  Matrix* x = g->mutable_features();
+  for (int r = 0; r < x->rows(); ++r) {
+    double* p = x->row(r);
+    for (int c = 0; c < x->cols(); ++c) p[c] += rng.Gaussian(0.0, stddev);
+  }
+}
+
+int DropFeatureColumns(AttributedGraph* g, int count, Rng& rng) {
+  Matrix* x = g->mutable_features();
+  std::vector<int> cols(x->cols());
+  for (int c = 0; c < x->cols(); ++c) cols[c] = c;
+  rng.Shuffle(&cols);
+  const int to_drop = std::min(count, x->cols());
+  for (int i = 0; i < to_drop; ++i) {
+    for (int r = 0; r < x->rows(); ++r) (*x)(r, cols[i]) = 0.0;
+  }
+  return to_drop;
+}
+
+}  // namespace rgae

@@ -1,0 +1,29 @@
+#ifndef RGAE_GRAPH_CORRUPT_H_
+#define RGAE_GRAPH_CORRUPT_H_
+
+#include "src/graph/graph.h"
+#include "src/tensor/random.h"
+
+namespace rgae {
+
+/// Corruption utilities for the robustness experiments (paper Figs. 7–8).
+/// Each function mutates the graph in place and is deterministic given the
+/// RNG state, so a couple (model, R-model) can be fed byte-identical
+/// corrupted inputs by reusing the same seed.
+
+/// Connects `count` random currently-unlinked node pairs. Returns the number
+/// of edges actually added (may be less on tiny/dense graphs).
+int AddRandomEdges(AttributedGraph* g, int count, Rng& rng);
+
+/// Removes `count` random existing edges. Returns the number removed.
+int DropRandomEdges(AttributedGraph* g, int count, Rng& rng);
+
+/// Adds i.i.d. N(0, stddev²) noise to every feature entry.
+void AddFeatureNoise(AttributedGraph* g, double stddev, Rng& rng);
+
+/// Zeroes `count` random feature columns. Returns the number zeroed.
+int DropFeatureColumns(AttributedGraph* g, int count, Rng& rng);
+
+}  // namespace rgae
+
+#endif  // RGAE_GRAPH_CORRUPT_H_

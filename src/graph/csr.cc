@@ -1,0 +1,156 @@
+#include "src/graph/csr.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rgae {
+
+CsrMatrix CsrMatrix::FromTriplets(int rows, int cols,
+                                  std::vector<Triplet> triplets) {
+  assert(rows >= 0 && cols >= 0);
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              if (a.row != b.row) return a.row < b.row;
+              return a.col < b.col;
+            });
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  size_t i = 0;
+  for (int r = 0; r < rows; ++r) {
+    while (i < triplets.size() && triplets[i].row == r) {
+      assert(triplets[i].col >= 0 && triplets[i].col < cols);
+      double v = triplets[i].value;
+      const int c = triplets[i].col;
+      ++i;
+      // Merge duplicates.
+      while (i < triplets.size() && triplets[i].row == r &&
+             triplets[i].col == c) {
+        v += triplets[i].value;
+        ++i;
+      }
+      m.col_idx_.push_back(c);
+      m.values_.push_back(v);
+    }
+    m.row_ptr_[r + 1] = static_cast<int>(m.col_idx_.size());
+  }
+  assert(i == triplets.size());  // All rows must be within [0, rows).
+  return m;
+}
+
+CsrMatrix CsrMatrix::Identity(int n) {
+  std::vector<Triplet> t;
+  t.reserve(n);
+  for (int i = 0; i < n; ++i) t.push_back({i, i, 1.0});
+  return FromTriplets(n, n, std::move(t));
+}
+
+int CsrMatrix::FindIndex(int r, int c) const {
+  assert(r >= 0 && r < rows_);
+  const int begin = row_ptr_[r];
+  const int end = row_ptr_[r + 1];
+  const auto it = std::lower_bound(col_idx_.begin() + begin,
+                                   col_idx_.begin() + end, c);
+  if (it == col_idx_.begin() + end || *it != c) return -1;
+  return static_cast<int>(it - col_idx_.begin());
+}
+
+double CsrMatrix::At(int r, int c) const {
+  const int idx = FindIndex(r, c);
+  return idx < 0 ? 0.0 : values_[idx];
+}
+
+std::vector<int> CsrMatrix::RowCols(int r) const {
+  return std::vector<int>(col_idx_.begin() + row_ptr_[r],
+                          col_idx_.begin() + row_ptr_[r + 1]);
+}
+
+Matrix CsrMatrix::Multiply(const Matrix& x) const {
+  assert(cols_ == x.rows());
+  Matrix out(rows_, x.cols());
+  for (int r = 0; r < rows_; ++r) {
+    double* out_row = out.row(r);
+    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const double v = values_[k];
+      const double* x_row = x.row(col_idx_[k]);
+      for (int c = 0; c < x.cols(); ++c) out_row[c] += v * x_row[c];
+    }
+  }
+  return out;
+}
+
+Matrix CsrMatrix::MultiplyTransposed(const Matrix& x) const {
+  assert(rows_ == x.rows());
+  Matrix out(cols_, x.cols());
+  for (int r = 0; r < rows_; ++r) {
+    const double* x_row = x.row(r);
+    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const double v = values_[k];
+      double* out_row = out.row(col_idx_[k]);
+      for (int c = 0; c < x.cols(); ++c) out_row[c] += v * x_row[c];
+    }
+  }
+  return out;
+}
+
+std::vector<double> CsrMatrix::RowSums() const {
+  std::vector<double> sums(rows_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) sums[r] += values_[k];
+  }
+  return sums;
+}
+
+CsrMatrix CsrMatrix::SymmetricallyNormalized() const {
+  assert(rows_ == cols_);
+  const std::vector<double> deg = RowSums();
+  std::vector<double> inv_sqrt(rows_, 0.0);
+  for (int i = 0; i < rows_; ++i) {
+    if (deg[i] > 0.0) inv_sqrt[i] = 1.0 / std::sqrt(deg[i]);
+  }
+  CsrMatrix out = *this;
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = out.row_ptr_[r]; k < out.row_ptr_[r + 1]; ++k) {
+      out.values_[k] *= inv_sqrt[r] * inv_sqrt[out.col_idx_[k]];
+    }
+  }
+  return out;
+}
+
+CsrMatrix CsrMatrix::AddSelfLoops() const {
+  assert(rows_ == cols_);
+  std::vector<Triplet> t = ToTriplets();
+  for (int i = 0; i < rows_; ++i) t.push_back({i, i, 1.0});
+  return FromTriplets(rows_, cols_, std::move(t));
+}
+
+Matrix CsrMatrix::ToDense() const {
+  Matrix out(rows_, cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out(r, col_idx_[k]) = values_[k];
+    }
+  }
+  return out;
+}
+
+std::vector<Triplet> CsrMatrix::ToTriplets() const {
+  std::vector<Triplet> t;
+  t.reserve(values_.size());
+  for (int r = 0; r < rows_; ++r) {
+    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      t.push_back({r, col_idx_[k], values_[k]});
+    }
+  }
+  return t;
+}
+
+bool CsrMatrix::operator==(const CsrMatrix& other) const {
+  return rows_ == other.rows_ && cols_ == other.cols_ &&
+         row_ptr_ == other.row_ptr_ && col_idx_ == other.col_idx_ &&
+         values_ == other.values_;
+}
+
+}  // namespace rgae

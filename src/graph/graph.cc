@@ -1,0 +1,109 @@
+#include "src/graph/graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace rgae {
+
+namespace {
+
+std::pair<int, int> Canonical(int u, int v) {
+  return {std::min(u, v), std::max(u, v)};
+}
+
+}  // namespace
+
+int AttributedGraph::num_clusters() const {
+  int k = 0;
+  for (int label : labels_) k = std::max(k, label + 1);
+  return k;
+}
+
+bool AttributedGraph::AddEdge(int u, int v) {
+  assert(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_);
+  if (u == v) return false;
+  return edges_.insert(Canonical(u, v)).second;
+}
+
+bool AttributedGraph::RemoveEdge(int u, int v) {
+  return edges_.erase(Canonical(u, v)) > 0;
+}
+
+bool AttributedGraph::HasEdge(int u, int v) const {
+  if (u == v) return false;
+  return edges_.count(Canonical(u, v)) > 0;
+}
+
+int AttributedGraph::Degree(int u) const {
+  int d = 0;
+  for (const auto& [a, b] : edges_) {
+    if (a == u || b == u) ++d;
+  }
+  return d;
+}
+
+std::vector<int> AttributedGraph::Degrees() const {
+  std::vector<int> deg(num_nodes_, 0);
+  for (const auto& [a, b] : edges_) {
+    ++deg[a];
+    ++deg[b];
+  }
+  return deg;
+}
+
+CsrMatrix AttributedGraph::Adjacency() const {
+  std::vector<Triplet> t;
+  t.reserve(edges_.size() * 2);
+  for (const auto& [a, b] : edges_) {
+    t.push_back({a, b, 1.0});
+    t.push_back({b, a, 1.0});
+  }
+  return CsrMatrix::FromTriplets(num_nodes_, num_nodes_, std::move(t));
+}
+
+CsrMatrix AttributedGraph::NormalizedAdjacency() const {
+  return Adjacency().AddSelfLoops().SymmetricallyNormalized();
+}
+
+void AttributedGraph::SetOneHotDegreeFeatures(int max_degree) {
+  assert(max_degree >= 0);
+  const std::vector<int> deg = Degrees();
+  Matrix x(num_nodes_, max_degree + 1);
+  for (int i = 0; i < num_nodes_; ++i) {
+    x(i, std::min(deg[i], max_degree)) = 1.0;
+  }
+  features_ = std::move(x);
+}
+
+void AttributedGraph::NormalizeFeatureRows() { NormalizeRowsL2(&features_); }
+
+double AttributedGraph::EdgeHomophily() const {
+  assert(has_labels());
+  if (edges_.empty()) return 0.0;
+  int same = 0;
+  for (const auto& [a, b] : edges_) {
+    if (labels_[a] == labels_[b]) ++same;
+  }
+  return static_cast<double>(same) / edges_.size();
+}
+
+CsrMatrix BuildClusterGraph(const std::vector<int>& assignments,
+                            int num_clusters) {
+  const int n = static_cast<int>(assignments.size());
+  std::vector<std::vector<int>> members(num_clusters);
+  for (int i = 0; i < n; ++i) {
+    assert(assignments[i] >= 0 && assignments[i] < num_clusters);
+    members[assignments[i]].push_back(i);
+  }
+  std::vector<Triplet> t;
+  for (const auto& cluster : members) {
+    if (cluster.empty()) continue;
+    const double w = 1.0 / static_cast<double>(cluster.size());
+    for (int i : cluster) {
+      for (int j : cluster) t.push_back({i, j, w});
+    }
+  }
+  return CsrMatrix::FromTriplets(n, n, std::move(t));
+}
+
+}  // namespace rgae

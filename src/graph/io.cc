@@ -1,0 +1,65 @@
+#include "src/graph/io.h"
+
+#include <fstream>
+#include <iomanip>
+
+namespace rgae {
+
+bool SaveGraph(const AttributedGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << std::setprecision(17);  // Lossless double round-trip.
+  out << "rgae-graph 1 " << g.num_nodes() << ' ' << g.num_edges() << ' '
+      << g.feature_dim() << ' ' << (g.has_labels() ? 1 : 0) << '\n';
+  for (const auto& [u, v] : g.edges()) out << u << ' ' << v << '\n';
+  const Matrix& x = g.features();
+  for (int r = 0; r < x.rows(); ++r) {
+    for (int c = 0; c < x.cols(); ++c) {
+      out << x(r, c) << (c + 1 == x.cols() ? '\n' : ' ');
+    }
+  }
+  if (g.has_labels()) {
+    for (int label : g.labels()) out << label << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool LoadGraph(const std::string& path, AttributedGraph* g) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string magic;
+  int version = 0, n = 0, e = 0, fdim = 0, has_labels = 0;
+  in >> magic >> version >> n >> e >> fdim >> has_labels;
+  if (!in || magic != "rgae-graph" || version != 1 || n < 0 || e < 0 ||
+      fdim < 0) {
+    return false;
+  }
+  *g = AttributedGraph(n);
+  for (int i = 0; i < e; ++i) {
+    int u = 0, v = 0;
+    in >> u >> v;
+    if (!in || u < 0 || u >= n || v < 0 || v >= n) return false;
+    g->AddEdge(u, v);
+  }
+  if (fdim > 0) {
+    Matrix x(n, fdim);
+    for (int r = 0; r < n; ++r) {
+      for (int c = 0; c < fdim; ++c) {
+        in >> x(r, c);
+        if (!in) return false;
+      }
+    }
+    g->set_features(std::move(x));
+  }
+  if (has_labels) {
+    std::vector<int> labels(n);
+    for (int i = 0; i < n; ++i) {
+      in >> labels[i];
+      if (!in) return false;
+    }
+    g->set_labels(std::move(labels));
+  }
+  return true;
+}
+
+}  // namespace rgae

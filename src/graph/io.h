@@ -1,0 +1,24 @@
+#ifndef RGAE_GRAPH_IO_H_
+#define RGAE_GRAPH_IO_H_
+
+#include <string>
+
+#include "src/graph/graph.h"
+
+namespace rgae {
+
+/// Plain-text attributed-graph serialization.
+///
+/// Format (whitespace separated):
+///   line 1: `rgae-graph 1 <num_nodes> <num_edges> <feature_dim> <has_labels>`
+///   then one `u v` pair per edge,
+///   then (if feature_dim > 0) one feature row per node,
+///   then (if has_labels) one label per node.
+///
+/// Returns false on I/O or format errors; `*g` is unspecified on failure.
+bool SaveGraph(const AttributedGraph& g, const std::string& path);
+bool LoadGraph(const std::string& path, AttributedGraph* g);
+
+}  // namespace rgae
+
+#endif  // RGAE_GRAPH_IO_H_

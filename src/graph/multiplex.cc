@@ -1,0 +1,97 @@
+#include "src/graph/multiplex.h"
+
+#include <cassert>
+#include <map>
+
+namespace rgae {
+
+MultiplexGraph::MultiplexGraph(int num_nodes, Matrix features,
+                               std::vector<int> labels)
+    : num_nodes_(num_nodes),
+      features_(std::move(features)),
+      labels_(std::move(labels)) {
+  assert(num_nodes_ > 0);
+  assert(features_.empty() || features_.rows() == num_nodes_);
+  assert(labels_.empty() ||
+         static_cast<int>(labels_.size()) == num_nodes_);
+}
+
+int MultiplexGraph::AddLayer() {
+  layers_.emplace_back();
+  return static_cast<int>(layers_.size()) - 1;
+}
+
+bool MultiplexGraph::AddEdge(int layer, int u, int v) {
+  assert(layer >= 0 && layer < num_layers());
+  assert(u >= 0 && u < num_nodes_ && v >= 0 && v < num_nodes_);
+  if (u == v) return false;
+  return layers_[layer].insert({std::min(u, v), std::max(u, v)}).second;
+}
+
+const std::set<std::pair<int, int>>& MultiplexGraph::layer_edges(
+    int layer) const {
+  assert(layer >= 0 && layer < num_layers());
+  return layers_[layer];
+}
+
+int MultiplexGraph::LayerEdgeCount(int layer) const {
+  return static_cast<int>(layer_edges(layer).size());
+}
+
+double MultiplexGraph::LayerHomophily(int layer) const {
+  assert(!labels_.empty());
+  const auto& edges = layer_edges(layer);
+  if (edges.empty()) return 0.0;
+  int same = 0;
+  for (const auto& [a, b] : edges) {
+    if (labels_[a] == labels_[b]) ++same;
+  }
+  return static_cast<double>(same) / edges.size();
+}
+
+AttributedGraph MultiplexGraph::Flatten(int min_layers) const {
+  assert(min_layers >= 1);
+  std::map<std::pair<int, int>, int> counts;
+  for (const auto& layer : layers_) {
+    for (const auto& edge : layer) ++counts[edge];
+  }
+  AttributedGraph g(num_nodes_);
+  for (const auto& [edge, count] : counts) {
+    if (count >= min_layers) g.AddEdge(edge.first, edge.second);
+  }
+  g.set_features(features_);
+  if (!labels_.empty()) g.set_labels(labels_);
+  return g;
+}
+
+MultiplexGraph MakeMultiplexCitationLike(const MultiplexCitationOptions& o,
+                                         Rng& rng) {
+  assert(o.num_layers >= 1);
+  assert(o.edge_keep_prob > 0.0 && o.edge_keep_prob <= 1.0);
+  // The underlying clean graph provides nodes, features, labels and the
+  // shared ("true") edge set.
+  const AttributedGraph base = MakeCitationLike(o.base, rng);
+  const int n = base.num_nodes();
+
+  MultiplexGraph mg(n, base.features(), base.labels());
+  for (int l = 0; l < o.num_layers; ++l) {
+    const int layer = mg.AddLayer();
+    // Correlated part: a random subset of the true edges.
+    for (const auto& [u, v] : base.edges()) {
+      if (rng.Bernoulli(o.edge_keep_prob)) mg.AddEdge(layer, u, v);
+    }
+    // Layer-specific part: random noise links.
+    const int noise_target =
+        static_cast<int>(n * o.noise_edges_per_node / 2.0);
+    int attempts = 0, added = 0;
+    while (added < noise_target && attempts < noise_target * 30 + 100) {
+      ++attempts;
+      const int u = rng.UniformInt(n);
+      const int v = rng.UniformInt(n);
+      if (u != v && mg.AddEdge(layer, u, v)) ++added;
+    }
+  }
+  return mg;
+}
+
+}  // namespace rgae

@@ -1,0 +1,139 @@
+#include "src/metrics/clustering_metrics.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/clustering/kmeans.h"
+#include "src/metrics/hungarian.h"
+
+namespace rgae {
+
+namespace {
+
+int NumLabels(const std::vector<int>& a, const std::vector<int>& b) {
+  int k = 0;
+  for (int v : a) k = std::max(k, v + 1);
+  for (int v : b) k = std::max(k, v + 1);
+  return k;
+}
+
+// Contingency table counts[i][j] = |{n : a_n = i, b_n = j}|.
+std::vector<std::vector<long>> Contingency(const std::vector<int>& a,
+                                           const std::vector<int>& b, int k) {
+  std::vector<std::vector<long>> counts(k, std::vector<long>(k, 0));
+  for (size_t n = 0; n < a.size(); ++n) ++counts[a[n]][b[n]];
+  return counts;
+}
+
+}  // namespace
+
+double ClusteringAccuracy(const std::vector<int>& predicted,
+                          const std::vector<int>& truth) {
+  assert(predicted.size() == truth.size());
+  if (predicted.empty()) return 0.0;
+  const int k = NumLabels(predicted, truth);
+  const std::vector<int> aligned = AlignLabels(predicted, truth, k);
+  long correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (aligned[i] == truth[i]) ++correct;
+  }
+  return static_cast<double>(correct) / truth.size();
+}
+
+double NormalizedMutualInformation(const std::vector<int>& predicted,
+                                   const std::vector<int>& truth) {
+  assert(predicted.size() == truth.size());
+  const size_t n = predicted.size();
+  if (n == 0) return 0.0;
+  const int k = NumLabels(predicted, truth);
+  const auto counts = Contingency(predicted, truth, k);
+  std::vector<long> row(k, 0), col(k, 0);
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      row[i] += counts[i][j];
+      col[j] += counts[i][j];
+    }
+  }
+  double mi = 0.0, h_row = 0.0, h_col = 0.0;
+  for (int i = 0; i < k; ++i) {
+    if (row[i] > 0) {
+      const double p = static_cast<double>(row[i]) / n;
+      h_row -= p * std::log(p);
+    }
+    if (col[i] > 0) {
+      const double p = static_cast<double>(col[i]) / n;
+      h_col -= p * std::log(p);
+    }
+    for (int j = 0; j < k; ++j) {
+      if (counts[i][j] == 0) continue;
+      const double pij = static_cast<double>(counts[i][j]) / n;
+      const double pi = static_cast<double>(row[i]) / n;
+      const double pj = static_cast<double>(col[j]) / n;
+      mi += pij * std::log(pij / (pi * pj));
+    }
+  }
+  const double denom = 0.5 * (h_row + h_col);
+  if (denom < 1e-12) return h_row == h_col ? 1.0 : 0.0;
+  return mi / denom;
+}
+
+double AdjustedRandIndex(const std::vector<int>& predicted,
+                         const std::vector<int>& truth) {
+  assert(predicted.size() == truth.size());
+  const long n = static_cast<long>(predicted.size());
+  if (n < 2) return 0.0;
+  const int k = NumLabels(predicted, truth);
+  const auto counts = Contingency(predicted, truth, k);
+  auto choose2 = [](long x) { return x * (x - 1) / 2.0; };
+  std::vector<long> row(k, 0), col(k, 0);
+  double sum_cells = 0.0;
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      row[i] += counts[i][j];
+      col[j] += counts[i][j];
+      sum_cells += choose2(counts[i][j]);
+    }
+  }
+  double sum_row = 0.0, sum_col = 0.0;
+  for (int i = 0; i < k; ++i) {
+    sum_row += choose2(row[i]);
+    sum_col += choose2(col[i]);
+  }
+  const double total = choose2(n);
+  const double expected = sum_row * sum_col / total;
+  const double max_index = 0.5 * (sum_row + sum_col);
+  if (std::abs(max_index - expected) < 1e-12) return 0.0;
+  return (sum_cells - expected) / (max_index - expected);
+}
+
+ClusteringScores Evaluate(const std::vector<int>& predicted,
+                          const std::vector<int>& truth) {
+  return {ClusteringAccuracy(predicted, truth),
+          NormalizedMutualInformation(predicted, truth),
+          AdjustedRandIndex(predicted, truth)};
+}
+
+double SeparabilityRatio(const Matrix& z, const std::vector<int>& labels,
+                         int k) {
+  assert(static_cast<int>(labels.size()) == z.rows());
+  if (z.rows() == 0 || k < 2) return 0.0;
+  const Matrix centers = ClusterMeans(z, labels, k);
+  double intra = 0.0;
+  for (int i = 0; i < z.rows(); ++i) {
+    intra += std::sqrt(RowSquaredDistance(z, i, centers, labels[i]));
+  }
+  intra /= z.rows();
+  double inter = 0.0;
+  int pairs = 0;
+  for (int a = 0; a < k; ++a) {
+    for (int b = a + 1; b < k; ++b) {
+      inter += std::sqrt(RowSquaredDistance(centers, a, centers, b));
+      ++pairs;
+    }
+  }
+  inter /= std::max(1, pairs);
+  if (intra < 1e-12) return 0.0;
+  return inter / intra;
+}
+
+}  // namespace rgae

@@ -1,0 +1,42 @@
+#ifndef RGAE_METRICS_CLUSTERING_METRICS_H_
+#define RGAE_METRICS_CLUSTERING_METRICS_H_
+
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace rgae {
+
+/// The three external clustering quality metrics the paper reports.
+struct ClusteringScores {
+  double acc = 0.0;  // Hungarian-matched accuracy, in [0, 1].
+  double nmi = 0.0;  // Normalized mutual information, in [0, 1].
+  double ari = 0.0;  // Adjusted Rand index, in [-1, 1].
+};
+
+/// Hungarian-matched clustering accuracy.
+double ClusteringAccuracy(const std::vector<int>& predicted,
+                          const std::vector<int>& truth);
+
+/// Normalized mutual information with arithmetic-mean normalization
+/// (matches sklearn's default used by the paper's evaluation stack).
+double NormalizedMutualInformation(const std::vector<int>& predicted,
+                                   const std::vector<int>& truth);
+
+/// Adjusted Rand index.
+double AdjustedRandIndex(const std::vector<int>& predicted,
+                         const std::vector<int>& truth);
+
+/// All three scores at once.
+ClusteringScores Evaluate(const std::vector<int>& predicted,
+                          const std::vector<int>& truth);
+
+/// Mean silhouette-style separability proxy used by the Fig.-10 bench:
+/// (mean inter-cluster center distance) / (mean intra-cluster distance to
+/// own center), larger is better-separated. Returns 0 for degenerate input.
+double SeparabilityRatio(const Matrix& z, const std::vector<int>& labels,
+                         int k);
+
+}  // namespace rgae
+
+#endif  // RGAE_METRICS_CLUSTERING_METRICS_H_

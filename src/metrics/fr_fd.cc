@@ -1,0 +1,80 @@
+#include "src/metrics/fr_fd.h"
+
+#include <cmath>
+
+namespace rgae {
+
+std::vector<double> FlattenGrads(const std::vector<Parameter*>& params) {
+  size_t total = 0;
+  for (const Parameter* p : params) total += p->grad.size();
+  std::vector<double> flat;
+  flat.reserve(total);
+  for (const Parameter* p : params) {
+    const double* g = p->grad.data();
+    flat.insert(flat.end(), g, g + p->grad.size());
+  }
+  return flat;
+}
+
+double FlatCosine(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na < 1e-24 || nb < 1e-24) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+Matrix GradLaplacianAt(const Matrix& z, const CsrMatrix& a, int i) {
+  Matrix g(1, z.cols());
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& av = a.values();
+  for (int k = rp[i]; k < rp[i + 1]; ++k) {
+    const int j = ci[k];
+    const double w = av[k];
+    for (int c = 0; c < z.cols(); ++c) g(0, c) += w * (z(i, c) - z(j, c));
+  }
+  return g;
+}
+
+double ElementaryFr(const Matrix& z, const CsrMatrix& a_clus,
+                    const CsrMatrix& a_sup, int i) {
+  return Dot(GradLaplacianAt(z, a_clus, i), GradLaplacianAt(z, a_sup, i));
+}
+
+double ElementaryFd(const Matrix& z, const CsrMatrix& a_self_norm,
+                    const CsrMatrix& a_sup, int i) {
+  return Dot(GradLaplacianAt(z, a_self_norm, i), GradLaplacianAt(z, a_sup, i));
+}
+
+Matrix Aggregate(const Matrix& x, const CsrMatrix& a, int i) {
+  Matrix h(1, x.cols());
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& av = a.values();
+  for (int k = rp[i]; k < rp[i + 1]; ++k) {
+    const int j = ci[k];
+    for (int c = 0; c < x.cols(); ++c) h(0, c) += av[k] * x(j, c);
+  }
+  return h;
+}
+
+double FilterImpact(const Matrix& x, const CsrMatrix& a_self_norm,
+                    const CsrMatrix& a_sup, int i) {
+  const Matrix h_sup = Aggregate(x, a_sup, i);
+  const Matrix h_self = Aggregate(x, a_self_norm, i);
+  double d1 = 0.0, d2 = 0.0;
+  for (int c = 0; c < x.cols(); ++c) {
+    const double a = x(i, c) - h_sup(0, c);
+    const double b = h_self(0, c) - h_sup(0, c);
+    d1 += a * a;
+    d2 += b * b;
+  }
+  return std::sqrt(d1) - std::sqrt(d2);
+}
+
+}  // namespace rgae

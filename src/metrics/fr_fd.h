@@ -1,0 +1,53 @@
+#ifndef RGAE_METRICS_FR_FD_H_
+#define RGAE_METRICS_FR_FD_H_
+
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/tensor/autograd.h"
+#include "src/tensor/matrix.h"
+
+namespace rgae {
+
+/// Feature-Randomness / Feature-Drift diagnostics (paper Eqs. 4, 7 and
+/// Definitions 1–2).
+///
+/// The full Λ metrics compare *parameter* gradients of a pseudo-supervised
+/// loss against its supervised counterpart; models compute the two gradient
+/// snapshots and this module reduces them to a cosine. The primed elementary
+/// metrics operate directly on embeddings and graphs and are what the
+/// theoretical section (Theorems 2–5) reasons about.
+
+/// Concatenates `Parameter::grad` buffers into one flat vector.
+std::vector<double> FlattenGrads(const std::vector<Parameter*>& params);
+
+/// Cosine similarity of two flat gradient vectors (0 if either is ~0).
+double FlatCosine(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Gradient of the graph Laplacian loss L_C(Z, A') w.r.t. z_i following the
+/// paper's Proposition 4 convention: Σ_j a'_ij (z_i - z_j). Returns a 1 x d
+/// row.
+Matrix GradLaplacianAt(const Matrix& z, const CsrMatrix& a, int i);
+
+/// Elementary FR metric of Definition 1:
+/// Λ'_FR = ⟨∂L_C(Z, A^clus)/∂z_i, ∂L_C(Z, A^sup)/∂z_i⟩.
+double ElementaryFr(const Matrix& z, const CsrMatrix& a_clus,
+                    const CsrMatrix& a_sup, int i);
+
+/// Elementary FD metric of Definition 2:
+/// Λ'_FD = ⟨∂L_C(Z, Ã^self)/∂z_i, ∂L_C(Z, A^sup)/∂z_i⟩.
+double ElementaryFd(const Matrix& z, const CsrMatrix& a_self_norm,
+                    const CsrMatrix& a_sup, int i);
+
+/// Aggregation h(x_i) = Σ_j a_ij x_j (1 x d row) used by 𝒫 (Eq. 12).
+Matrix Aggregate(const Matrix& x, const CsrMatrix& a, int i);
+
+/// The filter-impact function 𝒫(x_i) of Eq. (12):
+/// ||x_i - h^sup(x_i)|| - ||h^self(x_i) - h^sup(x_i)||. Positive values mean
+/// the graph filtering operation helps clustering node i.
+double FilterImpact(const Matrix& x, const CsrMatrix& a_self_norm,
+                    const CsrMatrix& a_sup, int i);
+
+}  // namespace rgae
+
+#endif  // RGAE_METRICS_FR_FD_H_

@@ -1,0 +1,90 @@
+#include "src/metrics/hungarian.h"
+
+#include <cassert>
+#include <limits>
+
+namespace rgae {
+
+std::vector<int> SolveAssignment(const Matrix& cost) {
+  assert(cost.rows() == cost.cols());
+  const int n = cost.rows();
+  // Shortest augmenting path ("Hungarian") with potentials; 1-indexed
+  // internal arrays as in the classic formulation.
+  const double kInf = std::numeric_limits<double>::max();
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<int> p(n + 1, 0), way(n + 1, 0);
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      const int i0 = p[j0];
+      double delta = kInf;
+      int j1 = 0;
+      for (int j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0);
+  }
+  std::vector<int> match(n, -1);
+  for (int j = 1; j <= n; ++j) {
+    if (p[j] > 0) match[p[j] - 1] = j - 1;
+  }
+  return match;
+}
+
+std::vector<int> BestLabelMapping(const std::vector<int>& predicted,
+                                  const std::vector<int>& truth, int k) {
+  assert(predicted.size() == truth.size());
+  // Count agreements, then minimize (max_count - count).
+  Matrix counts(k, k);
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    assert(predicted[i] >= 0 && predicted[i] < k);
+    assert(truth[i] >= 0 && truth[i] < k);
+    counts(predicted[i], truth[i]) += 1.0;
+  }
+  double max_count = 0.0;
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) max_count = std::max(max_count, counts(i, j));
+  }
+  Matrix cost(k, k);
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) cost(i, j) = max_count - counts(i, j);
+  }
+  return SolveAssignment(cost);
+}
+
+std::vector<int> AlignLabels(const std::vector<int>& predicted,
+                             const std::vector<int>& truth, int k) {
+  const std::vector<int> map = BestLabelMapping(predicted, truth, k);
+  std::vector<int> out(predicted.size());
+  for (size_t i = 0; i < predicted.size(); ++i) out[i] = map[predicted[i]];
+  return out;
+}
+
+}  // namespace rgae

@@ -1,0 +1,28 @@
+#ifndef RGAE_METRICS_HUNGARIAN_H_
+#define RGAE_METRICS_HUNGARIAN_H_
+
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace rgae {
+
+/// Solves the linear assignment problem (minimum cost) for a square cost
+/// matrix using the O(n³) Jonker-style shortest augmenting path algorithm.
+/// Returns `match[row] = col` for the optimal perfect matching.
+std::vector<int> SolveAssignment(const Matrix& cost);
+
+/// Given predicted and true labels (same length, values in [0, k)), returns
+/// the permutation `map[pred_label] = true_label` maximizing the number of
+/// agreements — the 𝔸_H Hungarian mapping of the paper.
+std::vector<int> BestLabelMapping(const std::vector<int>& predicted,
+                                  const std::vector<int>& truth, int k);
+
+/// Applies `BestLabelMapping` to the predicted labels, yielding Q'-aligned
+/// labels comparable with the ground truth.
+std::vector<int> AlignLabels(const std::vector<int>& predicted,
+                             const std::vector<int>& truth, int k);
+
+}  // namespace rgae
+
+#endif  // RGAE_METRICS_HUNGARIAN_H_

@@ -1,0 +1,111 @@
+#include "src/metrics/theory.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rgae {
+
+namespace {
+
+double Softplus(double x) {
+  return std::log1p(std::exp(-std::abs(x))) + std::max(x, 0.0);
+}
+
+double Sigmoid(double x) {
+  if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+double PlainReconstructionBce(const Matrix& z, const CsrMatrix& a_self) {
+  const int n = z.rows();
+  assert(a_self.rows() == n && a_self.cols() == n);
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int c = 0; c < z.cols(); ++c) s += z(i, c) * z(j, c);
+      const double a = a_self.At(i, j);
+      // bce = softplus(s) - a * s (valid for a in {0,1} and in between).
+      loss += Softplus(s) - a * s;
+    }
+  }
+  return loss;
+}
+
+double LaplacianLoss(const Matrix& z, const CsrMatrix& a) {
+  double loss = 0.0;
+  const auto& rp = a.row_ptr();
+  const auto& ci = a.col_idx();
+  const auto& av = a.values();
+  for (int i = 0; i < a.rows(); ++i) {
+    for (int k = rp[i]; k < rp[i + 1]; ++k) {
+      loss += av[k] * RowSquaredDistance(z, i, z, ci[k]);
+    }
+  }
+  return 0.5 * loss;
+}
+
+double ResidualLoss(const Matrix& z, const CsrMatrix& a_self) {
+  const int n = z.rows();
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (int c = 0; c < z.cols(); ++c) s += z(i, c) * z(j, c);
+      loss += Softplus(s);
+    }
+  }
+  const auto& rp = a_self.row_ptr();
+  const auto& ci = a_self.col_idx();
+  const auto& av = a_self.values();
+  for (int i = 0; i < n; ++i) {
+    const double ni = z.RowSquaredNorm(i);
+    for (int k = rp[i]; k < rp[i + 1]; ++k) {
+      loss -= 0.5 * av[k] * (ni + z.RowSquaredNorm(ci[k]));
+    }
+  }
+  return loss;
+}
+
+double KMeansObjective(const Matrix& z, const std::vector<int>& assignments,
+                       int k) {
+  assert(static_cast<int>(assignments.size()) == z.rows());
+  // Cluster means.
+  Matrix mu(k, z.cols());
+  std::vector<int> counts(k, 0);
+  for (int i = 0; i < z.rows(); ++i) {
+    ++counts[assignments[i]];
+    for (int c = 0; c < z.cols(); ++c) mu(assignments[i], c) += z(i, c);
+  }
+  for (int j = 0; j < k; ++j) {
+    if (counts[j] > 0) {
+      for (int c = 0; c < z.cols(); ++c) mu(j, c) /= counts[j];
+    }
+  }
+  double loss = 0.0;
+  for (int i = 0; i < z.rows(); ++i) {
+    loss += RowSquaredDistance(z, i, mu, assignments[i]);
+  }
+  return loss;
+}
+
+Matrix ReconstructionGradAt(const Matrix& z, const CsrMatrix& a_self, int i) {
+  Matrix g(1, z.cols());
+  for (int j = 0; j < z.rows(); ++j) {
+    double s = 0.0;
+    for (int c = 0; c < z.cols(); ++c) s += z(i, c) * z(j, c);
+    const double coeff = Sigmoid(s) - a_self.At(i, j);
+    for (int c = 0; c < z.cols(); ++c) g(0, c) += coeff * z(j, c);
+  }
+  return g;
+}
+
+double CombinedLaplacianLoss(const Matrix& z, const CsrMatrix& a_clus,
+                             const CsrMatrix& a_self, double gamma) {
+  return LaplacianLoss(z, a_clus) + gamma * LaplacianLoss(z, a_self);
+}
+
+}  // namespace rgae

@@ -1,0 +1,43 @@
+#ifndef RGAE_METRICS_THEORY_H_
+#define RGAE_METRICS_THEORY_H_
+
+#include <vector>
+
+#include "src/graph/csr.h"
+#include "src/tensor/matrix.h"
+
+namespace rgae {
+
+/// Closed-form loss pieces from the paper's theoretical analysis
+/// (Propositions 1–4, Theorem 1). These are *unweighted* (no pos_weight /
+/// norm) to match the appendix derivations exactly; tests verify the
+/// identities numerically and the benches use them for the γ-trade-off
+/// study.
+
+/// Plain binary cross-entropy between sigmoid(Z Zᵀ) and a dense 0/1 target:
+/// -Σ_ij [a_ij log σ(z_iᵀz_j) + (1 - a_ij) log(1 - σ(z_iᵀz_j))].
+double PlainReconstructionBce(const Matrix& z, const CsrMatrix& a_self);
+
+/// Graph Laplacian regularization L_C(Z, A') = ½ Σ_ij a'_ij ||z_i - z_j||².
+double LaplacianLoss(const Matrix& z, const CsrMatrix& a);
+
+/// The residual term L_R of Proposition 1:
+/// Σ_ij [log(1 + exp(z_iᵀz_j)) - ½ a_ij (||z_i||² + ||z_j||²)].
+double ResidualLoss(const Matrix& z, const CsrMatrix& a_self);
+
+/// Embedded k-means objective Σ_k Σ_{i∈C_k} ||z_i - μ_k||² with μ_k the
+/// cluster means — the left side of Proposition 2.
+double KMeansObjective(const Matrix& z, const std::vector<int>& assignments,
+                       int k);
+
+/// Gradient of the plain reconstruction BCE w.r.t. z_i (Proposition 3):
+/// Σ_j (σ(z_iᵀz_j) - a_ij) z_j. Returns a 1 x d row.
+Matrix ReconstructionGradAt(const Matrix& z, const CsrMatrix& a_self, int i);
+
+/// L_C(Z, A^clus + γ A^self): the combined graph-weighted loss of Theorem 1.
+double CombinedLaplacianLoss(const Matrix& z, const CsrMatrix& a_clus,
+                             const CsrMatrix& a_self, double gamma);
+
+}  // namespace rgae
+
+#endif  // RGAE_METRICS_THEORY_H_

@@ -1,0 +1,66 @@
+#ifndef RGAE_MODELS_ARGAE_H_
+#define RGAE_MODELS_ARGAE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/models/gae.h"
+#include "src/models/vgae.h"
+
+namespace rgae {
+
+/// MLP discriminator used by the adversarially regularized models: a
+/// two-layer network scoring whether a latent code comes from the prior
+/// N(0, I) or from the encoder (Pan et al., 2018).
+class Discriminator {
+ public:
+  Discriminator(int in_dim, int hidden_dim, Rng& rng);
+
+  /// Raw logits (n x 1) for a batch of latent codes.
+  Var Logits(Tape* tape, Var z) const;
+
+  std::vector<Parameter*> Params();
+
+ private:
+  mutable Parameter w1_, b1_, w2_, b2_;
+};
+
+/// Adversarially Regularized Graph Auto-Encoder (ARGAE/ARGE): GAE whose
+/// embedding distribution is pushed toward a Gaussian prior by a
+/// discriminator. First-group model.
+class Argae : public Gae {
+ public:
+  Argae(const AttributedGraph& graph, const ModelOptions& options);
+
+  std::string name() const override { return "ARGAE"; }
+  double TrainStep(const TrainContext& ctx) override;
+  std::vector<Parameter*> Params() override;
+
+ private:
+  void DiscriminatorStep();
+
+  Discriminator discriminator_;
+  std::unique_ptr<Adam> disc_adam_;
+};
+
+/// Adversarially Regularized Variational Graph Auto-Encoder (ARVGAE/ARVGE).
+/// First-group model.
+class Arvgae : public Vgae {
+ public:
+  Arvgae(const AttributedGraph& graph, const ModelOptions& options);
+
+  std::string name() const override { return "ARVGAE"; }
+  double TrainStep(const TrainContext& ctx) override;
+  std::vector<Parameter*> Params() override;
+
+ private:
+  void DiscriminatorStep();
+
+  Discriminator discriminator_;
+  std::unique_ptr<Adam> disc_adam_;
+};
+
+}  // namespace rgae
+
+#endif  // RGAE_MODELS_ARGAE_H_

@@ -1,0 +1,61 @@
+#include "src/models/dgae.h"
+
+#include <cassert>
+
+#include "src/clustering/assignments.h"
+#include "src/clustering/kmeans.h"
+
+namespace rgae {
+
+Dgae::Dgae(const AttributedGraph& graph, const ModelOptions& options)
+    : Gae(graph, options) {}
+
+void Dgae::InitClusteringHead(int num_clusters, Rng& rng) {
+  const Matrix z = Embed();
+  const KMeansResult km = KMeans(z, num_clusters, rng);
+  centers_ = Parameter(km.centers);
+  head_ready_ = true;
+  RefreshTarget();
+  // Rebuild the optimizer so it covers the new centers parameter.
+  InitOptimizer();
+}
+
+void Dgae::RefreshTarget() {
+  assert(head_ready_);
+  const Matrix p = StudentTAssignments(Embed(), centers_.value);
+  target_q_ = DecTargetDistribution(p);
+  steps_since_refresh_ = 0;
+}
+
+Matrix Dgae::SoftAssignments() const {
+  assert(head_ready_);
+  return StudentTAssignments(Embed(), centers_.value);
+}
+
+double Dgae::TrainStep(const TrainContext& ctx) {
+  if (!ctx.include_clustering) return Gae::TrainStep(ctx);
+  assert(head_ready_ && "InitClusteringHead must be called first");
+  if (steps_since_refresh_ >= options_.target_refresh) RefreshTarget();
+  ++steps_since_refresh_;
+
+  Tape tape;
+  const Var x = FeaturesOnTape(&tape);
+  const Var z = encoder_.Encode(&tape, &filter_, x);
+  const Var centers = tape.Leaf(&centers_);
+  const Var clus = tape.DecKlLoss(z, centers, &target_q_, ctx.omega);
+  const Var recon = tape.InnerProductBceLoss(
+      z, ctx.recon.graph, ctx.recon.pos_weight, ctx.recon.norm);
+  const Var loss = tape.AddScalars(clus, tape.Scale(recon, ctx.gamma));
+  adam_->ZeroGrads();
+  tape.Backward(loss);
+  adam_->Step();
+  return tape.value(loss)(0, 0);
+}
+
+std::vector<Parameter*> Dgae::Params() {
+  std::vector<Parameter*> p = Gae::Params();
+  if (head_ready_) p.push_back(&centers_);
+  return p;
+}
+
+}  // namespace rgae

@@ -1,0 +1,32 @@
+#include "src/models/gae.h"
+
+namespace rgae {
+
+Gae::Gae(const AttributedGraph& graph, const ModelOptions& options)
+    : GaeModel(graph, options),
+      encoder_(graph.feature_dim(), options.hidden_dim, options.latent_dim,
+               rng_) {
+  InitOptimizer();
+}
+
+double Gae::TrainStep(const TrainContext& ctx) {
+  Tape tape;
+  const Var x = FeaturesOnTape(&tape);
+  const Var z = encoder_.Encode(&tape, &filter_, x);
+  const Var loss = tape.InnerProductBceLoss(z, ctx.recon.graph,
+                                            ctx.recon.pos_weight,
+                                            ctx.recon.norm);
+  adam_->ZeroGrads();
+  tape.Backward(loss);
+  adam_->Step();
+  return tape.value(loss)(0, 0);
+}
+
+std::vector<Parameter*> Gae::Params() { return encoder_.Params(); }
+
+Var Gae::EncodeOnTape(Tape* tape) const {
+  const Var x = FeaturesOnTape(tape);
+  return encoder_.Encode(tape, &filter_, x);
+}
+
+}  // namespace rgae

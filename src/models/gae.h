@@ -1,0 +1,31 @@
+#ifndef RGAE_MODELS_GAE_H_
+#define RGAE_MODELS_GAE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/models/gcn.h"
+#include "src/models/model.h"
+
+namespace rgae {
+
+/// Graph Auto-Encoder (Kipf & Welling, 2016): two GCN layers, inner-product
+/// decoder, weighted BCE reconstruction. First-group model — clustering is
+/// performed separately from embedding learning.
+class Gae : public GaeModel {
+ public:
+  Gae(const AttributedGraph& graph, const ModelOptions& options);
+
+  std::string name() const override { return "GAE"; }
+  double TrainStep(const TrainContext& ctx) override;
+  std::vector<Parameter*> Params() override;
+
+ protected:
+  Var EncodeOnTape(Tape* tape) const override;
+
+  GcnEncoder encoder_;
+};
+
+}  // namespace rgae
+
+#endif  // RGAE_MODELS_GAE_H_

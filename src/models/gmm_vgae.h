@@ -1,0 +1,50 @@
+#ifndef RGAE_MODELS_GMM_VGAE_H_
+#define RGAE_MODELS_GMM_VGAE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/clustering/assignments.h"
+#include "src/clustering/gmm.h"
+#include "src/models/vgae.h"
+
+namespace rgae {
+
+/// GMM-VGAE (Hui et al., 2020): a VGAE whose clustering phase couples the
+/// embeddings to a diagonal-covariance Gaussian mixture. The encoder is
+/// trained by gradient on a DEC-style KL(Q ‖ R) between the mixture's
+/// posterior responsibilities R of the mean embeddings and their sharpened
+/// target distribution Q (plus γ-weighted reconstruction and prior KL);
+/// the mixture parameters themselves are tracked with warm-started EM
+/// refits every `target_refresh` steps. This sidesteps the covariance
+/// collapse of naive joint gradient NLL training (see DESIGN.md §2).
+/// Second group.
+class GmmVgae : public Vgae {
+ public:
+  GmmVgae(const AttributedGraph& graph, const ModelOptions& options);
+
+  std::string name() const override { return "GMM-VGAE"; }
+  double TrainStep(const TrainContext& ctx) override;
+  std::vector<Parameter*> Params() override;
+
+  bool has_clustering_head() const override { return true; }
+  void InitClusteringHead(int num_clusters, Rng& rng) override;
+  Matrix SoftAssignments() const override;
+
+ private:
+  // Converts the parameter blocks to/from a GmmModel.
+  GmmModel CurrentMixture() const;
+  void StoreMixture(const GmmModel& gmm);
+  void RefreshMixture();
+
+  Parameter means_{Matrix(1, 1)};
+  Parameter logvars_{Matrix(1, 1)};
+  Parameter pi_logits_{Matrix(1, 1)};
+  Matrix target_q_;  // DEC target of the responsibilities (N x K).
+  int steps_since_refresh_ = 0;
+  bool head_ready_ = false;
+};
+
+}  // namespace rgae
+
+#endif  // RGAE_MODELS_GMM_VGAE_H_

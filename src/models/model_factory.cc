@@ -1,0 +1,37 @@
+#include "src/models/model_factory.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/models/argae.h"
+#include "src/models/dgae.h"
+#include "src/models/gae.h"
+#include "src/models/gmm_vgae.h"
+#include "src/models/vgae.h"
+
+namespace rgae {
+
+std::unique_ptr<GaeModel> CreateModel(const std::string& name,
+                                      const AttributedGraph& graph,
+                                      const ModelOptions& options) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  if (upper == "GAE") return std::make_unique<Gae>(graph, options);
+  if (upper == "VGAE") return std::make_unique<Vgae>(graph, options);
+  if (upper == "ARGAE") return std::make_unique<Argae>(graph, options);
+  if (upper == "ARVGAE") return std::make_unique<Arvgae>(graph, options);
+  if (upper == "DGAE") return std::make_unique<Dgae>(graph, options);
+  if (upper == "GMM-VGAE" || upper == "GMMVGAE") {
+    return std::make_unique<GmmVgae>(graph, options);
+  }
+  return nullptr;
+}
+
+const std::vector<std::string>& AllModelNames() {
+  static const std::vector<std::string>* names = new std::vector<std::string>{
+      "GAE", "VGAE", "ARGAE", "ARVGAE", "DGAE", "GMM-VGAE"};
+  return *names;
+}
+
+}  // namespace rgae

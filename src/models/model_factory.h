@@ -1,0 +1,23 @@
+#ifndef RGAE_MODELS_MODEL_FACTORY_H_
+#define RGAE_MODELS_MODEL_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/models/model.h"
+
+namespace rgae {
+
+/// Creates a model by its paper name ("GAE", "VGAE", "ARGAE", "ARVGAE",
+/// "DGAE", "GMM-VGAE"; case-insensitive). Returns nullptr for unknown names.
+std::unique_ptr<GaeModel> CreateModel(const std::string& name,
+                                      const AttributedGraph& graph,
+                                      const ModelOptions& options);
+
+/// The six model names in the paper's table order.
+const std::vector<std::string>& AllModelNames();
+
+}  // namespace rgae
+
+#endif  // RGAE_MODELS_MODEL_FACTORY_H_

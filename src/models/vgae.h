@@ -1,0 +1,41 @@
+#ifndef RGAE_MODELS_VGAE_H_
+#define RGAE_MODELS_VGAE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/models/gcn.h"
+#include "src/models/model.h"
+
+namespace rgae {
+
+/// Variational Graph Auto-Encoder (Kipf & Welling, 2016): shared hidden GCN
+/// layer, separate GCN heads for μ and log σ², reparameterized sampling,
+/// reconstruction + prior KL. First-group model.
+class Vgae : public GaeModel {
+ public:
+  Vgae(const AttributedGraph& graph, const ModelOptions& options);
+
+  std::string name() const override { return "VGAE"; }
+  double TrainStep(const TrainContext& ctx) override;
+  std::vector<Parameter*> Params() override;
+
+ protected:
+  Var EncodeOnTape(Tape* tape) const override;
+
+  /// Builds (mu, logvar, sampled z) on the tape; used by TrainStep and by
+  /// GMM-VGAE which extends this model.
+  struct Heads {
+    Var mu;
+    Var logvar;
+    Var z;
+  };
+  Heads SampleOnTape(Tape* tape, Rng* rng) const;
+
+  GcnEncoder encoder_;      // layer1 is the mu head.
+  GcnLayer logvar_head_;
+};
+
+}  // namespace rgae
+
+#endif  // RGAE_MODELS_VGAE_H_

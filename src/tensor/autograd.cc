@@ -1,0 +1,727 @@
+#include "src/tensor/autograd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rgae {
+
+namespace {
+
+constexpr double kLog2Pi = 1.8378770664093453;  // log(2*pi)
+
+double Softplus(double x) {
+  // Numerically stable log(1 + exp(x)).
+  return std::log1p(std::exp(-std::abs(x))) + std::max(x, 0.0);
+}
+
+double Sigmoid(double x) {
+  if (x >= 0.0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+Matrix Scalar(double v) {
+  Matrix m(1, 1);
+  m(0, 0) = v;
+  return m;
+}
+
+}  // namespace
+
+int Tape::Push(Node n) {
+  assert(!backward_done_);
+  nodes_.push_back(std::move(n));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+Var Tape::Leaf(Parameter* p) {
+  assert(p != nullptr);
+  Node n;
+  n.op = Op::kLeaf;
+  n.value = p->value;
+  n.param = p;
+  return {Push(std::move(n))};
+}
+
+Var Tape::Constant(Matrix value) {
+  Node n;
+  n.op = Op::kConstant;
+  n.value = std::move(value);
+  return {Push(std::move(n))};
+}
+
+Var Tape::MatMul(Var a, Var b) {
+  Node n;
+  n.op = Op::kMatMul;
+  n.a = a.id;
+  n.b = b.id;
+  n.value = rgae::MatMul(node(a).value, node(b).value);
+  return {Push(std::move(n))};
+}
+
+Var Tape::Spmm(const CsrMatrix* s, Var x) {
+  assert(s != nullptr);
+  Node n;
+  n.op = Op::kSpmm;
+  n.a = x.id;
+  n.sparse = s;
+  n.value = s->Multiply(node(x).value);
+  return {Push(std::move(n))};
+}
+
+Var Tape::Add(Var a, Var b) {
+  Node n;
+  n.op = Op::kAdd;
+  n.a = a.id;
+  n.b = b.id;
+  n.value = rgae::Add(node(a).value, node(b).value);
+  return {Push(std::move(n))};
+}
+
+Var Tape::Sub(Var a, Var b) {
+  Node n;
+  n.op = Op::kSub;
+  n.a = a.id;
+  n.b = b.id;
+  n.value = rgae::Sub(node(a).value, node(b).value);
+  return {Push(std::move(n))};
+}
+
+Var Tape::Hadamard(Var a, Var b) {
+  Node n;
+  n.op = Op::kHadamard;
+  n.a = a.id;
+  n.b = b.id;
+  n.value = rgae::Hadamard(node(a).value, node(b).value);
+  return {Push(std::move(n))};
+}
+
+Var Tape::Scale(Var a, double s) {
+  Node n;
+  n.op = Op::kScale;
+  n.a = a.id;
+  n.scalar = s;
+  n.value = rgae::Scale(node(a).value, s);
+  return {Push(std::move(n))};
+}
+
+Var Tape::Relu(Var a) {
+  Node n;
+  n.op = Op::kRelu;
+  n.a = a.id;
+  n.value = node(a).value;
+  for (int r = 0; r < n.value.rows(); ++r) {
+    double* p = n.value.row(r);
+    for (int c = 0; c < n.value.cols(); ++c) p[c] = std::max(p[c], 0.0);
+  }
+  return {Push(std::move(n))};
+}
+
+Var Tape::Exp(Var a) {
+  Node n;
+  n.op = Op::kExp;
+  n.a = a.id;
+  n.value = node(a).value;
+  for (int r = 0; r < n.value.rows(); ++r) {
+    double* p = n.value.row(r);
+    for (int c = 0; c < n.value.cols(); ++c) p[c] = std::exp(p[c]);
+  }
+  return {Push(std::move(n))};
+}
+
+Var Tape::Tanh(Var a) {
+  Node n;
+  n.op = Op::kTanh;
+  n.a = a.id;
+  n.value = node(a).value;
+  for (int r = 0; r < n.value.rows(); ++r) {
+    double* p = n.value.row(r);
+    for (int c = 0; c < n.value.cols(); ++c) p[c] = std::tanh(p[c]);
+  }
+  return {Push(std::move(n))};
+}
+
+Var Tape::AddRowBroadcast(Var a, Var bias) {
+  const Matrix& bv = node(bias).value;
+  assert(bv.rows() == 1 && bv.cols() == node(a).value.cols());
+  Node n;
+  n.op = Op::kAddRowBroadcast;
+  n.a = a.id;
+  n.b = bias.id;
+  n.value = node(a).value;
+  for (int r = 0; r < n.value.rows(); ++r) {
+    double* p = n.value.row(r);
+    for (int c = 0; c < n.value.cols(); ++c) p[c] += bv(0, c);
+  }
+  return {Push(std::move(n))};
+}
+
+Var Tape::GatherRows(Var a, std::vector<int> rows) {
+  Node n;
+  n.op = Op::kGatherRows;
+  n.a = a.id;
+  n.value = node(a).value.GatherRows(rows);
+  n.indices = std::move(rows);
+  return {Push(std::move(n))};
+}
+
+Var Tape::InnerProductBceLoss(Var z, const CsrMatrix* target,
+                              double pos_weight, double norm) {
+  const Matrix& zv = node(z).value;
+  const int nrows = zv.rows();
+  assert(target != nullptr && target->rows() == nrows &&
+         target->cols() == nrows);
+  Node n;
+  n.op = Op::kInnerProductBce;
+  n.a = z.id;
+  n.sparse = target;
+  n.w1 = pos_weight;
+  n.w2 = norm;
+  // S = Z Zᵀ; cached for the backward pass.
+  n.aux = MatMulTransB(zv, zv);
+  // Base: every entry as a negative (target 0). Then fix up the stored
+  // positives. bce(s,0) = softplus(s), bce(s,1) = softplus(s) - s.
+  double loss = 0.0;
+  for (int i = 0; i < nrows; ++i) {
+    const double* srow = n.aux.row(i);
+    for (int j = 0; j < nrows; ++j) loss += Softplus(srow[j]);
+  }
+  const auto& rp = target->row_ptr();
+  const auto& ci = target->col_idx();
+  const auto& tv = target->values();
+  for (int i = 0; i < nrows; ++i) {
+    for (int k = rp[i]; k < rp[i + 1]; ++k) {
+      if (tv[k] == 0.0) continue;  // Structural zero: stays a negative.
+      const double s = n.aux(i, ci[k]);
+      loss += pos_weight * (Softplus(s) - s) - Softplus(s);
+    }
+  }
+  const double denom = static_cast<double>(nrows) * nrows;
+  n.value = Scalar(norm * loss / denom);
+  return {Push(std::move(n))};
+}
+
+Var Tape::GaussianKlLoss(Var mu, Var logvar) {
+  const Matrix& m = node(mu).value;
+  const Matrix& lv = node(logvar).value;
+  assert(m.rows() == lv.rows() && m.cols() == lv.cols());
+  Node n;
+  n.op = Op::kGaussianKl;
+  n.a = mu.id;
+  n.b = logvar.id;
+  double s = 0.0;
+  for (int r = 0; r < m.rows(); ++r) {
+    for (int c = 0; c < m.cols(); ++c) {
+      s += 1.0 + lv(r, c) - m(r, c) * m(r, c) - std::exp(lv(r, c));
+    }
+  }
+  // Kipf & Welling's normalization: 0.5/N times the mean over nodes of the
+  // per-node KL row sums (i.e. an overall 1/N² on the entry sum).
+  const double denom = static_cast<double>(m.rows()) * m.rows();
+  n.value = Scalar(-0.5 * s / denom);
+  return {Push(std::move(n))};
+}
+
+Var Tape::KMeansLoss(Var z, const Matrix* centers,
+                     const std::vector<int>* assign, std::vector<int> rows) {
+  const Matrix& zv = node(z).value;
+  assert(centers != nullptr && assign != nullptr);
+  assert(static_cast<int>(assign->size()) == zv.rows());
+  Node n;
+  n.op = Op::kKMeans;
+  n.a = z.id;
+  n.ext = centers;
+  n.ext_idx = assign;
+  if (rows.empty()) {
+    rows.resize(zv.rows());
+    for (int i = 0; i < zv.rows(); ++i) rows[i] = i;
+  }
+  double loss = 0.0;
+  for (int i : rows) {
+    loss += RowSquaredDistance(zv, i, *centers, (*assign)[i]);
+  }
+  n.value = Scalar(loss / static_cast<double>(rows.size()));
+  n.indices = std::move(rows);
+  return {Push(std::move(n))};
+}
+
+Var Tape::DecKlLoss(Var z, Var centers, const Matrix* target_q,
+                    std::vector<int> rows) {
+  const Matrix& zv = node(z).value;
+  const Matrix& cv = node(centers).value;
+  assert(target_q != nullptr);
+  assert(target_q->rows() == zv.rows() && target_q->cols() == cv.rows());
+  const int k = cv.rows();
+  if (rows.empty()) {
+    rows.resize(zv.rows());
+    for (int i = 0; i < zv.rows(); ++i) rows[i] = i;
+  }
+  const int m = static_cast<int>(rows.size());
+  Node n;
+  n.op = Op::kDecKl;
+  n.a = z.id;
+  n.b = centers.id;
+  n.ext = target_q;
+  n.aux = Matrix(m, k);   // P (soft assignments).
+  n.aux2 = Matrix(m, k);  // U (unnormalized Student-t kernels).
+  double loss = 0.0;
+  for (int r = 0; r < m; ++r) {
+    const int i = rows[r];
+    double srow = 0.0;
+    for (int j = 0; j < k; ++j) {
+      const double u = 1.0 / (1.0 + RowSquaredDistance(zv, i, cv, j));
+      n.aux2(r, j) = u;
+      srow += u;
+    }
+    for (int j = 0; j < k; ++j) {
+      const double p = n.aux2(r, j) / srow;
+      n.aux(r, j) = p;
+      const double q = (*target_q)(i, j);
+      if (q > 1e-12) loss += q * std::log(q / std::max(p, 1e-12));
+    }
+  }
+  n.value = Scalar(loss / m);
+  n.indices = std::move(rows);
+  return {Push(std::move(n))};
+}
+
+Var Tape::GmmNllLoss(Var z, Var means, Var logvars, Var pi_logits,
+                     std::vector<int> rows) {
+  const Matrix& zv = node(z).value;
+  const Matrix& mu = node(means).value;
+  const Matrix& lv = node(logvars).value;
+  const Matrix& lg = node(pi_logits).value;
+  const int k = mu.rows();
+  const int d = zv.cols();
+  assert(mu.cols() == d && lv.rows() == k && lv.cols() == d);
+  assert(lg.rows() == 1 && lg.cols() == k);
+  if (rows.empty()) {
+    rows.resize(zv.rows());
+    for (int i = 0; i < zv.rows(); ++i) rows[i] = i;
+  }
+  const int m = static_cast<int>(rows.size());
+  // log softmax of mixture logits.
+  double max_logit = lg(0, 0);
+  for (int j = 1; j < k; ++j) max_logit = std::max(max_logit, lg(0, j));
+  double lse = 0.0;
+  for (int j = 0; j < k; ++j) lse += std::exp(lg(0, j) - max_logit);
+  lse = max_logit + std::log(lse);
+  std::vector<double> log_pi(k);
+  for (int j = 0; j < k; ++j) log_pi[j] = lg(0, j) - lse;
+
+  Node n;
+  n.op = Op::kGmmNll;
+  n.a = z.id;
+  n.b = means.id;
+  n.c = logvars.id;
+  n.d = pi_logits.id;
+  n.aux = Matrix(m, k);  // Responsibilities r_ik.
+  double loss = 0.0;
+  std::vector<double> ll(k);
+  for (int r = 0; r < m; ++r) {
+    const int i = rows[r];
+    double row_max = -1e300;
+    for (int j = 0; j < k; ++j) {
+      double s = log_pi[j];
+      for (int c = 0; c < d; ++c) {
+        const double diff = zv(i, c) - mu(j, c);
+        s -= 0.5 * (lv(j, c) + kLog2Pi + diff * diff * std::exp(-lv(j, c)));
+      }
+      ll[j] = s;
+      row_max = std::max(row_max, s);
+    }
+    double sum = 0.0;
+    for (int j = 0; j < k; ++j) sum += std::exp(ll[j] - row_max);
+    const double li = row_max + std::log(sum);
+    for (int j = 0; j < k; ++j) n.aux(r, j) = std::exp(ll[j] - li);
+    loss -= li;
+  }
+  n.value = Scalar(loss / m);
+  n.indices = std::move(rows);
+  return {Push(std::move(n))};
+}
+
+Var Tape::GmmKlLoss(Var z, Var means, Var logvars, Var pi_logits,
+                    const Matrix* target_q, std::vector<int> rows) {
+  const Matrix& zv = node(z).value;
+  const Matrix& mu = node(means).value;
+  const Matrix& lv = node(logvars).value;
+  const Matrix& lg = node(pi_logits).value;
+  const int k = mu.rows();
+  const int d = zv.cols();
+  assert(target_q != nullptr && target_q->rows() == zv.rows() &&
+         target_q->cols() == k);
+  if (rows.empty()) {
+    rows.resize(zv.rows());
+    for (int i = 0; i < zv.rows(); ++i) rows[i] = i;
+  }
+  const int m = static_cast<int>(rows.size());
+  // Mixture log-weights (softmax of logits).
+  double max_logit = lg(0, 0);
+  for (int j = 1; j < k; ++j) max_logit = std::max(max_logit, lg(0, j));
+  double lse = 0.0;
+  for (int j = 0; j < k; ++j) lse += std::exp(lg(0, j) - max_logit);
+  lse = max_logit + std::log(lse);
+  std::vector<double> log_pi(k);
+  for (int j = 0; j < k; ++j) log_pi[j] = lg(0, j) - lse;
+
+  Node n;
+  n.op = Op::kGmmKl;
+  n.a = z.id;
+  n.b = means.id;
+  n.c = logvars.id;
+  n.ext = target_q;
+  n.aux = Matrix(m, k);  // Responsibilities r_ik.
+  double loss = 0.0;
+  std::vector<double> ll(k);
+  for (int r = 0; r < m; ++r) {
+    const int i = rows[r];
+    double row_max = -1e300;
+    for (int j = 0; j < k; ++j) {
+      double s = log_pi[j];
+      for (int c = 0; c < d; ++c) {
+        const double diff = zv(i, c) - mu(j, c);
+        s -= 0.5 * (lv(j, c) + kLog2Pi + diff * diff * std::exp(-lv(j, c)));
+      }
+      ll[j] = s;
+      row_max = std::max(row_max, s);
+    }
+    double sum = 0.0;
+    for (int j = 0; j < k; ++j) sum += std::exp(ll[j] - row_max);
+    const double li = row_max + std::log(sum);
+    for (int j = 0; j < k; ++j) {
+      const double resp = std::exp(ll[j] - li);
+      n.aux(r, j) = resp;
+      const double q = (*target_q)(i, j);
+      if (q > 1e-12) loss += q * std::log(q / std::max(resp, 1e-12));
+    }
+  }
+  n.value = Scalar(loss / m);
+  n.indices = std::move(rows);
+  return {Push(std::move(n))};
+}
+
+Var Tape::BceWithLogits(Var logits, const Matrix* targets) {
+  const Matrix& l = node(logits).value;
+  assert(targets != nullptr && targets->rows() == l.rows() &&
+         targets->cols() == l.cols());
+  Node n;
+  n.op = Op::kBceWithLogits;
+  n.a = logits.id;
+  n.ext = targets;
+  double loss = 0.0;
+  for (int r = 0; r < l.rows(); ++r) {
+    for (int c = 0; c < l.cols(); ++c) {
+      loss += Softplus(l(r, c)) - (*targets)(r, c) * l(r, c);
+    }
+  }
+  n.value = Scalar(loss / static_cast<double>(l.size()));
+  return {Push(std::move(n))};
+}
+
+Var Tape::AddScalars(Var a, Var b) {
+  assert(node(a).value.size() == 1 && node(b).value.size() == 1);
+  Node n;
+  n.op = Op::kAddScalars;
+  n.a = a.id;
+  n.b = b.id;
+  n.value = Scalar(node(a).value(0, 0) + node(b).value(0, 0));
+  return {Push(std::move(n))};
+}
+
+const Matrix& Tape::value(Var v) const { return node(v).value; }
+
+const Matrix& Tape::grad(Var v) const { return node(v).grad; }
+
+void Tape::EnsureGrad(int id) {
+  Node& n = nodes_[id];
+  if (n.grad.empty() && !n.value.empty()) {
+    n.grad = Matrix(n.value.rows(), n.value.cols());
+  }
+}
+
+void Tape::Backward(Var loss) {
+  assert(!backward_done_);
+  assert(node(loss).value.size() == 1);
+  backward_done_ = true;
+  EnsureGrad(loss.id);
+  nodes_[loss.id].grad(0, 0) = 1.0;
+  for (int id = static_cast<int>(nodes_.size()) - 1; id >= 0; --id) {
+    if (nodes_[id].grad.empty()) continue;  // Node not on the loss path.
+    BackwardNode(id);
+  }
+}
+
+void Tape::BackwardNode(int id) {
+  Node& n = nodes_[id];
+  const Matrix& g = n.grad;
+  switch (n.op) {
+    case Op::kLeaf:
+      n.param->grad += g;
+      break;
+    case Op::kConstant:
+      break;
+    case Op::kMatMul: {
+      EnsureGrad(n.a);
+      EnsureGrad(n.b);
+      nodes_[n.a].grad += MatMulTransB(g, nodes_[n.b].value);
+      nodes_[n.b].grad += MatMulTransA(nodes_[n.a].value, g);
+      break;
+    }
+    case Op::kSpmm: {
+      EnsureGrad(n.a);
+      nodes_[n.a].grad += n.sparse->MultiplyTransposed(g);
+      break;
+    }
+    case Op::kAdd: {
+      EnsureGrad(n.a);
+      EnsureGrad(n.b);
+      nodes_[n.a].grad += g;
+      nodes_[n.b].grad += g;
+      break;
+    }
+    case Op::kSub: {
+      EnsureGrad(n.a);
+      EnsureGrad(n.b);
+      nodes_[n.a].grad += g;
+      nodes_[n.b].grad -= g;
+      break;
+    }
+    case Op::kHadamard: {
+      EnsureGrad(n.a);
+      EnsureGrad(n.b);
+      nodes_[n.a].grad += rgae::Hadamard(g, nodes_[n.b].value);
+      nodes_[n.b].grad += rgae::Hadamard(g, nodes_[n.a].value);
+      break;
+    }
+    case Op::kScale: {
+      EnsureGrad(n.a);
+      nodes_[n.a].grad += rgae::Scale(g, n.scalar);
+      break;
+    }
+    case Op::kRelu: {
+      EnsureGrad(n.a);
+      Matrix& ga = nodes_[n.a].grad;
+      for (int r = 0; r < g.rows(); ++r) {
+        for (int c = 0; c < g.cols(); ++c) {
+          if (n.value(r, c) > 0.0) ga(r, c) += g(r, c);
+        }
+      }
+      break;
+    }
+    case Op::kExp: {
+      EnsureGrad(n.a);
+      nodes_[n.a].grad += rgae::Hadamard(g, n.value);
+      break;
+    }
+    case Op::kTanh: {
+      EnsureGrad(n.a);
+      Matrix& ga = nodes_[n.a].grad;
+      for (int r = 0; r < g.rows(); ++r) {
+        for (int c = 0; c < g.cols(); ++c) {
+          const double t = n.value(r, c);
+          ga(r, c) += g(r, c) * (1.0 - t * t);
+        }
+      }
+      break;
+    }
+    case Op::kAddRowBroadcast: {
+      EnsureGrad(n.a);
+      EnsureGrad(n.b);
+      nodes_[n.a].grad += g;
+      Matrix& gb = nodes_[n.b].grad;
+      for (int r = 0; r < g.rows(); ++r) {
+        for (int c = 0; c < g.cols(); ++c) gb(0, c) += g(r, c);
+      }
+      break;
+    }
+    case Op::kGatherRows: {
+      EnsureGrad(n.a);
+      Matrix& ga = nodes_[n.a].grad;
+      for (size_t r = 0; r < n.indices.size(); ++r) {
+        const int src = n.indices[r];
+        for (int c = 0; c < g.cols(); ++c) {
+          ga(src, c) += g(static_cast<int>(r), c);
+        }
+      }
+      break;
+    }
+    case Op::kInnerProductBce: {
+      EnsureGrad(n.a);
+      const Matrix& z = nodes_[n.a].value;
+      const int nrows = z.rows();
+      const double gs = g(0, 0) * n.w2 /
+                        (static_cast<double>(nrows) * nrows);
+      // C_ij = dL/ds_ij: sigmoid(s) for negatives,
+      // pos_weight*(sigmoid(s)-1) for positives.
+      Matrix c_mat(nrows, nrows);
+      for (int i = 0; i < nrows; ++i) {
+        const double* srow = n.aux.row(i);
+        double* crow = c_mat.row(i);
+        for (int j = 0; j < nrows; ++j) crow[j] = gs * Sigmoid(srow[j]);
+      }
+      const auto& rp = n.sparse->row_ptr();
+      const auto& ci = n.sparse->col_idx();
+      const auto& tv = n.sparse->values();
+      for (int i = 0; i < nrows; ++i) {
+        for (int k = rp[i]; k < rp[i + 1]; ++k) {
+          if (tv[k] == 0.0) continue;
+          const int j = ci[k];
+          c_mat(i, j) = gs * n.w1 * (Sigmoid(n.aux(i, j)) - 1.0);
+        }
+      }
+      // dL/dZ = (C + Cᵀ) Z.
+      Matrix gz = rgae::MatMul(c_mat, z);
+      gz += MatMulTransA(c_mat, z);
+      nodes_[n.a].grad += gz;
+      break;
+    }
+    case Op::kGaussianKl: {
+      EnsureGrad(n.a);
+      EnsureGrad(n.b);
+      const Matrix& mu = nodes_[n.a].value;
+      const Matrix& lv = nodes_[n.b].value;
+      const double gs =
+          g(0, 0) / (static_cast<double>(mu.rows()) * mu.rows());
+      Matrix& gmu = nodes_[n.a].grad;
+      Matrix& glv = nodes_[n.b].grad;
+      for (int r = 0; r < mu.rows(); ++r) {
+        for (int c = 0; c < mu.cols(); ++c) {
+          gmu(r, c) += gs * mu(r, c);
+          glv(r, c) += gs * 0.5 * (std::exp(lv(r, c)) - 1.0);
+        }
+      }
+      break;
+    }
+    case Op::kKMeans: {
+      EnsureGrad(n.a);
+      const Matrix& z = nodes_[n.a].value;
+      const double gs =
+          g(0, 0) * 2.0 / static_cast<double>(n.indices.size());
+      Matrix& gz = nodes_[n.a].grad;
+      for (int i : n.indices) {
+        const int a = (*n.ext_idx)[i];
+        for (int c = 0; c < z.cols(); ++c) {
+          gz(i, c) += gs * (z(i, c) - (*n.ext)(a, c));
+        }
+      }
+      break;
+    }
+    case Op::kDecKl: {
+      EnsureGrad(n.a);
+      EnsureGrad(n.b);
+      const Matrix& z = nodes_[n.a].value;
+      const Matrix& cv = nodes_[n.b].value;
+      Matrix& gz = nodes_[n.a].grad;
+      Matrix& gc = nodes_[n.b].grad;
+      const int k = cv.rows();
+      const double gs = g(0, 0) / static_cast<double>(n.indices.size());
+      for (size_t r = 0; r < n.indices.size(); ++r) {
+        const int i = n.indices[r];
+        for (int j = 0; j < k; ++j) {
+          const double u = n.aux2(static_cast<int>(r), j);
+          const double p = n.aux(static_cast<int>(r), j);
+          const double q = (*n.ext)(i, j);
+          // dL/d(d²_ij) = u_ij (q_ij - p_ij); see the derivation in
+          // models/dgae.cc.
+          const double coeff = gs * u * (q - p) * 2.0;
+          for (int c = 0; c < z.cols(); ++c) {
+            const double diff = z(i, c) - cv(j, c);
+            gz(i, c) += coeff * diff;
+            gc(j, c) -= coeff * diff;
+          }
+        }
+      }
+      break;
+    }
+    case Op::kGmmNll: {
+      EnsureGrad(n.a);
+      EnsureGrad(n.b);
+      EnsureGrad(n.c);
+      EnsureGrad(n.d);
+      const Matrix& z = nodes_[n.a].value;
+      const Matrix& mu = nodes_[n.b].value;
+      const Matrix& lv = nodes_[n.c].value;
+      const Matrix& lg = nodes_[n.d].value;
+      Matrix& gz = nodes_[n.a].grad;
+      Matrix& gmu = nodes_[n.b].grad;
+      Matrix& glv = nodes_[n.c].grad;
+      Matrix& glg = nodes_[n.d].grad;
+      const int k = mu.rows();
+      const int d = z.cols();
+      const double gs = g(0, 0) / static_cast<double>(n.indices.size());
+      // Softmax of logits (for the logit gradient).
+      double max_logit = lg(0, 0);
+      for (int j = 1; j < k; ++j) max_logit = std::max(max_logit, lg(0, j));
+      std::vector<double> pi(k);
+      double lse = 0.0;
+      for (int j = 0; j < k; ++j) {
+        pi[j] = std::exp(lg(0, j) - max_logit);
+        lse += pi[j];
+      }
+      for (int j = 0; j < k; ++j) pi[j] /= lse;
+      for (size_t r = 0; r < n.indices.size(); ++r) {
+        const int i = n.indices[r];
+        for (int j = 0; j < k; ++j) {
+          const double resp = n.aux(static_cast<int>(r), j);
+          glg(0, j) += gs * (pi[j] - resp);
+          for (int c = 0; c < d; ++c) {
+            const double inv_var = std::exp(-lv(j, c));
+            const double diff = z(i, c) - mu(j, c);
+            gz(i, c) += gs * resp * diff * inv_var;
+            gmu(j, c) -= gs * resp * diff * inv_var;
+            glv(j, c) += gs * resp * 0.5 * (1.0 - diff * diff * inv_var);
+          }
+        }
+      }
+      break;
+    }
+    case Op::kGmmKl: {
+      EnsureGrad(n.a);
+      const Matrix& z = nodes_[n.a].value;
+      const Matrix& mu = nodes_[n.b].value;
+      const Matrix& lv = nodes_[n.c].value;
+      Matrix& gz = nodes_[n.a].grad;
+      const int k = mu.rows();
+      const double gs = g(0, 0) / static_cast<double>(n.indices.size());
+      // d KL / d logit_ik = (r_ik - q_ik); d logit_ik / d z_ic =
+      // -(z_ic - mu_kc) / var_kc. Mixture leaves are EM-owned: no gradient.
+      for (size_t r = 0; r < n.indices.size(); ++r) {
+        const int i = n.indices[r];
+        for (int j = 0; j < k; ++j) {
+          const double coeff =
+              gs * (n.aux(static_cast<int>(r), j) - (*n.ext)(i, j));
+          for (int c = 0; c < z.cols(); ++c) {
+            gz(i, c) -= coeff * (z(i, c) - mu(j, c)) * std::exp(-lv(j, c));
+          }
+        }
+      }
+      break;
+    }
+    case Op::kBceWithLogits: {
+      EnsureGrad(n.a);
+      const Matrix& l = nodes_[n.a].value;
+      Matrix& gl = nodes_[n.a].grad;
+      const double gs = g(0, 0) / static_cast<double>(l.size());
+      for (int r = 0; r < l.rows(); ++r) {
+        for (int c = 0; c < l.cols(); ++c) {
+          gl(r, c) += gs * (Sigmoid(l(r, c)) - (*n.ext)(r, c));
+        }
+      }
+      break;
+    }
+    case Op::kAddScalars: {
+      EnsureGrad(n.a);
+      EnsureGrad(n.b);
+      nodes_[n.a].grad(0, 0) += g(0, 0);
+      nodes_[n.b].grad(0, 0) += g(0, 0);
+      break;
+    }
+  }
+}
+
+}  // namespace rgae

@@ -1,0 +1,183 @@
+#include "src/tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rgae {
+
+void Matrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    const double* src = row(r);
+    for (int c = 0; c < cols_; ++c) out(c, r) = src[c];
+  }
+  return out;
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::RowSquaredNorm(int r) const {
+  const double* p = row(r);
+  double s = 0.0;
+  for (int c = 0; c < cols_; ++c) s += p[c] * p[c];
+  return s;
+}
+
+Matrix Matrix::GatherRows(const std::vector<int>& rows) const {
+  Matrix out(static_cast<int>(rows.size()), cols_);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    assert(rows[i] >= 0 && rows[i] < rows_);
+    const double* src = row(rows[i]);
+    std::copy(src, src + cols_, out.row(static_cast<int>(i)));
+  }
+  return out;
+}
+
+std::string Matrix::ShapeString() const {
+  return "Matrix(" + std::to_string(rows_) + "x" + std::to_string(cols_) + ")";
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix out(a.rows(), b.cols());
+  // i-k-j loop order: streams through b and out rows for cache friendliness.
+  for (int i = 0; i < a.rows(); ++i) {
+    double* out_row = out.row(i);
+    const double* a_row = a.row(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = a_row[k];
+      if (aik == 0.0) continue;
+      const double* b_row = b.row(k);
+      for (int j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix out(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    const double* a_row = a.row(k);
+    const double* b_row = b.row(k);
+    for (int i = 0; i < a.cols(); ++i) {
+      const double aki = a_row[i];
+      if (aki == 0.0) continue;
+      double* out_row = out.row(i);
+      for (int j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix out(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* a_row = a.row(i);
+    double* out_row = out.row(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const double* b_row = b.row(j);
+      double s = 0.0;
+      for (int k = 0; k < a.cols(); ++k) s += a_row[k] * b_row[k];
+      out_row[j] = s;
+    }
+  }
+  return out;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out += b;
+  return out;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out -= b;
+  return out;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix out(a.rows(), a.cols());
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* po = out.data();
+  for (size_t i = 0; i < a.size(); ++i) po[i] = pa[i] * pb[i];
+  return out;
+}
+
+Matrix Scale(const Matrix& a, double s) {
+  Matrix out = a;
+  out *= s;
+  return out;
+}
+
+double RowSquaredDistance(const Matrix& a, int i, const Matrix& b, int j) {
+  assert(a.cols() == b.cols());
+  const double* pa = a.row(i);
+  const double* pb = b.row(j);
+  double s = 0.0;
+  for (int c = 0; c < a.cols(); ++c) {
+    const double d = pa[c] - pb[c];
+    s += d * d;
+  }
+  return s;
+}
+
+double Dot(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows() && a.cols() == b.cols());
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += pa[i] * pb[i];
+  return s;
+}
+
+double CosineSimilarity(const Matrix& a, const Matrix& b) {
+  const double na = a.FrobeniusNorm();
+  const double nb = b.FrobeniusNorm();
+  if (na < 1e-12 || nb < 1e-12) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+void NormalizeRowsL2(Matrix* m) {
+  for (int r = 0; r < m->rows(); ++r) {
+    const double norm = std::sqrt(m->RowSquaredNorm(r));
+    if (norm < 1e-12) continue;
+    double* p = m->row(r);
+    for (int c = 0; c < m->cols(); ++c) p[c] /= norm;
+  }
+}
+
+}  // namespace rgae

@@ -1,0 +1,42 @@
+#include "src/tensor/optimizer.h"
+
+#include <cmath>
+
+namespace rgae {
+
+Adam::Adam(std::vector<Parameter*> params, Options options)
+    : params_(std::move(params)), options_(options) {}
+
+void Adam::Step() {
+  ++step_;
+  const double bc1 = 1.0 - std::pow(options_.beta1, step_);
+  const double bc2 = 1.0 - std::pow(options_.beta2, step_);
+  for (Parameter* p : params_) {
+    double* v = p->value.data();
+    const double* g = p->grad.data();
+    double* m1 = p->adam_m.data();
+    double* m2 = p->adam_v.data();
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      m1[i] = options_.beta1 * m1[i] + (1.0 - options_.beta1) * g[i];
+      m2[i] = options_.beta2 * m2[i] + (1.0 - options_.beta2) * g[i] * g[i];
+      const double mhat = m1[i] / bc1;
+      const double vhat = m2[i] / bc2;
+      v[i] -= options_.learning_rate * mhat /
+              (std::sqrt(vhat) + options_.epsilon);
+    }
+  }
+}
+
+void Adam::ZeroGrads() {
+  for (Parameter* p : params_) p->ZeroGrad();
+}
+
+void Adam::ResetState() {
+  step_ = 0;
+  for (Parameter* p : params_) {
+    p->adam_m.Zero();
+    p->adam_v.Zero();
+  }
+}
+
+}  // namespace rgae

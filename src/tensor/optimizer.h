@@ -1,0 +1,48 @@
+#ifndef RGAE_TENSOR_OPTIMIZER_H_
+#define RGAE_TENSOR_OPTIMIZER_H_
+
+#include <vector>
+
+#include "src/tensor/autograd.h"
+
+namespace rgae {
+
+/// Adam optimizer over a fixed set of parameters.
+///
+/// Mirrors the paper's training setup (all models use Adam). The parameter
+/// set is borrowed (not owned); the caller guarantees the pointers outlive
+/// the optimizer. `Step` consumes `Parameter::grad` and then the caller is
+/// expected to zero the gradients (or call `ZeroGrads`).
+class Adam {
+ public:
+  struct Options {
+    double learning_rate = 0.01;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double epsilon = 1e-8;
+  };
+
+  Adam(std::vector<Parameter*> params, Options options);
+
+  /// Applies one Adam update using the accumulated gradients.
+  void Step();
+
+  /// Zeroes all parameter gradients.
+  void ZeroGrads();
+
+  /// Resets first/second moment estimates and the step counter (used when a
+  /// model transitions from pretraining to the clustering phase).
+  void ResetState();
+
+  double learning_rate() const { return options_.learning_rate; }
+  void set_learning_rate(double lr) { options_.learning_rate = lr; }
+
+ private:
+  std::vector<Parameter*> params_;
+  Options options_;
+  long step_ = 0;
+};
+
+}  // namespace rgae
+
+#endif  // RGAE_TENSOR_OPTIMIZER_H_

@@ -1,0 +1,60 @@
+#ifndef RGAE_TENSOR_RANDOM_H_
+#define RGAE_TENSOR_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace rgae {
+
+/// Deterministic random number generator used everywhere in the library.
+///
+/// Wraps a splitmix64-seeded xoshiro256** core. Every stochastic component
+/// (initializers, dataset generators, samplers, k-means) takes an explicit
+/// `Rng&` so experiments reproduce bit-identically from their seeds.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+  /// Uniform integer in [0, n). n must be > 0.
+  int UniformInt(int n);
+  /// Standard normal via Box-Muller.
+  double Gaussian();
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+  /// Bernoulli draw with success probability p.
+  bool Bernoulli(double p);
+
+  /// Samples an index proportionally to `weights` (all must be >= 0; at
+  /// least one must be > 0).
+  int Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle of the vector.
+  void Shuffle(std::vector<int>* v);
+
+  /// Forks a decorrelated child generator (stable for a given parent state).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Glorot/Xavier uniform initialization: U(-a, a) with a = sqrt(6/(in+out)).
+Matrix GlorotUniform(int rows, int cols, Rng& rng);
+
+/// Matrix of i.i.d. N(0, stddev²) entries.
+Matrix GaussianMatrix(int rows, int cols, double stddev, Rng& rng);
+
+}  // namespace rgae
+
+#endif  // RGAE_TENSOR_RANDOM_H_

@@ -1,0 +1,115 @@
+#include "src/graph/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+
+namespace rgae {
+namespace {
+
+AttributedGraph TwoTriangles() {
+  // Triangle {0,1,2} + triangle {3,4,5}, bridged by 2-3.
+  AttributedGraph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(3, 5);
+  g.AddEdge(2, 3);
+  g.set_labels({0, 0, 0, 1, 1, 1});
+  return g;
+}
+
+TEST(ModularityTest, GoodPartitionPositive) {
+  const AttributedGraph g = TwoTriangles();
+  const double q = Modularity(g, {0, 0, 0, 1, 1, 1}, 2);
+  EXPECT_GT(q, 0.3);
+}
+
+TEST(ModularityTest, SingleClusterIsZero) {
+  const AttributedGraph g = TwoTriangles();
+  EXPECT_NEAR(Modularity(g, std::vector<int>(6, 0), 1), 0.0, 1e-12);
+}
+
+TEST(ModularityTest, BadPartitionWorseThanGood) {
+  const AttributedGraph g = TwoTriangles();
+  const double good = Modularity(g, {0, 0, 0, 1, 1, 1}, 2);
+  const double bad = Modularity(g, {0, 1, 0, 1, 0, 1}, 2);
+  EXPECT_GT(good, bad);
+}
+
+TEST(ModularityTest, EmptyGraphIsZero) {
+  AttributedGraph g(3);
+  EXPECT_DOUBLE_EQ(Modularity(g, {0, 1, 2}, 3), 0.0);
+}
+
+TEST(ComponentsTest, BridgedGraphIsOneComponent) {
+  int count = 0;
+  ConnectedComponents(TwoTriangles(), &count);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(ComponentsTest, SplitsWithoutBridge) {
+  AttributedGraph g = TwoTriangles();
+  g.RemoveEdge(2, 3);
+  int count = 0;
+  const std::vector<int> comp = ConnectedComponents(g, &count);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_EQ(LargestComponentSize(g), 3);
+}
+
+TEST(ComponentsTest, IsolatedNodesAreOwnComponents) {
+  AttributedGraph g(4);
+  g.AddEdge(0, 1);
+  int count = 0;
+  ConnectedComponents(g, &count);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(ClusteringCoefficientTest, TriangleIsOne) {
+  AttributedGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(0, 2);
+  EXPECT_NEAR(GlobalClusteringCoefficient(g), 1.0, 1e-12);
+}
+
+TEST(ClusteringCoefficientTest, StarIsZero) {
+  AttributedGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  EXPECT_DOUBLE_EQ(GlobalClusteringCoefficient(g), 0.0);
+}
+
+TEST(GraphStatsTest, BundlesEverything) {
+  const AttributedGraph g = TwoTriangles();
+  const GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.nodes, 6);
+  EXPECT_EQ(s.edges, 7);
+  EXPECT_EQ(s.components, 1);
+  EXPECT_EQ(s.largest_component, 6);
+  EXPECT_EQ(s.max_degree, 3);
+  EXPECT_NEAR(s.mean_degree, 14.0 / 6.0, 1e-12);
+  EXPECT_NEAR(s.homophily, 6.0 / 7.0, 1e-12);
+  EXPECT_GT(s.clustering_coefficient, 0.5);
+}
+
+TEST(GraphStatsTest, DatasetStatsSane) {
+  CitationLikeOptions o;
+  o.num_nodes = 200;
+  o.num_clusters = 4;
+  o.feature_dim = 100;
+  o.topic_words = 20;
+  Rng rng(5);
+  const GraphStats s = ComputeStats(MakeCitationLike(o, rng));
+  EXPECT_EQ(s.nodes, 200);
+  EXPECT_GT(s.largest_component, 100);  // Mostly connected.
+  EXPECT_GT(s.homophily, 0.5);
+}
+
+}  // namespace
+}  // namespace rgae

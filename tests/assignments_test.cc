@@ -1,0 +1,105 @@
+#include "src/clustering/assignments.h"
+
+#include <gtest/gtest.h>
+
+namespace rgae {
+namespace {
+
+TEST(AssignmentsTest, HardAssignPicksArgmax) {
+  Matrix soft(2, 3, {0.1, 0.7, 0.2, 0.5, 0.2, 0.3});
+  const std::vector<int> hard = HardAssign(soft);
+  EXPECT_EQ(hard[0], 1);
+  EXPECT_EQ(hard[1], 0);
+}
+
+TEST(AssignmentsTest, OneHotRoundTrip) {
+  const std::vector<int> labels = {2, 0, 1, 2};
+  const Matrix oh = OneHot(labels, 3);
+  EXPECT_EQ(oh.rows(), 4);
+  EXPECT_EQ(oh.cols(), 3);
+  EXPECT_EQ(HardAssign(oh), labels);
+  for (int i = 0; i < 4; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < 3; ++j) sum += oh(i, j);
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+  }
+}
+
+TEST(AssignmentsTest, StudentTRowsSumToOne) {
+  Matrix z(4, 2, {0, 0, 1, 1, 5, 5, 6, 6});
+  Matrix centers(2, 2, {0.5, 0.5, 5.5, 5.5});
+  const Matrix p = StudentTAssignments(z, centers);
+  for (int i = 0; i < 4; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < 2; ++j) sum += p(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  // Closer center gets more mass.
+  EXPECT_GT(p(0, 0), p(0, 1));
+  EXPECT_GT(p(2, 1), p(2, 0));
+}
+
+TEST(AssignmentsTest, StudentTEquidistantIsUniform) {
+  Matrix z(1, 1, {0.0});
+  Matrix centers(2, 1, {-2.0, 2.0});
+  const Matrix p = StudentTAssignments(z, centers);
+  EXPECT_NEAR(p(0, 0), 0.5, 1e-12);
+}
+
+TEST(AssignmentsTest, DecTargetSharpensAssignments) {
+  // With balanced cluster frequencies f_j the DEC target strictly sharpens
+  // every row toward its dominant cluster.
+  Matrix p(2, 2, {0.8, 0.2, 0.2, 0.8});
+  const Matrix q = DecTargetDistribution(p);
+  EXPECT_GT(q(0, 0), p(0, 0));
+  EXPECT_GT(q(1, 1), p(1, 1));
+  for (int i = 0; i < 2; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < 2; ++j) sum += q(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(AssignmentsTest, DecTargetDownWeightsLargeClusters) {
+  // The f_j normalization redistributes mass away from over-populated
+  // clusters: a row assigned 0.6/0.4 toward the popular cluster 0 can end
+  // up preferring cluster 1 in Q (frequency balancing).
+  Matrix p(2, 2, {0.8, 0.2, 0.6, 0.4});
+  const Matrix q = DecTargetDistribution(p);  // f = {1.4, 0.6}.
+  EXPECT_LT(q(1, 0), p(1, 0));
+}
+
+TEST(AssignmentsTest, GaussianSoftAssignmentsPreferNearCluster) {
+  Matrix z(2, 1, {0.0, 10.0});
+  Matrix centers(2, 1, {0.0, 10.0});
+  Matrix variances(2, 1, 1.0);
+  const Matrix p = GaussianSoftAssignments(z, centers, variances);
+  EXPECT_GT(p(0, 0), 0.99);
+  EXPECT_GT(p(1, 1), 0.99);
+}
+
+TEST(AssignmentsTest, GaussianSoftAssignmentsRespectVariance) {
+  // A wide cluster 0 and a narrow cluster 1, point equidistant: the wider
+  // cluster should receive more mass (smaller Mahalanobis distance).
+  Matrix z(1, 1, {5.0});
+  Matrix centers(2, 1, {0.0, 10.0});
+  Matrix variances(2, 1, {25.0, 1.0});
+  const Matrix p = GaussianSoftAssignments(z, centers, variances);
+  EXPECT_GT(p(0, 0), p(0, 1));
+}
+
+TEST(AssignmentsTest, ClusterVariancesComputed) {
+  Matrix z(4, 1, {0.0, 2.0, 10.0, 10.0});
+  const Matrix var = ClusterVariances(z, {0, 0, 1, 1}, 2);
+  EXPECT_NEAR(var(0, 0), 1.0, 1e-12);  // Var of {0,2} = 1 (population).
+  EXPECT_NEAR(var(1, 0), 1e-6, 1e-12);  // Identical points floored.
+}
+
+TEST(AssignmentsTest, ClusterVariancesEmptyClusterDefaultsToOne) {
+  Matrix z(2, 1, {0.0, 1.0});
+  const Matrix var = ClusterVariances(z, {0, 0}, 2);
+  EXPECT_DOUBLE_EQ(var(1, 0), 1.0);
+}
+
+}  // namespace
+}  // namespace rgae

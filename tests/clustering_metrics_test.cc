@@ -1,0 +1,130 @@
+#include "src/metrics/clustering_metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/random.h"
+
+namespace rgae {
+namespace {
+
+TEST(AccuracyTest, PerfectClusteringIsOne) {
+  const std::vector<int> truth = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(ClusteringAccuracy(truth, truth), 1.0);
+}
+
+TEST(AccuracyTest, PermutedLabelsStillPerfect) {
+  const std::vector<int> truth = {0, 0, 1, 1, 2, 2};
+  const std::vector<int> predicted = {2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(ClusteringAccuracy(predicted, truth), 1.0);
+}
+
+TEST(AccuracyTest, HalfWrong) {
+  const std::vector<int> truth = {0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<int> predicted = {0, 0, 1, 1, 1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(ClusteringAccuracy(predicted, truth), 0.5);
+}
+
+TEST(NmiTest, PerfectIsOne) {
+  const std::vector<int> truth = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(NormalizedMutualInformation(truth, truth), 1.0, 1e-12);
+  // Permutation-invariant.
+  const std::vector<int> predicted = {1, 1, 2, 2, 0, 0};
+  EXPECT_NEAR(NormalizedMutualInformation(predicted, truth), 1.0, 1e-12);
+}
+
+TEST(NmiTest, SingleClusterPredictionIsZero) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<int> predicted = {0, 0, 0, 0};
+  EXPECT_NEAR(NormalizedMutualInformation(predicted, truth), 0.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentLabelingNearZero) {
+  Rng rng(3);
+  std::vector<int> truth, predicted;
+  for (int i = 0; i < 5000; ++i) {
+    truth.push_back(rng.UniformInt(4));
+    predicted.push_back(rng.UniformInt(4));
+  }
+  EXPECT_LT(NormalizedMutualInformation(predicted, truth), 0.01);
+}
+
+TEST(AriTest, PerfectIsOne) {
+  const std::vector<int> truth = {0, 0, 1, 1, 2, 2};
+  EXPECT_NEAR(AdjustedRandIndex(truth, truth), 1.0, 1e-12);
+}
+
+TEST(AriTest, RandomNearZero) {
+  Rng rng(5);
+  std::vector<int> truth, predicted;
+  for (int i = 0; i < 5000; ++i) {
+    truth.push_back(rng.UniformInt(3));
+    predicted.push_back(rng.UniformInt(3));
+  }
+  EXPECT_NEAR(AdjustedRandIndex(predicted, truth), 0.0, 0.02);
+}
+
+TEST(AriTest, KnownSmallExample) {
+  // sklearn reference: ARI([0,0,1,1], [0,0,1,2]) = 0.5714285714...
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<int> predicted = {0, 0, 1, 2};
+  EXPECT_NEAR(AdjustedRandIndex(predicted, truth), 0.5714285714285714, 1e-9);
+}
+
+TEST(NmiTest, KnownSmallExample) {
+  // Hand-derived with arithmetic-mean normalization (sklearn default):
+  // MI = log 2, H_true = log 2, H_pred = 1.5 log 2 -> NMI = 1/1.25 = 0.8.
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<int> predicted = {0, 0, 1, 2};
+  EXPECT_NEAR(NormalizedMutualInformation(predicted, truth), 0.8, 1e-9);
+}
+
+TEST(EvaluateTest, BundlesAllThree) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const ClusteringScores s = Evaluate(truth, truth);
+  EXPECT_DOUBLE_EQ(s.acc, 1.0);
+  EXPECT_NEAR(s.nmi, 1.0, 1e-12);
+  EXPECT_NEAR(s.ari, 1.0, 1e-12);
+}
+
+TEST(SeparabilityTest, SeparatedBlobsScoreHigher) {
+  Matrix tight(4, 1, {0.0, 0.1, 10.0, 10.1});
+  Matrix loose(4, 1, {0.0, 4.0, 6.0, 10.0});
+  const std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_GT(SeparabilityRatio(tight, labels, 2),
+            SeparabilityRatio(loose, labels, 2));
+}
+
+TEST(SeparabilityTest, DegenerateInputs) {
+  Matrix z(2, 1, {1.0, 1.0});
+  EXPECT_DOUBLE_EQ(SeparabilityRatio(z, {0, 1}, 2), 0.0);  // Zero intra.
+  EXPECT_DOUBLE_EQ(SeparabilityRatio(Matrix(), {}, 2), 0.0);
+}
+
+// Property: all three metrics are invariant under label permutation.
+class PermutationInvarianceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PermutationInvarianceTest, MetricsInvariant) {
+  Rng rng(GetParam());
+  std::vector<int> truth, predicted;
+  for (int i = 0; i < 200; ++i) {
+    truth.push_back(rng.UniformInt(4));
+    predicted.push_back(rng.Bernoulli(0.7) ? truth.back() : rng.UniformInt(4));
+  }
+  std::vector<int> permuted(predicted.size());
+  const int perm[4] = {2, 3, 1, 0};
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    permuted[i] = perm[predicted[i]];
+  }
+  EXPECT_NEAR(ClusteringAccuracy(predicted, truth),
+              ClusteringAccuracy(permuted, truth), 1e-12);
+  EXPECT_NEAR(NormalizedMutualInformation(predicted, truth),
+              NormalizedMutualInformation(permuted, truth), 1e-12);
+  EXPECT_NEAR(AdjustedRandIndex(predicted, truth),
+              AdjustedRandIndex(permuted, truth), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PermutationInvarianceTest,
+                         ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace rgae

@@ -1,0 +1,109 @@
+#include "src/graph/corrupt.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+
+namespace rgae {
+namespace {
+
+AttributedGraph MakeGraph(uint64_t seed = 1) {
+  CitationLikeOptions o;
+  o.num_nodes = 80;
+  o.num_clusters = 3;
+  o.feature_dim = 60;
+  o.topic_words = 15;
+  Rng rng(seed);
+  return MakeCitationLike(o, rng);
+}
+
+TEST(CorruptTest, AddRandomEdgesIncreasesCount) {
+  AttributedGraph g = MakeGraph();
+  const int before = g.num_edges();
+  Rng rng(42);
+  const int added = AddRandomEdges(&g, 30, rng);
+  EXPECT_EQ(added, 30);
+  EXPECT_EQ(g.num_edges(), before + 30);
+}
+
+TEST(CorruptTest, DropRandomEdgesDecreasesCount) {
+  AttributedGraph g = MakeGraph();
+  const int before = g.num_edges();
+  Rng rng(42);
+  const int dropped = DropRandomEdges(&g, 20, rng);
+  EXPECT_EQ(dropped, 20);
+  EXPECT_EQ(g.num_edges(), before - 20);
+}
+
+TEST(CorruptTest, DropMoreThanExistingRemovesAll) {
+  AttributedGraph g = MakeGraph();
+  const int before = g.num_edges();
+  Rng rng(1);
+  const int dropped = DropRandomEdges(&g, before + 100, rng);
+  EXPECT_EQ(dropped, before);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(CorruptTest, SameSeedSameCorruption) {
+  AttributedGraph a = MakeGraph();
+  AttributedGraph b = MakeGraph();
+  Rng r1(7), r2(7);
+  AddRandomEdges(&a, 15, r1);
+  AddRandomEdges(&b, 15, r2);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+TEST(CorruptTest, FeatureNoiseChangesFeatures) {
+  AttributedGraph g = MakeGraph();
+  const Matrix before = g.features();
+  Rng rng(3);
+  AddFeatureNoise(&g, 0.1, rng);
+  double diff = 0.0;
+  for (int i = 0; i < before.rows(); ++i) {
+    for (int j = 0; j < before.cols(); ++j) {
+      diff += std::abs(g.features()(i, j) - before(i, j));
+    }
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(CorruptTest, ZeroNoiseIsNoOp) {
+  AttributedGraph g = MakeGraph();
+  const Matrix before = g.features();
+  Rng rng(3);
+  AddFeatureNoise(&g, 0.0, rng);
+  for (int i = 0; i < before.rows(); ++i) {
+    for (int j = 0; j < before.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(g.features()(i, j), before(i, j));
+    }
+  }
+}
+
+TEST(CorruptTest, DropFeatureColumnsZeroesThem) {
+  AttributedGraph g = MakeGraph();
+  Rng rng(5);
+  const int dropped = DropFeatureColumns(&g, 10, rng);
+  EXPECT_EQ(dropped, 10);
+  int zero_cols = 0;
+  for (int j = 0; j < g.feature_dim(); ++j) {
+    bool all_zero = true;
+    for (int i = 0; i < g.num_nodes(); ++i) {
+      if (g.features()(i, j) != 0.0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) ++zero_cols;
+  }
+  EXPECT_GE(zero_cols, 10);
+}
+
+TEST(CorruptTest, DropAllColumnsCaps) {
+  AttributedGraph g = MakeGraph();
+  Rng rng(5);
+  const int dropped = DropFeatureColumns(&g, g.feature_dim() + 50, rng);
+  EXPECT_EQ(dropped, g.feature_dim());
+}
+
+}  // namespace
+}  // namespace rgae

@@ -1,0 +1,155 @@
+#include "src/graph/csr.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rgae {
+namespace {
+
+CsrMatrix PathGraph3() {
+  // 0 - 1 - 2.
+  return CsrMatrix::FromTriplets(
+      3, 3, {{0, 1, 1.0}, {1, 0, 1.0}, {1, 2, 1.0}, {2, 1, 1.0}});
+}
+
+TEST(CsrTest, FromTripletsBasic) {
+  const CsrMatrix m = PathGraph3();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 0.0);
+  EXPECT_TRUE(m.Contains(1, 2));
+  EXPECT_FALSE(m.Contains(2, 0));
+}
+
+TEST(CsrTest, DuplicateTripletsAreSummed) {
+  const CsrMatrix m = CsrMatrix::FromTriplets(
+      2, 2, {{0, 0, 1.0}, {0, 0, 2.5}, {1, 1, 1.0}});
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 3.5);
+}
+
+TEST(CsrTest, EmptyMatrix) {
+  const CsrMatrix m = CsrMatrix::FromTriplets(3, 3, {});
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 0.0);
+  EXPECT_EQ(m.RowNnz(0), 0);
+}
+
+TEST(CsrTest, Identity) {
+  const CsrMatrix id = CsrMatrix::Identity(4);
+  EXPECT_EQ(id.nnz(), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(id.At(i, i), 1.0);
+}
+
+TEST(CsrTest, RowCols) {
+  const CsrMatrix m = PathGraph3();
+  const std::vector<int> cols = m.RowCols(1);
+  ASSERT_EQ(cols.size(), 2u);
+  EXPECT_EQ(cols[0], 0);
+  EXPECT_EQ(cols[1], 2);
+}
+
+TEST(CsrTest, MultiplyMatchesDense) {
+  const CsrMatrix m = PathGraph3();
+  Matrix x(3, 2, {1, 2, 3, 4, 5, 6});
+  const Matrix sparse_result = m.Multiply(x);
+  const Matrix dense_result = MatMul(m.ToDense(), x);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 2; ++c) {
+      EXPECT_DOUBLE_EQ(sparse_result(r, c), dense_result(r, c));
+    }
+  }
+}
+
+TEST(CsrTest, MultiplyTransposedMatchesDense) {
+  const CsrMatrix m = CsrMatrix::FromTriplets(
+      2, 3, {{0, 0, 2.0}, {0, 2, 1.0}, {1, 1, 3.0}});
+  Matrix x(2, 2, {1, 2, 3, 4});
+  const Matrix got = m.MultiplyTransposed(x);
+  const Matrix expected = MatMul(m.ToDense().Transposed(), x);
+  ASSERT_EQ(got.rows(), 3);
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 2; ++c) EXPECT_DOUBLE_EQ(got(r, c), expected(r, c));
+  }
+}
+
+TEST(CsrTest, RowSums) {
+  const CsrMatrix m = PathGraph3();
+  const std::vector<double> sums = m.RowSums();
+  EXPECT_DOUBLE_EQ(sums[0], 1.0);
+  EXPECT_DOUBLE_EQ(sums[1], 2.0);
+  EXPECT_DOUBLE_EQ(sums[2], 1.0);
+}
+
+TEST(CsrTest, AddSelfLoops) {
+  const CsrMatrix m = PathGraph3().AddSelfLoops();
+  EXPECT_EQ(m.nnz(), 7);
+  for (int i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(m.At(i, i), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 1.0);
+}
+
+TEST(CsrTest, SymmetricNormalization) {
+  const CsrMatrix norm = PathGraph3().AddSelfLoops().SymmetricallyNormalized();
+  // Node degrees (with self loops): d0 = 2, d1 = 3, d2 = 2.
+  EXPECT_NEAR(norm.At(0, 0), 1.0 / 2.0, 1e-12);
+  EXPECT_NEAR(norm.At(0, 1), 1.0 / std::sqrt(6.0), 1e-12);
+  EXPECT_NEAR(norm.At(1, 1), 1.0 / 3.0, 1e-12);
+  // Symmetry.
+  EXPECT_NEAR(norm.At(1, 0), norm.At(0, 1), 1e-12);
+}
+
+TEST(CsrTest, NormalizationSkipsZeroRows) {
+  const CsrMatrix m =
+      CsrMatrix::FromTriplets(3, 3, {{0, 1, 1.0}, {1, 0, 1.0}});
+  const CsrMatrix norm = m.SymmetricallyNormalized();
+  EXPECT_EQ(norm.RowNnz(2), 0);
+  EXPECT_NEAR(norm.At(0, 1), 1.0, 1e-12);
+}
+
+TEST(CsrTest, ToTripletsRoundTrip) {
+  const CsrMatrix m = PathGraph3();
+  const CsrMatrix rebuilt =
+      CsrMatrix::FromTriplets(m.rows(), m.cols(), m.ToTriplets());
+  EXPECT_TRUE(m == rebuilt);
+}
+
+TEST(CsrTest, Equality) {
+  const CsrMatrix a = PathGraph3();
+  const CsrMatrix b = PathGraph3();
+  EXPECT_TRUE(a == b);
+  const CsrMatrix c = CsrMatrix::FromTriplets(3, 3, {{0, 1, 1.0}});
+  EXPECT_FALSE(a == c);
+}
+
+// Property sweep: normalized filter rows of Ã have spectral-friendly
+// values: every entry in (0, 1] and Ã symmetric.
+class NormalizationPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(NormalizationPropertyTest, EntriesBoundedAndSymmetric) {
+  const int n = GetParam();
+  std::vector<Triplet> t;
+  for (int i = 0; i < n; ++i) {
+    const int j = (i * 7 + 3) % n;
+    if (i != j) {
+      t.push_back({i, j, 1.0});
+      t.push_back({j, i, 1.0});
+    }
+  }
+  const CsrMatrix norm = CsrMatrix::FromTriplets(n, n, std::move(t))
+                             .AddSelfLoops()
+                             .SymmetricallyNormalized();
+  for (const Triplet& e : norm.ToTriplets()) {
+    EXPECT_GT(e.value, 0.0);
+    EXPECT_LE(e.value, 1.0);
+    EXPECT_NEAR(norm.At(e.col, e.row), e.value, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NormalizationPropertyTest,
+                         ::testing::Values(2, 5, 16, 33, 64));
+
+}  // namespace
+}  // namespace rgae

@@ -1,0 +1,78 @@
+#include "src/eval/datasets.h"
+
+#include <gtest/gtest.h>
+
+namespace rgae {
+namespace {
+
+TEST(DatasetsTest, RegistryNames) {
+  EXPECT_EQ(CitationDatasetNames().size(), 3u);
+  EXPECT_EQ(AirTrafficDatasetNames().size(), 3u);
+  EXPECT_TRUE(IsKnownDataset("Cora"));
+  EXPECT_TRUE(IsKnownDataset("Brazil"));
+  EXPECT_FALSE(IsKnownDataset("Reddit"));
+}
+
+TEST(DatasetsTest, ClusterCountsMatchOriginals) {
+  EXPECT_EQ(DatasetClusters("Cora"), 7);
+  EXPECT_EQ(DatasetClusters("Citeseer"), 6);
+  EXPECT_EQ(DatasetClusters("Pubmed"), 3);
+  EXPECT_EQ(DatasetClusters("USA"), 4);
+  EXPECT_EQ(DatasetClusters("Europe"), 4);
+  EXPECT_EQ(DatasetClusters("Brazil"), 4);
+}
+
+class DatasetGenerationTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DatasetGenerationTest, GeneratesConsistentGraph) {
+  const AttributedGraph g = MakeDataset(GetParam(), 1);
+  EXPECT_GT(g.num_nodes(), 50);
+  EXPECT_GT(g.num_edges(), 50);
+  EXPECT_TRUE(g.has_labels());
+  EXPECT_EQ(g.num_clusters(), DatasetClusters(GetParam()));
+  EXPECT_GT(g.feature_dim(), 0);
+}
+
+TEST_P(DatasetGenerationTest, DeterministicPerSeed) {
+  const AttributedGraph a = MakeDataset(GetParam(), 7);
+  const AttributedGraph b = MakeDataset(GetParam(), 7);
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_EQ(a.labels(), b.labels());
+  const AttributedGraph c = MakeDataset(GetParam(), 8);
+  EXPECT_NE(a.edges(), c.edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, DatasetGenerationTest,
+                         ::testing::Values("Cora", "Citeseer", "Pubmed",
+                                           "USA", "Europe", "Brazil"));
+
+TEST(DatasetsTest, CitationGraphsAreHomophilous) {
+  for (const std::string& name : CitationDatasetNames()) {
+    const AttributedGraph g = MakeDataset(name, 3);
+    EXPECT_GT(g.EdgeHomophily(), 0.5) << name;
+  }
+}
+
+TEST(DatasetsTest, CiteseerSparserThanCora) {
+  const AttributedGraph cora = MakeDataset("Cora", 2);
+  const AttributedGraph citeseer = MakeDataset("Citeseer", 2);
+  const double cora_density =
+      static_cast<double>(cora.num_edges()) / cora.num_nodes();
+  const double cs_density =
+      static_cast<double>(citeseer.num_edges()) / citeseer.num_nodes();
+  EXPECT_LT(cs_density, cora_density);
+}
+
+TEST(RHyperParamsTest, AppendixCValues) {
+  // Spot checks against Tables 11-16.
+  EXPECT_DOUBLE_EQ(GetRHyperParams("Cora", "GAE").alpha1, 0.3);
+  EXPECT_EQ(GetRHyperParams("Cora", "DGAE").m2, 15);
+  EXPECT_EQ(GetRHyperParams("Citeseer", "GMM-VGAE").m1, 50);
+  EXPECT_DOUBLE_EQ(GetRHyperParams("Pubmed", "GMM-VGAE").alpha1, 0.4);
+  EXPECT_DOUBLE_EQ(GetRHyperParams("Europe", "GMM-VGAE").alpha1, 0.01);
+  EXPECT_DOUBLE_EQ(GetRHyperParams("Brazil", "DGAE").alpha1, 0.25);
+  EXPECT_EQ(GetRHyperParams("USA", "DGAE").m1, 50);
+}
+
+}  // namespace
+}  // namespace rgae

@@ -1,0 +1,139 @@
+#include "src/metrics/fr_fd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/graph.h"
+#include "src/tensor/random.h"
+
+namespace rgae {
+namespace {
+
+TEST(FlattenGradsTest, ConcatenatesInOrder) {
+  Parameter a(Matrix(1, 2, {0, 0}));
+  Parameter b(Matrix(2, 1, {0, 0}));
+  a.grad = Matrix(1, 2, {1, 2});
+  b.grad = Matrix(2, 1, {3, 4});
+  const std::vector<double> flat = FlattenGrads({&a, &b});
+  ASSERT_EQ(flat.size(), 4u);
+  EXPECT_DOUBLE_EQ(flat[0], 1);
+  EXPECT_DOUBLE_EQ(flat[3], 4);
+}
+
+TEST(FlatCosineTest, BasicGeometry) {
+  EXPECT_DOUBLE_EQ(FlatCosine({1, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(FlatCosine({1, 0}, {-1, 0}), -1.0);
+  EXPECT_DOUBLE_EQ(FlatCosine({1, 0}, {0, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(FlatCosine({0, 0}, {1, 1}), 0.0);   // Zero guarded.
+  EXPECT_DOUBLE_EQ(FlatCosine({1, 2}, {1, 2, 3}), 0.0);  // Size mismatch.
+}
+
+TEST(GradLaplacianTest, MatchesHandComputation) {
+  // Two nodes, edge weight 2; z0 = (1,0), z1 = (0,1).
+  Matrix z(2, 2, {1, 0, 0, 1});
+  const CsrMatrix a =
+      CsrMatrix::FromTriplets(2, 2, {{0, 1, 2.0}, {1, 0, 2.0}});
+  const Matrix g0 = GradLaplacianAt(z, a, 0);
+  EXPECT_DOUBLE_EQ(g0(0, 0), 2.0);   // 2 * (1 - 0).
+  EXPECT_DOUBLE_EQ(g0(0, 1), -2.0);  // 2 * (0 - 1).
+}
+
+TEST(GradLaplacianTest, FiniteDifferenceAgreement) {
+  // Numeric check of the Proposition-4 convention grad = Σ_j a_ij (z_i-z_j)
+  // against L(z_i) = ½ Σ_j a_ij ||z_i - z_j||² (holding the j-side fixed).
+  Rng rng(1);
+  const int n = 5, d = 3;
+  Matrix z(n, d);
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < d; ++c) z(i, c) = rng.Gaussian();
+  }
+  std::vector<Triplet> t;
+  for (int i = 0; i < n; ++i) {
+    t.push_back({i, (i + 1) % n, 0.5 + 0.1 * i});
+  }
+  const CsrMatrix a = CsrMatrix::FromTriplets(n, n, std::move(t));
+  const int i = 2;
+  const Matrix g = GradLaplacianAt(z, a, i);
+  auto local_loss = [&]() {
+    double s = 0.0;
+    for (int j = 0; j < n; ++j) {
+      s += 0.5 * a.At(i, j) * RowSquaredDistance(z, i, z, j);
+    }
+    return s;
+  };
+  const double eps = 1e-6;
+  for (int c = 0; c < d; ++c) {
+    const double saved = z(i, c);
+    z(i, c) = saved + eps;
+    const double up = local_loss();
+    z(i, c) = saved - eps;
+    const double down = local_loss();
+    z(i, c) = saved;
+    EXPECT_NEAR(g(0, c), (up - down) / (2 * eps), 1e-5);
+  }
+}
+
+TEST(ElementaryMetricsTest, AlignedGraphsGivePositiveValues) {
+  // Two tight clusters; clustering graph == supervision graph: gradients
+  // align, so Λ'_FR and Λ'_FD are positive for most nodes.
+  Matrix z(4, 1, {0.0, 0.4, 10.0, 10.5});
+  const std::vector<int> labels = {0, 0, 1, 1};
+  const CsrMatrix a_clus = BuildClusterGraph(labels, 2);
+  const CsrMatrix a_sup = BuildClusterGraph(labels, 2);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_GE(ElementaryFr(z, a_clus, a_sup, i), 0.0);
+  }
+}
+
+TEST(ElementaryMetricsTest, CorrectClusteringBeatsWrongClustering) {
+  // Λ'_FR with the correct clustering graph (== supervision graph) is the
+  // squared gradient norm; a cross-cutting wrong clustering scores lower.
+  Matrix z(4, 1, {0.0, 1.0, 10.0, 11.0});
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<int> wrong = {0, 1, 0, 1};
+  const CsrMatrix a_sup = BuildClusterGraph(truth, 2);
+  const CsrMatrix a_right = BuildClusterGraph(truth, 2);
+  const CsrMatrix a_wrong = BuildClusterGraph(wrong, 2);
+  double right_total = 0.0, wrong_total = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    right_total += ElementaryFr(z, a_right, a_sup, i);
+    wrong_total += ElementaryFr(z, a_wrong, a_sup, i);
+  }
+  EXPECT_GT(right_total, 0.0);
+  EXPECT_GT(right_total, wrong_total);
+}
+
+TEST(AggregateTest, ComputesWeightedNeighborhoodMean) {
+  Matrix x(3, 1, {1.0, 2.0, 3.0});
+  const CsrMatrix a = CsrMatrix::FromTriplets(
+      3, 3, {{0, 1, 0.5}, {0, 2, 0.5}});
+  const Matrix h = Aggregate(x, a, 0);
+  EXPECT_DOUBLE_EQ(h(0, 0), 2.5);
+}
+
+TEST(FilterImpactTest, PositiveWhenFilteringHelps) {
+  // Node 0's raw feature is far from its cluster mean, but its neighbors
+  // are exactly at the mean: filtering moves it toward h_sup => P > 0.
+  Matrix x(3, 1, {5.0, 0.0, 0.0});
+  const std::vector<int> labels = {0, 0, 0};
+  const CsrMatrix a_sup = BuildClusterGraph(labels, 1);
+  const CsrMatrix a_self = CsrMatrix::FromTriplets(
+      3, 3, {{0, 1, 0.5}, {0, 2, 0.5}, {1, 0, 1.0}, {2, 0, 1.0}});
+  // h_sup(0) = mean = 5/3; h_self(0) = 0.
+  // ||x0 - h_sup|| = 10/3; ||h_self - h_sup|| = 5/3 -> P = 5/3 > 0.
+  EXPECT_NEAR(FilterImpact(x, a_self, a_sup, 0), 5.0 / 3.0, 1e-9);
+}
+
+TEST(FilterImpactTest, NegativeWhenFilteringHurts) {
+  // Node already at its cluster mean, but its self-graph neighbor is far:
+  // filtering drags it away => P < 0.
+  Matrix x(2, 1, {0.0, 8.0});
+  Matrix z = x;
+  const CsrMatrix a_sup = CsrMatrix::FromTriplets(2, 2, {{0, 0, 1.0}});
+  const CsrMatrix a_self = CsrMatrix::FromTriplets(2, 2, {{0, 1, 1.0}});
+  EXPECT_LT(FilterImpact(x, a_self, a_sup, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace rgae

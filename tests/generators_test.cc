@@ -1,0 +1,141 @@
+#include "src/graph/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace rgae {
+namespace {
+
+CitationLikeOptions SmallCitation() {
+  CitationLikeOptions o;
+  o.num_nodes = 120;
+  o.num_clusters = 4;
+  o.feature_dim = 100;
+  o.topic_words = 20;
+  return o;
+}
+
+TEST(CitationGeneratorTest, ShapesAndLabels) {
+  Rng rng(1);
+  const AttributedGraph g = MakeCitationLike(SmallCitation(), rng);
+  EXPECT_EQ(g.num_nodes(), 120);
+  EXPECT_EQ(g.feature_dim(), 100);
+  EXPECT_TRUE(g.has_labels());
+  EXPECT_EQ(g.num_clusters(), 4);
+  EXPECT_GT(g.num_edges(), 50);
+}
+
+TEST(CitationGeneratorTest, Deterministic) {
+  Rng rng1(9), rng2(9);
+  const AttributedGraph a = MakeCitationLike(SmallCitation(), rng1);
+  const AttributedGraph b = MakeCitationLike(SmallCitation(), rng2);
+  EXPECT_EQ(a.edges(), b.edges());
+  EXPECT_EQ(a.labels(), b.labels());
+}
+
+TEST(CitationGeneratorTest, HomophilyAboveChance) {
+  Rng rng(3);
+  const AttributedGraph g = MakeCitationLike(SmallCitation(), rng);
+  // With intra_degree 3 and inter_degree 1 homophily should be well above
+  // the 1/K = 0.25 chance level.
+  EXPECT_GT(g.EdgeHomophily(), 0.55);
+}
+
+TEST(CitationGeneratorTest, FeaturesRowNormalized) {
+  Rng rng(5);
+  const AttributedGraph g = MakeCitationLike(SmallCitation(), rng);
+  int nonzero_rows = 0;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    const double n = g.features().RowSquaredNorm(i);
+    if (n > 0.0) {
+      EXPECT_NEAR(n, 1.0, 1e-9);
+      ++nonzero_rows;
+    }
+  }
+  EXPECT_GT(nonzero_rows, g.num_nodes() / 2);
+}
+
+TEST(CitationGeneratorTest, TopicFeaturesClusterCorrelated) {
+  Rng rng(7);
+  CitationLikeOptions o = SmallCitation();
+  o.word_noise_prob = 0.0;  // Pure topic model for the check.
+  const AttributedGraph g = MakeCitationLike(o, rng);
+  // Every non-zero feature of node i must lie in its cluster's topic block.
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    const int c = g.labels()[i];
+    for (int j = 0; j < g.feature_dim(); ++j) {
+      if (g.features()(i, j) > 0.0) {
+        EXPECT_GE(j, c * o.topic_words);
+        EXPECT_LT(j, (c + 1) * o.topic_words);
+      }
+    }
+  }
+}
+
+TEST(CitationGeneratorTest, ImbalanceZeroGivesNearBalancedClusters) {
+  Rng rng(11);
+  CitationLikeOptions o = SmallCitation();
+  o.imbalance = 0.0;
+  const AttributedGraph g = MakeCitationLike(o, rng);
+  std::vector<int> counts(o.num_clusters, 0);
+  for (int l : g.labels()) ++counts[l];
+  for (int c = 0; c < o.num_clusters; ++c) {
+    EXPECT_NEAR(counts[c], o.num_nodes / o.num_clusters, 2);
+  }
+}
+
+AirTrafficLikeOptions SmallAir() {
+  AirTrafficLikeOptions o;
+  o.num_nodes = 120;
+  o.num_levels = 4;
+  return o;
+}
+
+TEST(AirTrafficGeneratorTest, ShapesAndLabels) {
+  Rng rng(2);
+  const AttributedGraph g = MakeAirTrafficLike(SmallAir(), rng);
+  EXPECT_EQ(g.num_nodes(), 120);
+  EXPECT_EQ(g.num_clusters(), 4);
+  EXPECT_EQ(g.feature_dim(), SmallAir().max_degree_bucket + 1);
+  EXPECT_GT(g.num_edges(), 50);
+}
+
+TEST(AirTrafficGeneratorTest, DegreeSeparatesLevels) {
+  Rng rng(4);
+  const AttributedGraph g = MakeAirTrafficLike(SmallAir(), rng);
+  const std::vector<int> deg = g.Degrees();
+  // Mean degree of the top level should exceed that of the bottom level.
+  double lo = 0.0, hi = 0.0;
+  int nlo = 0, nhi = 0;
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    if (g.labels()[i] == 0) {
+      lo += deg[i];
+      ++nlo;
+    } else if (g.labels()[i] == 3) {
+      hi += deg[i];
+      ++nhi;
+    }
+  }
+  ASSERT_GT(nlo, 0);
+  ASSERT_GT(nhi, 0);
+  EXPECT_GT(hi / nhi, 2.0 * (lo / nlo));
+}
+
+TEST(AirTrafficGeneratorTest, FeaturesAreOneHot) {
+  Rng rng(6);
+  const AttributedGraph g = MakeAirTrafficLike(SmallAir(), rng);
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < g.feature_dim(); ++j) sum += g.features()(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-9);  // Exactly one bucket active (unit norm).
+  }
+}
+
+TEST(AirTrafficGeneratorTest, Deterministic) {
+  Rng rng1(8), rng2(8);
+  const AttributedGraph a = MakeAirTrafficLike(SmallAir(), rng1);
+  const AttributedGraph b = MakeAirTrafficLike(SmallAir(), rng2);
+  EXPECT_EQ(a.edges(), b.edges());
+}
+
+}  // namespace
+}  // namespace rgae

@@ -1,0 +1,115 @@
+#include "src/graph/graph.h"
+
+#include <gtest/gtest.h>
+
+namespace rgae {
+namespace {
+
+TEST(AttributedGraphTest, AddRemoveEdges) {
+  AttributedGraph g(4);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_TRUE(g.AddEdge(1, 0) == false);  // Duplicate (canonicalized).
+  EXPECT_FALSE(g.AddEdge(2, 2));          // Self-loop rejected.
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.RemoveEdge(0, 1));
+  EXPECT_FALSE(g.RemoveEdge(0, 1));
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(AttributedGraphTest, Degrees) {
+  AttributedGraph g(4);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.AddEdge(0, 3);
+  const std::vector<int> deg = g.Degrees();
+  EXPECT_EQ(deg[0], 3);
+  EXPECT_EQ(deg[1], 1);
+  EXPECT_EQ(g.Degree(0), 3);
+}
+
+TEST(AttributedGraphTest, AdjacencyIsSymmetricNoSelfLoops) {
+  AttributedGraph g(3);
+  g.AddEdge(0, 2);
+  const CsrMatrix a = g.Adjacency();
+  EXPECT_DOUBLE_EQ(a.At(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(a.At(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 0), 0.0);
+  EXPECT_EQ(a.nnz(), 2);
+}
+
+TEST(AttributedGraphTest, NormalizedAdjacencyHasSelfLoops) {
+  AttributedGraph g(2);
+  g.AddEdge(0, 1);
+  const CsrMatrix norm = g.NormalizedAdjacency();
+  EXPECT_NEAR(norm.At(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(norm.At(0, 1), 0.5, 1e-12);
+}
+
+TEST(AttributedGraphTest, LabelsAndClusterCount) {
+  AttributedGraph g(5);
+  EXPECT_FALSE(g.has_labels());
+  EXPECT_EQ(g.num_clusters(), 0);
+  g.set_labels({0, 1, 2, 1, 0});
+  EXPECT_TRUE(g.has_labels());
+  EXPECT_EQ(g.num_clusters(), 3);
+}
+
+TEST(AttributedGraphTest, OneHotDegreeFeatures) {
+  AttributedGraph g(3);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 2);
+  g.SetOneHotDegreeFeatures(5);
+  const Matrix& x = g.features();
+  EXPECT_EQ(x.cols(), 6);
+  EXPECT_DOUBLE_EQ(x(0, 2), 1.0);  // Degree 2.
+  EXPECT_DOUBLE_EQ(x(1, 1), 1.0);  // Degree 1.
+  EXPECT_DOUBLE_EQ(x(1, 2), 0.0);
+}
+
+TEST(AttributedGraphTest, OneHotDegreeCapsAtMaxBucket) {
+  AttributedGraph g(5);
+  for (int i = 1; i < 5; ++i) g.AddEdge(0, i);
+  g.SetOneHotDegreeFeatures(2);
+  EXPECT_DOUBLE_EQ(g.features()(0, 2), 1.0);  // Degree 4 capped to bucket 2.
+}
+
+TEST(AttributedGraphTest, NormalizeFeatureRows) {
+  AttributedGraph g(2);
+  Matrix x(2, 2, {3, 4, 0, 0});
+  g.set_features(std::move(x));
+  g.NormalizeFeatureRows();
+  EXPECT_NEAR(g.features()(0, 0), 0.6, 1e-12);
+}
+
+TEST(AttributedGraphTest, EdgeHomophily) {
+  AttributedGraph g(4);
+  g.set_labels({0, 0, 1, 1});
+  g.AddEdge(0, 1);  // Same label.
+  g.AddEdge(2, 3);  // Same label.
+  g.AddEdge(0, 2);  // Cross label.
+  EXPECT_NEAR(g.EdgeHomophily(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(BuildClusterGraphTest, MatchesDefinition) {
+  // Clusters {0,1,2} and {3,4}.
+  const CsrMatrix a = BuildClusterGraph({0, 0, 0, 1, 1}, 2);
+  EXPECT_NEAR(a.At(0, 1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(a.At(0, 0), 1.0 / 3.0, 1e-12);  // Diagonal included.
+  EXPECT_NEAR(a.At(3, 4), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(a.At(0, 3), 0.0);
+}
+
+TEST(BuildClusterGraphTest, RowsSumToOne) {
+  const CsrMatrix a = BuildClusterGraph({0, 1, 0, 1, 2, 2, 2}, 3);
+  for (double s : a.RowSums()) EXPECT_NEAR(s, 1.0, 1e-12);
+}
+
+TEST(BuildClusterGraphTest, EmptyClusterTolerated) {
+  const CsrMatrix a = BuildClusterGraph({0, 0}, 3);  // Clusters 1,2 empty.
+  EXPECT_EQ(a.rows(), 2);
+  EXPECT_NEAR(a.At(0, 1), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace rgae

@@ -1,0 +1,110 @@
+#include "src/metrics/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/random.h"
+
+namespace rgae {
+namespace {
+
+double AssignmentCost(const Matrix& cost, const std::vector<int>& match) {
+  double total = 0.0;
+  for (size_t r = 0; r < match.size(); ++r) total += cost(r, match[r]);
+  return total;
+}
+
+TEST(HungarianTest, TrivialIdentity) {
+  Matrix cost(2, 2, {0, 1, 1, 0});
+  const std::vector<int> match = SolveAssignment(cost);
+  EXPECT_EQ(match[0], 0);
+  EXPECT_EQ(match[1], 1);
+}
+
+TEST(HungarianTest, AntiDiagonal) {
+  Matrix cost(2, 2, {5, 1, 1, 5});
+  const std::vector<int> match = SolveAssignment(cost);
+  EXPECT_EQ(match[0], 1);
+  EXPECT_EQ(match[1], 0);
+}
+
+TEST(HungarianTest, KnownThreeByThree) {
+  // Classic example; optimum is 0->1, 1->0, 2->2 with cost 1+2+3=6... verify
+  // against brute force below instead of a hand-computed answer.
+  Matrix cost(3, 3, {4, 1, 3, 2, 0, 5, 3, 2, 2});
+  const std::vector<int> match = SolveAssignment(cost);
+  EXPECT_DOUBLE_EQ(AssignmentCost(cost, match), 5.0);  // 1 + 2 + 2.
+}
+
+TEST(HungarianTest, MatchIsPermutation) {
+  Rng rng(1);
+  Matrix cost(6, 6);
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) cost(i, j) = rng.Uniform(0, 10);
+  }
+  const std::vector<int> match = SolveAssignment(cost);
+  std::vector<bool> used(6, false);
+  for (int m : match) {
+    ASSERT_GE(m, 0);
+    ASSERT_LT(m, 6);
+    EXPECT_FALSE(used[m]);
+    used[m] = true;
+  }
+}
+
+// Brute-force verification on random instances (property test).
+class HungarianBruteForceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianBruteForceTest, MatchesExhaustiveSearch) {
+  const int n = 4;
+  Rng rng(GetParam());
+  Matrix cost(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) cost(i, j) = rng.Uniform(0, 100);
+  }
+  const std::vector<int> match = SolveAssignment(cost);
+  std::vector<int> perm = {0, 1, 2, 3};
+  double best = 1e300;
+  do {
+    best = std::min(best, AssignmentCost(cost, perm));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  EXPECT_NEAR(AssignmentCost(cost, match), best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HungarianBruteForceTest,
+                         ::testing::Range(1, 11));
+
+TEST(BestLabelMappingTest, RecoversPermutation) {
+  // predicted = truth with labels cyclically shifted.
+  std::vector<int> truth, predicted;
+  for (int i = 0; i < 30; ++i) {
+    truth.push_back(i % 3);
+    predicted.push_back((i + 1) % 3);
+  }
+  const std::vector<int> map = BestLabelMapping(predicted, truth, 3);
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_EQ(map[p], (p + 2) % 3);  // Inverse of the +1 shift.
+  }
+}
+
+TEST(AlignLabelsTest, PerfectAfterAlignment) {
+  std::vector<int> truth, predicted;
+  for (int i = 0; i < 30; ++i) {
+    truth.push_back(i % 3);
+    predicted.push_back((i + 2) % 3);
+  }
+  const std::vector<int> aligned = AlignLabels(predicted, truth, 3);
+  EXPECT_EQ(aligned, truth);
+}
+
+TEST(AlignLabelsTest, PartialAgreementMaximized) {
+  // Two clusters, 3/4 agreement under the identity map.
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<int> predicted = {0, 1, 1, 1};
+  const std::vector<int> aligned = AlignLabels(predicted, truth, 2);
+  int agree = 0;
+  for (int i = 0; i < 4; ++i) agree += aligned[i] == truth[i] ? 1 : 0;
+  EXPECT_EQ(agree, 3);
+}
+
+}  // namespace
+}  // namespace rgae

@@ -1,0 +1,143 @@
+// End-to-end integration tests: the full paper pipeline on small synthetic
+// graphs. These are the "headline claim" checks — the R-variant should not
+// degrade (and usually improves) clustering vs. its base model when both
+// share pretrained weights, and the diagnostics should behave as the paper
+// describes.
+
+#include <gtest/gtest.h>
+
+#include "src/core/rgae_trainer.h"
+#include "src/eval/harness.h"
+#include "src/graph/generators.h"
+#include "src/models/model_factory.h"
+
+namespace rgae {
+namespace {
+
+AttributedGraph MediumGraph(uint64_t seed) {
+  CitationLikeOptions o;
+  o.num_nodes = 150;
+  o.num_clusters = 4;
+  o.feature_dim = 120;
+  o.topic_words = 25;
+  o.intra_degree = 3.5;
+  o.inter_degree = 1.0;  // Plenty of clustering-irrelevant links.
+  o.word_on_prob = 0.18;
+  Rng rng(seed);
+  return MakeCitationLike(o, rng);
+}
+
+CoupleConfig MediumCouple(const std::string& model, uint64_t seed) {
+  CoupleConfig c;
+  c.model_name = model;
+  c.dataset = "Cora";
+  c.model_options.hidden_dim = 16;
+  c.model_options.latent_dim = 8;
+  c.model_options.seed = seed;
+  TrainerOptions t;
+  t.pretrain_epochs = 60;
+  t.max_cluster_epochs = 40;
+  t.num_clusters = 4;
+  t.m1 = 10;
+  t.m2 = 5;
+  t.seed = seed * 13 + 1;
+  c.base = t;
+  c.rvariant = t;
+  c.rvariant.use_operators = true;
+  c.rvariant.xi.alpha1 = 0.25;
+  return c;
+}
+
+TEST(IntegrationTest, RDgaeCompetitiveWithDgae) {
+  // Headline shape: across seeds, R-DGAE's mean ACC >= DGAE's mean ACC - ε.
+  double base_total = 0.0, r_total = 0.0;
+  for (uint64_t seed = 1; seed <= 2; ++seed) {
+    const AttributedGraph g = MediumGraph(seed);
+    const CoupleOutcome out = RunCouple(MediumCouple("DGAE", seed), g);
+    base_total += out.base.scores.acc;
+    r_total += out.rmodel.scores.acc;
+  }
+  EXPECT_GE(r_total, base_total - 0.06);
+  EXPECT_GT(r_total / 2.0, 0.5);  // Both must actually cluster the data.
+}
+
+TEST(IntegrationTest, RGmmVgaeCompetitiveWithGmmVgae) {
+  const AttributedGraph g = MediumGraph(3);
+  const CoupleOutcome out = RunCouple(MediumCouple("GMM-VGAE", 3), g);
+  EXPECT_GT(out.base.scores.acc, 0.4);
+  EXPECT_GE(out.rmodel.scores.acc, out.base.scores.acc - 0.1);
+}
+
+TEST(IntegrationTest, SelfGraphBecomesMoreClusteringOriented) {
+  // Fig. 4 behavior: after R-training the self-supervision graph has a
+  // higher fraction of same-label links than the input graph.
+  const AttributedGraph g = MediumGraph(5);
+  auto model = CreateModel("DGAE", g, MediumCouple("DGAE", 5).model_options);
+  TrainerOptions opts = MediumCouple("DGAE", 5).rvariant;
+  RGaeTrainer trainer(model.get(), opts);
+  trainer.Run();
+  const AttributedGraph& self = trainer.self_graph();
+  EXPECT_GT(self.EdgeHomophily(), g.EdgeHomophily());
+}
+
+TEST(IntegrationTest, LambdaFrHigherWithXi) {
+  // Fig. 5 behavior: Ω-restricted clustering gradients align better with
+  // the supervised gradient than full-set gradients (early in training).
+  const AttributedGraph g = MediumGraph(7);
+  auto model = CreateModel("DGAE", g, MediumCouple("DGAE", 7).model_options);
+  TrainerOptions opts = MediumCouple("DGAE", 7).rvariant;
+  opts.max_cluster_epochs = 12;
+  opts.track_fr_fd = true;
+  RGaeTrainer trainer(model.get(), opts);
+  const TrainResult result = trainer.Run();
+  double r_sum = 0.0, plain_sum = 0.0;
+  int count = 0;
+  for (const EpochRecord& r : result.trace) {
+    if (r.lambda_fr_r >= -1.0 && r.lambda_fr_plain >= -1.0) {
+      r_sum += r.lambda_fr_r;
+      plain_sum += r.lambda_fr_plain;
+      ++count;
+    }
+  }
+  ASSERT_GT(count, 0);
+  EXPECT_GE(r_sum, plain_sum - 0.05 * count);
+}
+
+TEST(IntegrationTest, AirTrafficPipelineRuns) {
+  AirTrafficLikeOptions o;
+  o.num_nodes = 120;
+  Rng rng(9);
+  const AttributedGraph g = MakeAirTrafficLike(o, rng);
+  CoupleConfig c = MediumCouple("GMM-VGAE", 9);
+  c.base.num_clusters = 4;
+  c.rvariant.num_clusters = 4;
+  c.base.pretrain_epochs = 40;
+  c.rvariant.pretrain_epochs = 40;
+  const CoupleOutcome out = RunCouple(c, g);
+  EXPECT_GT(out.base.scores.acc, 0.3);
+  EXPECT_GT(out.rmodel.scores.acc, 0.3);
+}
+
+TEST(IntegrationTest, SharedPretrainWeightsIdenticalAtHandoff) {
+  // The couple protocol: the R model must start the clustering phase from
+  // exactly the base model's pretrained weights.
+  const AttributedGraph g = MediumGraph(11);
+  const CoupleConfig c = MediumCouple("DGAE", 11);
+  auto base = CreateModel("DGAE", g, c.model_options);
+  RGaeTrainer base_trainer(base.get(), c.base);
+  base_trainer.Pretrain();
+  const std::vector<Matrix> weights = base->SaveWeights();
+
+  auto rmodel = CreateModel("DGAE", g, c.model_options);
+  rmodel->LoadWeights(weights);
+  const Matrix zb = base->Embed();
+  const Matrix zr = rmodel->Embed();
+  for (int i = 0; i < zb.rows(); ++i) {
+    for (int j = 0; j < zb.cols(); ++j) {
+      ASSERT_DOUBLE_EQ(zb(i, j), zr(i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rgae

@@ -1,0 +1,96 @@
+#include "src/graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+
+namespace rgae {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(GraphIoTest, RoundTripFullGraph) {
+  CitationLikeOptions o;
+  o.num_nodes = 40;
+  o.num_clusters = 3;
+  o.feature_dim = 30;
+  o.topic_words = 8;
+  Rng rng(1);
+  const AttributedGraph g = MakeCitationLike(o, rng);
+  const std::string path = TempPath("roundtrip.graph");
+  ASSERT_TRUE(SaveGraph(g, path));
+
+  AttributedGraph loaded;
+  ASSERT_TRUE(LoadGraph(path, &loaded));
+  EXPECT_EQ(loaded.num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded.edges(), g.edges());
+  EXPECT_EQ(loaded.labels(), g.labels());
+  ASSERT_EQ(loaded.feature_dim(), g.feature_dim());
+  for (int i = 0; i < g.num_nodes(); ++i) {
+    for (int j = 0; j < g.feature_dim(); ++j) {
+      EXPECT_NEAR(loaded.features()(i, j), g.features()(i, j), 1e-9);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, RoundTripNoFeaturesNoLabels) {
+  AttributedGraph g(5);
+  g.AddEdge(0, 1);
+  g.AddEdge(3, 4);
+  const std::string path = TempPath("bare.graph");
+  ASSERT_TRUE(SaveGraph(g, path));
+  AttributedGraph loaded;
+  ASSERT_TRUE(LoadGraph(path, &loaded));
+  EXPECT_EQ(loaded.num_nodes(), 5);
+  EXPECT_EQ(loaded.num_edges(), 2);
+  EXPECT_FALSE(loaded.has_labels());
+  EXPECT_EQ(loaded.feature_dim(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadMissingFileFails) {
+  AttributedGraph g;
+  EXPECT_FALSE(LoadGraph("/nonexistent/definitely/not/here.graph", &g));
+}
+
+TEST(GraphIoTest, LoadRejectsBadMagic) {
+  const std::string path = TempPath("bad.graph");
+  {
+    std::ofstream out(path);
+    out << "not-a-graph 1 2 3 4 5\n";
+  }
+  AttributedGraph g;
+  EXPECT_FALSE(LoadGraph(path, &g));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadRejectsOutOfRangeEdge) {
+  const std::string path = TempPath("badedge.graph");
+  {
+    std::ofstream out(path);
+    out << "rgae-graph 1 3 1 0 0\n9 1\n";
+  }
+  AttributedGraph g;
+  EXPECT_FALSE(LoadGraph(path, &g));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, LoadRejectsTruncatedFeatures) {
+  const std::string path = TempPath("trunc.graph");
+  {
+    std::ofstream out(path);
+    out << "rgae-graph 1 2 0 3 0\n0.1 0.2\n";  // Missing entries.
+  }
+  AttributedGraph g;
+  EXPECT_FALSE(LoadGraph(path, &g));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rgae

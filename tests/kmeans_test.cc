@@ -1,0 +1,118 @@
+#include "src/clustering/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "src/metrics/clustering_metrics.h"
+
+namespace rgae {
+namespace {
+
+// Three well-separated blobs in 2D.
+Matrix ThreeBlobs(std::vector<int>* labels, Rng& rng, int per_cluster = 30) {
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  Matrix data(3 * per_cluster, 2);
+  labels->clear();
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per_cluster; ++i) {
+      const int row = c * per_cluster + i;
+      data(row, 0) = centers[c][0] + rng.Gaussian(0.0, 0.5);
+      data(row, 1) = centers[c][1] + rng.Gaussian(0.0, 0.5);
+      labels->push_back(c);
+    }
+  }
+  return data;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  Rng rng(1);
+  std::vector<int> truth;
+  const Matrix data = ThreeBlobs(&truth, rng);
+  const KMeansResult result = KMeans(data, 3, rng);
+  EXPECT_EQ(result.centers.rows(), 3);
+  EXPECT_EQ(static_cast<int>(result.assignments.size()), data.rows());
+  EXPECT_GT(ClusteringAccuracy(result.assignments, truth), 0.99);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  Rng rng(2);
+  std::vector<int> truth;
+  const Matrix data = ThreeBlobs(&truth, rng);
+  const double inertia1 = KMeans(data, 1, rng).inertia;
+  const double inertia3 = KMeans(data, 3, rng).inertia;
+  EXPECT_LT(inertia3, inertia1 * 0.2);
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia) {
+  Matrix data(4, 2, {0, 0, 1, 0, 0, 1, 1, 1});
+  Rng rng(3);
+  const KMeansResult result = KMeans(data, 4, rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  Rng rng1(5), rng2(5);
+  std::vector<int> truth;
+  Rng data_rng(9);
+  const Matrix data = ThreeBlobs(&truth, data_rng);
+  const KMeansResult a = KMeans(data, 3, rng1);
+  const KMeansResult b = KMeans(data, 3, rng2);
+  EXPECT_EQ(a.assignments, b.assignments);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeansTest, DuplicatePointsHandled) {
+  Matrix data(6, 1, {1, 1, 1, 5, 5, 5});
+  Rng rng(7);
+  const KMeansResult result = KMeans(data, 2, rng);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+  EXPECT_NE(result.assignments[0], result.assignments[3]);
+}
+
+TEST(NearestCentersTest, AssignsToClosest) {
+  Matrix data(3, 1, {0.0, 4.9, 10.0});
+  Matrix centers(2, 1, {0.0, 10.0});
+  const std::vector<int> assign = NearestCenters(data, centers);
+  EXPECT_EQ(assign[0], 0);
+  EXPECT_EQ(assign[1], 0);
+  EXPECT_EQ(assign[2], 1);
+}
+
+TEST(ClusterMeansTest, ComputesPerClusterAverage) {
+  Matrix data(4, 2, {0, 0, 2, 2, 10, 0, 12, 0});
+  const Matrix means = ClusterMeans(data, {0, 0, 1, 1}, 2);
+  EXPECT_DOUBLE_EQ(means(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(means(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(means(1, 0), 11.0);
+}
+
+TEST(ClusterMeansTest, EmptyClusterGetsOverallMean) {
+  Matrix data(2, 1, {0.0, 10.0});
+  const Matrix means = ClusterMeans(data, {0, 0}, 2);
+  EXPECT_DOUBLE_EQ(means(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(means(1, 0), 5.0);  // Fallback.
+}
+
+// Property: k-means inertia never increases when restarts increase.
+class KMeansRestartTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KMeansRestartTest, MoreRestartsNeverWorse) {
+  Rng data_rng(11);
+  std::vector<int> truth;
+  const Matrix data = ThreeBlobs(&truth, data_rng, 15);
+  KMeansOptions one;
+  one.restarts = 1;
+  KMeansOptions many;
+  many.restarts = GetParam();
+  Rng rng1(13), rng2(13);
+  const double inertia_one = KMeans(data, 3, rng1, one).inertia;
+  // Different seeds but statistically more restarts should not be worse by
+  // a large factor.
+  const double inertia_many = KMeans(data, 3, rng2, many).inertia;
+  EXPECT_LE(inertia_many, inertia_one * 1.5 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Restarts, KMeansRestartTest,
+                         ::testing::Values(2, 4, 8));
+
+}  // namespace
+}  // namespace rgae

@@ -1,0 +1,174 @@
+#include "src/tensor/matrix.h"
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+namespace rgae {
+namespace {
+
+TEST(MatrixTest, ConstructionAndShape) {
+  Matrix m(3, 4, 2.5);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_FALSE(m.empty());
+  EXPECT_DOUBLE_EQ(m(2, 3), 2.5);
+  EXPECT_EQ(m.ShapeString(), "Matrix(3x4)");
+}
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0);
+}
+
+TEST(MatrixTest, FromFlatBuffer) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(0, 2), 3);
+  EXPECT_DOUBLE_EQ(m(1, 0), 4);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6);
+}
+
+TEST(MatrixTest, FillAndZero) {
+  Matrix m(2, 2, 7.0);
+  m.Zero();
+  EXPECT_DOUBLE_EQ(m.Sum(), 0.0);
+  m.Fill(1.5);
+  EXPECT_DOUBLE_EQ(m.Sum(), 6.0);
+}
+
+TEST(MatrixTest, InPlaceArithmetic) {
+  Matrix a(2, 2, {1, 2, 3, 4});
+  Matrix b(2, 2, {4, 3, 2, 1});
+  a += b;
+  EXPECT_DOUBLE_EQ(a(0, 0), 5);
+  EXPECT_DOUBLE_EQ(a(1, 1), 5);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a(0, 1), 2);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a(1, 0), 6);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m(2, 3, {1, 2, 3, 4, 5, 6});
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3);
+}
+
+TEST(MatrixTest, MatMulBasic) {
+  Matrix a(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b(3, 2, {7, 8, 9, 10, 11, 12});
+  const Matrix c = MatMul(a, b);
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.cols(), 2);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(MatrixTest, MatMulTransVariantsAgreeWithExplicitTranspose) {
+  Matrix a(3, 2, {1, 2, 3, 4, 5, 6});
+  Matrix b(3, 4, {1, 0, 2, 1, 0, 1, 1, 2, 3, 1, 0, 1});
+  const Matrix expected = MatMul(a.Transposed(), b);
+  const Matrix got = MatMulTransA(a, b);
+  ASSERT_EQ(got.rows(), expected.rows());
+  for (int r = 0; r < got.rows(); ++r) {
+    for (int c = 0; c < got.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(got(r, c), expected(r, c));
+    }
+  }
+  Matrix d(4, 2, {1, 1, 2, 0, 0, 3, 1, 2});
+  const Matrix expected2 = MatMul(a, d.Transposed());
+  const Matrix got2 = MatMulTransB(a, d);
+  for (int r = 0; r < got2.rows(); ++r) {
+    for (int c = 0; c < got2.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(got2(r, c), expected2(r, c));
+    }
+  }
+}
+
+TEST(MatrixTest, HadamardAndScale) {
+  Matrix a(1, 3, {1, 2, 3});
+  Matrix b(1, 3, {4, 5, 6});
+  const Matrix h = Hadamard(a, b);
+  EXPECT_DOUBLE_EQ(h(0, 0), 4);
+  EXPECT_DOUBLE_EQ(h(0, 2), 18);
+  const Matrix s = Scale(a, -2.0);
+  EXPECT_DOUBLE_EQ(s(0, 1), -4);
+}
+
+TEST(MatrixTest, RowOps) {
+  Matrix m(2, 2, {3, 4, 1, 0});
+  EXPECT_DOUBLE_EQ(m.RowSquaredNorm(0), 25.0);
+  EXPECT_DOUBLE_EQ(RowSquaredDistance(m, 0, m, 1), 4 + 16);
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), std::sqrt(26.0));
+}
+
+TEST(MatrixTest, GatherRows) {
+  Matrix m(3, 2, {1, 2, 3, 4, 5, 6});
+  const Matrix g = m.GatherRows({2, 0});
+  EXPECT_EQ(g.rows(), 2);
+  EXPECT_DOUBLE_EQ(g(0, 0), 5);
+  EXPECT_DOUBLE_EQ(g(1, 1), 2);
+}
+
+TEST(MatrixTest, DotAndCosine) {
+  Matrix a(1, 3, {1, 0, 0});
+  Matrix b(1, 3, {0, 1, 0});
+  EXPECT_DOUBLE_EQ(Dot(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, a), 1.0);
+  Matrix z(1, 3, 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, z), 0.0);  // Zero norm guarded.
+}
+
+TEST(MatrixTest, NormalizeRowsL2) {
+  Matrix m(2, 2, {3, 4, 0, 0});
+  NormalizeRowsL2(&m);
+  EXPECT_NEAR(m.RowSquaredNorm(0), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m(1, 0), 0.0);  // Zero row untouched.
+  EXPECT_NEAR(m(0, 0), 0.6, 1e-12);
+}
+
+// Property sweep: (AB)ᵀ == BᵀAᵀ over several shapes.
+class MatMulShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatMulShapeTest, TransposeOfProduct) {
+  const auto [m, k, n] = GetParam();
+  Matrix a(m, k);
+  Matrix b(k, n);
+  // Deterministic pseudo-random fill.
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < k; ++j) a(i, j) = std::sin(i * 7 + j * 3 + 1);
+  }
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < n; ++j) b(i, j) = std::cos(i * 5 + j * 2 + 2);
+  }
+  const Matrix lhs = MatMul(a, b).Transposed();
+  const Matrix rhs = MatMul(b.Transposed(), a.Transposed());
+  ASSERT_EQ(lhs.rows(), rhs.rows());
+  ASSERT_EQ(lhs.cols(), rhs.cols());
+  for (int i = 0; i < lhs.rows(); ++i) {
+    for (int j = 0; j < lhs.cols(); ++j) {
+      EXPECT_NEAR(lhs(i, j), rhs(i, j), 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatMulShapeTest,
+                         ::testing::Values(std::make_tuple(1, 1, 1),
+                                           std::make_tuple(2, 3, 4),
+                                           std::make_tuple(5, 1, 7),
+                                           std::make_tuple(8, 8, 8),
+                                           std::make_tuple(1, 16, 2)));
+
+}  // namespace
+}  // namespace rgae

@@ -1,0 +1,119 @@
+#include "src/graph/multiplex.h"
+
+#include <gtest/gtest.h>
+
+namespace rgae {
+namespace {
+
+MultiplexGraph SmallMultiplex() {
+  Matrix x(4, 2, {1, 0, 1, 0, 0, 1, 0, 1});
+  MultiplexGraph mg(4, x, {0, 0, 1, 1});
+  mg.AddLayer();
+  mg.AddLayer();
+  mg.AddEdge(0, 0, 1);
+  mg.AddEdge(0, 2, 3);
+  mg.AddEdge(0, 1, 2);  // Cross-cluster, only in layer 0.
+  mg.AddEdge(1, 0, 1);
+  mg.AddEdge(1, 2, 3);
+  return mg;
+}
+
+TEST(MultiplexTest, LayerBookkeeping) {
+  const MultiplexGraph mg = SmallMultiplex();
+  EXPECT_EQ(mg.num_layers(), 2);
+  EXPECT_EQ(mg.LayerEdgeCount(0), 3);
+  EXPECT_EQ(mg.LayerEdgeCount(1), 2);
+  EXPECT_EQ(mg.num_nodes(), 4);
+}
+
+TEST(MultiplexTest, AddEdgeRejectsSelfLoopsAndDuplicates) {
+  MultiplexGraph mg(3, Matrix(3, 1, 1.0), {0, 0, 1});
+  mg.AddLayer();
+  EXPECT_FALSE(mg.AddEdge(0, 1, 1));
+  EXPECT_TRUE(mg.AddEdge(0, 0, 1));
+  EXPECT_FALSE(mg.AddEdge(0, 1, 0));  // Same canonical edge.
+}
+
+TEST(MultiplexTest, LayerHomophily) {
+  const MultiplexGraph mg = SmallMultiplex();
+  EXPECT_NEAR(mg.LayerHomophily(0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(mg.LayerHomophily(1), 1.0, 1e-12);
+}
+
+TEST(MultiplexTest, FlattenUnionKeepsEverything) {
+  const AttributedGraph g = SmallMultiplex().Flatten(1);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_EQ(g.feature_dim(), 2);
+  EXPECT_EQ(g.num_clusters(), 2);
+}
+
+TEST(MultiplexTest, FlattenMajorityFiltersSingleLayerNoise) {
+  const AttributedGraph g = SmallMultiplex().Flatten(2);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_FALSE(g.HasEdge(1, 2));  // Cross edge appeared in one layer only.
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(MultiplexTest, GeneratorProducesRequestedLayers) {
+  MultiplexCitationOptions o;
+  o.base.num_nodes = 120;
+  o.base.num_clusters = 4;
+  o.base.feature_dim = 80;
+  o.base.topic_words = 18;
+  o.num_layers = 4;
+  Rng rng(3);
+  const MultiplexGraph mg = MakeMultiplexCitationLike(o, rng);
+  EXPECT_EQ(mg.num_layers(), 4);
+  for (int l = 0; l < 4; ++l) EXPECT_GT(mg.LayerEdgeCount(l), 20);
+}
+
+TEST(MultiplexTest, LayersShareTrueEdgesButNotNoise) {
+  MultiplexCitationOptions o;
+  o.base.num_nodes = 150;
+  o.base.num_clusters = 4;
+  o.base.feature_dim = 80;
+  o.base.topic_words = 18;
+  Rng rng(5);
+  const MultiplexGraph mg = MakeMultiplexCitationLike(o, rng);
+  // Pairwise layer overlap should be substantial (correlated true edges)
+  // but well below identity (independent keep/noise draws).
+  int shared = 0;
+  for (const auto& e : mg.layer_edges(0)) {
+    shared += mg.layer_edges(1).count(e) > 0 ? 1 : 0;
+  }
+  const double overlap =
+      static_cast<double>(shared) / mg.LayerEdgeCount(0);
+  EXPECT_GT(overlap, 0.3);
+  EXPECT_LT(overlap, 0.95);
+}
+
+TEST(MultiplexTest, MajorityFlattenBeatsUnionHomophily) {
+  MultiplexCitationOptions o;
+  o.base.num_nodes = 150;
+  o.base.num_clusters = 4;
+  o.base.feature_dim = 80;
+  o.base.topic_words = 18;
+  Rng rng(7);
+  const MultiplexGraph mg = MakeMultiplexCitationLike(o, rng);
+  const AttributedGraph union_graph = mg.Flatten(1);
+  const AttributedGraph majority_graph = mg.Flatten(2);
+  EXPECT_GT(majority_graph.EdgeHomophily(), union_graph.EdgeHomophily());
+}
+
+TEST(MultiplexTest, GeneratorDeterministic) {
+  MultiplexCitationOptions o;
+  o.base.num_nodes = 100;
+  o.base.num_clusters = 3;
+  o.base.feature_dim = 60;
+  o.base.topic_words = 15;
+  Rng r1(9), r2(9);
+  const MultiplexGraph a = MakeMultiplexCitationLike(o, r1);
+  const MultiplexGraph b = MakeMultiplexCitationLike(o, r2);
+  for (int l = 0; l < a.num_layers(); ++l) {
+    EXPECT_EQ(a.layer_edges(l), b.layer_edges(l));
+  }
+}
+
+}  // namespace
+}  // namespace rgae

@@ -1,0 +1,294 @@
+#include "src/core/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "src/clustering/assignments.h"
+#include "src/graph/generators.h"
+
+namespace rgae {
+namespace {
+
+TEST(OperatorXiTest, SelectsHighConfidenceNodes) {
+  // Node 0: confident; node 1: low top score; node 2: small margin.
+  Matrix p(3, 2, {0.9, 0.1, 0.55, 0.45, 0.6, 0.4});
+  XiOptions o;
+  o.alpha1 = 0.7;
+  o.alpha2 = 0.35;
+  const XiResult r = OperatorXi(p, o);
+  ASSERT_EQ(r.omega.size(), 1u);
+  EXPECT_EQ(r.omega[0], 0);
+  EXPECT_DOUBLE_EQ(r.lambda1[0], 0.9);
+  EXPECT_DOUBLE_EQ(r.lambda2[0], 0.1);
+}
+
+TEST(OperatorXiTest, DefaultAlpha2IsHalfAlpha1) {
+  XiOptions o;
+  o.alpha1 = 0.4;
+  EXPECT_DOUBLE_EQ(o.EffectiveAlpha2(), 0.2);
+  o.alpha2 = 0.05;
+  EXPECT_DOUBLE_EQ(o.EffectiveAlpha2(), 0.05);
+}
+
+TEST(OperatorXiTest, AblationOfAlpha1) {
+  // Node with tiny top score but huge relative margin.
+  Matrix p(1, 3, {0.2, 0.05, 0.75});
+  XiOptions o;
+  o.alpha1 = 0.9;  // Would reject.
+  o.alpha2 = 0.3;
+  o.use_alpha1 = false;
+  const XiResult r = OperatorXi(p, o);
+  EXPECT_EQ(r.omega.size(), 1u);  // (0.75 - 0.2) >= 0.3 passes.
+}
+
+TEST(OperatorXiTest, AblationOfAlpha2) {
+  // High top score but nearly tied runner-up.
+  Matrix p(1, 2, {0.51, 0.49});
+  XiOptions o;
+  o.alpha1 = 0.5;
+  o.alpha2 = 0.3;
+  const XiResult with_margin = OperatorXi(p, o);
+  EXPECT_TRUE(with_margin.omega.empty());
+  o.use_alpha2 = false;
+  const XiResult without_margin = OperatorXi(p, o);
+  EXPECT_EQ(without_margin.omega.size(), 1u);
+}
+
+TEST(OperatorXiTest, AblatingBothSelectsEverything) {
+  Matrix p(4, 2, {0.5, 0.5, 0.6, 0.4, 0.51, 0.49, 0.99, 0.01});
+  XiOptions o;
+  o.use_alpha1 = false;
+  o.use_alpha2 = false;
+  EXPECT_EQ(OperatorXi(p, o).omega.size(), 4u);
+}
+
+TEST(OperatorXiTest, OmegaGrowsAsConfidenceSharpens) {
+  // Property: sharpening every row monotonically grows Ω.
+  Matrix soft(5, 2, {0.6, 0.4, 0.7, 0.3, 0.55, 0.45, 0.8, 0.2, 0.9, 0.1});
+  Matrix sharp = soft;
+  for (int i = 0; i < 5; ++i) {
+    sharp(i, 0) = soft(i, 0) >= 0.5 ? soft(i, 0) + 0.09 : soft(i, 0) - 0.09;
+    sharp(i, 1) = 1.0 - sharp(i, 0);
+  }
+  XiOptions o;
+  o.alpha1 = 0.75;
+  const XiResult before = OperatorXi(soft, o);
+  const XiResult after = OperatorXi(sharp, o);
+  EXPECT_GE(after.omega.size(), before.omega.size());
+}
+
+TEST(SoftenHardAssignmentsTest, RowsOnSimplexAndConsistent) {
+  Matrix z(6, 2, {0, 0, 0.5, 0, 0.2, 0.1, 10, 10, 10.5, 10, 10.2, 10.4});
+  const std::vector<int> hard = {0, 0, 0, 1, 1, 1};
+  const Matrix p = SoftenHardAssignments(z, hard, 2);
+  for (int i = 0; i < 6; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < 2; ++j) sum += p(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    // The soft scores agree with the hard labels for well-separated blobs.
+    EXPECT_EQ(HardAssign(p)[i], hard[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Operator Υ.
+// ---------------------------------------------------------------------------
+
+// A graph with two clear clusters (chains 0-1-2 and 3-4-5) and one
+// cross-cluster edge 2-3. The embeddings put the centroid nodes at the
+// chain *ends* (0 and 3), so Υ has star edges to add (2-0 and 5-3).
+AttributedGraph TwoClusterGraph(Matrix* z, Matrix* p) {
+  AttributedGraph g(6);
+  g.set_labels({0, 0, 0, 1, 1, 1});
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 2);
+  g.AddEdge(3, 4);
+  g.AddEdge(4, 5);
+  g.AddEdge(2, 3);  // Clustering-irrelevant link.
+  // Cluster 0 mean = 0.25 -> nearest node is 0 (0.2). Same shape for
+  // cluster 1 around 5.25 -> nearest node is 3 (5.2).
+  *z = Matrix(6, 1, {0.2, 0.0, 0.55, 5.2, 5.0, 5.55});
+  *p = Matrix(6, 2,
+              {0.95, 0.05, 0.9, 0.1, 0.85, 0.15,
+               0.1, 0.9, 0.05, 0.95, 0.15, 0.85});
+  return g;
+}
+
+TEST(OperatorUpsilonTest, AddsStarEdgesAndDropsCrossEdges) {
+  Matrix z, p;
+  const AttributedGraph g = TwoClusterGraph(&z, &p);
+  const std::vector<int> omega = {0, 1, 2, 3, 4, 5};
+  UpsilonStats stats;
+  const AttributedGraph out =
+      OperatorUpsilon(g, z, p, omega, UpsilonOptions(), &stats);
+  // The cross-cluster edge 2-3 must be dropped.
+  EXPECT_FALSE(out.HasEdge(2, 3));
+  EXPECT_GT(stats.dropped_edges, 0);
+  // Star edges toward per-cluster centroid nodes appear.
+  EXPECT_EQ(stats.added_edges, 2);  // 2-0 and 5-3.
+  ASSERT_EQ(stats.centroids.size(), 2u);
+  EXPECT_EQ(stats.centroids[0], 0);
+  EXPECT_EQ(stats.centroids[1], 3);
+  // Every reliable node connects to its centroid.
+  EXPECT_TRUE(out.HasEdge(1, 0));
+  EXPECT_TRUE(out.HasEdge(2, 0));
+  EXPECT_TRUE(out.HasEdge(4, 3));
+  EXPECT_TRUE(out.HasEdge(5, 3));
+}
+
+TEST(OperatorUpsilonTest, RestrictedOmegaOnlyTouchesReliableNodes) {
+  Matrix z, p;
+  const AttributedGraph g = TwoClusterGraph(&z, &p);
+  const std::vector<int> omega = {0, 1};  // Cluster-0 nodes only.
+  const AttributedGraph out =
+      OperatorUpsilon(g, z, p, omega, UpsilonOptions());
+  // Edge 2-3 involves nodes outside Ω on at least one side -> kept.
+  EXPECT_TRUE(out.HasEdge(2, 3));
+  // Cluster-1 structure untouched.
+  EXPECT_TRUE(out.HasEdge(3, 4));
+}
+
+TEST(OperatorUpsilonTest, EmptyOmegaIsIdentity) {
+  Matrix z, p;
+  const AttributedGraph g = TwoClusterGraph(&z, &p);
+  const AttributedGraph out = OperatorUpsilon(g, z, p, {}, UpsilonOptions());
+  EXPECT_EQ(out.edges(), g.edges());
+}
+
+TEST(OperatorUpsilonTest, AblationAddOnly) {
+  Matrix z, p;
+  const AttributedGraph g = TwoClusterGraph(&z, &p);
+  const std::vector<int> omega = {0, 1, 2, 3, 4, 5};
+  UpsilonOptions o;
+  o.drop_edges = false;
+  UpsilonStats stats;
+  const AttributedGraph out = OperatorUpsilon(g, z, p, omega, o, &stats);
+  EXPECT_TRUE(out.HasEdge(2, 3));  // Cross edge survives.
+  EXPECT_EQ(stats.dropped_edges, 0);
+  EXPECT_GT(stats.added_edges, 0);
+}
+
+TEST(OperatorUpsilonTest, AblationDropOnly) {
+  Matrix z, p;
+  const AttributedGraph g = TwoClusterGraph(&z, &p);
+  const std::vector<int> omega = {0, 1, 2, 3, 4, 5};
+  UpsilonOptions o;
+  o.add_edges = false;
+  UpsilonStats stats;
+  const AttributedGraph out = OperatorUpsilon(g, z, p, omega, o, &stats);
+  EXPECT_FALSE(out.HasEdge(2, 3));
+  EXPECT_EQ(stats.added_edges, 0);
+  EXPECT_LE(out.num_edges(), g.num_edges());
+}
+
+TEST(OperatorUpsilonTest, StatsClassifyEdgesAgainstLabels) {
+  Matrix z, p;
+  const AttributedGraph g = TwoClusterGraph(&z, &p);
+  const std::vector<int> omega = {0, 1, 2, 3, 4, 5};
+  UpsilonStats stats;
+  OperatorUpsilon(g, z, p, omega, UpsilonOptions(), &stats);
+  // All added star edges join same-label nodes here.
+  EXPECT_EQ(stats.added_false, 0);
+  EXPECT_EQ(stats.added_true, stats.added_edges);
+  // The dropped 2-3 edge was a false link.
+  EXPECT_EQ(stats.dropped_false, stats.dropped_edges);
+}
+
+TEST(OperatorUpsilonTest, FullOmegaYieldsStarShapedClusters) {
+  // With Ω = 𝒱 and clean assignments the output is K stars: every node is
+  // within one hop of its centroid.
+  Matrix z, p;
+  const AttributedGraph g = TwoClusterGraph(&z, &p);
+  const std::vector<int> omega = {0, 1, 2, 3, 4, 5};
+  UpsilonStats stats;
+  const AttributedGraph out =
+      OperatorUpsilon(g, z, p, omega, UpsilonOptions(), &stats);
+  for (int i = 0; i < 6; ++i) {
+    const int c = g.labels()[i];
+    const int centroid = stats.centroids[c];
+    EXPECT_TRUE(i == centroid || out.HasEdge(i, centroid));
+  }
+}
+
+TEST(OperatorUpsilonTest, DoesNotModifyInputGraph) {
+  Matrix z, p;
+  const AttributedGraph g = TwoClusterGraph(&z, &p);
+  const auto edges_before = g.edges();
+  const std::vector<int> omega = {0, 1, 2, 3, 4, 5};
+  OperatorUpsilon(g, z, p, omega, UpsilonOptions());
+  EXPECT_EQ(g.edges(), edges_before);
+}
+
+
+// Property sweep: |Ω| is monotonically non-increasing in α₁ (a stricter
+// confidence threshold can only shrink the reliable set).
+class XiAlphaMonotoneTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(XiAlphaMonotoneTest, OmegaShrinksWithAlpha1) {
+  Rng rng(GetParam());
+  const int n = 60, k = 4;
+  Matrix p(n, k);
+  for (int i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < k; ++j) {
+      p(i, j) = rng.Uniform(0.01, 1.0);
+      sum += p(i, j);
+    }
+    for (int j = 0; j < k; ++j) p(i, j) /= sum;
+  }
+  size_t prev = n + 1;
+  for (double alpha1 : {0.1, 0.2, 0.3, 0.4, 0.5, 0.7}) {
+    XiOptions o;
+    o.alpha1 = alpha1;
+    o.use_alpha2 = false;  // Isolate the alpha1 criterion.
+    const size_t size = OperatorXi(p, o).omega.size();
+    EXPECT_LE(size, prev) << "alpha1=" << alpha1;
+    prev = size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XiAlphaMonotoneTest, ::testing::Range(1, 6));
+
+// Property: Υ never adds a cross-cluster edge (by construction k1 == k2 is
+// required) and never drops a same-cluster edge.
+class UpsilonInvariantTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UpsilonInvariantTest, AddsOnlyIntraDropsOnlyInter) {
+  Rng rng(GetParam() * 17 + 1);
+  CitationLikeOptions go;
+  go.num_nodes = 80;
+  go.num_clusters = 3;
+  go.feature_dim = 40;
+  go.topic_words = 10;
+  const AttributedGraph g = MakeCitationLike(go, rng);
+  // Synthetic embedding + noisy soft assignments.
+  Matrix z(80, 2);
+  Matrix p(80, 3);
+  std::vector<int> pseudo(80);
+  for (int i = 0; i < 80; ++i) {
+    pseudo[i] = rng.UniformInt(3);
+    z(i, 0) = pseudo[i] * 3.0 + rng.Gaussian(0.0, 0.4);
+    z(i, 1) = rng.Gaussian(0.0, 0.4);
+    for (int j = 0; j < 3; ++j) p(i, j) = j == pseudo[i] ? 0.8 : 0.1;
+  }
+  std::vector<int> omega;
+  for (int i = 0; i < 80; i += 2) omega.push_back(i);
+  const AttributedGraph out =
+      OperatorUpsilon(g, z, p, omega, UpsilonOptions());
+  for (const auto& [u, v] : out.edges()) {
+    if (!g.HasEdge(u, v)) {
+      // Added edge: endpoints must share the pseudo-cluster.
+      EXPECT_EQ(pseudo[u], pseudo[v]);
+    }
+  }
+  for (const auto& [u, v] : g.edges()) {
+    if (!out.HasEdge(u, v)) {
+      // Dropped edge: endpoints must be in different pseudo-clusters.
+      EXPECT_NE(pseudo[u], pseudo[v]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpsilonInvariantTest, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace rgae

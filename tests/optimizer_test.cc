@@ -1,0 +1,87 @@
+#include "src/tensor/optimizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace rgae {
+namespace {
+
+TEST(AdamTest, FirstStepMovesByLearningRate) {
+  Parameter p(Matrix(1, 1, 5.0));
+  Adam::Options opts;
+  opts.learning_rate = 0.1;
+  Adam adam({&p}, opts);
+  p.grad(0, 0) = 2.0;
+  adam.Step();
+  // Adam's bias-corrected first step is -lr * sign(g) (up to epsilon).
+  EXPECT_NEAR(p.value(0, 0), 5.0 - 0.1, 1e-6);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize f(x) = (x - 3)², grad = 2(x - 3).
+  Parameter p(Matrix(1, 1, 0.0));
+  Adam::Options opts;
+  opts.learning_rate = 0.05;
+  Adam adam({&p}, opts);
+  for (int i = 0; i < 500; ++i) {
+    p.ZeroGrad();
+    p.grad(0, 0) = 2.0 * (p.value(0, 0) - 3.0);
+    adam.Step();
+  }
+  EXPECT_NEAR(p.value(0, 0), 3.0, 1e-2);
+}
+
+TEST(AdamTest, HandlesMultipleParameters) {
+  Parameter a(Matrix(1, 1, 10.0));
+  Parameter b(Matrix(2, 2, -4.0));
+  Adam::Options opts;
+  opts.learning_rate = 0.1;
+  Adam adam({&a, &b}, opts);
+  for (int i = 0; i < 400; ++i) {
+    adam.ZeroGrads();
+    a.grad(0, 0) = 2.0 * a.value(0, 0);
+    for (int r = 0; r < 2; ++r) {
+      for (int c = 0; c < 2; ++c) b.grad(r, c) = 2.0 * b.value(r, c);
+    }
+    adam.Step();
+  }
+  EXPECT_NEAR(a.value(0, 0), 0.0, 5e-2);
+  EXPECT_NEAR(b.value(1, 1), 0.0, 5e-2);
+}
+
+TEST(AdamTest, ZeroGradsClearsAll) {
+  Parameter a(Matrix(1, 2, 1.0));
+  Adam adam({&a}, {});
+  a.grad(0, 0) = 3.0;
+  a.grad(0, 1) = -1.0;
+  adam.ZeroGrads();
+  EXPECT_DOUBLE_EQ(a.grad(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(a.grad(0, 1), 0.0);
+}
+
+TEST(AdamTest, ResetStateRestartsBiasCorrection) {
+  Parameter p(Matrix(1, 1, 0.0));
+  Adam::Options opts;
+  opts.learning_rate = 0.1;
+  Adam adam({&p}, opts);
+  p.grad(0, 0) = 1.0;
+  adam.Step();
+  const double after_first = p.value(0, 0);
+  adam.ResetState();
+  p.value(0, 0) = 0.0;
+  p.ZeroGrad();
+  p.grad(0, 0) = 1.0;
+  adam.Step();
+  EXPECT_NEAR(p.value(0, 0), after_first, 1e-12);
+}
+
+TEST(AdamTest, LearningRateMutable) {
+  Parameter p(Matrix(1, 1, 0.0));
+  Adam adam({&p}, {});
+  adam.set_learning_rate(0.5);
+  EXPECT_DOUBLE_EQ(adam.learning_rate(), 0.5);
+}
+
+}  // namespace
+}  // namespace rgae

@@ -1,0 +1,136 @@
+#include "src/tensor/random.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rgae {
+namespace {
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(11);
+  std::set<int> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.UniformInt(5);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // All buckets hit.
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  const int n = 20000;
+  double sum = 0.0, sumsq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sumsq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.03);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(15);
+  const int n = 20000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(3.0, 0.5);
+  EXPECT_NEAR(sum / n, 3.0, 0.03);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(17);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, CategoricalRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {0.0, 1.0, 3.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.Categorical(weights)];
+  EXPECT_EQ(counts[0], 0);  // Zero weight never drawn.
+  EXPECT_NEAR(counts[2] / static_cast<double>(counts[1]), 3.0, 0.35);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(21);
+  std::vector<int> v = {0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::set<int> s(v.begin(), v.end());
+  EXPECT_EQ(s.size(), orig.size());
+}
+
+TEST(RngTest, ForkDecorrelates) {
+  Rng parent(23);
+  Rng child = parent.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.Next() == child.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RandomInitTest, GlorotUniformBounds) {
+  Rng rng(25);
+  const int in = 30, out = 20;
+  const Matrix w = GlorotUniform(in, out, rng);
+  const double a = std::sqrt(6.0 / (in + out));
+  double max_abs = 0.0;
+  for (int r = 0; r < in; ++r) {
+    for (int c = 0; c < out; ++c) max_abs = std::max(max_abs, std::abs(w(r, c)));
+  }
+  EXPECT_LE(max_abs, a);
+  EXPECT_GT(max_abs, a * 0.5);  // Spread actually fills the range.
+}
+
+TEST(RandomInitTest, GaussianMatrixStddev) {
+  Rng rng(27);
+  const Matrix m = GaussianMatrix(100, 100, 2.0, rng);
+  double sumsq = 0.0;
+  for (int r = 0; r < 100; ++r) {
+    for (int c = 0; c < 100; ++c) sumsq += m(r, c) * m(r, c);
+  }
+  EXPECT_NEAR(std::sqrt(sumsq / 10000.0), 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace rgae

@@ -1,0 +1,102 @@
+#include "src/clustering/spectral.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/metrics/clustering_metrics.h"
+
+namespace rgae {
+namespace {
+
+TEST(SpectralEmbeddingTest, ColumnsOrthonormal) {
+  CitationLikeOptions o;
+  o.num_nodes = 100;
+  o.num_clusters = 3;
+  o.feature_dim = 50;
+  o.topic_words = 12;
+  Rng rng(1);
+  const AttributedGraph g = MakeCitationLike(o, rng);
+  const Matrix y = SpectralEmbedding(g.NormalizedAdjacency(), 4, rng);
+  EXPECT_EQ(y.rows(), 100);
+  EXPECT_EQ(y.cols(), 4);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      double dot = 0.0;
+      for (int i = 0; i < y.rows(); ++i) dot += y(i, a) * y(i, b);
+      EXPECT_NEAR(dot, a == b ? 1.0 : 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(SpectralEmbeddingTest, LeadingVectorIsPerronLike) {
+  // For a connected graph, the leading eigenvector of the (shifted)
+  // normalized adjacency has entries of one sign.
+  AttributedGraph g(5);
+  for (int i = 0; i < 4; ++i) g.AddEdge(i, i + 1);
+  g.AddEdge(4, 0);
+  Rng rng(2);
+  const Matrix y = SpectralEmbedding(g.NormalizedAdjacency(), 1, rng);
+  int positive = 0, negative = 0;
+  for (int i = 0; i < 5; ++i) {
+    if (y(i, 0) > 0) ++positive;
+    if (y(i, 0) < 0) ++negative;
+  }
+  EXPECT_TRUE(positive == 5 || negative == 5);
+}
+
+TEST(SpectralEmbeddingTest, EigenvectorResidualSmall) {
+  // Verify Ã' v ≈ λ v for each returned column, with Ã' = (Ã + I)/2.
+  AttributedGraph g(8);
+  for (int i = 0; i < 8; ++i) g.AddEdge(i, (i + 1) % 8);
+  g.AddEdge(0, 4);
+  const CsrMatrix filter = g.NormalizedAdjacency();
+  Rng rng(3);
+  const Matrix y = SpectralEmbedding(filter, 3, rng);
+  Matrix applied = filter.Multiply(y);
+  applied += y;
+  applied *= 0.5;
+  for (int c = 0; c < 3; ++c) {
+    // Rayleigh quotient as the eigenvalue estimate.
+    double lambda = 0.0;
+    for (int i = 0; i < 8; ++i) lambda += y(i, c) * applied(i, c);
+    double residual = 0.0;
+    for (int i = 0; i < 8; ++i) {
+      const double r = applied(i, c) - lambda * y(i, c);
+      residual += r * r;
+    }
+    EXPECT_LT(std::sqrt(residual), 1e-3) << "column " << c;
+  }
+}
+
+TEST(SpectralClusteringTest, RecoversPlantedPartition) {
+  CitationLikeOptions o;
+  o.num_nodes = 150;
+  o.num_clusters = 3;
+  o.feature_dim = 30;
+  o.topic_words = 8;
+  o.intra_degree = 6.0;  // Dense blocks: spectral should nail this.
+  o.inter_degree = 0.3;
+  Rng rng(5);
+  const AttributedGraph g = MakeCitationLike(o, rng);
+  const std::vector<int> assign =
+      SpectralClustering(g.NormalizedAdjacency(), 3, rng);
+  EXPECT_GT(ClusteringAccuracy(assign, g.labels()), 0.85);
+}
+
+TEST(SpectralClusteringTest, DeterministicGivenSeed) {
+  CitationLikeOptions o;
+  o.num_nodes = 80;
+  o.num_clusters = 3;
+  o.feature_dim = 30;
+  o.topic_words = 8;
+  Rng data_rng(7);
+  const AttributedGraph g = MakeCitationLike(o, data_rng);
+  Rng r1(9), r2(9);
+  EXPECT_EQ(SpectralClustering(g.NormalizedAdjacency(), 3, r1),
+            SpectralClustering(g.NormalizedAdjacency(), 3, r2));
+}
+
+}  // namespace
+}  // namespace rgae

@@ -1,0 +1,223 @@
+#include "src/core/rgae_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/generators.h"
+#include "src/models/model_factory.h"
+
+namespace rgae {
+namespace {
+
+AttributedGraph TinyGraph(uint64_t seed = 1) {
+  CitationLikeOptions o;
+  o.num_nodes = 70;
+  o.num_clusters = 3;
+  o.feature_dim = 50;
+  o.topic_words = 14;
+  o.intra_degree = 4.0;
+  o.inter_degree = 0.5;
+  Rng rng(seed);
+  return MakeCitationLike(o, rng);
+}
+
+ModelOptions TinyModelOptions() {
+  ModelOptions o;
+  o.hidden_dim = 12;
+  o.latent_dim = 6;
+  o.seed = 5;
+  return o;
+}
+
+TrainerOptions TinyTrainerOptions() {
+  TrainerOptions t;
+  t.pretrain_epochs = 30;
+  t.max_cluster_epochs = 20;
+  t.m1 = 5;
+  t.m2 = 5;
+  t.seed = 11;
+  return t;
+}
+
+TEST(TrainerTest, PlainSecondGroupRuns) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("DGAE", g, TinyModelOptions());
+  RGaeTrainer trainer(model.get(), TinyTrainerOptions());
+  const TrainResult result = trainer.Run();
+  EXPECT_EQ(result.cluster_epochs_run, 20);
+  EXPECT_GT(result.scores.acc, 0.3);  // Clearly above 1/K chance on easy data.
+  EXPECT_EQ(static_cast<int>(result.assignments.size()), g.num_nodes());
+}
+
+TEST(TrainerTest, RVariantSecondGroupRuns) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("DGAE", g, TinyModelOptions());
+  TrainerOptions opts = TinyTrainerOptions();
+  opts.use_operators = true;
+  opts.xi.alpha1 = 0.2;
+  RGaeTrainer trainer(model.get(), opts);
+  const TrainResult result = trainer.Run();
+  EXPECT_GT(result.scores.acc, 0.3);
+  // The self-supervision graph was transformed away from A.
+  EXPECT_NE(trainer.self_graph().edges(), g.edges());
+}
+
+TEST(TrainerTest, ConvergenceStopsEarlyWhenOmegaFull) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("DGAE", g, TinyModelOptions());
+  TrainerOptions opts = TinyTrainerOptions();
+  opts.use_operators = true;
+  opts.max_cluster_epochs = 100;
+  // Accept everything: Ω = 𝒱 immediately, so training stops at epoch 1.
+  opts.xi.use_alpha1 = false;
+  opts.xi.use_alpha2 = false;
+  RGaeTrainer trainer(model.get(), opts);
+  const TrainResult result = trainer.Run();
+  EXPECT_EQ(result.cluster_epochs_run, 1);
+}
+
+TEST(TrainerTest, FirstGroupEvaluatesAfterPretrain) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("GAE", g, TinyModelOptions());
+  RGaeTrainer trainer(model.get(), TinyTrainerOptions());
+  const TrainResult result = trainer.Run();
+  EXPECT_EQ(result.cluster_epochs_run, 0);  // No clustering loop.
+  EXPECT_GE(result.scores.acc, 0.0);
+  EXPECT_EQ(static_cast<int>(result.assignments.size()), g.num_nodes());
+}
+
+TEST(TrainerTest, FirstGroupRVariantTransformsDuringPretrain) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("GAE", g, TinyModelOptions());
+  TrainerOptions opts = TinyTrainerOptions();
+  opts.use_operators = true;
+  opts.first_group_transform_start = 10;
+  opts.xi.alpha1 = 0.2;
+  RGaeTrainer trainer(model.get(), opts);
+  trainer.Pretrain();
+  EXPECT_NE(trainer.self_graph().edges(), g.edges());
+}
+
+TEST(TrainerTest, XiDelayPostponesOmegaRestriction) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("DGAE", g, TinyModelOptions());
+  TrainerOptions opts = TinyTrainerOptions();
+  opts.use_operators = true;
+  opts.xi_delay_epochs = 10;
+  opts.max_cluster_epochs = 15;
+  opts.track_dynamics = true;
+  RGaeTrainer trainer(model.get(), opts);
+  const TrainResult result = trainer.Run();
+  // Before the delay the tracked Ω is the full node set.
+  ASSERT_GE(result.trace.size(), 11u);
+  EXPECT_EQ(result.trace[3].omega_size, g.num_nodes());
+}
+
+TEST(TrainerTest, FdProtectionTransformsOnceUpfront) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("GMM-VGAE", g, TinyModelOptions());
+  TrainerOptions opts = TinyTrainerOptions();
+  opts.use_operators = true;
+  opts.fd_protection = true;
+  opts.max_cluster_epochs = 5;
+  RGaeTrainer trainer(model.get(), opts);
+  const TrainResult result = trainer.Run();
+  // Upsilon never runs inside the loop in protection mode.
+  for (const EpochRecord& r : result.trace) EXPECT_FALSE(r.upsilon_ran);
+  EXPECT_NE(trainer.self_graph().edges(), g.edges());
+}
+
+TEST(TrainerTest, TraceTracksRequestedDiagnostics) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("DGAE", g, TinyModelOptions());
+  TrainerOptions opts = TinyTrainerOptions();
+  opts.use_operators = true;
+  opts.max_cluster_epochs = 4;
+  opts.track_scores = true;
+  opts.track_dynamics = true;
+  opts.track_fr_fd = true;
+  RGaeTrainer trainer(model.get(), opts);
+  const TrainResult result = trainer.Run();
+  ASSERT_FALSE(result.trace.empty());
+  const EpochRecord& r = result.trace.back();
+  EXPECT_GE(r.acc, 0.0);
+  EXPECT_GE(r.omega_size, 0);
+  EXPECT_GE(r.self_links, 0);
+  EXPECT_GE(r.lambda_fr_plain, -1.0);
+  EXPECT_LE(r.lambda_fr_plain, 1.0);
+  EXPECT_GE(r.lambda_fd_r, -1.0);
+  EXPECT_LE(r.lambda_fd_r, 1.0);
+}
+
+TEST(TrainerTest, EvaluateNowMatchesLabelsLength) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("GMM-VGAE", g, TinyModelOptions());
+  RGaeTrainer trainer(model.get(), TinyTrainerOptions());
+  trainer.Pretrain();
+  std::vector<int> assignments;
+  const ClusteringScores s = trainer.EvaluateNow(&assignments);
+  EXPECT_EQ(static_cast<int>(assignments.size()), g.num_nodes());
+  EXPECT_GE(s.acc, 0.0);
+  EXPECT_LE(s.acc, 1.0);
+}
+
+TEST(TrainerTest, NumClustersFromLabels) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("DGAE", g, TinyModelOptions());
+  RGaeTrainer trainer(model.get(), TinyTrainerOptions());
+  EXPECT_EQ(trainer.num_clusters(), 3);
+}
+
+
+TEST(TrainerTest, XiScoresRowsOnSimplex) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("DGAE", g, TinyModelOptions());
+  RGaeTrainer trainer(model.get(), TinyTrainerOptions());
+  trainer.Pretrain();
+  const Matrix scores = trainer.XiScores();
+  EXPECT_EQ(scores.rows(), g.num_nodes());
+  EXPECT_EQ(scores.cols(), 3);
+  for (int i = 0; i < scores.rows(); ++i) {
+    double sum = 0.0;
+    for (int j = 0; j < scores.cols(); ++j) {
+      EXPECT_GE(scores(i, j), 0.0);
+      sum += scores(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(TrainerTest, ImpossibleAlphaFallsBackToConfidentSubset) {
+  // alpha1 = 0.999 rejects every node under Student-t scores; the trainer
+  // must fall back to a small confident Omega rather than training
+  // unprotected on all nodes.
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("DGAE", g, TinyModelOptions());
+  TrainerOptions opts = TinyTrainerOptions();
+  opts.use_operators = true;
+  opts.xi.alpha1 = 0.999;
+  opts.xi.alpha2 = 0.999;
+  opts.max_cluster_epochs = 6;
+  opts.track_dynamics = true;
+  RGaeTrainer trainer(model.get(), opts);
+  const TrainResult result = trainer.Run();
+  ASSERT_FALSE(result.trace.empty());
+  const int n = g.num_nodes();
+  for (const EpochRecord& r : result.trace) {
+    EXPECT_GT(r.omega_size, 0);
+    EXPECT_LE(r.omega_size, std::max(3, n / 20) + 3);
+  }
+}
+
+TEST(TrainerTest, EvalReconLossDropsDuringPretrain) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("GAE", g, TinyModelOptions());
+  const CsrMatrix adj = g.Adjacency();
+  const ReconTarget target = MakeReconTarget(&adj);
+  const double before = model->EvalReconLoss(target);
+  RGaeTrainer trainer(model.get(), TinyTrainerOptions());
+  trainer.Pretrain();
+  EXPECT_LT(model->EvalReconLoss(target), before);
+}
+
+}  // namespace
+}  // namespace rgae

@@ -1,0 +1,112 @@
+#include "src/clustering/tsne.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "src/clustering/kmeans.h"
+#include "src/metrics/clustering_metrics.h"
+
+namespace rgae {
+namespace {
+
+Matrix ThreeBlobs(std::vector<int>* labels, Rng& rng, int per_cluster = 25,
+                  int dim = 8) {
+  Matrix data(3 * per_cluster, dim);
+  labels->clear();
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < per_cluster; ++i) {
+      const int row = c * per_cluster + i;
+      for (int d = 0; d < dim; ++d) {
+        data(row, d) = (d == c ? 8.0 : 0.0) + rng.Gaussian(0.0, 0.4);
+      }
+      labels->push_back(c);
+    }
+  }
+  return data;
+}
+
+TEST(TsneAffinityTest, RowsFormJointDistribution) {
+  Rng rng(1);
+  std::vector<int> labels;
+  const Matrix data = ThreeBlobs(&labels, rng, 10);
+  const Matrix p = TsneInputAffinities(data, 10.0);
+  double total = 0.0;
+  for (int i = 0; i < p.rows(); ++i) {
+    for (int j = 0; j < p.cols(); ++j) {
+      EXPECT_GE(p(i, j), 0.0);
+      total += p(i, j);
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-6);
+  // Symmetric.
+  EXPECT_NEAR(p(3, 17), p(17, 3), 1e-12);
+}
+
+TEST(TsneAffinityTest, NearNeighborsGetMoreMass) {
+  // Points 0,1 close; point 2 far.
+  Matrix data(4, 1, {0.0, 0.1, 10.0, 10.1});
+  const Matrix p = TsneInputAffinities(data, 2.0);
+  EXPECT_GT(p(0, 1), p(0, 2));
+  EXPECT_GT(p(2, 3), p(2, 0));
+}
+
+TEST(TsneTest, OutputShapeAndCentered) {
+  Rng rng(2);
+  std::vector<int> labels;
+  const Matrix data = ThreeBlobs(&labels, rng, 12);
+  TsneOptions opts;
+  opts.iterations = 120;
+  const Matrix y = Tsne(data, opts, rng);
+  EXPECT_EQ(y.rows(), data.rows());
+  EXPECT_EQ(y.cols(), 2);
+  for (int c = 0; c < 2; ++c) {
+    double mean = 0.0;
+    for (int i = 0; i < y.rows(); ++i) mean += y(i, c);
+    EXPECT_NEAR(mean / y.rows(), 0.0, 1e-6);
+  }
+}
+
+TEST(TsneTest, PreservesBlobStructure) {
+  Rng rng(3);
+  std::vector<int> labels;
+  const Matrix data = ThreeBlobs(&labels, rng, 20);
+  TsneOptions opts;
+  opts.iterations = 300;
+  opts.perplexity = 15.0;
+  const Matrix y = Tsne(data, opts, rng);
+  // Clusters should be recoverable from the 2-D embedding by k-means.
+  Rng km_rng(7);
+  const KMeansResult km = KMeans(y, 3, km_rng);
+  EXPECT_GT(ClusteringAccuracy(km.assignments, labels), 0.9);
+}
+
+TEST(TsneTest, DeterministicGivenSeed) {
+  Rng data_rng(4);
+  std::vector<int> labels;
+  const Matrix data = ThreeBlobs(&labels, data_rng, 8);
+  TsneOptions opts;
+  opts.iterations = 50;
+  Rng r1(9), r2(9);
+  const Matrix a = Tsne(data, opts, r1);
+  const Matrix b = Tsne(data, opts, r2);
+  for (int i = 0; i < a.rows(); ++i) {
+    EXPECT_DOUBLE_EQ(a(i, 0), b(i, 0));
+    EXPECT_DOUBLE_EQ(a(i, 1), b(i, 1));
+  }
+}
+
+TEST(TsneTest, HandlesDuplicatePoints) {
+  Matrix data(6, 2, 1.0);  // All identical.
+  TsneOptions opts;
+  opts.iterations = 30;
+  Rng rng(11);
+  const Matrix y = Tsne(data, opts, rng);
+  for (int i = 0; i < y.rows(); ++i) {
+    EXPECT_TRUE(std::isfinite(y(i, 0)));
+    EXPECT_TRUE(std::isfinite(y(i, 1)));
+  }
+}
+
+}  // namespace
+}  // namespace rgae
