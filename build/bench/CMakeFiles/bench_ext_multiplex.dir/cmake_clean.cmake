@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multiplex.dir/bench_ext_multiplex.cc.o"
+  "CMakeFiles/bench_ext_multiplex.dir/bench_ext_multiplex.cc.o.d"
+  "bench_ext_multiplex"
+  "bench_ext_multiplex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multiplex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_latent_separability.dir/bench_fig10_latent_separability.cc.o"
+  "CMakeFiles/bench_fig10_latent_separability.dir/bench_fig10_latent_separability.cc.o.d"
+  "bench_fig10_latent_separability"
+  "bench_fig10_latent_separability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_latent_separability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

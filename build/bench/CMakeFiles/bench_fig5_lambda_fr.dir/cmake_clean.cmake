@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_lambda_fr.dir/bench_fig5_lambda_fr.cc.o"
+  "CMakeFiles/bench_fig5_lambda_fr.dir/bench_fig5_lambda_fr.cc.o.d"
+  "bench_fig5_lambda_fr"
+  "bench_fig5_lambda_fr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_lambda_fr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

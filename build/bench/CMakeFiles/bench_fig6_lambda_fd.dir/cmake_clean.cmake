@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_lambda_fd.dir/bench_fig6_lambda_fd.cc.o"
+  "CMakeFiles/bench_fig6_lambda_fd.dir/bench_fig6_lambda_fd.cc.o.d"
+  "bench_fig6_lambda_fd"
+  "bench_fig6_lambda_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_lambda_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_robust_drop.dir/bench_fig8_robust_drop.cc.o"
+  "CMakeFiles/bench_fig8_robust_drop.dir/bench_fig8_robust_drop.cc.o.d"
+  "bench_fig8_robust_drop"
+  "bench_fig8_robust_drop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_robust_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_best_citation.dir/bench_table1_best_citation.cc.o"
+  "CMakeFiles/bench_table1_best_citation.dir/bench_table1_best_citation.cc.o.d"
+  "bench_table1_best_citation"
+  "bench_table1_best_citation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_best_citation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_mean_citation.dir/bench_table2_mean_citation.cc.o"
+  "CMakeFiles/bench_table2_mean_citation.dir/bench_table2_mean_citation.cc.o.d"
+  "bench_table2_mean_citation"
+  "bench_table2_mean_citation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_mean_citation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

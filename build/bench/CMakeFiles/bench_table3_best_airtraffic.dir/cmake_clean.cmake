@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_best_airtraffic.dir/bench_table3_best_airtraffic.cc.o"
+  "CMakeFiles/bench_table3_best_airtraffic.dir/bench_table3_best_airtraffic.cc.o.d"
+  "bench_table3_best_airtraffic"
+  "bench_table3_best_airtraffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_best_airtraffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

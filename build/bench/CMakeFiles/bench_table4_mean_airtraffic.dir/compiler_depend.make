@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_table4_mean_airtraffic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_fr_protection.dir/bench_table6_fr_protection.cc.o"
+  "CMakeFiles/bench_table6_fr_protection.dir/bench_table6_fr_protection.cc.o.d"
+  "bench_table6_fr_protection"
+  "bench_table6_fr_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_fr_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_fd_protection.dir/bench_table7_fd_protection.cc.o"
+  "CMakeFiles/bench_table7_fd_protection.dir/bench_table7_fd_protection.cc.o.d"
+  "bench_table7_fd_protection"
+  "bench_table7_fd_protection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_fd_protection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_ablate_thresholds.dir/bench_table8_ablate_thresholds.cc.o"
+  "CMakeFiles/bench_table8_ablate_thresholds.dir/bench_table8_ablate_thresholds.cc.o.d"
+  "bench_table8_ablate_thresholds"
+  "bench_table8_ablate_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_ablate_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

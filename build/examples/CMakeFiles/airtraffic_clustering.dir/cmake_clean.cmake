@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airtraffic_clustering.dir/airtraffic_clustering.cc.o"
+  "CMakeFiles/airtraffic_clustering.dir/airtraffic_clustering.cc.o.d"
+  "airtraffic_clustering"
+  "airtraffic_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airtraffic_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

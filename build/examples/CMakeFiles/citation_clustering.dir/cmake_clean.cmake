@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/citation_clustering.dir/citation_clustering.cc.o"
+  "CMakeFiles/citation_clustering.dir/citation_clustering.cc.o.d"
+  "citation_clustering"
+  "citation_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/citation_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_operator_integration.dir/custom_operator_integration.cc.o"
+  "CMakeFiles/custom_operator_integration.dir/custom_operator_integration.cc.o.d"
+  "custom_operator_integration"
+  "custom_operator_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_operator_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latent_tsne.dir/latent_tsne.cc.o"
+  "CMakeFiles/latent_tsne.dir/latent_tsne.cc.o.d"
+  "latent_tsne"
+  "latent_tsne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latent_tsne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

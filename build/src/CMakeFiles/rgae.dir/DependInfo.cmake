@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clustering/assignments.cc" "src/CMakeFiles/rgae.dir/clustering/assignments.cc.o" "gcc" "src/CMakeFiles/rgae.dir/clustering/assignments.cc.o.d"
+  "/root/repo/src/clustering/gmm.cc" "src/CMakeFiles/rgae.dir/clustering/gmm.cc.o" "gcc" "src/CMakeFiles/rgae.dir/clustering/gmm.cc.o.d"
+  "/root/repo/src/clustering/kmeans.cc" "src/CMakeFiles/rgae.dir/clustering/kmeans.cc.o" "gcc" "src/CMakeFiles/rgae.dir/clustering/kmeans.cc.o.d"
+  "/root/repo/src/clustering/spectral.cc" "src/CMakeFiles/rgae.dir/clustering/spectral.cc.o" "gcc" "src/CMakeFiles/rgae.dir/clustering/spectral.cc.o.d"
+  "/root/repo/src/clustering/tsne.cc" "src/CMakeFiles/rgae.dir/clustering/tsne.cc.o" "gcc" "src/CMakeFiles/rgae.dir/clustering/tsne.cc.o.d"
+  "/root/repo/src/core/operators.cc" "src/CMakeFiles/rgae.dir/core/operators.cc.o" "gcc" "src/CMakeFiles/rgae.dir/core/operators.cc.o.d"
+  "/root/repo/src/core/rgae_trainer.cc" "src/CMakeFiles/rgae.dir/core/rgae_trainer.cc.o" "gcc" "src/CMakeFiles/rgae.dir/core/rgae_trainer.cc.o.d"
+  "/root/repo/src/eval/datasets.cc" "src/CMakeFiles/rgae.dir/eval/datasets.cc.o" "gcc" "src/CMakeFiles/rgae.dir/eval/datasets.cc.o.d"
+  "/root/repo/src/eval/harness.cc" "src/CMakeFiles/rgae.dir/eval/harness.cc.o" "gcc" "src/CMakeFiles/rgae.dir/eval/harness.cc.o.d"
+  "/root/repo/src/eval/table.cc" "src/CMakeFiles/rgae.dir/eval/table.cc.o" "gcc" "src/CMakeFiles/rgae.dir/eval/table.cc.o.d"
+  "/root/repo/src/graph/analysis.cc" "src/CMakeFiles/rgae.dir/graph/analysis.cc.o" "gcc" "src/CMakeFiles/rgae.dir/graph/analysis.cc.o.d"
+  "/root/repo/src/graph/corrupt.cc" "src/CMakeFiles/rgae.dir/graph/corrupt.cc.o" "gcc" "src/CMakeFiles/rgae.dir/graph/corrupt.cc.o.d"
+  "/root/repo/src/graph/csr.cc" "src/CMakeFiles/rgae.dir/graph/csr.cc.o" "gcc" "src/CMakeFiles/rgae.dir/graph/csr.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/rgae.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/rgae.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/rgae.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/rgae.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/rgae.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/rgae.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/multiplex.cc" "src/CMakeFiles/rgae.dir/graph/multiplex.cc.o" "gcc" "src/CMakeFiles/rgae.dir/graph/multiplex.cc.o.d"
+  "/root/repo/src/metrics/clustering_metrics.cc" "src/CMakeFiles/rgae.dir/metrics/clustering_metrics.cc.o" "gcc" "src/CMakeFiles/rgae.dir/metrics/clustering_metrics.cc.o.d"
+  "/root/repo/src/metrics/fr_fd.cc" "src/CMakeFiles/rgae.dir/metrics/fr_fd.cc.o" "gcc" "src/CMakeFiles/rgae.dir/metrics/fr_fd.cc.o.d"
+  "/root/repo/src/metrics/hungarian.cc" "src/CMakeFiles/rgae.dir/metrics/hungarian.cc.o" "gcc" "src/CMakeFiles/rgae.dir/metrics/hungarian.cc.o.d"
+  "/root/repo/src/metrics/theory.cc" "src/CMakeFiles/rgae.dir/metrics/theory.cc.o" "gcc" "src/CMakeFiles/rgae.dir/metrics/theory.cc.o.d"
+  "/root/repo/src/models/argae.cc" "src/CMakeFiles/rgae.dir/models/argae.cc.o" "gcc" "src/CMakeFiles/rgae.dir/models/argae.cc.o.d"
+  "/root/repo/src/models/dgae.cc" "src/CMakeFiles/rgae.dir/models/dgae.cc.o" "gcc" "src/CMakeFiles/rgae.dir/models/dgae.cc.o.d"
+  "/root/repo/src/models/gae.cc" "src/CMakeFiles/rgae.dir/models/gae.cc.o" "gcc" "src/CMakeFiles/rgae.dir/models/gae.cc.o.d"
+  "/root/repo/src/models/gcn.cc" "src/CMakeFiles/rgae.dir/models/gcn.cc.o" "gcc" "src/CMakeFiles/rgae.dir/models/gcn.cc.o.d"
+  "/root/repo/src/models/gmm_vgae.cc" "src/CMakeFiles/rgae.dir/models/gmm_vgae.cc.o" "gcc" "src/CMakeFiles/rgae.dir/models/gmm_vgae.cc.o.d"
+  "/root/repo/src/models/model.cc" "src/CMakeFiles/rgae.dir/models/model.cc.o" "gcc" "src/CMakeFiles/rgae.dir/models/model.cc.o.d"
+  "/root/repo/src/models/model_factory.cc" "src/CMakeFiles/rgae.dir/models/model_factory.cc.o" "gcc" "src/CMakeFiles/rgae.dir/models/model_factory.cc.o.d"
+  "/root/repo/src/models/vgae.cc" "src/CMakeFiles/rgae.dir/models/vgae.cc.o" "gcc" "src/CMakeFiles/rgae.dir/models/vgae.cc.o.d"
+  "/root/repo/src/tensor/autograd.cc" "src/CMakeFiles/rgae.dir/tensor/autograd.cc.o" "gcc" "src/CMakeFiles/rgae.dir/tensor/autograd.cc.o.d"
+  "/root/repo/src/tensor/matrix.cc" "src/CMakeFiles/rgae.dir/tensor/matrix.cc.o" "gcc" "src/CMakeFiles/rgae.dir/tensor/matrix.cc.o.d"
+  "/root/repo/src/tensor/optimizer.cc" "src/CMakeFiles/rgae.dir/tensor/optimizer.cc.o" "gcc" "src/CMakeFiles/rgae.dir/tensor/optimizer.cc.o.d"
+  "/root/repo/src/tensor/random.cc" "src/CMakeFiles/rgae.dir/tensor/random.cc.o" "gcc" "src/CMakeFiles/rgae.dir/tensor/random.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

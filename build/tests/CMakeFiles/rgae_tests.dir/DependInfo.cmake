@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis_test.cc" "tests/CMakeFiles/rgae_tests.dir/analysis_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/analysis_test.cc.o.d"
+  "/root/repo/tests/assignments_test.cc" "tests/CMakeFiles/rgae_tests.dir/assignments_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/assignments_test.cc.o.d"
+  "/root/repo/tests/autograd_test.cc" "tests/CMakeFiles/rgae_tests.dir/autograd_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/autograd_test.cc.o.d"
+  "/root/repo/tests/clustering_metrics_test.cc" "tests/CMakeFiles/rgae_tests.dir/clustering_metrics_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/clustering_metrics_test.cc.o.d"
+  "/root/repo/tests/corrupt_test.cc" "tests/CMakeFiles/rgae_tests.dir/corrupt_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/corrupt_test.cc.o.d"
+  "/root/repo/tests/csr_test.cc" "tests/CMakeFiles/rgae_tests.dir/csr_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/csr_test.cc.o.d"
+  "/root/repo/tests/datasets_test.cc" "tests/CMakeFiles/rgae_tests.dir/datasets_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/datasets_test.cc.o.d"
+  "/root/repo/tests/fr_fd_test.cc" "tests/CMakeFiles/rgae_tests.dir/fr_fd_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/fr_fd_test.cc.o.d"
+  "/root/repo/tests/gcn_test.cc" "tests/CMakeFiles/rgae_tests.dir/gcn_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/gcn_test.cc.o.d"
+  "/root/repo/tests/generators_test.cc" "tests/CMakeFiles/rgae_tests.dir/generators_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/generators_test.cc.o.d"
+  "/root/repo/tests/gmm_test.cc" "tests/CMakeFiles/rgae_tests.dir/gmm_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/gmm_test.cc.o.d"
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/rgae_tests.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/graph_test.cc.o.d"
+  "/root/repo/tests/harness_test.cc" "tests/CMakeFiles/rgae_tests.dir/harness_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/harness_test.cc.o.d"
+  "/root/repo/tests/hungarian_test.cc" "tests/CMakeFiles/rgae_tests.dir/hungarian_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/hungarian_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/rgae_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/io_test.cc" "tests/CMakeFiles/rgae_tests.dir/io_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/io_test.cc.o.d"
+  "/root/repo/tests/kmeans_test.cc" "tests/CMakeFiles/rgae_tests.dir/kmeans_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/kmeans_test.cc.o.d"
+  "/root/repo/tests/matrix_test.cc" "tests/CMakeFiles/rgae_tests.dir/matrix_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/matrix_test.cc.o.d"
+  "/root/repo/tests/models_test.cc" "tests/CMakeFiles/rgae_tests.dir/models_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/models_test.cc.o.d"
+  "/root/repo/tests/multiplex_test.cc" "tests/CMakeFiles/rgae_tests.dir/multiplex_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/multiplex_test.cc.o.d"
+  "/root/repo/tests/operators_test.cc" "tests/CMakeFiles/rgae_tests.dir/operators_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/operators_test.cc.o.d"
+  "/root/repo/tests/optimizer_test.cc" "tests/CMakeFiles/rgae_tests.dir/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/optimizer_test.cc.o.d"
+  "/root/repo/tests/random_test.cc" "tests/CMakeFiles/rgae_tests.dir/random_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/random_test.cc.o.d"
+  "/root/repo/tests/spectral_test.cc" "tests/CMakeFiles/rgae_tests.dir/spectral_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/spectral_test.cc.o.d"
+  "/root/repo/tests/theory_test.cc" "tests/CMakeFiles/rgae_tests.dir/theory_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/theory_test.cc.o.d"
+  "/root/repo/tests/trainer_test.cc" "tests/CMakeFiles/rgae_tests.dir/trainer_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/trainer_test.cc.o.d"
+  "/root/repo/tests/tsne_test.cc" "tests/CMakeFiles/rgae_tests.dir/tsne_test.cc.o" "gcc" "tests/CMakeFiles/rgae_tests.dir/tsne_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/rgae.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
