@@ -11,6 +11,12 @@ namespace {
 
 constexpr double kLog2Pi = 1.8378770664093453;
 
+// Hard floor applied to variances inside the density evaluation. A caller
+// can hand us a collapsed (zero- or near-zero-variance) component — e.g. a
+// cluster that EM shrank onto identical points — and without the floor the
+// log density turns into 0/0 = NaN for points sitting exactly on the mean.
+constexpr double kDensityVarianceFloor = 1e-12;
+
 // Per-row log joint densities log(pi_k) + log N(x_i; mu_k, var_k): n x k.
 Matrix LogJoint(const GmmModel& m, const Matrix& data) {
   const int n = data.rows();
@@ -21,7 +27,9 @@ Matrix LogJoint(const GmmModel& m, const Matrix& data) {
   for (int c = 0; c < k; ++c) {
     double s = std::log(std::max(m.weights[c], 1e-300));
     for (int j = 0; j < d; ++j) {
-      s -= 0.5 * (std::log(m.variances(c, j)) + kLog2Pi);
+      s -= 0.5 * (std::log(std::max(m.variances(c, j),
+                                    kDensityVarianceFloor)) +
+                  kLog2Pi);
     }
     log_norm[c] = s;
   }
@@ -30,7 +38,8 @@ Matrix LogJoint(const GmmModel& m, const Matrix& data) {
       double s = log_norm[c];
       for (int j = 0; j < d; ++j) {
         const double diff = data(i, j) - m.means(c, j);
-        s -= 0.5 * diff * diff / m.variances(c, j);
+        s -= 0.5 * diff * diff /
+             std::max(m.variances(c, j), kDensityVarianceFloor);
       }
       lj(i, c) = s;
     }
@@ -45,6 +54,13 @@ Matrix GmmModel::Responsibilities(const Matrix& data) const {
   for (int i = 0; i < lj.rows(); ++i) {
     double row_max = lj(i, 0);
     for (int c = 1; c < lj.cols(); ++c) row_max = std::max(row_max, lj(i, c));
+    // A point can be impossibly far from every component (all log joints
+    // -inf after underflow); fall back to a uniform row rather than emit
+    // NaN from -inf - (-inf) below.
+    if (!std::isfinite(row_max)) {
+      for (int c = 0; c < lj.cols(); ++c) lj(i, c) = 1.0 / lj.cols();
+      continue;
+    }
     double sum = 0.0;
     for (int c = 0; c < lj.cols(); ++c) {
       lj(i, c) = std::exp(lj(i, c) - row_max);

@@ -1,0 +1,238 @@
+#include "src/core/checkpoint.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "src/models/model.h"
+
+namespace rgae {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x52474145434B5031ULL;  // "RGAECKP1".
+
+void WriteU64(std::ofstream& out, uint64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteI64(std::ofstream& out, int64_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void WriteDouble(std::ofstream& out, double v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU64(std::ifstream& in, uint64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+bool ReadI64(std::ifstream& in, int64_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+bool ReadDouble(std::ifstream& in, double* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(in);
+}
+
+void WriteMatrix(std::ofstream& out, const Matrix& m) {
+  WriteI64(out, m.rows());
+  WriteI64(out, m.cols());
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(double)));
+}
+
+bool ReadMatrix(std::ifstream& in, Matrix* m) {
+  int64_t rows = 0, cols = 0;
+  if (!ReadI64(in, &rows) || !ReadI64(in, &cols)) return false;
+  if (rows < 0 || cols < 0 || rows > (int64_t{1} << 31) ||
+      cols > (int64_t{1} << 31)) {
+    return false;
+  }
+  *m = Matrix(static_cast<int>(rows), static_cast<int>(cols));
+  in.read(reinterpret_cast<char*>(m->data()),
+          static_cast<std::streamsize>(m->size() * sizeof(double)));
+  return static_cast<bool>(in);
+}
+
+void WriteMatrixList(std::ofstream& out, const std::vector<Matrix>& list) {
+  WriteU64(out, list.size());
+  for (const Matrix& m : list) WriteMatrix(out, m);
+}
+
+bool ReadMatrixList(std::ifstream& in, std::vector<Matrix>* list) {
+  uint64_t count = 0;
+  if (!ReadU64(in, &count) || count > (1u << 20)) return false;
+  list->resize(count);
+  for (Matrix& m : *list) {
+    if (!ReadMatrix(in, &m)) return false;
+  }
+  return true;
+}
+
+void WriteIntVector(std::ofstream& out, const std::vector<int>& v) {
+  WriteU64(out, v.size());
+  for (int x : v) WriteI64(out, x);
+}
+
+bool ReadIntVector(std::ifstream& in, std::vector<int>* v) {
+  uint64_t count = 0;
+  if (!ReadU64(in, &count) || count > (1u << 28)) return false;
+  v->resize(count);
+  for (int& x : *v) {
+    int64_t raw = 0;
+    if (!ReadI64(in, &raw)) return false;
+    x = static_cast<int>(raw);
+  }
+  return true;
+}
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+ModelCheckpoint CaptureModel(GaeModel* model) {
+  ModelCheckpoint ckpt;
+  for (Parameter* p : model->Params()) {
+    ckpt.values.push_back(p->value);
+    ckpt.adam_m.push_back(p->adam_m);
+    ckpt.adam_v.push_back(p->adam_v);
+  }
+  ckpt.aux = model->SaveAuxState();
+  if (model->optimizer() != nullptr) {
+    ckpt.adam_step = model->optimizer()->step();
+    ckpt.learning_rate = model->optimizer()->learning_rate();
+  }
+  return ckpt;
+}
+
+bool RestoreModel(const ModelCheckpoint& checkpoint, GaeModel* model,
+                  std::string* error) {
+  const std::vector<Parameter*> params = model->Params();
+  if (checkpoint.values.size() != params.size()) {
+    return Fail(error, "checkpoint has " +
+                           std::to_string(checkpoint.values.size()) +
+                           " parameters, model has " +
+                           std::to_string(params.size()));
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (checkpoint.values[i].rows() != params[i]->value.rows() ||
+        checkpoint.values[i].cols() != params[i]->value.cols()) {
+      return Fail(error, "parameter " + std::to_string(i) + " shape " +
+                             checkpoint.values[i].ShapeString() +
+                             " does not match model " +
+                             params[i]->value.ShapeString());
+    }
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = checkpoint.values[i];
+    params[i]->adam_m = checkpoint.adam_m[i];
+    params[i]->adam_v = checkpoint.adam_v[i];
+    params[i]->ZeroGrad();
+  }
+  if (!model->RestoreAuxState(checkpoint.aux)) {
+    return Fail(error, "model rejected the checkpoint's aux state");
+  }
+  if (model->optimizer() != nullptr) {
+    model->optimizer()->set_step(checkpoint.adam_step);
+    model->optimizer()->set_learning_rate(checkpoint.learning_rate);
+  }
+  return true;
+}
+
+bool SaveCheckpoint(const TrainerCheckpoint& checkpoint,
+                    const std::string& path, std::string* error) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Fail(error, "cannot open " + path + " for writing");
+  WriteU64(out, kMagic);
+  WriteMatrixList(out, checkpoint.model.values);
+  WriteMatrixList(out, checkpoint.model.adam_m);
+  WriteMatrixList(out, checkpoint.model.adam_v);
+  WriteMatrixList(out, checkpoint.model.aux);
+  WriteI64(out, checkpoint.model.adam_step);
+  WriteDouble(out, checkpoint.model.learning_rate);
+
+  const AttributedGraph& g = checkpoint.self_graph;
+  WriteI64(out, g.num_nodes());
+  WriteU64(out, g.edges().size());
+  for (const auto& [u, v] : g.edges()) {
+    WriteI64(out, u);
+    WriteI64(out, v);
+  }
+  WriteMatrix(out, g.features());
+  WriteIntVector(out, g.labels());
+
+  WriteIntVector(out, checkpoint.omega);
+  WriteI64(out, checkpoint.epoch);
+  WriteI64(out, checkpoint.pretrain ? 1 : 0);
+  if (!out) return Fail(error, "write error on " + path);
+  return true;
+}
+
+bool LoadCheckpoint(const std::string& path, TrainerCheckpoint* checkpoint,
+                    std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Fail(error, "cannot open " + path);
+  uint64_t magic = 0;
+  if (!ReadU64(in, &magic) || magic != kMagic) {
+    return Fail(error, path + " is not an rgae checkpoint");
+  }
+  if (!ReadMatrixList(in, &checkpoint->model.values) ||
+      !ReadMatrixList(in, &checkpoint->model.adam_m) ||
+      !ReadMatrixList(in, &checkpoint->model.adam_v) ||
+      !ReadMatrixList(in, &checkpoint->model.aux)) {
+    return Fail(error, "truncated model state in " + path);
+  }
+  int64_t step = 0;
+  if (!ReadI64(in, &step) ||
+      !ReadDouble(in, &checkpoint->model.learning_rate)) {
+    return Fail(error, "truncated optimizer state in " + path);
+  }
+  checkpoint->model.adam_step = static_cast<long>(step);
+
+  int64_t num_nodes = 0;
+  uint64_t num_edges = 0;
+  if (!ReadI64(in, &num_nodes) || num_nodes < 0 || !ReadU64(in, &num_edges) ||
+      num_edges > (1u << 28)) {
+    return Fail(error, "bad graph header in " + path);
+  }
+  AttributedGraph g(static_cast<int>(num_nodes));
+  for (uint64_t i = 0; i < num_edges; ++i) {
+    int64_t u = 0, v = 0;
+    if (!ReadI64(in, &u) || !ReadI64(in, &v)) {
+      return Fail(error, "truncated edge list in " + path);
+    }
+    if (u < 0 || u >= num_nodes || v < 0 || v >= num_nodes) {
+      return Fail(error, "edge endpoint out of range in " + path);
+    }
+    g.AddEdge(static_cast<int>(u), static_cast<int>(v));
+  }
+  Matrix features;
+  if (!ReadMatrix(in, &features)) {
+    return Fail(error, "truncated features in " + path);
+  }
+  if (!features.empty()) g.set_features(std::move(features));
+  std::vector<int> labels;
+  if (!ReadIntVector(in, &labels)) {
+    return Fail(error, "truncated labels in " + path);
+  }
+  if (!labels.empty()) g.set_labels(std::move(labels));
+  checkpoint->self_graph = std::move(g);
+
+  int64_t epoch = 0, pretrain = 0;
+  if (!ReadIntVector(in, &checkpoint->omega) || !ReadI64(in, &epoch) ||
+      !ReadI64(in, &pretrain)) {
+    return Fail(error, "truncated trainer state in " + path);
+  }
+  checkpoint->epoch = static_cast<int>(epoch);
+  checkpoint->pretrain = pretrain != 0;
+  return true;
+}
+
+}  // namespace rgae

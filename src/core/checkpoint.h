@@ -1,0 +1,65 @@
+#ifndef RGAE_CORE_CHECKPOINT_H_
+#define RGAE_CORE_CHECKPOINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/tensor/matrix.h"
+
+namespace rgae {
+
+class GaeModel;
+
+/// Full optimization state of one model: parameter values, Adam first/second
+/// moments and step counter, the learning rate, and any model-specific
+/// derived state (DEC target distributions etc., see
+/// `GaeModel::SaveAuxState`). Restoring a `ModelCheckpoint` resumes training
+/// exactly where the capture left off — unlike `GaeModel::LoadWeights`,
+/// which resets the optimizer.
+struct ModelCheckpoint {
+  std::vector<Matrix> values;
+  std::vector<Matrix> adam_m;
+  std::vector<Matrix> adam_v;
+  std::vector<Matrix> aux;
+  long adam_step = 0;
+  double learning_rate = 0.0;
+
+  bool empty() const { return values.empty(); }
+};
+
+/// Captures the model's parameters, optimizer state and aux state.
+ModelCheckpoint CaptureModel(GaeModel* model);
+
+/// Restores a capture into `model`. Returns false (and fills `*error` when
+/// non-null) if the checkpoint's shape does not match the model — e.g. a
+/// checkpoint taken before the clustering head existed.
+bool RestoreModel(const ModelCheckpoint& checkpoint, GaeModel* model,
+                  std::string* error = nullptr);
+
+/// Model state plus the trainer's phase state: the current self-supervision
+/// graph A^self_clus, the reliable set Ω, and the epoch within the phase.
+/// This is everything `RGaeTrainer` needs to roll a run back (DESIGN.md §5).
+struct TrainerCheckpoint {
+  ModelCheckpoint model;
+  AttributedGraph self_graph;
+  std::vector<int> omega;
+  int epoch = 0;
+  /// True when the checkpoint was taken during the pretraining phase.
+  bool pretrain = false;
+
+  bool empty() const { return model.empty(); }
+};
+
+/// Binary on-disk round trip. The format stores raw doubles, so restored
+/// parameters and Adam moments are byte-identical to the captured ones.
+/// Returns false (with `*error` filled when non-null) on I/O or format
+/// errors; `*checkpoint` is unspecified after a failed load.
+bool SaveCheckpoint(const TrainerCheckpoint& checkpoint,
+                    const std::string& path, std::string* error = nullptr);
+bool LoadCheckpoint(const std::string& path, TrainerCheckpoint* checkpoint,
+                    std::string* error = nullptr);
+
+}  // namespace rgae
+
+#endif  // RGAE_CORE_CHECKPOINT_H_

@@ -1,0 +1,104 @@
+#include "src/core/health.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/models/model.h"
+
+namespace rgae {
+
+const char* HealthStatusName(HealthStatus status) {
+  switch (status) {
+    case HealthStatus::kOk:
+      return "ok";
+    case HealthStatus::kNonFinite:
+      return "non-finite";
+    case HealthStatus::kDiverging:
+      return "diverging";
+    case HealthStatus::kDegenerateClusters:
+      return "degenerate-clusters";
+  }
+  return "unknown";
+}
+
+bool AllFinite(const Matrix& m) {
+  const double* p = m.data();
+  for (size_t i = 0; i < m.size(); ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
+}
+
+bool AllFinite(const std::vector<double>& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+NumericalGuard::NumericalGuard(const NumericalGuardOptions& options)
+    : options_(options) {}
+
+void NumericalGuard::Reset() { window_.clear(); }
+
+HealthVerdict NumericalGuard::CheckStep(double loss, GaeModel* model) {
+  HealthVerdict verdict;
+  if (!std::isfinite(loss)) {
+    verdict.status = HealthStatus::kNonFinite;
+    verdict.detail = "loss is non-finite";
+    return verdict;
+  }
+  if (options_.check_parameters && model != nullptr) {
+    for (Parameter* p : model->Params()) {
+      if (!AllFinite(p->value)) {
+        verdict.status = HealthStatus::kNonFinite;
+        verdict.detail =
+            "parameter " + p->value.ShapeString() + " has non-finite entries";
+        return verdict;
+      }
+    }
+  }
+  if (options_.loss_window > 1 &&
+      static_cast<int>(window_.size()) >= options_.loss_window) {
+    const double window_min = *std::min_element(window_.begin(), window_.end());
+    const double threshold = window_min + options_.divergence_slack +
+                             options_.divergence_factor * std::fabs(window_min);
+    if (loss > threshold) {
+      verdict.status = HealthStatus::kDiverging;
+      verdict.detail = "loss " + std::to_string(loss) +
+                       " exceeded divergence threshold " +
+                       std::to_string(threshold);
+      return verdict;
+    }
+  }
+  window_.push_back(loss);
+  while (static_cast<int>(window_.size()) > options_.loss_window) {
+    window_.pop_front();
+  }
+  return verdict;
+}
+
+HealthVerdict NumericalGuard::CheckSoftAssignments(const Matrix& p) const {
+  HealthVerdict verdict;
+  if (p.empty()) return verdict;
+  if (!AllFinite(p)) {
+    verdict.status = HealthStatus::kNonFinite;
+    verdict.detail = "soft assignments have non-finite entries";
+    return verdict;
+  }
+  const double floor = options_.min_cluster_mass * p.rows();
+  for (int c = 0; c < p.cols(); ++c) {
+    double mass = 0.0;
+    for (int i = 0; i < p.rows(); ++i) mass += p(i, c);
+    if (mass < floor) {
+      verdict.status = HealthStatus::kDegenerateClusters;
+      verdict.detail = "cluster " + std::to_string(c) + " mass " +
+                       std::to_string(mass) + " below floor " +
+                       std::to_string(floor);
+      return verdict;
+    }
+  }
+  return verdict;
+}
+
+}  // namespace rgae

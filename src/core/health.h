@@ -1,0 +1,104 @@
+#ifndef RGAE_CORE_HEALTH_H_
+#define RGAE_CORE_HEALTH_H_
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace rgae {
+
+class GaeModel;
+
+/// Typed outcome of a numerical-health check. Anything other than `kOk`
+/// means the training state is unusable or about to become so, and the
+/// trainer should roll back to its last good checkpoint (see
+/// `ResilienceOptions` in rgae_trainer.h and DESIGN.md §5).
+enum class HealthStatus {
+  kOk = 0,
+  /// A loss, parameter, or embedding entry is NaN / ±inf.
+  kNonFinite,
+  /// The loss left the rolling window's trust region (divergence).
+  kDiverging,
+  /// A cluster column of the soft-assignment matrix lost (almost) all of
+  /// its probability mass — the head collapsed onto fewer than K clusters.
+  kDegenerateClusters,
+};
+
+/// Short stable name for logs and bench output ("ok", "non-finite", ...).
+const char* HealthStatusName(HealthStatus status);
+
+/// Verdict of one guard check: a status plus a human-readable detail
+/// naming the offending quantity (empty when ok).
+struct HealthVerdict {
+  HealthStatus status = HealthStatus::kOk;
+  std::string detail;
+
+  bool ok() const { return status == HealthStatus::kOk; }
+};
+
+/// One entry of a training run's health log: what the guard saw at which
+/// epoch and what the trainer did about it.
+struct HealthEvent {
+  int epoch = 0;
+  bool pretrain = false;
+  HealthStatus status = HealthStatus::kOk;
+  /// Recovery action taken ("rollback to epoch 10, lr 0.005", "failed: ...");
+  /// empty for plain ok observations.
+  std::string action;
+};
+
+struct NumericalGuardOptions {
+  /// Number of recent losses kept for the divergence check. The check only
+  /// arms once the window is full, so early noisy epochs never trip it.
+  int loss_window = 12;
+  /// A loss is "diverging" once it exceeds
+  /// `window_min + divergence_slack + divergence_factor * |window_min|`.
+  double divergence_factor = 4.0;
+  /// Absolute slack so near-zero losses tolerate ordinary wobble.
+  double divergence_slack = 1.0;
+  /// Scan all parameter values for non-finite entries each check. O(#weights)
+  /// but branch-free and cheap next to a training step.
+  bool check_parameters = true;
+  /// Minimum soft-assignment mass per cluster, as a fraction of N, before a
+  /// cluster counts as collapsed.
+  double min_cluster_mass = 1e-4;
+};
+
+/// True when every entry is finite (no NaN / ±inf).
+bool AllFinite(const Matrix& m);
+bool AllFinite(const std::vector<double>& v);
+
+/// Per-run numerical-health monitor.
+///
+/// The trainer calls `CheckStep` after every optimization step and
+/// `CheckSoftAssignments` whenever a soft-assignment matrix is available.
+/// The guard is stateful only through the rolling loss window; after a
+/// rollback the trainer calls `Reset` so pre-rollback losses do not poison
+/// the divergence baseline.
+class NumericalGuard {
+ public:
+  explicit NumericalGuard(const NumericalGuardOptions& options = {});
+
+  /// Checks the step loss and (optionally) all model parameters. Records
+  /// `loss` into the rolling window only when the verdict is ok.
+  HealthVerdict CheckStep(double loss, GaeModel* model);
+
+  /// Checks an N x K soft-assignment matrix for non-finite entries and
+  /// collapsed cluster columns. Stateless.
+  HealthVerdict CheckSoftAssignments(const Matrix& p) const;
+
+  /// Clears the rolling loss window (called after a rollback).
+  void Reset();
+
+  const NumericalGuardOptions& options() const { return options_; }
+
+ private:
+  NumericalGuardOptions options_;
+  std::deque<double> window_;
+};
+
+}  // namespace rgae
+
+#endif  // RGAE_CORE_HEALTH_H_

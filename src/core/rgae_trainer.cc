@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cmath>
 
 #include "src/clustering/assignments.h"
 #include "src/clustering/gmm.h"
 #include "src/clustering/kmeans.h"
+#include "src/core/fault_injection.h"
 #include "src/metrics/fr_fd.h"
 #include "src/metrics/hungarian.h"
 
@@ -20,6 +22,12 @@ double Seconds(std::chrono::steady_clock::time_point begin) {
       .count();
 }
 
+// Drops trace entries at or after the rollback target epoch so the trace
+// reads as one consistent run.
+void TruncateTrace(std::vector<EpochRecord>* trace, int epoch) {
+  while (!trace->empty() && trace->back().epoch >= epoch) trace->pop_back();
+}
+
 }  // namespace
 
 RGaeTrainer::RGaeTrainer(GaeModel* model, const TrainerOptions& options)
@@ -28,7 +36,10 @@ RGaeTrainer::RGaeTrainer(GaeModel* model, const TrainerOptions& options)
       k_(options.num_clusters > 0 ? options.num_clusters
                                   : model->graph().num_clusters()),
       rng_(options.seed),
-      self_graph_(model->graph()) {
+      self_graph_(model->graph()),
+      initial_lr_(model->optimizer() != nullptr
+                      ? model->optimizer()->learning_rate()
+                      : 0.0) {
   assert(k_ >= 2);
   all_nodes_.resize(model_->graph().num_nodes());
   for (int i = 0; i < model_->graph().num_nodes(); ++i) all_nodes_[i] = i;
@@ -41,7 +52,10 @@ void RGaeTrainer::RefreshReconTarget() {
 }
 
 Matrix RGaeTrainer::CurrentSoftAssignments() {
-  if (model_->has_clustering_head()) return model_->SoftAssignments();
+  // Before InitClusteringHead (e.g. XiScores during pretraining) the head's
+  // parameters are placeholders, so second-group models also take the GMM
+  // path until the head is ready.
+  if (model_->clustering_head_ready()) return model_->SoftAssignments();
   // First-group models: fit a GMM on the embedding (Eq. 15 style soft
   // scores come out of the responsibilities directly).
   const Matrix z = model_->Embed();
@@ -107,12 +121,84 @@ CsrMatrix RGaeTrainer::SupervisedOrientedGraph() {
   return oriented.Adjacency();
 }
 
-void RGaeTrainer::Pretrain() {
+int RGaeTrainer::CheckpointEvery() const {
+  return options_.resilience.checkpoint_every > 0
+             ? options_.resilience.checkpoint_every
+             : options_.m2;
+}
+
+void RGaeTrainer::CaptureTrainerState(int epoch, bool pretrain,
+                                      const std::vector<int>& omega,
+                                      TrainerCheckpoint* ckpt) {
+  ckpt->model = CaptureModel(model_);
+  ckpt->self_graph = self_graph_;
+  ckpt->omega = omega;
+  ckpt->epoch = epoch;
+  ckpt->pretrain = pretrain;
+}
+
+bool RGaeTrainer::RecoverOrFail(const HealthVerdict& verdict, bool pretrain,
+                                int epoch, const TrainerCheckpoint& ckpt,
+                                NumericalGuard* guard,
+                                std::vector<int>* omega) {
+  HealthEvent event;
+  event.epoch = epoch;
+  event.pretrain = pretrain;
+  event.status = verdict.status;
+
+  const bool recoverable =
+      !ckpt.empty() && rollbacks_ < options_.resilience.max_rollbacks;
+  if (recoverable) {
+    std::string restore_error;
+    if (RestoreModel(ckpt.model, model_, &restore_error)) {
+      ++rollbacks_;
+      self_graph_ = ckpt.self_graph;
+      RefreshReconTarget();
+      if (omega != nullptr) *omega = ckpt.omega;
+      // Bounded geometric backoff: even a deterministic divergence replays
+      // with a strictly smaller step each retry. Anchored on the trainer's
+      // initial rate, not the checkpoint's captured one — a checkpoint
+      // taken after an LR corruption (e.g. an injected spike) would
+      // otherwise bake the corrupted rate into every retry.
+      const double lr = initial_lr_ *
+                        std::pow(options_.resilience.lr_backoff, rollbacks_);
+      if (model_->optimizer() != nullptr) {
+        model_->optimizer()->set_learning_rate(lr);
+      }
+      guard->Reset();
+      event.action = verdict.detail + "; rollback to epoch " +
+                     std::to_string(ckpt.epoch) + ", lr " + std::to_string(lr);
+      health_log_.push_back(std::move(event));
+      return true;
+    }
+    event.action = verdict.detail + "; restore failed: " + restore_error;
+  } else {
+    event.action = verdict.detail + "; rollback budget exhausted";
+  }
+
+  // Unrecoverable: report the trial failed, but leave the model on its last
+  // good state so downstream evaluation stays finite.
+  failed_ = true;
+  failure_reason_ = std::string(pretrain ? "pretrain" : "cluster") +
+                    " epoch " + std::to_string(epoch) + ": " + verdict.detail +
+                    " (" + std::to_string(rollbacks_) + " rollbacks)";
+  if (!ckpt.empty()) RestoreModel(ckpt.model, model_);
+  event.action += "; trial failed";
+  health_log_.push_back(std::move(event));
+  return false;
+}
+
+bool RGaeTrainer::Pretrain() {
   TrainContext ctx;
   ctx.recon = recon_;
   ctx.include_clustering = false;
   const bool first_group = !model_->has_clustering_head();
-  for (int epoch = 0; epoch < options_.pretrain_epochs; ++epoch) {
+  const bool resilient = options_.resilience.enabled;
+  NumericalGuard guard(options_.resilience.guard);
+  TrainerCheckpoint ckpt;
+
+  int epoch = 0;
+  while (epoch < options_.pretrain_epochs) {
     // First-group R-models: gradually transform the reconstruction target
     // during pretraining (Section 5.1 protocol).
     if (first_group && options_.use_operators &&
@@ -121,8 +207,30 @@ void RGaeTrainer::Pretrain() {
       ApplyUpsilon(SelectOmega(), nullptr);
       ctx.recon = recon_;
     }
-    model_->TrainStep(ctx);
+    if (resilient && epoch % CheckpointEvery() == 0) {
+      CaptureTrainerState(epoch, /*pretrain=*/true, {}, &ckpt);
+    }
+    if (options_.fault_injector != nullptr) {
+      options_.fault_injector->Apply(/*pretrain=*/true, epoch, model_);
+    }
+    const double loss = model_->TrainStep(ctx);
+    if (resilient) {
+      const HealthVerdict verdict = guard.CheckStep(loss, model_);
+      if (!verdict.ok()) {
+        if (!RecoverOrFail(verdict, /*pretrain=*/true, epoch, ckpt, &guard,
+                           nullptr)) {
+          return false;
+        }
+        pretrain_health_.resize(ckpt.epoch);
+        ctx.recon = recon_;
+        epoch = ckpt.epoch;
+        continue;
+      }
+      pretrain_health_.push_back(verdict.status);
+    }
+    ++epoch;
   }
+  return true;
 }
 
 TrainResult RGaeTrainer::TrainClustering() {
@@ -130,11 +238,18 @@ TrainResult RGaeTrainer::TrainClustering() {
   const auto begin = std::chrono::steady_clock::now();
   const int n = model_->graph().num_nodes();
 
-  if (!model_->has_clustering_head()) {
+  if (!model_->has_clustering_head() || failed_) {
     // First-group models perform clustering separately from embedding
     // learning: evaluate the (possibly Υ-transformed) pretrained embedding.
+    // A run whose pretraining already failed is evaluated at its last good
+    // checkpoint and reported as failed instead of trained further.
     result.scores = EvaluateNow(&result.assignments);
     result.cluster_seconds = Seconds(begin);
+    result.failed = failed_;
+    result.failure_reason = failure_reason_;
+    result.rollbacks = rollbacks_;
+    result.health_log = health_log_;
+    result.pretrain_health = pretrain_health_;
     return result;
   }
 
@@ -153,7 +268,12 @@ TrainResult RGaeTrainer::TrainClustering() {
   ctx.include_clustering = true;
   ctx.gamma = options_.gamma;
 
-  for (int epoch = 0; epoch < options_.max_cluster_epochs; ++epoch) {
+  const bool resilient = options_.resilience.enabled;
+  NumericalGuard guard(options_.resilience.guard);
+  TrainerCheckpoint ckpt;
+
+  int epoch = 0;
+  while (epoch < options_.max_cluster_epochs) {
     const bool xi_active =
         options_.use_operators && epoch >= options_.xi_delay_epochs;
     // Refresh Ω every M₁ epochs.
@@ -170,9 +290,35 @@ TrainResult RGaeTrainer::TrainClustering() {
       ApplyUpsilon(xi_active ? omega : all_nodes_, &record.upsilon_stats);
       record.upsilon_ran = true;
     }
+    // Snapshot before the step (and before any injected fault) so a
+    // rollback lands on a state the guard has vetted.
+    if (resilient && epoch % CheckpointEvery() == 0) {
+      CaptureTrainerState(epoch, /*pretrain=*/false, omega, &ckpt);
+    }
+    if (options_.fault_injector != nullptr) {
+      options_.fault_injector->Apply(/*pretrain=*/false, epoch, model_);
+    }
     ctx.recon = recon_;
     ctx.omega = xi_active ? omega : std::vector<int>();
     record.loss = model_->TrainStep(ctx);
+
+    if (resilient) {
+      HealthVerdict verdict = guard.CheckStep(record.loss, model_);
+      if (verdict.ok()) {
+        verdict = guard.CheckSoftAssignments(model_->SoftAssignments());
+      }
+      if (!verdict.ok()) {
+        if (!RecoverOrFail(verdict, /*pretrain=*/false, epoch, ckpt, &guard,
+                           &omega)) {
+          break;
+        }
+        TruncateTrace(&result.trace, ckpt.epoch);
+        result.cluster_epochs_run = ckpt.epoch;
+        epoch = ckpt.epoch;
+        continue;
+      }
+      record.health = verdict.status;
+    }
 
     if ((options_.track_fr_fd || options_.track_dynamics ||
          options_.track_scores) &&
@@ -188,10 +334,16 @@ TrainResult RGaeTrainer::TrainClustering() {
             options_.convergence_fraction * n) {
       break;
     }
+    ++epoch;
   }
 
   result.scores = EvaluateNow(&result.assignments);
   result.cluster_seconds = Seconds(begin);
+  result.failed = failed_;
+  result.failure_reason = failure_reason_;
+  result.rollbacks = rollbacks_;
+  result.health_log = health_log_;
+  result.pretrain_health = pretrain_health_;
   return result;
 }
 
@@ -290,7 +442,7 @@ void RGaeTrainer::TrackEpoch(EpochRecord* record,
 
 TrainResult RGaeTrainer::Run() {
   const auto begin = std::chrono::steady_clock::now();
-  Pretrain();
+  Pretrain();  // A failed pretrain short-circuits TrainClustering.
   const double pretrain_seconds = Seconds(begin);
   TrainResult result = TrainClustering();
   result.pretrain_seconds = pretrain_seconds;

@@ -4,11 +4,35 @@
 #include <string>
 #include <vector>
 
+#include "src/core/checkpoint.h"
+#include "src/core/health.h"
 #include "src/core/operators.h"
 #include "src/metrics/clustering_metrics.h"
 #include "src/models/model.h"
 
 namespace rgae {
+
+class FaultInjector;
+
+/// Failure-handling policy threaded through both training phases. When
+/// enabled, the trainer snapshots a `TrainerCheckpoint` every
+/// `checkpoint_every` epochs and runs the `NumericalGuard` after every
+/// step; on a bad verdict it rolls back to the last good snapshot and
+/// retries with a geometrically backed-off learning rate. After
+/// `max_rollbacks` recoveries the run is marked failed (see
+/// `TrainResult::failed`) instead of crashing or silently emitting NaNs.
+struct ResilienceOptions {
+  bool enabled = false;
+  NumericalGuardOptions guard;
+  /// Snapshot period in epochs; 0 derives it from `TrainerOptions::m2`.
+  int checkpoint_every = 0;
+  /// Recovery budget before the trial is declared failed.
+  int max_rollbacks = 3;
+  /// Learning-rate multiplier per rollback: retry r runs at
+  /// `initial_lr * lr_backoff^r` (anchored on the trainer's starting rate
+  /// so a corrupted live rate cannot leak into the retries).
+  double lr_backoff = 0.5;
+};
 
 /// Training schedule implementing the paper's conceptual design (Eq. 6) on
 /// top of any `GaeModel`. With `use_operators == false` this degrades to the
@@ -50,6 +74,13 @@ struct TrainerOptions {
   /// Record ACC/NMI/ARI per epoch (fits a GMM for first-group models).
   bool track_scores = false;
 
+  /// Numerical-health guards + checkpoint/rollback recovery.
+  ResilienceOptions resilience;
+  /// Borrowed test/bench hook that corrupts model state on a schedule
+  /// (see core/fault_injection.h); must outlive the trainer. Null in
+  /// production runs.
+  FaultInjector* fault_injector = nullptr;
+
   uint64_t seed = 7;
 };
 
@@ -72,6 +103,10 @@ struct EpochRecord {
   UpsilonStats upsilon_stats;  // Valid on epochs where Υ ran.
   bool upsilon_ran = false;
   double separability = -1.0;  // Fig. 10 numeric proxy.
+  /// Guard verdict for this epoch (kOk unless resilience is enabled and the
+  /// epoch survived a non-fatal observation; rolled-back epochs are erased
+  /// from the trace, so their verdicts live in `TrainResult::health_log`).
+  HealthStatus health = HealthStatus::kOk;
 };
 
 /// Result of a full train run.
@@ -82,6 +117,18 @@ struct TrainResult {
   double pretrain_seconds = 0.0;
   double cluster_seconds = 0.0;
   int cluster_epochs_run = 0;
+
+  /// True when the resilience layer exhausted its rollback budget; the
+  /// scores then reflect the last good checkpoint, not a converged run,
+  /// and `AggregateTrials` excludes the trial.
+  bool failed = false;
+  std::string failure_reason;
+  /// Number of checkpoint rollbacks performed across both phases.
+  int rollbacks = 0;
+  /// Bad verdicts and the recovery actions taken (empty in healthy runs).
+  std::vector<HealthEvent> health_log;
+  /// Per-epoch guard verdicts of the pretraining phase (resilience only).
+  std::vector<HealthStatus> pretrain_health;
 };
 
 /// Drives pretraining + clustering for one model instance.
@@ -92,8 +139,10 @@ class RGaeTrainer {
 
   /// Runs the reconstruction pretraining phase. For first-group R-models
   /// the operators gradually transform the reconstruction target during
-  /// this phase (the paper's Section 5.1 protocol).
-  void Pretrain();
+  /// this phase (the paper's Section 5.1 protocol). Returns false when the
+  /// resilience layer gave up on the phase (always true otherwise); the
+  /// failure details are available via `failed()` / `failure_reason()`.
+  bool Pretrain();
 
   /// Runs the clustering phase (joint embedding + clustering for
   /// second-group models; a no-op refinement returning the pretrained
@@ -125,6 +174,13 @@ class RGaeTrainer {
   /// The current self-supervision graph A^self_clus.
   const AttributedGraph& self_graph() const { return self_graph_; }
 
+  /// Resilience outcome so far (useful between `Pretrain` and
+  /// `TrainClustering`; `TrainResult` carries the same data for full runs).
+  bool failed() const { return failed_; }
+  const std::string& failure_reason() const { return failure_reason_; }
+  int rollbacks() const { return rollbacks_; }
+  const std::vector<HealthEvent>& health_log() const { return health_log_; }
+
  private:
   // Runs Ξ on the current scores. If α₁/α₂ reject every node (the paper
   // tunes α₁ as the largest value yielding a non-empty Ω), falls back to
@@ -140,14 +196,36 @@ class RGaeTrainer {
   // Fills diagnostics into `record`.
   void TrackEpoch(EpochRecord* record, const std::vector<int>& omega);
 
+  // Snapshot period of the resilience layer (checkpoint_every, or m2).
+  int CheckpointEvery() const;
+  // Captures model + phase state into `*ckpt`.
+  void CaptureTrainerState(int epoch, bool pretrain,
+                           const std::vector<int>& omega,
+                           TrainerCheckpoint* ckpt);
+  // Handles a bad guard verdict: rolls back to `*ckpt` with a backed-off
+  // learning rate and returns true, or — once the rollback budget is
+  // exhausted — restores the last good state, marks the run failed, and
+  // returns false. `omega` may be null during pretraining.
+  bool RecoverOrFail(const HealthVerdict& verdict, bool pretrain, int epoch,
+                     const TrainerCheckpoint& ckpt, NumericalGuard* guard,
+                     std::vector<int>* omega);
+
   GaeModel* model_;
   TrainerOptions options_;
   int k_;
   Rng rng_;
   AttributedGraph self_graph_;  // Current A^self_clus.
+  double initial_lr_;  // Rollback-retry LR anchor (rate at construction).
   CsrMatrix self_adj_;
   ReconTarget recon_;
   std::vector<int> all_nodes_;
+
+  // Resilience outcome, accumulated across phases.
+  bool failed_ = false;
+  std::string failure_reason_;
+  int rollbacks_ = 0;
+  std::vector<HealthEvent> health_log_;
+  std::vector<HealthStatus> pretrain_health_;
 };
 
 }  // namespace rgae

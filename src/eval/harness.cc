@@ -4,6 +4,7 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 
 namespace rgae {
@@ -19,6 +20,18 @@ double Seconds(std::chrono::steady_clock::time_point begin) {
 int ScaledEpochs(int epochs) {
   const double scale = EpochScaleFromEnv();
   return std::max(1, static_cast<int>(epochs * scale));
+}
+
+// Copies the train result plus its failure state into a trial outcome, so
+// AggregateTrials can exclude failed runs instead of poisoning the table.
+TrialOutcome MakeOutcome(TrainResult result) {
+  TrialOutcome outcome;
+  outcome.failed = result.failed;
+  outcome.failure_reason = result.failure_reason;
+  outcome.scores = result.scores;
+  outcome.seconds = result.cluster_seconds;
+  outcome.result = std::move(result);
+  return outcome;
 }
 
 }  // namespace
@@ -77,11 +90,7 @@ TrialOutcome RunSingle(const std::string& model_name,
       CreateModel(model_name, graph, model_options);
   assert(model != nullptr);
   RGaeTrainer t(model.get(), trainer);
-  TrialOutcome outcome;
-  outcome.result = t.Run();
-  outcome.scores = outcome.result.scores;
-  outcome.seconds = outcome.result.cluster_seconds;
-  return outcome;
+  return MakeOutcome(t.Run());
 }
 
 CoupleOutcome RunCouple(const CoupleConfig& config,
@@ -93,40 +102,40 @@ CoupleOutcome RunCouple(const CoupleConfig& config,
 
   if (base_model->has_clustering_head()) {
     // Second group: pretrain once, share the weights, run both clustering
-    // phases from the identical checkpoint.
+    // phases from the identical checkpoint. A failed shared pretrain fails
+    // both halves of the couple.
     RGaeTrainer base_trainer(base_model.get(), config.base);
     const auto pre_begin = std::chrono::steady_clock::now();
-    base_trainer.Pretrain();
+    const bool pretrain_ok = base_trainer.Pretrain();
     const double pretrain_seconds = Seconds(pre_begin);
     const std::vector<Matrix> weights = base_model->SaveWeights();
 
-    outcome.base.result = base_trainer.TrainClustering();
+    outcome.base = MakeOutcome(base_trainer.TrainClustering());
     outcome.base.result.pretrain_seconds = pretrain_seconds;
-    outcome.base.scores = outcome.base.result.scores;
-    outcome.base.seconds = outcome.base.result.cluster_seconds;
 
     std::unique_ptr<GaeModel> r_model =
         CreateModel(config.model_name, graph, config.model_options);
     r_model->LoadWeights(weights);
     RGaeTrainer r_trainer(r_model.get(), config.rvariant);
-    outcome.rmodel.result = r_trainer.TrainClustering();
+    outcome.rmodel = MakeOutcome(r_trainer.TrainClustering());
     outcome.rmodel.result.pretrain_seconds = pretrain_seconds;
-    outcome.rmodel.scores = outcome.rmodel.result.scores;
-    outcome.rmodel.seconds = outcome.rmodel.result.cluster_seconds;
+    if (!pretrain_ok) {
+      outcome.rmodel.failed = true;
+      outcome.rmodel.failure_reason =
+          "shared pretrain failed: " + base_trainer.failure_reason();
+    }
   } else {
     // First group: the operators act during pretraining, so the couple
     // shares the initial weights (same model seed) and the identical plain
     // prefix of the pretraining schedule.
     RGaeTrainer base_trainer(base_model.get(), config.base);
-    outcome.base.result = base_trainer.Run();
-    outcome.base.scores = outcome.base.result.scores;
+    outcome.base = MakeOutcome(base_trainer.Run());
     outcome.base.seconds = outcome.base.result.pretrain_seconds;
 
     std::unique_ptr<GaeModel> r_model =
         CreateModel(config.model_name, graph, config.model_options);
     RGaeTrainer r_trainer(r_model.get(), config.rvariant);
-    outcome.rmodel.result = r_trainer.Run();
-    outcome.rmodel.scores = outcome.rmodel.result.scores;
+    outcome.rmodel = MakeOutcome(r_trainer.Run());
     outcome.rmodel.seconds = outcome.rmodel.result.pretrain_seconds;
   }
   return outcome;
@@ -134,30 +143,49 @@ CoupleOutcome RunCouple(const CoupleConfig& config,
 
 Aggregate AggregateTrials(const std::vector<TrialOutcome>& trials) {
   Aggregate agg;
-  assert(!trials.empty());
-  const TrialOutcome* best = &trials[0];
+  std::vector<const TrialOutcome*> alive;
+  alive.reserve(trials.size());
   for (const TrialOutcome& t : trials) {
-    if (t.scores.acc > best->scores.acc) best = &t;
+    if (t.failed) {
+      ++agg.dropped_trials;
+    } else {
+      alive.push_back(&t);
+    }
+  }
+  if (agg.dropped_trials > 0) {
+    std::fprintf(stderr,
+                 "AggregateTrials: dropped %d/%zu failed trial(s); "
+                 "aggregating over %zu survivor(s)\n",
+                 agg.dropped_trials, trials.size(), alive.size());
+  }
+  agg.num_trials = static_cast<int>(alive.size());
+  if (alive.empty()) return agg;  // Zeroed aggregate, never NaN.
+
+  const TrialOutcome* best = alive[0];
+  for (const TrialOutcome* t : alive) {
+    if (t->scores.acc > best->scores.acc) best = t;
   }
   agg.best = best->scores;
-  agg.best_seconds = trials[0].seconds;
+  agg.best_seconds = alive[0]->seconds;
   double sum_acc = 0.0, sum_nmi = 0.0, sum_ari = 0.0, sum_sec = 0.0;
-  for (const TrialOutcome& t : trials) {
-    sum_acc += t.scores.acc;
-    sum_nmi += t.scores.nmi;
-    sum_ari += t.scores.ari;
-    sum_sec += t.seconds;
-    agg.best_seconds = std::min(agg.best_seconds, t.seconds);
+  for (const TrialOutcome* t : alive) {
+    sum_acc += t->scores.acc;
+    sum_nmi += t->scores.nmi;
+    sum_ari += t->scores.ari;
+    sum_sec += t->seconds;
+    agg.best_seconds = std::min(agg.best_seconds, t->seconds);
   }
-  const double n = static_cast<double>(trials.size());
+  const double n = static_cast<double>(alive.size());
   agg.mean = {sum_acc / n, sum_nmi / n, sum_ari / n};
   agg.mean_seconds = sum_sec / n;
+  if (alive.size() < 2) return agg;  // Stddev of one trial is zero.
   double var_acc = 0.0, var_nmi = 0.0, var_ari = 0.0, var_sec = 0.0;
-  for (const TrialOutcome& t : trials) {
-    var_acc += (t.scores.acc - agg.mean.acc) * (t.scores.acc - agg.mean.acc);
-    var_nmi += (t.scores.nmi - agg.mean.nmi) * (t.scores.nmi - agg.mean.nmi);
-    var_ari += (t.scores.ari - agg.mean.ari) * (t.scores.ari - agg.mean.ari);
-    var_sec += (t.seconds - agg.mean_seconds) * (t.seconds - agg.mean_seconds);
+  for (const TrialOutcome* t : alive) {
+    var_acc += (t->scores.acc - agg.mean.acc) * (t->scores.acc - agg.mean.acc);
+    var_nmi += (t->scores.nmi - agg.mean.nmi) * (t->scores.nmi - agg.mean.nmi);
+    var_ari += (t->scores.ari - agg.mean.ari) * (t->scores.ari - agg.mean.ari);
+    var_sec +=
+        (t->seconds - agg.mean_seconds) * (t->seconds - agg.mean_seconds);
   }
   agg.stddev = {std::sqrt(var_acc / n), std::sqrt(var_nmi / n),
                 std::sqrt(var_ari / n)};

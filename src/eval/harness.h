@@ -20,6 +20,10 @@ struct TrialOutcome {
   ClusteringScores scores;
   double seconds = 0.0;  // Clustering-phase wall time.
   TrainResult result;
+  /// True when the trainer's resilience layer gave up on the run (see
+  /// `TrainResult::failed`); `AggregateTrials` drops such trials.
+  bool failed = false;
+  std::string failure_reason;
 };
 
 /// Outcomes of the base model and its R-variant for one shared-pretrain
@@ -61,9 +65,16 @@ struct Aggregate {
   double best_seconds = 0.0;
   double mean_seconds = 0.0;
   double var_seconds = 0.0;
+  /// Trials that survived aggregation / trials dropped as failed.
+  int num_trials = 0;
+  int dropped_trials = 0;
 };
 
 /// Aggregates trial outcomes; "best" is the trial with the highest ACC.
+/// Failed trials are excluded (their count is reported in
+/// `Aggregate::dropped_trials` and logged to stderr); empty or fully-failed
+/// inputs yield a zeroed aggregate instead of NaNs, and a single surviving
+/// trial gets a zero standard deviation.
 Aggregate AggregateTrials(const std::vector<TrialOutcome>& trials);
 
 /// Environment-controlled effort scaling: reads RGAE_TRIALS /

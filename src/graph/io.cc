@@ -1,9 +1,19 @@
 #include "src/graph/io.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 
 namespace rgae {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
 
 bool SaveGraph(const AttributedGraph& g, const std::string& path) {
   std::ofstream out(path);
@@ -24,21 +34,41 @@ bool SaveGraph(const AttributedGraph& g, const std::string& path) {
   return static_cast<bool>(out);
 }
 
-bool LoadGraph(const std::string& path, AttributedGraph* g) {
+bool LoadGraph(const std::string& path, AttributedGraph* g,
+               std::string* error) {
   std::ifstream in(path);
-  if (!in) return false;
+  if (!in) return Fail(error, "cannot open '" + path + "'");
   std::string magic;
   int version = 0, n = 0, e = 0, fdim = 0, has_labels = 0;
   in >> magic >> version >> n >> e >> fdim >> has_labels;
-  if (!in || magic != "rgae-graph" || version != 1 || n < 0 || e < 0 ||
-      fdim < 0) {
-    return false;
+  if (!in || magic != "rgae-graph") {
+    return Fail(error, "bad magic (expected 'rgae-graph')");
+  }
+  if (version != 1) {
+    return Fail(error,
+                "unsupported format version " + std::to_string(version));
+  }
+  if (n < 0 || e < 0 || fdim < 0) {
+    return Fail(error, "negative count in header (nodes " +
+                           std::to_string(n) + ", edges " + std::to_string(e) +
+                           ", feature dim " + std::to_string(fdim) + ")");
   }
   *g = AttributedGraph(n);
   for (int i = 0; i < e; ++i) {
     int u = 0, v = 0;
     in >> u >> v;
-    if (!in || u < 0 || u >= n || v < 0 || v >= n) return false;
+    if (!in) return Fail(error, "truncated edge list at edge " +
+                                    std::to_string(i) + " of " +
+                                    std::to_string(e));
+    if (u < 0 || u >= n || v < 0 || v >= n) {
+      return Fail(error, "edge " + std::to_string(i) + " endpoint (" +
+                             std::to_string(u) + ", " + std::to_string(v) +
+                             ") out of range [0, " + std::to_string(n) + ")");
+    }
+    if (u == v) {
+      return Fail(error, "edge " + std::to_string(i) + " is a self-loop on " +
+                             std::to_string(u));
+    }
     g->AddEdge(u, v);
   }
   if (fdim > 0) {
@@ -46,7 +76,16 @@ bool LoadGraph(const std::string& path, AttributedGraph* g) {
     for (int r = 0; r < n; ++r) {
       for (int c = 0; c < fdim; ++c) {
         in >> x(r, c);
-        if (!in) return false;
+        if (!in) {
+          return Fail(error, "truncated or non-numeric feature value at row " +
+                                 std::to_string(r) + ", column " +
+                                 std::to_string(c));
+        }
+        if (!std::isfinite(x(r, c))) {
+          return Fail(error, "non-finite feature value at row " +
+                                 std::to_string(r) + ", column " +
+                                 std::to_string(c));
+        }
       }
     }
     g->set_features(std::move(x));
@@ -55,7 +94,14 @@ bool LoadGraph(const std::string& path, AttributedGraph* g) {
     std::vector<int> labels(n);
     for (int i = 0; i < n; ++i) {
       in >> labels[i];
-      if (!in) return false;
+      if (!in) {
+        return Fail(error, "truncated labels at node " + std::to_string(i));
+      }
+      if (labels[i] < 0 || labels[i] >= n) {
+        return Fail(error, "label " + std::to_string(labels[i]) +
+                               " of node " + std::to_string(i) +
+                               " out of range [0, " + std::to_string(n) + ")");
+      }
     }
     g->set_labels(std::move(labels));
   }

@@ -16,8 +16,13 @@ namespace rgae {
 ///   then (if has_labels) one label per node.
 ///
 /// Returns false on I/O or format errors; `*g` is unspecified on failure.
+/// `LoadGraph` validates the payload, not just the syntax: out-of-range or
+/// self-loop edge endpoints, non-finite feature values, and labels outside
+/// [0, num_nodes) are all rejected. When `error` is non-null it receives a
+/// descriptive message naming the offending record.
 bool SaveGraph(const AttributedGraph& g, const std::string& path);
-bool LoadGraph(const std::string& path, AttributedGraph* g);
+bool LoadGraph(const std::string& path, AttributedGraph* g,
+               std::string* error = nullptr);
 
 }  // namespace rgae
 

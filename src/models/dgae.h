@@ -27,8 +27,12 @@ class Dgae : public Gae {
   std::vector<Parameter*> Params() override;
 
   bool has_clustering_head() const override { return true; }
+  bool clustering_head_ready() const override { return head_ready_; }
   void InitClusteringHead(int num_clusters, Rng& rng) override;
   Matrix SoftAssignments() const override;
+
+  std::vector<Matrix> SaveAuxState() const override;
+  bool RestoreAuxState(const std::vector<Matrix>& aux) override;
 
  private:
   void RefreshTarget();

@@ -118,6 +118,23 @@ double GmmVgae::TrainStep(const TrainContext& ctx) {
   return tape.value(loss)(0, 0);
 }
 
+std::vector<Matrix> GmmVgae::SaveAuxState() const {
+  if (!head_ready_) return {};
+  Matrix counters(1, 1);
+  counters(0, 0) = steps_since_refresh_;
+  return {target_q_, counters};
+}
+
+bool GmmVgae::RestoreAuxState(const std::vector<Matrix>& aux) {
+  if (!head_ready_) return aux.empty();
+  if (aux.size() != 2 || aux[1].rows() != 1 || aux[1].cols() != 1) {
+    return false;
+  }
+  target_q_ = aux[0];
+  steps_since_refresh_ = static_cast<int>(aux[1](0, 0));
+  return true;
+}
+
 std::vector<Parameter*> GmmVgae::Params() {
   std::vector<Parameter*> p = Vgae::Params();
   if (head_ready_) {

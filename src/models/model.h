@@ -80,6 +80,9 @@ class GaeModel {
 
   /// True for second-group models carrying a trainable clustering head.
   virtual bool has_clustering_head() const { return false; }
+  /// True once `InitClusteringHead` has run; `SoftAssignments` reads the
+  /// head's parameters and is only usable from that point.
+  virtual bool clustering_head_ready() const { return false; }
   /// Initializes the clustering head from the current embedding (k-means /
   /// GMM fit). Only valid when `has_clustering_head()`.
   virtual void InitClusteringHead(int num_clusters, Rng& rng);
@@ -102,6 +105,18 @@ class GaeModel {
   /// Forward-only evaluation of the reconstruction loss of the
   /// deterministic embedding against `target` (no gradients, no sampling).
   double EvalReconLoss(const ReconTarget& target) const;
+
+  /// Model-specific derived state that must survive a checkpoint round trip
+  /// but is not a trainable parameter (e.g. DEC target distributions and
+  /// refresh counters). The default is stateless. Encoders pack scalar
+  /// counters into small matrices; the contents are opaque to callers and
+  /// only round-trip through `RestoreAuxState`.
+  virtual std::vector<Matrix> SaveAuxState() const { return {}; }
+  /// Restores state captured by `SaveAuxState`; returns false when the
+  /// blob does not match what this model expects.
+  virtual bool RestoreAuxState(const std::vector<Matrix>& aux) {
+    return aux.empty();
+  }
 
   /// Copies of all parameter values, for sharing pretrained weights between
   /// a model 𝒟 and its R-𝒟 counterpart.

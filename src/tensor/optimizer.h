@@ -37,6 +37,12 @@ class Adam {
   double learning_rate() const { return options_.learning_rate; }
   void set_learning_rate(double lr) { options_.learning_rate = lr; }
 
+  /// Step counter accessors for checkpoint/restore: the bias-correction
+  /// terms depend on the step, so resuming a run must restore it alongside
+  /// the per-parameter moments (which live on `Parameter` itself).
+  long step() const { return step_; }
+  void set_step(long step) { step_ = step; }
+
  private:
   std::vector<Parameter*> params_;
   Options options_;

@@ -1,0 +1,199 @@
+#include "src/core/checkpoint.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "src/core/rgae_trainer.h"
+#include "src/graph/generators.h"
+#include "src/models/model_factory.h"
+
+namespace rgae {
+namespace {
+
+AttributedGraph TinyGraph(uint64_t seed = 1) {
+  CitationLikeOptions o;
+  o.num_nodes = 60;
+  o.num_clusters = 3;
+  o.feature_dim = 40;
+  o.topic_words = 10;
+  o.intra_degree = 4.0;
+  o.inter_degree = 0.5;
+  Rng rng(seed);
+  return MakeCitationLike(o, rng);
+}
+
+ModelOptions TinyModelOptions() {
+  ModelOptions o;
+  o.hidden_dim = 10;
+  o.latent_dim = 5;
+  o.seed = 5;
+  return o;
+}
+
+void TrainEpochs(GaeModel* model, const ReconTarget& target, int epochs) {
+  TrainContext ctx;
+  ctx.recon = target;
+  ctx.include_clustering = false;
+  for (int i = 0; i < epochs; ++i) model->TrainStep(ctx);
+}
+
+void ExpectBitIdentical(const Matrix& a, const Matrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.data()[i], b.data()[i]) << "entry " << i;
+  }
+}
+
+TEST(CheckpointTest, RoundTripRestoresParametersAndAdamMoments) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("GAE", g, TinyModelOptions());
+  const CsrMatrix adj = g.Adjacency();
+  const ReconTarget target = MakeReconTarget(&adj);
+  TrainEpochs(model.get(), target, 10);
+
+  const ModelCheckpoint ckpt = CaptureModel(model.get());
+  EXPECT_EQ(ckpt.adam_step, 10);
+
+  // Perturb: more training plus direct weight damage.
+  TrainEpochs(model.get(), target, 7);
+  model->Params()[0]->value(0, 0) = std::nan("");
+
+  std::string error;
+  ASSERT_TRUE(RestoreModel(ckpt, model.get(), &error)) << error;
+  const std::vector<Parameter*> params = model->Params();
+  ASSERT_EQ(params.size(), ckpt.values.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    ExpectBitIdentical(params[i]->value, ckpt.values[i]);
+    ExpectBitIdentical(params[i]->adam_m, ckpt.adam_m[i]);
+    ExpectBitIdentical(params[i]->adam_v, ckpt.adam_v[i]);
+  }
+  EXPECT_EQ(model->optimizer()->step(), 10);
+}
+
+TEST(CheckpointTest, ResumedRunMatchesUninterruptedRun) {
+  const AttributedGraph g = TinyGraph();
+  const CsrMatrix adj = g.Adjacency();
+  const ReconTarget target = MakeReconTarget(&adj);
+
+  // Reference: 20 uninterrupted epochs (GAE training is deterministic).
+  auto reference = CreateModel("GAE", g, TinyModelOptions());
+  TrainEpochs(reference.get(), target, 20);
+
+  // Interrupted: 12 epochs, checkpoint, damage, restore, 8 more epochs.
+  auto resumed = CreateModel("GAE", g, TinyModelOptions());
+  TrainEpochs(resumed.get(), target, 12);
+  const ModelCheckpoint ckpt = CaptureModel(resumed.get());
+  TrainEpochs(resumed.get(), target, 3);
+  resumed->Params()[0]->value.Fill(1e9);
+  ASSERT_TRUE(RestoreModel(ckpt, resumed.get()));
+  TrainEpochs(resumed.get(), target, 8);
+
+  const std::vector<Parameter*> want = reference->Params();
+  const std::vector<Parameter*> got = resumed->Params();
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    ExpectBitIdentical(got[i]->value, want[i]->value);
+    ExpectBitIdentical(got[i]->adam_m, want[i]->adam_m);
+  }
+  EXPECT_DOUBLE_EQ(resumed->EvalReconLoss(target),
+                   reference->EvalReconLoss(target));
+}
+
+TEST(CheckpointTest, RestoreRejectsShapeMismatch) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("DGAE", g, TinyModelOptions());
+  // Checkpoint before the clustering head exists...
+  const ModelCheckpoint ckpt = CaptureModel(model.get());
+  Rng rng(3);
+  model->InitClusteringHead(3, rng);
+  // ... cannot be restored into the model after the head was added.
+  std::string error;
+  EXPECT_FALSE(RestoreModel(ckpt, model.get(), &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(CheckpointTest, AuxStateRoundTripsThroughSecondGroupModels) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("DGAE", g, TinyModelOptions());
+  Rng rng(3);
+  model->InitClusteringHead(3, rng);
+  const CsrMatrix adj = g.Adjacency();
+  TrainContext ctx;
+  ctx.recon = MakeReconTarget(&adj);
+  ctx.include_clustering = true;
+  for (int i = 0; i < 5; ++i) model->TrainStep(ctx);
+
+  const ModelCheckpoint ckpt = CaptureModel(model.get());
+  ASSERT_EQ(ckpt.aux.size(), 2u);  // DEC target Q + refresh counter.
+  for (int i = 0; i < 5; ++i) model->TrainStep(ctx);
+  ASSERT_TRUE(RestoreModel(ckpt, model.get()));
+  const std::vector<Matrix> aux = model->SaveAuxState();
+  ASSERT_EQ(aux.size(), 2u);
+  ExpectBitIdentical(aux[0], ckpt.aux[0]);
+  ExpectBitIdentical(aux[1], ckpt.aux[1]);
+}
+
+TEST(CheckpointTest, FileRoundTripIsByteIdentical) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("GAE", g, TinyModelOptions());
+  const CsrMatrix adj = g.Adjacency();
+  const ReconTarget target = MakeReconTarget(&adj);
+  TrainEpochs(model.get(), target, 6);
+
+  TrainerCheckpoint ckpt;
+  ckpt.model = CaptureModel(model.get());
+  ckpt.self_graph = g;
+  ckpt.omega = {1, 4, 7};
+  ckpt.epoch = 6;
+  ckpt.pretrain = true;
+
+  const std::string path = ::testing::TempDir() + "/trainer.ckpt";
+  std::string error;
+  ASSERT_TRUE(SaveCheckpoint(ckpt, path, &error)) << error;
+
+  TrainerCheckpoint loaded;
+  ASSERT_TRUE(LoadCheckpoint(path, &loaded, &error)) << error;
+  EXPECT_EQ(loaded.epoch, 6);
+  EXPECT_TRUE(loaded.pretrain);
+  EXPECT_EQ(loaded.omega, ckpt.omega);
+  EXPECT_EQ(loaded.model.adam_step, ckpt.model.adam_step);
+  EXPECT_EQ(loaded.model.learning_rate, ckpt.model.learning_rate);
+  ASSERT_EQ(loaded.model.values.size(), ckpt.model.values.size());
+  for (size_t i = 0; i < ckpt.model.values.size(); ++i) {
+    ExpectBitIdentical(loaded.model.values[i], ckpt.model.values[i]);
+    ExpectBitIdentical(loaded.model.adam_m[i], ckpt.model.adam_m[i]);
+    ExpectBitIdentical(loaded.model.adam_v[i], ckpt.model.adam_v[i]);
+  }
+  EXPECT_EQ(loaded.self_graph.edges(), g.edges());
+  EXPECT_EQ(loaded.self_graph.labels(), g.labels());
+  ExpectBitIdentical(loaded.self_graph.features(), g.features());
+
+  // A loaded checkpoint restores into a fresh model of the same shape.
+  auto fresh = CreateModel("GAE", g, TinyModelOptions());
+  ASSERT_TRUE(RestoreModel(loaded.model, fresh.get(), &error)) << error;
+  EXPECT_DOUBLE_EQ(fresh->EvalReconLoss(target),
+                   model->EvalReconLoss(target));
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, LoadRejectsGarbageAndTruncation) {
+  const std::string path = ::testing::TempDir() + "/garbage.ckpt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("definitely not a checkpoint", f);
+    std::fclose(f);
+  }
+  TrainerCheckpoint loaded;
+  std::string error;
+  EXPECT_FALSE(LoadCheckpoint(path, &loaded, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(LoadCheckpoint("/nonexistent/nowhere.ckpt", &loaded, &error));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace rgae

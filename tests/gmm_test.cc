@@ -130,6 +130,76 @@ TEST(EmIterationsTest, WarmStartImprovesLikelihood) {
   EXPECT_GT(model.MeanLogLikelihood(data), before);
 }
 
+TEST(GmmTest, CollapsedComponentYieldsFiniteResponsibilities) {
+  // A hand-built model with one fully collapsed component (zero variance,
+  // mean sitting exactly on a data point). Without the density-evaluation
+  // variance floor this is 0/0 = NaN for that point.
+  GmmModel model;
+  model.means = Matrix(2, 2);
+  model.means(0, 0) = 1.0;
+  model.means(0, 1) = 1.0;   // Collapsed component at (1, 1).
+  model.means(1, 0) = -1.0;
+  model.means(1, 1) = -1.0;
+  model.variances = Matrix(2, 2, 1.0);
+  model.variances(0, 0) = 0.0;  // Zero variance: collapsed.
+  model.variances(0, 1) = 0.0;
+  model.weights = {0.5, 0.5};
+
+  Matrix data(3, 2);
+  data(0, 0) = 1.0;
+  data(0, 1) = 1.0;   // Exactly on the collapsed mean.
+  data(1, 0) = -1.0;
+  data(1, 1) = -1.0;
+  data(2, 0) = 100.0;  // Impossibly far from both components.
+  data(2, 1) = 100.0;
+
+  const Matrix resp = model.Responsibilities(data);
+  for (int i = 0; i < resp.rows(); ++i) {
+    double row = 0.0;
+    for (int c = 0; c < resp.cols(); ++c) {
+      EXPECT_TRUE(std::isfinite(resp(i, c))) << "row " << i << " col " << c;
+      EXPECT_GE(resp(i, c), 0.0);
+      row += resp(i, c);
+    }
+    EXPECT_NEAR(row, 1.0, 1e-9);
+  }
+  // The collapsed component claims its own point outright.
+  EXPECT_GT(resp(0, 0), 0.99);
+  EXPECT_TRUE(std::isfinite(model.MeanLogLikelihood(data)));
+  EXPECT_EQ(model.HardAssignments(data).size(), 3u);
+}
+
+TEST(GmmTest, ImpossiblyFarPointGetsUniformResponsibilities) {
+  // A point so distant the squared deviation overflows to +inf makes every
+  // log joint -inf; the fallback hands it a uniform row instead of NaN.
+  GmmModel model;
+  model.means = Matrix(2, 1);
+  model.means(1, 0) = 1.0;
+  model.variances = Matrix(2, 1, 1.0);
+  model.weights = {0.5, 0.5};
+  Matrix data(1, 1, 1e200);
+  const Matrix resp = model.Responsibilities(data);
+  EXPECT_DOUBLE_EQ(resp(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(resp(0, 1), 0.5);
+}
+
+TEST(GmmTest, EmOnCollapsedDataStaysFinite) {
+  // All points identical in one dimension, near-identical in the other:
+  // EM drives variances onto the floor; nothing may go NaN.
+  Matrix data(12, 2, 2.0);
+  for (int i = 0; i < 6; ++i) data(i, 1) = 2.0 + 1e-13 * i;
+  Rng rng(11);
+  const GmmModel gmm = FitGmm(data, 3, rng);
+  const Matrix resp = gmm.Responsibilities(data);
+  for (int i = 0; i < resp.rows(); ++i) {
+    for (int c = 0; c < resp.cols(); ++c) {
+      EXPECT_TRUE(std::isfinite(resp(i, c)));
+    }
+  }
+  EXPECT_TRUE(std::isfinite(gmm.MeanLogLikelihood(data)));
+  for (double w : gmm.weights) EXPECT_TRUE(std::isfinite(w));
+}
+
 TEST(EmIterationsTest, RespectsVarianceFloor) {
   Matrix data(8, 1, 3.0);  // Degenerate data.
   GmmModel model;

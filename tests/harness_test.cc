@@ -106,6 +106,50 @@ TEST(AggregateTest, SingleTrial) {
   EXPECT_DOUBLE_EQ(agg.best.acc, 0.9);
   EXPECT_DOUBLE_EQ(agg.mean.acc, 0.9);
   EXPECT_DOUBLE_EQ(agg.stddev.acc, 0.0);
+  EXPECT_EQ(agg.num_trials, 1);
+  EXPECT_EQ(agg.dropped_trials, 0);
+}
+
+TEST(AggregateTest, EmptyInputYieldsZeroedAggregate) {
+  const Aggregate agg = AggregateTrials({});
+  EXPECT_DOUBLE_EQ(agg.best.acc, 0.0);
+  EXPECT_DOUBLE_EQ(agg.mean.acc, 0.0);
+  EXPECT_DOUBLE_EQ(agg.stddev.acc, 0.0);
+  EXPECT_EQ(agg.num_trials, 0);
+  EXPECT_EQ(agg.dropped_trials, 0);
+}
+
+TEST(AggregateTest, ExcludesFailedTrialsAndCountsDrops) {
+  std::vector<TrialOutcome> trials(3);
+  trials[0].scores = {0.5, 0.4, 0.3};
+  trials[0].seconds = 1.0;
+  trials[1].scores = {0.9, 0.8, 0.7};  // Failed: must not win "best".
+  trials[1].seconds = 9.0;
+  trials[1].failed = true;
+  trials[1].failure_reason = "cluster epoch 12: nan weight";
+  trials[2].scores = {0.7, 0.6, 0.5};
+  trials[2].seconds = 3.0;
+  const Aggregate agg = AggregateTrials(trials);
+  EXPECT_EQ(agg.num_trials, 2);
+  EXPECT_EQ(agg.dropped_trials, 1);
+  EXPECT_DOUBLE_EQ(agg.best.acc, 0.7);
+  EXPECT_NEAR(agg.mean.acc, 0.6, 1e-12);
+  // Stddev over the two survivors only (population convention, divide by n).
+  EXPECT_NEAR(agg.stddev.acc, 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(agg.mean_seconds, 2.0);
+}
+
+TEST(AggregateTest, AllTrialsFailedYieldsZeroedAggregate) {
+  std::vector<TrialOutcome> trials(2);
+  trials[0].scores = {0.5, 0.4, 0.3};
+  trials[0].failed = true;
+  trials[1].scores = {0.6, 0.5, 0.4};
+  trials[1].failed = true;
+  const Aggregate agg = AggregateTrials(trials);
+  EXPECT_EQ(agg.num_trials, 0);
+  EXPECT_EQ(agg.dropped_trials, 2);
+  EXPECT_DOUBLE_EQ(agg.best.acc, 0.0);
+  EXPECT_DOUBLE_EQ(agg.mean.acc, 0.0);
 }
 
 TEST(EnvScalingTest, DefaultsWithoutEnv) {

@@ -1,0 +1,409 @@
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "src/core/fault_injection.h"
+#include "src/core/health.h"
+#include "src/core/rgae_trainer.h"
+#include "src/eval/harness.h"
+#include "src/graph/generators.h"
+#include "src/models/model_factory.h"
+
+namespace rgae {
+namespace {
+
+AttributedGraph TinyGraph(uint64_t seed = 1) {
+  CitationLikeOptions o;
+  o.num_nodes = 70;
+  o.num_clusters = 3;
+  o.feature_dim = 50;
+  o.topic_words = 14;
+  o.intra_degree = 4.0;
+  o.inter_degree = 0.5;
+  Rng rng(seed);
+  return MakeCitationLike(o, rng);
+}
+
+ModelOptions TinyModelOptions() {
+  ModelOptions o;
+  o.hidden_dim = 12;
+  o.latent_dim = 6;
+  o.seed = 5;
+  return o;
+}
+
+TrainerOptions ResilientTrainerOptions() {
+  TrainerOptions t;
+  t.pretrain_epochs = 25;
+  t.max_cluster_epochs = 25;
+  t.m1 = 5;
+  t.m2 = 5;
+  t.seed = 11;
+  t.resilience.enabled = true;
+  t.resilience.checkpoint_every = 5;
+  t.resilience.max_rollbacks = 3;
+  return t;
+}
+
+int CountEvents(const std::vector<HealthEvent>& log, HealthStatus status) {
+  int n = 0;
+  for (const HealthEvent& e : log) n += (e.status == status) ? 1 : 0;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// NumericalGuard unit tests.
+
+TEST(NumericalGuardTest, OkOnHealthyLoss) {
+  NumericalGuard guard;
+  const HealthVerdict v = guard.CheckStep(1.25, nullptr);
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(v.status, HealthStatus::kOk);
+  EXPECT_TRUE(v.detail.empty());
+}
+
+TEST(NumericalGuardTest, FlagsNonFiniteLoss) {
+  NumericalGuard guard;
+  EXPECT_EQ(guard.CheckStep(std::nan(""), nullptr).status,
+            HealthStatus::kNonFinite);
+  EXPECT_EQ(guard.CheckStep(std::numeric_limits<double>::infinity(), nullptr)
+                .status,
+            HealthStatus::kNonFinite);
+}
+
+TEST(NumericalGuardTest, FlagsNonFiniteParameter) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("GAE", g, TinyModelOptions());
+  NumericalGuard guard;
+  EXPECT_TRUE(guard.CheckStep(1.0, model.get()).ok());
+  model->Params()[0]->value(0, 0) = std::nan("");
+  const HealthVerdict v = guard.CheckStep(1.0, model.get());
+  EXPECT_EQ(v.status, HealthStatus::kNonFinite);
+  EXPECT_FALSE(v.detail.empty());
+}
+
+TEST(NumericalGuardTest, DivergenceArmsOnlyWhenWindowFull) {
+  NumericalGuardOptions o;
+  o.loss_window = 4;
+  o.divergence_factor = 2.0;
+  o.divergence_slack = 0.5;
+  NumericalGuard guard(o);
+  // Window not yet full: even a huge loss passes.
+  EXPECT_TRUE(guard.CheckStep(1.0, nullptr).ok());
+  EXPECT_TRUE(guard.CheckStep(1e6, nullptr).ok());
+  EXPECT_TRUE(guard.CheckStep(1.0, nullptr).ok());
+  EXPECT_TRUE(guard.CheckStep(1.0, nullptr).ok());
+  // Window full, min = 1.0: threshold is 1.0 + 0.5 + 2.0*1.0 = 3.5.
+  EXPECT_TRUE(guard.CheckStep(3.4, nullptr).ok());
+  EXPECT_EQ(guard.CheckStep(3.6, nullptr).status, HealthStatus::kDiverging);
+}
+
+TEST(NumericalGuardTest, ResetClearsDivergenceWindow) {
+  NumericalGuardOptions o;
+  o.loss_window = 2;
+  o.divergence_factor = 1.0;
+  o.divergence_slack = 0.0;
+  NumericalGuard guard(o);
+  EXPECT_TRUE(guard.CheckStep(1.0, nullptr).ok());
+  EXPECT_TRUE(guard.CheckStep(1.0, nullptr).ok());
+  EXPECT_EQ(guard.CheckStep(10.0, nullptr).status, HealthStatus::kDiverging);
+  guard.Reset();
+  // Empty window again: the same loss passes until the window refills.
+  EXPECT_TRUE(guard.CheckStep(10.0, nullptr).ok());
+}
+
+TEST(NumericalGuardTest, DegenerateClusterMass) {
+  NumericalGuard guard;
+  Matrix p(10, 3);
+  for (int i = 0; i < 10; ++i) {
+    p(i, 0) = 0.5;
+    p(i, 1) = 0.5;
+    p(i, 2) = 0.0;  // Collapsed column: zero total mass.
+  }
+  const HealthVerdict v = guard.CheckSoftAssignments(p);
+  EXPECT_EQ(v.status, HealthStatus::kDegenerateClusters);
+
+  Matrix healthy(10, 3, 1.0 / 3.0);
+  EXPECT_TRUE(guard.CheckSoftAssignments(healthy).ok());
+
+  Matrix bad(10, 3, 1.0 / 3.0);
+  bad(4, 1) = std::nan("");
+  EXPECT_EQ(guard.CheckSoftAssignments(bad).status, HealthStatus::kNonFinite);
+}
+
+TEST(NumericalGuardTest, AllFiniteHelpers) {
+  Matrix m(2, 2, 1.0);
+  EXPECT_TRUE(AllFinite(m));
+  m(1, 1) = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(AllFinite(m));
+  EXPECT_TRUE(AllFinite(std::vector<double>{1.0, -2.0}));
+  EXPECT_FALSE(AllFinite(std::vector<double>{1.0, std::nan("")}));
+}
+
+// ---------------------------------------------------------------------------
+// FaultInjector unit tests.
+
+TEST(FaultInjectorTest, OnceFaultFiresExactlyOnce) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("GAE", g, TinyModelOptions());
+  FaultEvent e;
+  e.type = FaultEvent::Type::kNanWeight;
+  e.epoch = 3;
+  e.pretrain = true;
+  FaultInjector injector({e}, /*seed=*/42);
+  EXPECT_EQ(injector.Apply(true, 2, model.get()), 0);
+  EXPECT_EQ(injector.Apply(false, 3, model.get()), 0);  // Wrong phase.
+  EXPECT_EQ(injector.Apply(true, 3, model.get()), 1);
+  EXPECT_EQ(injector.Apply(true, 3, model.get()), 0);  // Consumed.
+  EXPECT_EQ(injector.faults_fired(), 1);
+  ASSERT_EQ(injector.log().size(), 1u);
+
+  // The fault actually broke a weight.
+  bool has_nan = false;
+  for (Parameter* p : model->Params()) has_nan |= !AllFinite(p->value);
+  EXPECT_TRUE(has_nan);
+}
+
+TEST(FaultInjectorTest, PersistentFaultRefires) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("GAE", g, TinyModelOptions());
+  FaultEvent e;
+  e.type = FaultEvent::Type::kCorruptGradient;
+  e.epoch = 1;
+  e.pretrain = true;
+  e.once = false;
+  FaultInjector injector({e}, /*seed=*/42);
+  EXPECT_EQ(injector.Apply(true, 1, model.get()), 1);
+  EXPECT_EQ(injector.Apply(true, 1, model.get()), 1);  // Replay re-fires.
+  EXPECT_EQ(injector.faults_fired(), 2);
+}
+
+TEST(FaultInjectorTest, LrSpikeMultipliesLearningRate) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("GAE", g, TinyModelOptions());
+  const double lr_before = model->optimizer()->learning_rate();
+  FaultEvent e;
+  e.type = FaultEvent::Type::kLrSpike;
+  e.epoch = 0;
+  e.pretrain = true;
+  e.magnitude = 100.0;
+  FaultInjector injector({e}, /*seed=*/1);
+  ASSERT_EQ(injector.Apply(true, 0, model.get()), 1);
+  EXPECT_DOUBLE_EQ(model->optimizer()->learning_rate(), lr_before * 100.0);
+}
+
+TEST(FaultInjectorTest, DeterministicAcrossSeeds) {
+  const AttributedGraph g = TinyGraph();
+  FaultEvent e;
+  e.type = FaultEvent::Type::kNanWeight;
+  e.epoch = 0;
+  e.pretrain = true;
+
+  auto nan_position = [&](uint64_t seed) {
+    auto model = CreateModel("GAE", g, TinyModelOptions());
+    FaultInjector injector({e}, seed);
+    injector.Apply(true, 0, model.get());
+    const std::vector<Parameter*> params = model->Params();
+    for (size_t p = 0; p < params.size(); ++p) {
+      const Matrix& v = params[p]->value;
+      for (size_t i = 0; i < v.size(); ++i) {
+        if (std::isnan(v.data()[i])) return p * 1000003 + i;
+      }
+    }
+    return static_cast<size_t>(-1);
+  };
+  EXPECT_EQ(nan_position(7), nan_position(7));       // Same seed: same hit.
+  EXPECT_NE(nan_position(7), nan_position(12345));   // Seeds move the hit.
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end recovery paths through RGaeTrainer.
+
+TEST(ResilienceTest, NanWeightFaultRecoversViaRollback) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("DGAE", g, TinyModelOptions());
+  FaultEvent e;
+  e.type = FaultEvent::Type::kNanWeight;
+  e.epoch = 12;
+  e.pretrain = false;
+  FaultInjector injector({e}, /*seed=*/42);
+
+  TrainerOptions opts = ResilientTrainerOptions();
+  opts.fault_injector = &injector;
+  RGaeTrainer trainer(model.get(), opts);
+  const TrainResult r = trainer.Run();
+
+  EXPECT_EQ(injector.faults_fired(), 1);
+  EXPECT_FALSE(r.failed) << r.failure_reason;
+  EXPECT_GE(r.rollbacks, 1);
+  EXPECT_GE(CountEvents(r.health_log, HealthStatus::kNonFinite), 1);
+  // The run completed and its result is numerically sane.
+  EXPECT_TRUE(std::isfinite(r.scores.acc));
+  EXPECT_EQ(static_cast<int>(r.assignments.size()), g.num_nodes());
+  for (const EpochRecord& rec : r.trace) EXPECT_TRUE(std::isfinite(rec.loss));
+  // The rolled-back epoch was erased from the trace, not recorded twice.
+  for (size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_GT(r.trace[i].epoch, r.trace[i - 1].epoch);
+  }
+}
+
+TEST(ResilienceTest, NanWeightDuringPretrainRecovers) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("GAE", g, TinyModelOptions());
+  FaultEvent e;
+  e.type = FaultEvent::Type::kNanWeight;
+  e.epoch = 13;
+  e.pretrain = true;
+  FaultInjector injector({e}, /*seed=*/42);
+
+  TrainerOptions opts = ResilientTrainerOptions();
+  opts.fault_injector = &injector;
+  RGaeTrainer trainer(model.get(), opts);
+  EXPECT_TRUE(trainer.Pretrain());
+  EXPECT_FALSE(trainer.failed());
+  EXPECT_GE(trainer.rollbacks(), 1);
+
+  const TrainResult r = trainer.TrainClustering();
+  EXPECT_FALSE(r.failed);
+  // All pretraining epochs that survived carry an ok verdict.
+  EXPECT_EQ(static_cast<int>(r.pretrain_health.size()), opts.pretrain_epochs);
+  for (HealthStatus s : r.pretrain_health) EXPECT_EQ(s, HealthStatus::kOk);
+}
+
+TEST(ResilienceTest, LrSpikeFaultRecovers) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("DGAE", g, TinyModelOptions());
+  const double lr = model->optimizer()->learning_rate();
+  FaultEvent e;
+  e.type = FaultEvent::Type::kLrSpike;
+  e.epoch = 11;
+  e.pretrain = false;
+  e.magnitude = 1e6;
+  FaultInjector injector({e}, /*seed=*/3);
+
+  TrainerOptions opts = ResilientTrainerOptions();
+  opts.fault_injector = &injector;
+  RGaeTrainer trainer(model.get(), opts);
+  const TrainResult r = trainer.Run();
+
+  EXPECT_FALSE(r.failed) << r.failure_reason;
+  EXPECT_GE(r.rollbacks, 1);
+  // Rollback restored the checkpointed LR (backed off, never spiked).
+  EXPECT_LE(model->optimizer()->learning_rate(), lr);
+  for (const EpochRecord& rec : r.trace) EXPECT_TRUE(std::isfinite(rec.loss));
+}
+
+TEST(ResilienceTest, CorruptGradientFaultRecoversViaDivergenceGuard) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("DGAE", g, TinyModelOptions());
+  FaultEvent e;
+  e.type = FaultEvent::Type::kCorruptGradient;
+  e.epoch = 12;
+  e.pretrain = false;
+  e.magnitude = 1e4;
+  FaultInjector injector({e}, /*seed=*/9);
+
+  TrainerOptions opts = ResilientTrainerOptions();
+  // The corruption keeps every value finite, so only the divergence check
+  // can catch it; tighten the trust region to this run's loss scale (~0.15)
+  // so the ~5x loss jump trips the guard.
+  opts.resilience.guard.divergence_factor = 1.0;
+  opts.resilience.guard.divergence_slack = 0.1;
+  opts.fault_injector = &injector;
+  RGaeTrainer trainer(model.get(), opts);
+  const TrainResult r = trainer.Run();
+
+  EXPECT_EQ(injector.faults_fired(), 1);
+  EXPECT_FALSE(r.failed) << r.failure_reason;
+  EXPECT_GE(r.rollbacks, 1);
+  EXPECT_GE(CountEvents(r.health_log, HealthStatus::kDiverging), 1);
+  for (const EpochRecord& rec : r.trace) EXPECT_TRUE(std::isfinite(rec.loss));
+}
+
+TEST(ResilienceTest, RollbackAnchorsLrOnInitialRate) {
+  // Corrupt the learning rate BEFORE the first checkpoint is ever taken:
+  // every snapshot now carries the spiked rate. Retries must still run at
+  // the trainer's initial rate (backed off), not the checkpointed one.
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("GAE", g, TinyModelOptions());
+  TrainerOptions opts = ResilientTrainerOptions();
+  RGaeTrainer trainer(model.get(), opts);
+  const double lr0 = model->optimizer()->learning_rate();
+  model->optimizer()->set_learning_rate(lr0 * 1e6);
+
+  const TrainResult r = trainer.Run();
+  EXPECT_FALSE(r.failed) << r.failure_reason;
+  EXPECT_GE(r.rollbacks, 1);
+  EXPECT_LE(model->optimizer()->learning_rate(), lr0);
+  for (const EpochRecord& rec : r.trace) EXPECT_TRUE(std::isfinite(rec.loss));
+}
+
+TEST(ResilienceTest, PersistentFaultFailsTrialInsteadOfCrashing) {
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("DGAE", g, TinyModelOptions());
+  FaultEvent e;
+  e.type = FaultEvent::Type::kNanWeight;
+  e.epoch = 12;
+  e.pretrain = false;
+  e.once = false;  // Re-fires on every rollback replay: unrecoverable.
+  FaultInjector injector({e}, /*seed=*/42);
+
+  TrainerOptions opts = ResilientTrainerOptions();
+  opts.fault_injector = &injector;
+  RGaeTrainer trainer(model.get(), opts);
+  const TrainResult r = trainer.Run();
+
+  EXPECT_TRUE(r.failed);
+  EXPECT_FALSE(r.failure_reason.empty());
+  EXPECT_EQ(r.rollbacks, opts.resilience.max_rollbacks);
+  // The model was left on its last good checkpoint: evaluation is finite.
+  EXPECT_TRUE(std::isfinite(r.scores.acc));
+  bool saw_failure = false;
+  for (const HealthEvent& ev : r.health_log) {
+    saw_failure |= ev.action.find("failed") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_failure);
+}
+
+TEST(ResilienceTest, DisabledResilienceLeavesTraceUnchanged) {
+  const AttributedGraph g = TinyGraph();
+  TrainerOptions opts = ResilientTrainerOptions();
+  opts.resilience.enabled = false;
+
+  auto plain_model = CreateModel("DGAE", g, TinyModelOptions());
+  RGaeTrainer plain(plain_model.get(), opts);
+  const TrainResult rp = plain.Run();
+
+  opts.resilience.enabled = true;
+  auto guarded_model = CreateModel("DGAE", g, TinyModelOptions());
+  RGaeTrainer guarded(guarded_model.get(), opts);
+  const TrainResult rg = guarded.Run();
+
+  // No faults: the guarded run takes the exact same trajectory.
+  ASSERT_EQ(rg.trace.size(), rp.trace.size());
+  for (size_t i = 0; i < rp.trace.size(); ++i) {
+    EXPECT_EQ(rg.trace[i].loss, rp.trace[i].loss) << "epoch " << i;
+  }
+  EXPECT_EQ(rg.rollbacks, 0);
+  EXPECT_FALSE(rg.failed);
+}
+
+TEST(ResilienceTest, RunSinglePropagatesFailure) {
+  const AttributedGraph g = TinyGraph();
+  FaultEvent e;
+  e.type = FaultEvent::Type::kNanWeight;
+  e.epoch = 12;
+  e.pretrain = false;
+  e.once = false;
+  FaultInjector injector({e}, /*seed=*/42);
+
+  TrainerOptions opts = ResilientTrainerOptions();
+  opts.fault_injector = &injector;
+  const TrialOutcome out = RunSingle("DGAE", g, TinyModelOptions(), opts);
+  EXPECT_TRUE(out.failed);
+  EXPECT_FALSE(out.failure_reason.empty());
+}
+
+}  // namespace
+}  // namespace rgae
