@@ -4,16 +4,123 @@
 // Shared helpers for the table/figure bench binaries. Every bench prints
 // paper-style rows to stdout; effort scales with the RGAE_TRIALS and
 // RGAE_EPOCH_SCALE environment variables (see eval/harness.h).
+//
+// Observability: constructing a `BenchObs` at the top of main() gives every
+// bench binary three flags (consumed before any other argv processing):
+//   --json=<path>   write a machine-readable `rgae.bench.v1` document with
+//                   one RunReport per trial plus a MetricsRegistry snapshot
+//   --trace=<path>  export a Chrome `chrome://tracing` span trace
+//   --log-jsonl=<path>  route structured log records to a JSONL file
+// Either flag also turns instrumentation on (unless RGAE_OBS_ENABLED=0
+// forces it off, the perf-baseline escape hatch).
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/eval/datasets.h"
 #include "src/eval/harness.h"
 #include "src/eval/table.h"
+#include "src/obs/log.h"
+#include "src/obs/metrics.h"
+#include "src/obs/run_report.h"
+#include "src/obs/trace.h"
 
 namespace rgae_bench {
+
+/// Per-binary observability session. Parses and removes its flags from
+/// argv (so benches with their own arg handling, e.g. google-benchmark,
+/// see a clean command line), collects one RunReport per executed trial,
+/// and writes the requested sinks on destruction.
+class BenchObs {
+ public:
+  BenchObs(int* argc, char** argv, std::string bench_name)
+      : bench_(std::move(bench_name)) {
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      if (std::strncmp(argv[i], "--json=", 7) == 0) {
+        json_path_ = argv[i] + 7;
+      } else if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+        trace_path_ = argv[i] + 8;
+      } else if (std::strncmp(argv[i], "--log-jsonl=", 12) == 0) {
+        rgae::obs::SetLogJsonlPath(argv[i] + 12);
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    *argc = out;
+    if (!json_path_.empty() || !trace_path_.empty()) {
+      rgae::obs::SetEnabled(true);
+    }
+    if (!trace_path_.empty()) rgae::obs::SetTraceEnabled(true);
+    active_ = this;
+  }
+
+  /// Convenience overload for benches that take no other arguments.
+  BenchObs(int argc, char** argv, std::string bench_name)
+      : BenchObs(&argc, argv, std::move(bench_name)) {}
+
+  ~BenchObs() {
+    active_ = nullptr;
+    std::string error;
+    if (!json_path_.empty()) {
+      const rgae::obs::JsonValue doc =
+          rgae::obs::BenchDocument(bench_, std::move(trials_));
+      if (rgae::obs::WriteJsonFile(doc, json_path_, &error)) {
+        std::printf("bench json written: %s\n", json_path_.c_str());
+      } else {
+        RGAE_LOG(kError).Event("bench.json_failed").Msg(error);
+      }
+    }
+    if (!trace_path_.empty()) {
+      if (rgae::obs::TraceCollector::Global().WriteChromeTrace(trace_path_,
+                                                               &error)) {
+        std::printf("chrome trace written: %s (load via chrome://tracing)\n",
+                    trace_path_.c_str());
+      } else {
+        RGAE_LOG(kError).Event("bench.trace_failed").Msg(error);
+      }
+    }
+  }
+
+  BenchObs(const BenchObs&) = delete;
+  BenchObs& operator=(const BenchObs&) = delete;
+
+  /// The session of this binary, or null when main() did not create one
+  /// (unit tests using bench helpers, for example).
+  static BenchObs* active() { return active_; }
+
+  void RecordTrial(const rgae::obs::RunReportInfo& info,
+                   const rgae::TrialOutcome& outcome) {
+    if (json_path_.empty()) return;  // Reports only feed the JSON sink.
+    trials_.push_back(rgae::obs::RunReportJson(info, outcome));
+  }
+
+ private:
+  inline static BenchObs* active_ = nullptr;
+
+  std::string bench_;
+  std::string json_path_;
+  std::string trace_path_;
+  std::vector<rgae::obs::JsonValue> trials_;
+};
+
+inline void RecordTrialReport(const std::string& model,
+                              const std::string& dataset, const char* variant,
+                              int trial, uint64_t seed,
+                              const rgae::TrialOutcome& outcome) {
+  if (BenchObs* session = BenchObs::active()) {
+    rgae::obs::RunReportInfo info;
+    info.model = model;
+    info.dataset = dataset;
+    info.variant = variant;
+    info.trial = trial;
+    info.seed = seed;
+    session->RecordTrial(info, outcome);
+  }
+}
 
 /// Per-method aggregate over trials for one dataset.
 struct MethodResult {
@@ -32,8 +139,12 @@ inline MethodResult RunCoupleTrials(
     const uint64_t seed = static_cast<uint64_t>(t) + 1;
     rgae::CoupleConfig config = rgae::MakeCoupleConfig(model, dataset, seed);
     if (tweak != nullptr) tweak(&config);
+    config.base.trial_id = t;
+    config.rvariant.trial_id = t;
     const rgae::AttributedGraph graph = rgae::MakeDataset(dataset, seed);
     rgae::CoupleOutcome outcome = RunCouple(config, graph);
+    RecordTrialReport(model, dataset, "base", t, seed, outcome.base);
+    RecordTrialReport(model, dataset, "r", t, seed, outcome.rmodel);
     base_trials.push_back(std::move(outcome.base));
     r_trials.push_back(std::move(outcome.rmodel));
   }
@@ -54,9 +165,13 @@ inline rgae::Aggregate RunSingleTrials(
     rgae::TrainerOptions opts =
         use_operators ? config.rvariant : config.base;
     if (tweak != nullptr) tweak(&opts);
+    opts.trial_id = t;
     const rgae::AttributedGraph graph = rgae::MakeDataset(dataset, seed);
-    outcomes.push_back(
-        RunSingle(model, graph, config.model_options, opts));
+    rgae::TrialOutcome outcome =
+        RunSingle(model, graph, config.model_options, opts);
+    RecordTrialReport(model, dataset, use_operators ? "r" : "base", t, seed,
+                      outcome);
+    outcomes.push_back(std::move(outcome));
   }
   return rgae::AggregateTrials(outcomes);
 }

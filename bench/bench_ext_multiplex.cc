@@ -8,7 +8,8 @@
 #include "bench/bench_common.h"
 #include "src/graph/multiplex.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const rgae_bench::BenchObs obs(argc, argv, "ext_multiplex");
   rgae_bench::PrintRunBanner("Extension — multiplex graphs");
   const int trials = rgae::NumTrialsFromEnv(2);
 

@@ -24,7 +24,8 @@ rgae::TrainResult TrackedRun(bool use_operators) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rgae_bench::BenchObs obs(argc, argv, "fig10_latent_separability");
   rgae_bench::PrintRunBanner("Figure 10 — latent separability (Cora)");
   const rgae::TrainResult plain = TrackedRun(false);
   const rgae::TrainResult rvar = TrackedRun(true);

@@ -51,7 +51,8 @@ void SweepModel(const std::string& model, const char* figure) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rgae_bench::BenchObs obs(argc, argv, "fig11_12_alpha_sensitivity");
   rgae_bench::PrintRunBanner("Figures 11/12 — alpha sensitivity (Cora)");
   SweepModel("GMM-VGAE", "Figure 11");
   SweepModel("DGAE", "Figure 12");

@@ -15,7 +15,8 @@ void SetGamma(rgae::TrainerOptions* opts) { opts->gamma = g_gamma; }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rgae_bench::BenchObs obs(argc, argv, "fig13_gamma_sensitivity");
   rgae_bench::PrintRunBanner("Figure 13 — gamma sensitivity (Cora)", rgae::NumTrialsFromEnv(2));
   const int trials = rgae::NumTrialsFromEnv(2);
   const double gammas[] = {0.01, 0.05, 0.1, 0.5, 1.0, 5.0};

@@ -7,7 +7,8 @@
 #include "bench/bench_common.h"
 #include "src/graph/analysis.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const rgae_bench::BenchObs obs(argc, argv, "fig4_graph_evolution");
   rgae_bench::PrintRunBanner("Figure 4 — evolution of A_self_clus (Cora)");
   rgae::CoupleConfig config = rgae::MakeCoupleConfig("GMM-VGAE", "Cora", 1);
   config.rvariant.track_dynamics = true;

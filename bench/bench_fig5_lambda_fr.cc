@@ -44,7 +44,8 @@ void PrintExperiment(const char* title, const rgae::TrainResult& run) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rgae_bench::BenchObs obs(argc, argv, "fig5_lambda_fr");
   rgae_bench::PrintRunBanner("Figure 5 — Lambda_FR curves (Cora)");
   const rgae::TrainResult r_run = TrackedRun(/*use_operators=*/true);
   PrintExperiment("Fig 5 (a,d): training R-GMM-VGAE", r_run);

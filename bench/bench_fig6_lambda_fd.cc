@@ -42,7 +42,8 @@ void PrintExperiment(const char* title, const rgae::TrainResult& run) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rgae_bench::BenchObs obs(argc, argv, "fig6_lambda_fd");
   rgae_bench::PrintRunBanner("Figure 6 — Lambda_FD curves (Cora)");
   const rgae::TrainResult r_run = TrackedRun(/*use_operators=*/true);
   PrintExperiment("Fig 6 (a,d): training R-GMM-VGAE", r_run);

@@ -55,7 +55,8 @@ void RunSeries(const char* title, bool edge_mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rgae_bench::BenchObs obs(argc, argv, "fig7_robust_add");
   rgae_bench::PrintRunBanner("Figure 7 — robustness to added corruption");
   RunSeries("Fig 7 (top): random edges added, Cora", /*edge_mode=*/true);
   RunSeries("Fig 7 (bottom): Gaussian feature noise, Cora",

@@ -52,7 +52,8 @@ void RunSeries(const char* title, bool edge_mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rgae_bench::BenchObs obs(argc, argv, "fig8_robust_drop");
   rgae_bench::PrintRunBanner("Figure 8 — robustness to dropped information");
   RunSeries("Fig 8 (top): random edges dropped, Cora", /*edge_mode=*/true);
   RunSeries("Fig 8 (bottom): feature columns dropped, Cora",

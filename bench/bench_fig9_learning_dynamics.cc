@@ -7,7 +7,8 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const rgae_bench::BenchObs obs(argc, argv, "fig9_learning_dynamics");
   rgae_bench::PrintRunBanner("Figure 9 — learning dynamics (Cora)");
   rgae::CoupleConfig config = rgae::MakeCoupleConfig("GMM-VGAE", "Cora", 1);
   config.rvariant.track_dynamics = true;

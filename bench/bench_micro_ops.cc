@@ -3,8 +3,20 @@
 // Ξ is O(N·K²·d)-ish and Υ is near-linear in N + |E|, so neither adds a
 // meaningful constant to a training epoch (whose cost is dominated by the
 // O(N²·d) decoder).
+//
+// With `--json=<path>` (e.g. `bench_micro_ops --json=BENCH_micro_ops.json`)
+// the run enables kernel instrumentation and writes an `rgae.bench.v1`
+// document whose `metrics.histograms` section holds the per-kernel
+// wall-time histograms (kernel.spmm.us, kernel.matmul.us, op.xi.us, …)
+// populated by the instrumented kernels themselves — the repo's
+// machine-readable perf snapshot, schema-checked by
+// scripts/check_bench_json.py. Without the flag (or with
+// RGAE_OBS_ENABLED=0) instrumentation stays off, which is the baseline for
+// the "no measurable slowdown when disabled" guarantee.
 
 #include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
 
 #include "src/clustering/kmeans.h"
 #include "src/core/operators.h"
@@ -121,4 +133,13 @@ BENCHMARK(BM_GaeTrainStep)->Arg(200)->Arg(400)->Arg(800)->Complexity();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strips --json/--trace/--log-jsonl before google-benchmark parses the
+  // remaining flags (--benchmark_filter etc. keep working).
+  const rgae_bench::BenchObs obs(&argc, argv, "micro_ops");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

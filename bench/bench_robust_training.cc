@@ -110,6 +110,7 @@ void RunUnrecoverableTrial() {
     const uint64_t seed = static_cast<uint64_t>(t) + 1;
     rgae::CoupleConfig config = rgae::MakeCoupleConfig("DGAE", "Cora", seed);
     config.base.resilience.enabled = true;
+    config.base.trial_id = t;  // Tags this trial's structured-log records.
 
     rgae::FaultEvent fault;
     fault.type = rgae::FaultEvent::Type::kNanWeight;
@@ -122,6 +123,7 @@ void RunUnrecoverableTrial() {
     const rgae::AttributedGraph graph = rgae::MakeDataset("Cora", seed);
     rgae::TrialOutcome out =
         RunSingle("DGAE", graph, config.model_options, config.base);
+    rgae_bench::RecordTrialReport("DGAE", "Cora", "base", t, seed, out);
     std::printf("trial %d: %s, ACC %.1f, rollbacks %d%s%s\n", t,
                 out.failed ? "FAILED" : "completed",
                 100.0 * out.result.scores.acc, out.result.rollbacks,
@@ -137,7 +139,8 @@ void RunUnrecoverableTrial() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rgae_bench::BenchObs obs(argc, argv, "robust_training");
   rgae_bench::PrintRunBanner("robust training under injected faults", 1);
   RunFaultedCouple();
   RunUnrecoverableTrial();

@@ -57,7 +57,8 @@ rgae::Aggregate SpectralBaseline(const std::string& dataset, int trials) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rgae_bench::BenchObs obs(argc, argv, "table17_comparison");
   rgae_bench::PrintRunBanner("Table 17 — wide method comparison, citation");
   const int trials = rgae::NumTrialsFromEnv();
 

@@ -5,7 +5,8 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const rgae_bench::BenchObs obs(argc, argv, "table1_best_citation");
   rgae_bench::PrintRunBanner("Table 1 — best clustering, citation networks");
   const int trials = rgae::NumTrialsFromEnv();
 

@@ -3,7 +3,8 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const rgae_bench::BenchObs obs(argc, argv, "table2_mean_citation");
   rgae_bench::PrintRunBanner("Table 2 — mean/std clustering, citation");
   const int trials = rgae::NumTrialsFromEnv();
 

@@ -3,7 +3,8 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const rgae_bench::BenchObs obs(argc, argv, "table3_best_airtraffic");
   rgae_bench::PrintRunBanner("Table 3 — best clustering, air traffic");
   const int trials = rgae::NumTrialsFromEnv();
 

@@ -3,7 +3,8 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const rgae_bench::BenchObs obs(argc, argv, "table4_mean_airtraffic");
   rgae_bench::PrintRunBanner("Table 4 — mean/std clustering, air traffic");
   const int trials = rgae::NumTrialsFromEnv();
 

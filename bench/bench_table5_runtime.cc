@@ -6,7 +6,8 @@
 
 #include "bench/bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const rgae_bench::BenchObs obs(argc, argv, "table5_runtime");
   rgae_bench::PrintRunBanner("Table 5 — execution time");
   const int trials = rgae::NumTrialsFromEnv();
 

@@ -16,7 +16,8 @@ void SetDelay(rgae::TrainerOptions* opts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rgae_bench::BenchObs obs(argc, argv, "table6_fr_protection");
   rgae_bench::PrintRunBanner("Table 6 — FR protection vs correction (Cora)", rgae::NumTrialsFromEnv(2));
   const int trials = rgae::NumTrialsFromEnv(2);
   const int delays[] = {0, 10, 30, 50, 100, 150};

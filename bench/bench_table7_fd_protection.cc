@@ -13,7 +13,8 @@ void Protection(rgae::TrainerOptions* opts) { opts->fd_protection = true; }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rgae_bench::BenchObs obs(argc, argv, "table7_fd_protection");
   rgae_bench::PrintRunBanner("Table 7 — FD protection vs correction (Cora)", rgae::NumTrialsFromEnv(2));
   const int trials = rgae::NumTrialsFromEnv(2);
 

@@ -17,7 +17,8 @@ void Ablate(rgae::TrainerOptions* opts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rgae_bench::BenchObs obs(argc, argv, "table8_ablate_thresholds");
   rgae_bench::PrintRunBanner("Table 8 — ablation of alpha1/alpha2 (Cora)", rgae::NumTrialsFromEnv(2));
   const int trials = rgae::NumTrialsFromEnv(2);
   struct Config {

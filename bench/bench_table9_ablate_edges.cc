@@ -17,7 +17,8 @@ void Ablate(rgae::TrainerOptions* opts) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rgae_bench::BenchObs obs(argc, argv, "table9_ablate_edges");
   rgae_bench::PrintRunBanner("Table 9 — ablation of add/drop edges (Cora)", rgae::NumTrialsFromEnv(2));
   const int trials = rgae::NumTrialsFromEnv(2);
   struct Config {

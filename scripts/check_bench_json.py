@@ -1,0 +1,249 @@
+#!/usr/bin/env python3
+"""Schema checker for the `rgae.bench.v1` documents written by bench binaries.
+
+Usage:
+    check_bench_json.py <doc.json> [<doc.json> ...]
+    check_bench_json.py --run <bench_binary> [bench args ...]
+
+In `--run` mode the bench binary is invoked with `--json=<tempfile>` (plus
+any extra arguments, e.g. --benchmark_filter), and the document it writes is
+validated — a single ctest-friendly command. Exit status 0 means every
+document is schema-valid; violations are listed on stderr.
+
+The checker is intentionally strict about the contract downstream tooling
+relies on: sentinel values (-1 "untracked", -2 "untracked lambda") must have
+been converted to JSON null, histograms must carry consistent count/sum/
+min/max/mean plus monotone non-empty buckets, and trial reports must carry
+the full RunReport field set.
+"""
+
+import json
+import math
+import subprocess
+import sys
+import tempfile
+import os
+
+SCHEMA = "rgae.bench.v1"
+
+TRIAL_REQUIRED = [
+    "model", "dataset", "variant", "trial", "seed", "seconds", "scores",
+    "pretrain_seconds", "cluster_seconds", "cluster_epochs_run", "failed",
+    "failure_reason", "rollbacks", "health_events", "trace",
+]
+
+# EpochRecord fields that are either a number or null — never a sentinel.
+EPOCH_NULLABLE = [
+    "acc", "nmi", "ari", "lambda_fr_plain", "lambda_fr_r",
+    "lambda_fd_plain", "lambda_fd_r", "omega_size", "omega_acc", "rest_acc",
+    "self_links", "self_true_links", "self_false_links", "separability",
+]
+
+HIST_REQUIRED = ["count", "sum", "min", "max", "mean", "buckets"]
+
+
+class Checker:
+    def __init__(self, path):
+        self.path = path
+        self.errors = []
+
+    def fail(self, where, message):
+        self.errors.append(f"{self.path}: {where}: {message}")
+
+    def expect(self, condition, where, message):
+        if not condition:
+            self.fail(where, message)
+        return condition
+
+    def is_num(self, v):
+        return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+    def check_scores(self, scores, where):
+        if not self.expect(isinstance(scores, dict), where, "not an object"):
+            return
+        for key in ("acc", "nmi", "ari"):
+            v = scores.get(key)
+            self.expect(self.is_num(v), f"{where}.{key}", "missing or non-numeric")
+
+    def check_epoch(self, record, where):
+        if not self.expect(isinstance(record, dict), where, "not an object"):
+            return
+        self.expect(self.is_num(record.get("epoch")), f"{where}.epoch",
+                    "missing or non-numeric")
+        self.expect(self.is_num(record.get("loss")), f"{where}.loss",
+                    "missing or non-numeric")
+        for key in EPOCH_NULLABLE:
+            self.expect(key in record, f"{where}.{key}", "missing")
+            v = record.get(key)
+            if v is None:
+                continue
+            if not self.expect(self.is_num(v), f"{where}.{key}",
+                               f"must be number or null, got {v!r}"):
+                continue
+            # Sentinels must have been nulled by the emitter.
+            if key.startswith("lambda_"):
+                self.expect(-1.0 <= v <= 1.0, f"{where}.{key}",
+                            f"outside [-1,1] (leaked sentinel?): {v}")
+            else:
+                self.expect(v >= 0, f"{where}.{key}",
+                            f"negative (leaked -1 sentinel?): {v}")
+        self.expect("upsilon" in record, f"{where}.upsilon", "missing")
+        upsilon = record.get("upsilon")
+        if upsilon is not None and self.expect(
+                isinstance(upsilon, dict), f"{where}.upsilon",
+                "must be object or null"):
+            for key in ("added_edges", "dropped_edges"):
+                self.expect(self.is_num(upsilon.get(key)),
+                            f"{where}.upsilon.{key}", "missing or non-numeric")
+        self.expect(isinstance(record.get("health"), str),
+                    f"{where}.health", "missing or non-string")
+
+    def check_trial(self, trial, where):
+        if not self.expect(isinstance(trial, dict), where, "not an object"):
+            return
+        for key in TRIAL_REQUIRED:
+            self.expect(key in trial, f"{where}.{key}", "missing")
+        self.check_scores(trial.get("scores", {}), f"{where}.scores")
+        self.expect(isinstance(trial.get("failed"), bool),
+                    f"{where}.failed", "must be a bool")
+        reason = trial.get("failure_reason")
+        self.expect(reason is None or isinstance(reason, str),
+                    f"{where}.failure_reason", "must be string or null")
+        if trial.get("failed") is False:
+            self.expect(reason is None, f"{where}.failure_reason",
+                        "non-null on a successful trial")
+        for i, record in enumerate(trial.get("trace") or []):
+            self.check_epoch(record, f"{where}.trace[{i}]")
+        for i, event in enumerate(trial.get("health_events") or []):
+            w = f"{where}.health_events[{i}]"
+            if self.expect(isinstance(event, dict), w, "not an object"):
+                self.expect(event.get("phase") in ("pretrain", "cluster"),
+                            f"{w}.phase", f"bad phase {event.get('phase')!r}")
+                self.expect(self.is_num(event.get("epoch")),
+                            f"{w}.epoch", "missing or non-numeric")
+
+    def check_histogram(self, hist, where):
+        if not self.expect(isinstance(hist, dict), where, "not an object"):
+            return
+        for key in HIST_REQUIRED:
+            self.expect(key in hist, f"{where}.{key}", "missing")
+        count = hist.get("count")
+        if not self.expect(self.is_num(count) and count >= 0,
+                           f"{where}.count", "must be a non-negative number"):
+            return
+        buckets = hist.get("buckets")
+        if not self.expect(isinstance(buckets, list), f"{where}.buckets",
+                           "must be an array"):
+            return
+        bucket_total = 0
+        prev_le = -math.inf
+        for i, bucket in enumerate(buckets):
+            w = f"{where}.buckets[{i}]"
+            if not self.expect(isinstance(bucket, dict), w, "not an object"):
+                continue
+            le = bucket.get("le")
+            self.expect(le is None or self.is_num(le), f"{w}.le",
+                        "must be number or null (overflow)")
+            if le is None:
+                self.expect(i == len(buckets) - 1, f"{w}.le",
+                            "null (overflow) bucket must come last")
+            else:
+                self.expect(le > prev_le, f"{w}.le",
+                            f"bounds not increasing: {le} after {prev_le}")
+                prev_le = le
+            n = bucket.get("count")
+            if self.expect(self.is_num(n) and n > 0, f"{w}.count",
+                           "non-empty buckets only, with positive counts"):
+                bucket_total += n
+        self.expect(bucket_total == count, f"{where}.buckets",
+                    f"bucket counts sum to {bucket_total}, count is {count}")
+        if count > 0:
+            lo, hi, mean = hist.get("min"), hist.get("max"), hist.get("mean")
+            total = hist.get("sum")
+            if all(self.is_num(v) for v in (lo, hi, mean, total)):
+                self.expect(lo <= mean <= hi, where,
+                            f"mean {mean} outside [min {lo}, max {hi}]")
+                self.expect(math.isclose(mean * count, total, rel_tol=1e-6,
+                                         abs_tol=1e-6),
+                            where, f"sum {total} != mean*count {mean * count}")
+
+    def check_document(self, doc):
+        if not self.expect(isinstance(doc, dict), "$", "top level not an object"):
+            return
+        self.expect(doc.get("schema") == SCHEMA, "$.schema",
+                    f"expected {SCHEMA!r}, got {doc.get('schema')!r}")
+        self.expect(isinstance(doc.get("bench"), str) and doc.get("bench"),
+                    "$.bench", "missing or empty")
+        trials = doc.get("trials")
+        if self.expect(isinstance(trials, list), "$.trials",
+                       "missing or not an array"):
+            for i, trial in enumerate(trials):
+                self.check_trial(trial, f"$.trials[{i}]")
+        metrics = doc.get("metrics")
+        if self.expect(isinstance(metrics, dict), "$.metrics",
+                       "missing or not an object"):
+            for section in ("counters", "gauges", "histograms"):
+                self.expect(isinstance(metrics.get(section), dict),
+                            f"$.metrics.{section}", "missing or not an object")
+            for name, hist in (metrics.get("histograms") or {}).items():
+                self.check_histogram(hist, f"$.metrics.histograms[{name!r}]")
+        dropped = doc.get("dropped_trace_events")
+        self.expect(self.is_num(dropped) and dropped >= 0,
+                    "$.dropped_trace_events", "must be a non-negative number")
+
+
+def check_file(path):
+    checker = Checker(path)
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        checker.fail("$", f"cannot parse: {e}")
+        return checker.errors
+    checker.check_document(doc)
+    return checker.errors
+
+
+def run_mode(argv):
+    if not argv:
+        print("--run requires a bench binary path", file=sys.stderr)
+        return 2
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "bench.json")
+        cmd = [argv[0], f"--json={out}"] + argv[1:]
+        proc = subprocess.run(cmd)
+        if proc.returncode != 0:
+            print(f"bench exited with {proc.returncode}: {' '.join(cmd)}",
+                  file=sys.stderr)
+            return 1
+        if not os.path.exists(out):
+            print(f"bench did not write {out}", file=sys.stderr)
+            return 1
+        errors = check_file(out)
+    return report(errors, [out])
+
+
+def report(errors, paths):
+    if errors:
+        for error in errors:
+            print(error, file=sys.stderr)
+        print(f"FAIL: {len(errors)} schema violation(s)", file=sys.stderr)
+        return 1
+    print(f"OK: {len(paths)} document(s) schema-valid ({SCHEMA})")
+    return 0
+
+
+def main(argv):
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__.strip())
+        return 0 if argv else 2
+    if argv[0] == "--run":
+        return run_mode(argv[1:])
+    errors = []
+    for path in argv:
+        errors.extend(check_file(path))
+    return report(errors, argv)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/clustering/kmeans.h"
+#include "src/obs/trace.h"
 
 namespace rgae {
 
@@ -134,11 +135,14 @@ GmmModel FitGmm(const Matrix& data, int k, Rng& rng,
 
 void EmIterations(GmmModel* model, const Matrix& data, int iterations,
                   const GmmOptions& options) {
+  RGAE_TIMED_KERNEL("kernel.gmm_em");
   const int n = data.rows();
   const int k = model->num_components();
   const int d = model->dim();
   double prev_ll = -1e300;
+  int ran = 0;
   for (int it = 0; it < iterations; ++it) {
+    ++ran;
     // E-step.
     const Matrix resp = model->Responsibilities(data);
     // M-step.
@@ -165,6 +169,12 @@ void EmIterations(GmmModel* model, const Matrix& data, int iterations,
     const double ll = model->MeanLogLikelihood(data);
     if (ll - prev_ll < options.tolerance) break;
     prev_ll = ll;
+  }
+  if (obs::Enabled()) {
+    RGAE_COUNT("gmm.fits");
+    static obs::Histogram* const iters =
+        obs::MetricsRegistry::Global().GetHistogram("gmm.iterations");
+    iters->Observe(ran);
   }
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "src/obs/trace.h"
+
 namespace rgae {
 
 namespace {
@@ -80,12 +82,21 @@ KMeansResult RunOnce(const Matrix& data, int k, Rng& rng,
 
 KMeansResult KMeans(const Matrix& data, int k, Rng& rng,
                     const KMeansOptions& options) {
+  RGAE_TIMED_KERNEL("kernel.kmeans");
   assert(k > 0 && data.rows() >= k);
   KMeansResult best;
   best.inertia = std::numeric_limits<double>::max();
+  int total_iterations = 0;
   for (int r = 0; r < std::max(1, options.restarts); ++r) {
     KMeansResult candidate = RunOnce(data, k, rng, options);
+    total_iterations += candidate.iterations;
     if (candidate.inertia < best.inertia) best = std::move(candidate);
+  }
+  if (obs::Enabled()) {
+    RGAE_COUNT("kmeans.fits");
+    static obs::Histogram* const iters =
+        obs::MetricsRegistry::Global().GetHistogram("kmeans.iterations");
+    iters->Observe(total_iterations);
   }
   return best;
 }

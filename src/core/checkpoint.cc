@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "src/models/model.h"
+#include "src/obs/trace.h"
 
 namespace rgae {
 
@@ -98,6 +99,8 @@ bool Fail(std::string* error, const std::string& message) {
 }  // namespace
 
 ModelCheckpoint CaptureModel(GaeModel* model) {
+  RGAE_TIMED_KERNEL("ckpt.capture");
+  RGAE_COUNT("ckpt.captures");
   ModelCheckpoint ckpt;
   for (Parameter* p : model->Params()) {
     ckpt.values.push_back(p->value);
@@ -114,6 +117,8 @@ ModelCheckpoint CaptureModel(GaeModel* model) {
 
 bool RestoreModel(const ModelCheckpoint& checkpoint, GaeModel* model,
                   std::string* error) {
+  RGAE_TIMED_KERNEL("ckpt.restore");
+  RGAE_COUNT("ckpt.restores");
   const std::vector<Parameter*> params = model->Params();
   if (checkpoint.values.size() != params.size()) {
     return Fail(error, "checkpoint has " +

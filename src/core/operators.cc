@@ -5,10 +5,12 @@
 #include <limits>
 
 #include "src/clustering/assignments.h"
+#include "src/obs/trace.h"
 
 namespace rgae {
 
 XiResult OperatorXi(const Matrix& soft_assignments, const XiOptions& options) {
+  RGAE_TIMED_KERNEL("op.xi");
   const int n = soft_assignments.rows();
   const int k = soft_assignments.cols();
   assert(k >= 2);
@@ -34,6 +36,12 @@ XiResult OperatorXi(const Matrix& soft_assignments, const XiOptions& options) {
     const bool pass1 = !options.use_alpha1 || l1 >= options.alpha1;
     const bool pass2 = !options.use_alpha2 || (l1 - l2) >= alpha2;
     if (pass1 && pass2) result.omega.push_back(i);
+  }
+  if (obs::Enabled()) {
+    RGAE_COUNT("op.xi.calls");
+    static obs::Gauge* const omega_size =
+        obs::MetricsRegistry::Global().GetGauge("op.xi.omega_size");
+    omega_size->Set(static_cast<double>(result.omega.size()));
   }
   return result;
 }
@@ -63,6 +71,7 @@ AttributedGraph OperatorUpsilon(const AttributedGraph& original,
                                 const std::vector<int>& omega,
                                 const UpsilonOptions& options,
                                 UpsilonStats* stats) {
+  RGAE_TIMED_KERNEL("op.upsilon");
   const int k = p.cols();
   assert(z.rows() == original.num_nodes() && p.rows() == original.num_nodes());
   UpsilonStats local_stats;
@@ -145,6 +154,15 @@ AttributedGraph OperatorUpsilon(const AttributedGraph& original,
         }
       }
     }
+  }
+  if (obs::Enabled()) {
+    RGAE_COUNT("op.upsilon.calls");
+    static obs::Counter* const added =
+        obs::MetricsRegistry::Global().GetCounter("op.upsilon.added_edges");
+    static obs::Counter* const dropped =
+        obs::MetricsRegistry::Global().GetCounter("op.upsilon.dropped_edges");
+    added->Inc(st->added_edges);
+    dropped->Inc(st->dropped_edges);
   }
   return out;
 }

@@ -11,6 +11,8 @@
 #include "src/core/fault_injection.h"
 #include "src/metrics/fr_fd.h"
 #include "src/metrics/hungarian.h"
+#include "src/obs/log.h"
+#include "src/obs/trace.h"
 
 namespace rgae {
 
@@ -168,6 +170,17 @@ bool RGaeTrainer::RecoverOrFail(const HealthVerdict& verdict, bool pretrain,
       guard->Reset();
       event.action = verdict.detail + "; rollback to epoch " +
                      std::to_string(ckpt.epoch) + ", lr " + std::to_string(lr);
+      RGAE_COUNT("trainer.rollbacks");
+      RGAE_LOG(kWarn)
+          .Event("trainer.rollback")
+          .Field("trial", options_.trial_id)
+          .Field("phase", pretrain ? "pretrain" : "cluster")
+          .Field("epoch", epoch)
+          .Field("status", HealthStatusName(verdict.status))
+          .Field("target_epoch", ckpt.epoch)
+          .Field("lr", lr)
+          .Field("rollbacks", rollbacks_)
+          .Msg(verdict.detail);
       health_log_.push_back(std::move(event));
       return true;
     }
@@ -184,11 +197,21 @@ bool RGaeTrainer::RecoverOrFail(const HealthVerdict& verdict, bool pretrain,
                     " (" + std::to_string(rollbacks_) + " rollbacks)";
   if (!ckpt.empty()) RestoreModel(ckpt.model, model_);
   event.action += "; trial failed";
+  RGAE_COUNT("trainer.trials_failed");
+  RGAE_LOG(kError)
+      .Event("trainer.failed")
+      .Field("trial", options_.trial_id)
+      .Field("phase", pretrain ? "pretrain" : "cluster")
+      .Field("epoch", epoch)
+      .Field("status", HealthStatusName(verdict.status))
+      .Field("rollbacks", rollbacks_)
+      .Msg(verdict.detail);
   health_log_.push_back(std::move(event));
   return false;
 }
 
 bool RGaeTrainer::Pretrain() {
+  RGAE_SPAN("train.pretrain");
   TrainContext ctx;
   ctx.recon = recon_;
   ctx.include_clustering = false;
@@ -199,6 +222,8 @@ bool RGaeTrainer::Pretrain() {
 
   int epoch = 0;
   while (epoch < options_.pretrain_epochs) {
+    RGAE_SPAN("epoch.pretrain");
+    RGAE_COUNT("trainer.epochs.pretrain");
     // First-group R-models: gradually transform the reconstruction target
     // during pretraining (Section 5.1 protocol).
     if (first_group && options_.use_operators &&
@@ -234,6 +259,7 @@ bool RGaeTrainer::Pretrain() {
 }
 
 TrainResult RGaeTrainer::TrainClustering() {
+  RGAE_SPAN("train.cluster");
   TrainResult result;
   const auto begin = std::chrono::steady_clock::now();
   const int n = model_->graph().num_nodes();
@@ -274,6 +300,8 @@ TrainResult RGaeTrainer::TrainClustering() {
 
   int epoch = 0;
   while (epoch < options_.max_cluster_epochs) {
+    RGAE_SPAN("epoch.cluster");
+    RGAE_COUNT("trainer.epochs.cluster");
     const bool xi_active =
         options_.use_operators && epoch >= options_.xi_delay_epochs;
     // Refresh Ω every M₁ epochs.

@@ -81,6 +81,11 @@ struct TrainerOptions {
   /// production runs.
   FaultInjector* fault_injector = nullptr;
 
+  /// Trial index within a multi-trial harness run; -1 outside one. Carried
+  /// into every structured-log record the trainer emits (see src/obs/log.h)
+  /// so rollback/failure events are attributable to their trial.
+  int trial_id = -1;
+
   uint64_t seed = 7;
 };
 

@@ -4,8 +4,9 @@
 #include <cassert>
 #include <chrono>
 #include <cmath>
-#include <cstdio>
 #include <cstdlib>
+
+#include "src/obs/log.h"
 
 namespace rgae {
 
@@ -153,10 +154,23 @@ Aggregate AggregateTrials(const std::vector<TrialOutcome>& trials) {
     }
   }
   if (agg.dropped_trials > 0) {
-    std::fprintf(stderr,
-                 "AggregateTrials: dropped %d/%zu failed trial(s); "
-                 "aggregating over %zu survivor(s)\n",
-                 agg.dropped_trials, trials.size(), alive.size());
+    // The first failure reason names the concrete cause; trial ids of all
+    // dropped runs go into their own field so tables stay attributable.
+    std::string dropped_ids;
+    std::string first_reason;
+    for (size_t i = 0; i < trials.size(); ++i) {
+      if (!trials[i].failed) continue;
+      if (!dropped_ids.empty()) dropped_ids += ",";
+      dropped_ids += std::to_string(i);
+      if (first_reason.empty()) first_reason = trials[i].failure_reason;
+    }
+    RGAE_LOG(kWarn)
+        .Event("aggregate.dropped_trials")
+        .Field("dropped", agg.dropped_trials)
+        .Field("total", static_cast<long long>(trials.size()))
+        .Field("survivors", static_cast<long long>(alive.size()))
+        .Field("trials", dropped_ids)
+        .Msg(first_reason);
   }
   agg.num_trials = static_cast<int>(alive.size());
   if (alive.empty()) return agg;  // Zeroed aggregate, never NaN.

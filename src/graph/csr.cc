@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/obs/trace.h"
+
 namespace rgae {
 
 CsrMatrix CsrMatrix::FromTriplets(int rows, int cols,
@@ -68,6 +70,7 @@ std::vector<int> CsrMatrix::RowCols(int r) const {
 }
 
 Matrix CsrMatrix::Multiply(const Matrix& x) const {
+  RGAE_TIMED_KERNEL("kernel.spmm");
   assert(cols_ == x.rows());
   Matrix out(rows_, x.cols());
   for (int r = 0; r < rows_; ++r) {
@@ -82,6 +85,7 @@ Matrix CsrMatrix::Multiply(const Matrix& x) const {
 }
 
 Matrix CsrMatrix::MultiplyTransposed(const Matrix& x) const {
+  RGAE_TIMED_KERNEL("kernel.spmm");
   assert(rows_ == x.rows());
   Matrix out(cols_, x.cols());
   for (int r = 0; r < rows_; ++r) {

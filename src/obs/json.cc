@@ -1,0 +1,378 @@
+#include "src/obs/json.h"
+
+#include <cassert>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace rgae {
+namespace obs {
+
+void JsonValue::Append(JsonValue v) {
+  assert(type_ == Type::kArray);
+  items_.push_back(std::move(v));
+}
+
+void JsonValue::Set(const std::string& key, JsonValue v) {
+  assert(type_ == Type::kObject);
+  for (auto& [k, existing] : entries_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  entries_.emplace_back(key, std::move(v));
+}
+
+const JsonValue* JsonValue::Get(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void AppendJsonQuoted(const std::string& s, std::string* out) {
+  out->push_back('"');
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\b': *out += "\\b"; break;
+      case '\f': *out += "\\f"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(raw);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+namespace {
+
+void AppendNumber(double d, std::string* out) {
+  if (!std::isfinite(d)) {
+    *out += "null";
+    return;
+  }
+  // Integral values within the exact-double range print without a decimal
+  // point so counters read as integers downstream.
+  if (d == std::floor(d) && std::fabs(d) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    *out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  *out += buf;
+}
+
+void AppendIndent(std::string* out, int indent, int depth) {
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void JsonValue::DumpTo(std::string* out, int indent, int depth) const {
+  switch (type_) {
+    case Type::kNull: *out += "null"; break;
+    case Type::kBool: *out += bool_ ? "true" : "false"; break;
+    case Type::kNumber: AppendNumber(number_, out); break;
+    case Type::kString: AppendJsonQuoted(string_, out); break;
+    case Type::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        break;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        if (indent >= 0) AppendIndent(out, indent, depth + 1);
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (indent >= 0) AppendIndent(out, indent, depth);
+      out->push_back(']');
+      break;
+    }
+    case Type::kObject: {
+      if (entries_.empty()) {
+        *out += "{}";
+        break;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < entries_.size(); ++i) {
+        if (i > 0) out->push_back(',');
+        if (indent >= 0) AppendIndent(out, indent, depth + 1);
+        AppendJsonQuoted(entries_[i].first, out);
+        *out += indent >= 0 ? ": " : ":";
+        entries_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (indent >= 0) AppendIndent(out, indent, depth);
+      out->push_back('}');
+      break;
+    }
+  }
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Hand-rolled recursive-descent parser over a char range.
+class Parser {
+ public:
+  Parser(const char* p, const char* end) : p_(p), end_(end) {}
+
+  bool ParseValue(JsonValue* out);
+  void SkipWhitespace() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                         *p_ == '\r')) {
+      ++p_;
+    }
+  }
+  bool AtEnd() const { return p_ >= end_; }
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& what) {
+    if (error_.empty()) error_ = what;
+    return false;
+  }
+  bool Consume(char c) {
+    if (p_ < end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return Fail(std::string("expected '") + c + "'");
+  }
+  bool ParseLiteral(const char* lit, JsonValue v, JsonValue* out) {
+    const size_t len = std::strlen(lit);
+    if (static_cast<size_t>(end_ - p_) < len ||
+        std::strncmp(p_, lit, len) != 0) {
+      return Fail(std::string("expected '") + lit + "'");
+    }
+    p_ += len;
+    *out = std::move(v);
+    return true;
+  }
+  bool ParseString(std::string* out);
+  bool ParseNumber(JsonValue* out);
+  bool ParseHex4(unsigned* out);
+  static void AppendUtf8(unsigned cp, std::string* out);
+
+  const char* p_;
+  const char* end_;
+  std::string error_;
+};
+
+bool Parser::ParseHex4(unsigned* out) {
+  if (end_ - p_ < 4) return Fail("truncated \\u escape");
+  unsigned v = 0;
+  for (int i = 0; i < 4; ++i) {
+    const char c = p_[i];
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<unsigned>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<unsigned>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      v |= static_cast<unsigned>(c - 'A' + 10);
+    } else {
+      return Fail("bad \\u escape");
+    }
+  }
+  p_ += 4;
+  *out = v;
+  return true;
+}
+
+void Parser::AppendUtf8(unsigned cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+bool Parser::ParseString(std::string* out) {
+  if (!Consume('"')) return false;
+  while (p_ < end_ && *p_ != '"') {
+    const unsigned char c = static_cast<unsigned char>(*p_);
+    if (c < 0x20) return Fail("unescaped control character in string");
+    if (c != '\\') {
+      out->push_back(*p_++);
+      continue;
+    }
+    ++p_;
+    if (p_ >= end_) return Fail("truncated escape");
+    const char esc = *p_++;
+    switch (esc) {
+      case '"': out->push_back('"'); break;
+      case '\\': out->push_back('\\'); break;
+      case '/': out->push_back('/'); break;
+      case 'b': out->push_back('\b'); break;
+      case 'f': out->push_back('\f'); break;
+      case 'n': out->push_back('\n'); break;
+      case 'r': out->push_back('\r'); break;
+      case 't': out->push_back('\t'); break;
+      case 'u': {
+        unsigned cp = 0;
+        if (!ParseHex4(&cp)) return false;
+        // Surrogate pair: combine into one code point when the low half
+        // follows; otherwise keep the lone half as-is.
+        if (cp >= 0xD800 && cp <= 0xDBFF && end_ - p_ >= 6 && p_[0] == '\\' &&
+            p_[1] == 'u') {
+          const char* save = p_;
+          p_ += 2;
+          unsigned low = 0;
+          if (!ParseHex4(&low)) return false;
+          if (low >= 0xDC00 && low <= 0xDFFF) {
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+          } else {
+            p_ = save;
+          }
+        }
+        AppendUtf8(cp, out);
+        break;
+      }
+      default:
+        return Fail("bad escape");
+    }
+  }
+  return Consume('"');
+}
+
+bool Parser::ParseNumber(JsonValue* out) {
+  const char* start = p_;
+  if (p_ < end_ && *p_ == '-') ++p_;
+  while (p_ < end_ && (std::isdigit(static_cast<unsigned char>(*p_)) ||
+                       *p_ == '.' || *p_ == 'e' || *p_ == 'E' || *p_ == '+' ||
+                       *p_ == '-')) {
+    ++p_;
+  }
+  if (p_ == start) return Fail("expected number");
+  const std::string text(start, p_);
+  char* parse_end = nullptr;
+  const double v = std::strtod(text.c_str(), &parse_end);
+  if (parse_end != text.c_str() + text.size()) return Fail("bad number");
+  *out = JsonValue(v);
+  return true;
+}
+
+bool Parser::ParseValue(JsonValue* out) {
+  SkipWhitespace();
+  if (p_ >= end_) return Fail("unexpected end of input");
+  switch (*p_) {
+    case 'n': return ParseLiteral("null", JsonValue::Null(), out);
+    case 't': return ParseLiteral("true", JsonValue(true), out);
+    case 'f': return ParseLiteral("false", JsonValue(false), out);
+    case '"': {
+      std::string s;
+      if (!ParseString(&s)) return false;
+      *out = JsonValue(std::move(s));
+      return true;
+    }
+    case '[': {
+      ++p_;
+      JsonValue arr = JsonValue::MakeArray();
+      SkipWhitespace();
+      if (p_ < end_ && *p_ == ']') {
+        ++p_;
+        *out = std::move(arr);
+        return true;
+      }
+      while (true) {
+        JsonValue item;
+        if (!ParseValue(&item)) return false;
+        arr.Append(std::move(item));
+        SkipWhitespace();
+        if (p_ < end_ && *p_ == ',') {
+          ++p_;
+          continue;
+        }
+        break;
+      }
+      if (!Consume(']')) return false;
+      *out = std::move(arr);
+      return true;
+    }
+    case '{': {
+      ++p_;
+      JsonValue obj = JsonValue::MakeObject();
+      SkipWhitespace();
+      if (p_ < end_ && *p_ == '}') {
+        ++p_;
+        *out = std::move(obj);
+        return true;
+      }
+      while (true) {
+        SkipWhitespace();
+        std::string key;
+        if (!ParseString(&key)) return false;
+        SkipWhitespace();
+        if (!Consume(':')) return false;
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        obj.Set(key, std::move(value));
+        SkipWhitespace();
+        if (p_ < end_ && *p_ == ',') {
+          ++p_;
+          continue;
+        }
+        break;
+      }
+      if (!Consume('}')) return false;
+      *out = std::move(obj);
+      return true;
+    }
+    default:
+      return ParseNumber(out);
+  }
+}
+
+}  // namespace
+
+bool JsonValue::Parse(const std::string& text, JsonValue* out,
+                      std::string* error) {
+  Parser parser(text.data(), text.data() + text.size());
+  JsonValue v;
+  if (!parser.ParseValue(&v)) {
+    if (error != nullptr) *error = parser.error();
+    return false;
+  }
+  parser.SkipWhitespace();
+  if (!parser.AtEnd()) {
+    if (error != nullptr) *error = "trailing characters after JSON value";
+    return false;
+  }
+  *out = std::move(v);
+  return true;
+}
+
+}  // namespace obs
+}  // namespace rgae

@@ -1,0 +1,96 @@
+#ifndef RGAE_OBS_JSON_H_
+#define RGAE_OBS_JSON_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rgae {
+namespace obs {
+
+/// Minimal owning JSON document used by the observability layer: metric
+/// snapshots, run reports, Chrome traces and JSONL log records are all
+/// assembled as `JsonValue` trees and serialized with `Dump`. A small
+/// recursive-descent `Parse` exists so tests (and the schema validator)
+/// can round-trip what the emitters wrote; it is not a general-purpose
+/// high-performance parser and none of the hot paths touch it.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Defaults to null.
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool b) : type_(Type::kBool), bool_(b) {}            // NOLINT
+  JsonValue(double d) : type_(Type::kNumber), number_(d) {}      // NOLINT
+  JsonValue(int i) : JsonValue(static_cast<double>(i)) {}        // NOLINT
+  JsonValue(long l) : JsonValue(static_cast<double>(l)) {}       // NOLINT
+  JsonValue(long long l) : JsonValue(static_cast<double>(l)) {}  // NOLINT
+  JsonValue(unsigned u) : JsonValue(static_cast<double>(u)) {}   // NOLINT
+  JsonValue(unsigned long u)                                     // NOLINT
+      : JsonValue(static_cast<double>(u)) {}
+  JsonValue(unsigned long long u)                                // NOLINT
+      : JsonValue(static_cast<double>(u)) {}
+  JsonValue(std::string s)                                       // NOLINT
+      : type_(Type::kString), string_(std::move(s)) {}
+  JsonValue(const char* s) : JsonValue(std::string(s)) {}        // NOLINT
+
+  static JsonValue MakeArray() { return JsonValue(Type::kArray); }
+  static JsonValue MakeObject() { return JsonValue(Type::kObject); }
+  static JsonValue Null() { return JsonValue(); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& string() const { return string_; }
+
+  /// Array access. `Append` asserts the value is an array.
+  void Append(JsonValue v);
+  size_t size() const { return items_.size(); }
+  const JsonValue& at(size_t i) const { return items_[i]; }
+  const std::vector<JsonValue>& items() const { return items_; }
+
+  /// Object access. Insertion order is preserved; `Set` replaces an
+  /// existing key in place. `Get` returns null when the key is absent.
+  void Set(const std::string& key, JsonValue v);
+  const JsonValue* Get(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& entries() const {
+    return entries_;
+  }
+
+  /// Serializes to a string. `indent < 0` emits compact one-line JSON;
+  /// otherwise pretty-prints with that many spaces per level. Non-finite
+  /// numbers serialize as `null` (JSON has no NaN/inf).
+  std::string Dump(int indent = -1) const;
+
+  /// Parses `text` into `*out`. Returns false (filling `*error` when
+  /// non-null) on malformed input, including trailing garbage.
+  static bool Parse(const std::string& text, JsonValue* out,
+                    std::string* error = nullptr);
+
+ private:
+  explicit JsonValue(Type t) : type_(t) {}
+
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> entries_;
+};
+
+/// Appends the JSON escaping of `s` (quotes included) to `*out`.
+void AppendJsonQuoted(const std::string& s, std::string* out);
+
+}  // namespace obs
+}  // namespace rgae
+
+#endif  // RGAE_OBS_JSON_H_

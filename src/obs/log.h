@@ -1,0 +1,90 @@
+#ifndef RGAE_OBS_LOG_H_
+#define RGAE_OBS_LOG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/obs/json.h"
+
+namespace rgae {
+namespace obs {
+
+/// Leveled structured logging. Every record has a level, an event name and
+/// typed key=value fields; records are rendered twice:
+///
+///  * a human-readable `[warn] trainer.rollback epoch=42 lr=0.0025` line on
+///    stderr (this replaces the repo's previous raw `fprintf(stderr, …)`
+///    sites), and
+///  * one JSON object per line into the JSONL sink, when configured —
+///    `{"ts_us":…,"level":"warn","event":"trainer.rollback","epoch":42,…}`.
+///
+/// The threshold defaults to `kInfo` and can be set programmatically or via
+/// the `RGAE_LOG_LEVEL` environment variable (debug|info|warn|error|off);
+/// the JSONL sink path via `SetLogJsonlPath` or `RGAE_LOG_JSONL`. Unlike
+/// spans and metrics, logging is NOT gated on `Enabled()`: a disabled-obs
+/// run still reports dropped trials and rollbacks, exactly like the old
+/// stderr writes did.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// "debug", "info", "warn", "error" (stable, used in JSONL records).
+const char* LogLevelName(LogLevel level);
+
+/// True when records at `level` pass the current threshold.
+bool LogLevelEnabled(LogLevel level);
+
+/// Sets the threshold: records below `level` are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Routes a copy of each surviving record to `path` as JSONL (append mode);
+/// an empty path closes the sink. Returns false when the file cannot be
+/// opened.
+bool SetLogJsonlPath(const std::string& path);
+
+/// Mirror to stderr on/off (default on). Tests silence it.
+void SetLogStderr(bool enabled);
+
+/// One in-flight record; emits on destruction. Use via RGAE_LOG, which
+/// also performs the level check before any field is evaluated.
+class LogRecord {
+ public:
+  explicit LogRecord(LogLevel level);
+  ~LogRecord();
+  LogRecord(const LogRecord&) = delete;
+  LogRecord& operator=(const LogRecord&) = delete;
+
+  /// Names the record ("trainer.rollback"); first positional token of the
+  /// stderr line and the "event" key of the JSONL object.
+  LogRecord& Event(const std::string& name);
+
+  LogRecord& Field(const std::string& key, const std::string& value);
+  LogRecord& Field(const std::string& key, const char* value);
+  LogRecord& Field(const std::string& key, double value);
+  LogRecord& Field(const std::string& key, int value);
+  LogRecord& Field(const std::string& key, long value);
+  LogRecord& Field(const std::string& key, long long value);
+  LogRecord& Field(const std::string& key, unsigned long value);
+  LogRecord& Field(const std::string& key, unsigned long long value);
+  LogRecord& Field(const std::string& key, bool value);
+
+  /// Free-text message, rendered as msg="…" / "msg" key.
+  LogRecord& Msg(const std::string& text);
+
+ private:
+  LogLevel level_;
+  JsonValue fields_;  // Object, insertion-ordered.
+};
+
+/// `RGAE_LOG(kWarn).Event("trainer.rollback").Field("epoch", 12)…;`
+/// The level check happens before the record (and its field expressions)
+/// exist, so disabled levels cost one comparison.
+#define RGAE_LOG(level)                                                     \
+  if (!::rgae::obs::LogLevelEnabled(::rgae::obs::LogLevel::level))          \
+    ;                                                                       \
+  else                                                                      \
+    ::rgae::obs::LogRecord(::rgae::obs::LogLevel::level)
+
+}  // namespace obs
+}  // namespace rgae
+
+#endif  // RGAE_OBS_LOG_H_

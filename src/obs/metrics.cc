@@ -1,0 +1,196 @@
+#include "src/obs/metrics.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+namespace rgae {
+namespace obs {
+
+namespace {
+
+struct EnabledState {
+  std::atomic<bool> enabled{false};
+  bool forced_off = false;
+
+  EnabledState() {
+    const char* env = std::getenv("RGAE_OBS_ENABLED");
+    if (env == nullptr) return;
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0) {
+      forced_off = true;
+      return;
+    }
+    enabled.store(true, std::memory_order_relaxed);
+  }
+};
+
+EnabledState& State() {
+  static EnabledState state;
+  return state;
+}
+
+}  // namespace
+
+bool Enabled() {
+  return State().enabled.load(std::memory_order_relaxed);
+}
+
+void SetEnabled(bool enabled) {
+  EnabledState& s = State();
+  if (enabled && s.forced_off) return;  // RGAE_OBS_ENABLED=0 wins.
+  s.enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void Histogram::Observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  ++buckets_[BucketIndex(v)];
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+int64_t Histogram::bucket_count(int i) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_[i];
+}
+
+double Histogram::BucketUpperBound(int i) {
+  if (i >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, i);  // 2^i.
+}
+
+int Histogram::BucketIndex(double v) {
+  for (int i = 0; i < kNumBuckets - 1; ++i) {
+    if (v <= BucketUpperBound(i)) return i;
+  }
+  return kNumBuckets - 1;
+}
+
+void Histogram::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  buckets_.fill(0);
+}
+
+JsonValue Histogram::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("count", JsonValue(count_));
+  out.Set("sum", JsonValue(sum_));
+  out.Set("min", JsonValue(min_));
+  out.Set("max", JsonValue(max_));
+  out.Set("mean",
+          JsonValue(count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0));
+  JsonValue buckets = JsonValue::MakeArray();
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    JsonValue b = JsonValue::MakeObject();
+    b.Set("le", i == kNumBuckets - 1 ? JsonValue::Null()
+                                     : JsonValue(BucketUpperBound(i)));
+    b.Set("count", JsonValue(buckets_[i]));
+    buckets.Append(std::move(b));
+  }
+  out.Set("buckets", std::move(buckets));
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // Never dies.
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counter_names_.find(name);
+  if (it != counter_names_.end()) return it->second;
+  counters_.emplace_back();
+  Counter* c = &counters_.back();
+  counter_names_[name] = c;
+  return c;
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauge_names_.find(name);
+  if (it != gauge_names_.end()) return it->second;
+  gauges_.emplace_back();
+  Gauge* g = &gauges_.back();
+  gauge_names_[name] = g;
+  return g;
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histogram_names_.find(name);
+  if (it != histogram_names_.end()) return it->second;
+  histograms_.emplace_back();
+  Histogram* h = &histograms_.back();
+  histogram_names_[name] = h;
+  return h;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (Counter& c : counters_) c.Reset();
+  for (Gauge& g : gauges_) g.Reset();
+  for (Histogram& h : histograms_) h.Reset();
+}
+
+JsonValue MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonValue out = JsonValue::MakeObject();
+  JsonValue counters = JsonValue::MakeObject();
+  for (const auto& [name, c] : counter_names_) {
+    counters.Set(name, JsonValue(c->value()));
+  }
+  out.Set("counters", std::move(counters));
+  JsonValue gauges = JsonValue::MakeObject();
+  for (const auto& [name, g] : gauge_names_) {
+    gauges.Set(name, JsonValue(g->value()));
+  }
+  out.Set("gauges", std::move(gauges));
+  JsonValue histograms = JsonValue::MakeObject();
+  for (const auto& [name, h] : histogram_names_) {
+    histograms.Set(name, h->ToJson());
+  }
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+}  // namespace obs
+}  // namespace rgae

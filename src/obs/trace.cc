@@ -1,0 +1,145 @@
+#include "src/obs/trace.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+
+namespace rgae {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_trace_enabled{false};
+
+std::chrono::steady_clock::time_point TraceOrigin() {
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return origin;
+}
+
+/// Small sequential thread ids so traces stay readable (std::thread::id
+/// hashes are 64-bit noise in the Chrome UI).
+uint64_t CurrentTid() {
+  static std::atomic<uint64_t> next{0};
+  thread_local const uint64_t tid = next.fetch_add(1);
+  return tid;
+}
+
+/// Per-thread stack of open span indices into the global event list.
+thread_local std::vector<int> t_span_stack;
+
+}  // namespace
+
+bool TraceEnabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTraceEnabled(bool enabled) {
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+int64_t NowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - TraceOrigin())
+      .count();
+}
+
+TraceCollector& TraceCollector::Global() {
+  static TraceCollector* collector = new TraceCollector();  // Never dies.
+  return *collector;
+}
+
+int TraceCollector::BeginSpan(const char* name) {
+  TraceEvent event;
+  event.name = name;
+  event.start_us = NowMicros();
+  event.tid = CurrentTid();
+  event.depth = static_cast<int>(t_span_stack.size());
+  event.parent = t_span_stack.empty() ? -1 : t_span_stack.back();
+  int index;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (events_.size() >= kMaxEvents) {
+      ++dropped_;
+      return -1;
+    }
+    index = static_cast<int>(events_.size());
+    events_.push_back(std::move(event));
+  }
+  t_span_stack.push_back(index);
+  return index;
+}
+
+void TraceCollector::EndSpan(int index) {
+  if (index < 0) return;
+  const int64_t now = NowMicros();
+  if (!t_span_stack.empty() && t_span_stack.back() == index) {
+    t_span_stack.pop_back();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // A Clear() between Begin and End invalidates the index; skip quietly.
+  if (index < static_cast<int>(events_.size())) {
+    events_[index].dur_us = now - events_[index].start_us;
+  }
+}
+
+std::vector<TraceEvent> TraceCollector::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t TraceCollector::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+int64_t TraceCollector::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void TraceCollector::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+  t_span_stack.clear();
+}
+
+JsonValue TraceCollector::ChromeTraceJson() const {
+  JsonValue doc = JsonValue::MakeObject();
+  JsonValue events = JsonValue::MakeArray();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const TraceEvent& e : events_) {
+      JsonValue ev = JsonValue::MakeObject();
+      ev.Set("name", JsonValue(e.name));
+      ev.Set("cat", JsonValue("rgae"));
+      ev.Set("ph", JsonValue("X"));
+      ev.Set("ts", JsonValue(e.start_us));
+      ev.Set("dur", JsonValue(e.dur_us >= 0 ? e.dur_us : int64_t{0}));
+      ev.Set("pid", JsonValue(0));
+      ev.Set("tid", JsonValue(static_cast<long long>(e.tid)));
+      events.Append(std::move(ev));
+    }
+  }
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", JsonValue("ms"));
+  return doc;
+}
+
+bool TraceCollector::WriteChromeTrace(const std::string& path,
+                                      std::string* error) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  const std::string text = ChromeTraceJson().Dump();
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok && error != nullptr) *error = "short write to " + path;
+  return ok;
+}
+
+}  // namespace obs
+}  // namespace rgae

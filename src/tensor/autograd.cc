@@ -1,8 +1,11 @@
 #include "src/tensor/autograd.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
+
+#include "src/obs/trace.h"
 
 namespace rgae {
 
@@ -30,10 +33,37 @@ Matrix Scalar(double v) {
   return m;
 }
 
+// Stable per-op metric names; order must match the Op enum in autograd.h.
+constexpr const char* kOpMetricNames[] = {
+    "leaf",      "constant",   "matmul",     "spmm",
+    "add",       "sub",        "hadamard",   "scale",
+    "relu",      "exp",        "tanh",       "add_row_broadcast",
+    "gather_rows", "inner_product_bce", "gaussian_kl", "kmeans",
+    "dec_kl",    "gmm_nll",    "gmm_kl",     "bce_with_logits",
+    "add_scalars"};
+constexpr size_t kNumOps = std::size(kOpMetricNames);
+
+/// Counter per tape op ("tape.op.matmul", …), resolved once per process.
+obs::Counter* OpCounter(size_t op) {
+  static const std::array<obs::Counter*, kNumOps> counters = [] {
+    std::array<obs::Counter*, kNumOps> c{};
+    for (size_t i = 0; i < kNumOps; ++i) {
+      c[i] = obs::MetricsRegistry::Global().GetCounter(
+          std::string("tape.op.") + kOpMetricNames[i]);
+    }
+    return c;
+  }();
+  return counters[op];
+}
+
 }  // namespace
 
 int Tape::Push(Node n) {
   assert(!backward_done_);
+  if (obs::Enabled()) {
+    const size_t op = static_cast<size_t>(n.op);
+    if (op < kNumOps) OpCounter(op)->Inc();
+  }
   nodes_.push_back(std::move(n));
   return static_cast<int>(nodes_.size()) - 1;
 }
@@ -445,6 +475,7 @@ void Tape::EnsureGrad(int id) {
 }
 
 void Tape::Backward(Var loss) {
+  RGAE_TIMED_KERNEL("tape.backward");
   assert(!backward_done_);
   assert(node(loss).value.size() == 1);
   backward_done_ = true;

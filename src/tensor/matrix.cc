@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/trace.h"
+
 namespace rgae {
 
 void Matrix::Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
@@ -67,6 +69,7 @@ std::string Matrix::ShapeString() const {
 }
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
+  RGAE_TIMED_KERNEL("kernel.matmul");
   assert(a.cols() == b.rows());
   Matrix out(a.rows(), b.cols());
   // i-k-j loop order: streams through b and out rows for cache friendliness.
@@ -84,6 +87,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 }
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  RGAE_TIMED_KERNEL("kernel.matmul");
   assert(a.rows() == b.rows());
   Matrix out(a.cols(), b.cols());
   for (int k = 0; k < a.rows(); ++k) {
@@ -100,6 +104,7 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
 }
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  RGAE_TIMED_KERNEL("kernel.matmul");
   assert(a.cols() == b.cols());
   Matrix out(a.rows(), b.rows());
   for (int i = 0; i < a.rows(); ++i) {
