@@ -6,22 +6,38 @@
 // RGAE_EPOCH_SCALE environment variables (see eval/harness.h).
 //
 // Observability: constructing a `BenchObs` at the top of main() gives every
-// bench binary three flags (consumed before any other argv processing):
+// bench binary these flags (consumed before any other argv processing):
 //   --json=<path>   write a machine-readable `rgae.bench.v1` document with
 //                   one RunReport per trial plus a MetricsRegistry snapshot
 //   --trace=<path>  export a Chrome `chrome://tracing` span trace
 //   --log-jsonl=<path>  route structured log records to a JSONL file
-// Either flag also turns instrumentation on (unless RGAE_OBS_ENABLED=0
-// forces it off, the perf-baseline escape hatch).
+// Either of the first two also turns instrumentation on (unless
+// RGAE_OBS_ENABLED=0 forces it off, the perf-baseline escape hatch).
+//
+// Crash safety (DESIGN.md §5):
+//   --journal=<path>      append every completed trial to a resumable
+//                         `rgae.journal.v1` JSONL journal; re-running with
+//                         the same journal skips the recorded trials and
+//                         replays their outcomes bit-identically
+//   --trial-deadline-s=<v> per-trial wall-clock budget; timed-out trials
+//                         climb the harness retry ladder (eval/harness.h)
+// RGAE_TRIAL_DEADLINE_S / RGAE_TRIAL_RETRIES set the same policy from the
+// environment. SIGINT/SIGTERM request a cooperative stop: the running
+// trial finishes its current epoch, sinks are flushed, and a second signal
+// force-exits.
 
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "src/core/deadline.h"
 #include "src/eval/datasets.h"
 #include "src/eval/harness.h"
+#include "src/eval/run_journal.h"
 #include "src/eval/table.h"
 #include "src/obs/log.h"
 #include "src/obs/metrics.h"
@@ -29,6 +45,15 @@
 #include "src/obs/trace.h"
 
 namespace rgae_bench {
+
+/// First signal: cooperative stop (trainers bail at the next epoch
+/// boundary, loops stop starting trials, sinks flush on the way out).
+/// Second signal: the run is wedged or the user is impatient — die now.
+/// Only async-signal-safe calls here (atomic store / _Exit).
+inline void BenchSignalHandler(int /*sig*/) {
+  if (rgae::GlobalStopRequested()) std::_Exit(130);
+  rgae::RequestGlobalStop();
+}
 
 /// Per-binary observability session. Parses and removes its flags from
 /// argv (so benches with their own arg handling, e.g. google-benchmark,
@@ -38,6 +63,8 @@ class BenchObs {
  public:
   BenchObs(int* argc, char** argv, std::string bench_name)
       : bench_(std::move(bench_name)) {
+    double deadline_flag = 0.0;
+    std::string journal_path;
     int out = 1;
     for (int i = 1; i < *argc; ++i) {
       if (std::strncmp(argv[i], "--json=", 7) == 0) {
@@ -46,6 +73,10 @@ class BenchObs {
         trace_path_ = argv[i] + 8;
       } else if (std::strncmp(argv[i], "--log-jsonl=", 12) == 0) {
         rgae::obs::SetLogJsonlPath(argv[i] + 12);
+      } else if (std::strncmp(argv[i], "--journal=", 10) == 0) {
+        journal_path = argv[i] + 10;
+      } else if (std::strncmp(argv[i], "--trial-deadline-s=", 19) == 0) {
+        deadline_flag = std::atof(argv[i] + 19);
       } else {
         argv[out++] = argv[i];
       }
@@ -55,6 +86,32 @@ class BenchObs {
       rgae::obs::SetEnabled(true);
     }
     if (!trace_path_.empty()) rgae::obs::SetTraceEnabled(true);
+
+    // The retry ladder is opt-in: with no budget and no retries configured
+    // the policy is inert and the loops behave exactly as without it.
+    rgae::TrialPolicy inert;
+    inert.max_retries = 0;
+    inert.allow_degraded = false;
+    policy_ = rgae::TrialPolicyFromEnv(inert);
+    if (deadline_flag > 0.0) policy_.deadline_seconds = deadline_flag;
+    if (policy_.deadline_seconds > 0.0 || policy_.max_retries > 0) {
+      policy_.allow_degraded = true;
+    }
+
+    if (!journal_path.empty()) {
+      std::string error;
+      if (journal_.Open(journal_path, &error)) {
+        std::printf("trial journal: %s (%zu completed trial(s) on file)\n",
+                    journal_path.c_str(), journal_.size());
+      } else {
+        std::fprintf(stderr, "cannot open trial journal: %s\n",
+                     error.c_str());
+        std::exit(2);  // Running un-journaled would discard work silently.
+      }
+    }
+    rgae::ClearGlobalStop();
+    std::signal(SIGINT, BenchSignalHandler);
+    std::signal(SIGTERM, BenchSignalHandler);
     active_ = this;
   }
 
@@ -64,6 +121,13 @@ class BenchObs {
 
   ~BenchObs() {
     active_ = nullptr;
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    if (rgae::GlobalStopRequested()) {
+      std::printf(
+          "bench interrupted: partial results; journaled trials resume on "
+          "the next run\n");
+    }
     std::string error;
     if (!json_path_.empty()) {
       const rgae::obs::JsonValue doc =
@@ -98,6 +162,14 @@ class BenchObs {
     trials_.push_back(rgae::obs::RunReportJson(info, outcome));
   }
 
+  /// The journal behind `--journal=`, or null when the run is unjournaled.
+  rgae::RunJournal* journal() {
+    return journal_.is_open() ? &journal_ : nullptr;
+  }
+
+  /// Effective per-trial failure policy (env + flags; inert by default).
+  const rgae::TrialPolicy& policy() const { return policy_; }
+
  private:
   inline static BenchObs* active_ = nullptr;
 
@@ -105,6 +177,8 @@ class BenchObs {
   std::string json_path_;
   std::string trace_path_;
   std::vector<rgae::obs::JsonValue> trials_;
+  rgae::RunJournal journal_;
+  rgae::TrialPolicy policy_;
 };
 
 inline void RecordTrialReport(const std::string& model,
@@ -128,12 +202,53 @@ struct MethodResult {
   rgae::Aggregate rvariant;
 };
 
+/// The effective trial policy: the active session's, or an inert one so
+/// bench helpers used without a `BenchObs` behave exactly as before.
+inline rgae::TrialPolicy EffectivePolicy() {
+  if (BenchObs* session = BenchObs::active()) return session->policy();
+  rgae::TrialPolicy inert;
+  inert.max_retries = 0;
+  inert.allow_degraded = false;
+  return inert;
+}
+
+inline rgae::RunJournal* ActiveJournal() {
+  BenchObs* session = BenchObs::active();
+  return session != nullptr ? session->journal() : nullptr;
+}
+
+/// Journals one completed trial; a write failure aborts the bench rather
+/// than silently continuing with a journal that no longer matches reality.
+inline void JournalTrial(rgae::RunJournal* journal, std::string key,
+                         const std::string& model, const std::string& dataset,
+                         const char* variant, int trial, uint64_t seed,
+                         const rgae::TrialOutcome& outcome) {
+  rgae::JournalRecord record;
+  record.key = std::move(key);
+  record.model = model;
+  record.dataset = dataset;
+  record.variant = variant;
+  record.trial = trial;
+  record.seed = seed;
+  record.outcome = outcome;
+  std::string error;
+  if (!journal->Append(record, &error)) {
+    std::fprintf(stderr, "trial journal append failed: %s\n", error.c_str());
+    std::exit(2);
+  }
+}
+
 /// Runs `trials` shared-pretrain couples of `model` on fresh instances of
 /// `dataset` (trial t uses generation seed `t+1`), mutating the config via
-/// `tweak` when non-null.
+/// `tweak` when non-null. Under an active `BenchObs`: trials run under its
+/// `TrialPolicy`, completed couples are journaled, journaled couples are
+/// skipped on resume (their recorded outcomes are replayed), and a
+/// requested stop ends the loop between trials.
 inline MethodResult RunCoupleTrials(
     const std::string& model, const std::string& dataset, int trials,
     void (*tweak)(rgae::CoupleConfig*) = nullptr) {
+  const rgae::TrialPolicy policy = EffectivePolicy();
+  rgae::RunJournal* journal = ActiveJournal();
   std::vector<rgae::TrialOutcome> base_trials, r_trials;
   for (int t = 0; t < trials; ++t) {
     const uint64_t seed = static_cast<uint64_t>(t) + 1;
@@ -141,8 +256,37 @@ inline MethodResult RunCoupleTrials(
     if (tweak != nullptr) tweak(&config);
     config.base.trial_id = t;
     config.rvariant.trial_id = t;
-    const rgae::AttributedGraph graph = rgae::MakeDataset(dataset, seed);
-    rgae::CoupleOutcome outcome = RunCouple(config, graph);
+    rgae::CoupleOutcome outcome;
+    std::string base_key, r_key;
+    const rgae::JournalRecord* base_rec = nullptr;
+    const rgae::JournalRecord* r_rec = nullptr;
+    if (journal != nullptr) {
+      base_key = rgae::TrialConfigKey(model, dataset, "base", t,
+                                      config.model_options, config.base);
+      r_key = rgae::TrialConfigKey(model, dataset, "r", t,
+                                   config.model_options, config.rvariant);
+      base_rec = journal->Find(base_key);
+      r_rec = journal->Find(r_key);
+    }
+    if (base_rec != nullptr && r_rec != nullptr) {
+      // Both halves are on file: replay without building the dataset.
+      outcome.base = base_rec->outcome;
+      outcome.rmodel = r_rec->outcome;
+      RGAE_COUNT("journal.replayed_trials");
+    } else {
+      if (rgae::GlobalStopRequested()) break;
+      const rgae::AttributedGraph graph = rgae::MakeDataset(dataset, seed);
+      outcome = RunCoupleWithPolicy(config, graph, policy);
+      // An interrupted couple is a partial run — never journaled, never
+      // aggregated; the resumed run re-executes it from scratch.
+      if (rgae::GlobalStopRequested()) break;
+      if (journal != nullptr) {
+        JournalTrial(journal, std::move(base_key), model, dataset, "base", t,
+                     seed, outcome.base);
+        JournalTrial(journal, std::move(r_key), model, dataset, "r", t, seed,
+                     outcome.rmodel);
+      }
+    }
     RecordTrialReport(model, dataset, "base", t, seed, outcome.base);
     RecordTrialReport(model, dataset, "r", t, seed, outcome.rmodel);
     base_trials.push_back(std::move(outcome.base));
@@ -153,11 +297,15 @@ inline MethodResult RunCoupleTrials(
 }
 
 /// Runs `trials` single runs of one configuration on fresh `dataset`
-/// instances and aggregates.
+/// instances and aggregates. Journal/policy/stop semantics match
+/// `RunCoupleTrials`.
 inline rgae::Aggregate RunSingleTrials(
     const std::string& model, const std::string& dataset, int trials,
     bool use_operators,
     void (*tweak)(rgae::TrainerOptions*) = nullptr) {
+  const rgae::TrialPolicy policy = EffectivePolicy();
+  rgae::RunJournal* journal = ActiveJournal();
+  const char* variant = use_operators ? "r" : "base";
   std::vector<rgae::TrialOutcome> outcomes;
   for (int t = 0; t < trials; ++t) {
     const uint64_t seed = static_cast<uint64_t>(t) + 1;
@@ -166,11 +314,29 @@ inline rgae::Aggregate RunSingleTrials(
         use_operators ? config.rvariant : config.base;
     if (tweak != nullptr) tweak(&opts);
     opts.trial_id = t;
-    const rgae::AttributedGraph graph = rgae::MakeDataset(dataset, seed);
-    rgae::TrialOutcome outcome =
-        RunSingle(model, graph, config.model_options, opts);
-    RecordTrialReport(model, dataset, use_operators ? "r" : "base", t, seed,
-                      outcome);
+    rgae::TrialOutcome outcome;
+    std::string key;
+    const rgae::JournalRecord* rec = nullptr;
+    if (journal != nullptr) {
+      key = rgae::TrialConfigKey(model, dataset, variant, t,
+                                 config.model_options, opts);
+      rec = journal->Find(key);
+    }
+    if (rec != nullptr) {
+      outcome = rec->outcome;
+      RGAE_COUNT("journal.replayed_trials");
+    } else {
+      if (rgae::GlobalStopRequested()) break;
+      const rgae::AttributedGraph graph = rgae::MakeDataset(dataset, seed);
+      outcome = RunSingleWithPolicy(model, graph, config.model_options, opts,
+                                    policy);
+      if (rgae::GlobalStopRequested()) break;
+      if (journal != nullptr) {
+        JournalTrial(journal, std::move(key), model, dataset, variant, t,
+                     seed, outcome);
+      }
+    }
+    RecordTrialReport(model, dataset, variant, t, seed, outcome);
     outcomes.push_back(std::move(outcome));
   }
   return rgae::AggregateTrials(outcomes);

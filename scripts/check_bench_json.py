@@ -1,14 +1,19 @@
 #!/usr/bin/env python3
-"""Schema checker for the `rgae.bench.v1` documents written by bench binaries.
+"""Schema checker for the `rgae.bench.v1` documents written by bench binaries
+and the `rgae.journal.v1` trial journals written behind `--journal=`.
 
 Usage:
     check_bench_json.py <doc.json> [<doc.json> ...]
     check_bench_json.py --run <bench_binary> [bench args ...]
+    check_bench_json.py --journal <journal.jsonl> [...]
+    check_bench_json.py --run-journal <bench_binary> [bench args ...]
 
 In `--run` mode the bench binary is invoked with `--json=<tempfile>` (plus
 any extra arguments, e.g. --benchmark_filter), and the document it writes is
-validated — a single ctest-friendly command. Exit status 0 means every
-document is schema-valid; violations are listed on stderr.
+validated — a single ctest-friendly command. `--run-journal` does the same
+with `--journal=<tempfile>` and validates every line of the resulting
+journal. Exit status 0 means every document is schema-valid; violations are
+listed on stderr.
 
 The checker is intentionally strict about the contract downstream tooling
 relies on: sentinel values (-1 "untracked", -2 "untracked lambda") must have
@@ -25,11 +30,20 @@ import tempfile
 import os
 
 SCHEMA = "rgae.bench.v1"
+JOURNAL_SCHEMA = "rgae.journal.v1"
 
 TRIAL_REQUIRED = [
     "model", "dataset", "variant", "trial", "seed", "seconds", "scores",
     "pretrain_seconds", "cluster_seconds", "cluster_epochs_run", "failed",
-    "failure_reason", "rollbacks", "health_events", "trace",
+    "failure_reason", "timed_out", "retries", "degraded", "rollbacks",
+    "health_events", "trace",
+]
+
+JOURNAL_REQUIRED = [
+    "schema", "key", "model", "dataset", "variant", "trial", "seed",
+    "scores", "seconds", "pretrain_seconds", "cluster_seconds",
+    "cluster_epochs_run", "failed", "failure_reason", "timed_out",
+    "retries", "degraded", "rollbacks",
 ]
 
 # EpochRecord fields that are either a number or null — never a sentinel.
@@ -112,6 +126,13 @@ class Checker:
         if trial.get("failed") is False:
             self.expect(reason is None, f"{where}.failure_reason",
                         "non-null on a successful trial")
+        self.expect(isinstance(trial.get("timed_out"), bool),
+                    f"{where}.timed_out", "must be a bool")
+        self.expect(isinstance(trial.get("degraded"), bool),
+                    f"{where}.degraded", "must be a bool")
+        retries = trial.get("retries")
+        self.expect(self.is_num(retries) and retries >= 0,
+                    f"{where}.retries", "must be a non-negative number")
         for i, record in enumerate(trial.get("trace") or []):
             self.check_epoch(record, f"{where}.trace[{i}]")
         for i, event in enumerate(trial.get("health_events") or []):
@@ -204,6 +225,60 @@ def check_file(path):
     return checker.errors
 
 
+def check_journal_record(checker, record, where):
+    """One `rgae.journal.v1` JSONL line (already parsed)."""
+    if not checker.expect(isinstance(record, dict), where, "not an object"):
+        return
+    for key in JOURNAL_REQUIRED:
+        checker.expect(key in record, f"{where}.{key}", "missing")
+    checker.expect(record.get("schema") == JOURNAL_SCHEMA, f"{where}.schema",
+                   f"expected {JOURNAL_SCHEMA!r}, got {record.get('schema')!r}")
+    key = record.get("key")
+    checker.expect(
+        isinstance(key, str) and len(key) == 16
+        and all(c in "0123456789abcdef" for c in key),
+        f"{where}.key", f"must be a 16-digit lowercase hex hash, got {key!r}")
+    checker.expect(record.get("variant") in ("base", "r"),
+                   f"{where}.variant", f"bad variant {record.get('variant')!r}")
+    checker.check_scores(record.get("scores", {}), f"{where}.scores")
+    for name in ("failed", "timed_out", "degraded"):
+        checker.expect(isinstance(record.get(name), bool),
+                       f"{where}.{name}", "must be a bool")
+    for name in ("trial", "seed", "seconds", "pretrain_seconds",
+                 "cluster_seconds", "cluster_epochs_run", "retries",
+                 "rollbacks"):
+        checker.expect(checker.is_num(record.get(name)), f"{where}.{name}",
+                       "missing or non-numeric")
+    reason = record.get("failure_reason")
+    checker.expect(reason is None or isinstance(reason, str),
+                   f"{where}.failure_reason", "must be string or null")
+
+
+def check_journal_file(path):
+    checker = Checker(path)
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        checker.fail("$", f"cannot read: {e}")
+        return checker.errors
+    records = 0
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        where = f"line {i + 1}"
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as e:
+            checker.fail(where, f"cannot parse: {e}")
+            continue
+        records += 1
+        check_journal_record(checker, record, where)
+    if records == 0:
+        checker.fail("$", "journal holds no records")
+    return checker.errors
+
+
 def run_mode(argv):
     if not argv:
         print("--run requires a bench binary path", file=sys.stderr)
@@ -223,13 +298,32 @@ def run_mode(argv):
     return report(errors, [out])
 
 
-def report(errors, paths):
+def run_journal_mode(argv):
+    if not argv:
+        print("--run-journal requires a bench binary path", file=sys.stderr)
+        return 2
+    with tempfile.TemporaryDirectory() as tmp:
+        out = os.path.join(tmp, "journal.jsonl")
+        cmd = [argv[0], f"--journal={out}"] + argv[1:]
+        proc = subprocess.run(cmd)
+        if proc.returncode != 0:
+            print(f"bench exited with {proc.returncode}: {' '.join(cmd)}",
+                  file=sys.stderr)
+            return 1
+        if not os.path.exists(out):
+            print(f"bench did not write {out}", file=sys.stderr)
+            return 1
+        errors = check_journal_file(out)
+    return report(errors, [out], schema=JOURNAL_SCHEMA)
+
+
+def report(errors, paths, schema=SCHEMA):
     if errors:
         for error in errors:
             print(error, file=sys.stderr)
         print(f"FAIL: {len(errors)} schema violation(s)", file=sys.stderr)
         return 1
-    print(f"OK: {len(paths)} document(s) schema-valid ({SCHEMA})")
+    print(f"OK: {len(paths)} document(s) schema-valid ({schema})")
     return 0
 
 
@@ -239,6 +333,13 @@ def main(argv):
         return 0 if argv else 2
     if argv[0] == "--run":
         return run_mode(argv[1:])
+    if argv[0] == "--run-journal":
+        return run_journal_mode(argv[1:])
+    if argv[0] == "--journal":
+        errors = []
+        for path in argv[1:]:
+            errors.extend(check_journal_file(path))
+        return report(errors, argv[1:], schema=JOURNAL_SCHEMA)
     errors = []
     for path in argv:
         errors.extend(check_file(path))

@@ -5,6 +5,7 @@
 
 #include "src/models/model.h"
 #include "src/obs/trace.h"
+#include "src/util/fileio.h"
 
 namespace rgae {
 
@@ -12,16 +13,20 @@ namespace {
 
 constexpr uint64_t kMagic = 0x52474145434B5031ULL;  // "RGAECKP1".
 
-void WriteU64(std::ofstream& out, uint64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+// The writer serializes into a memory buffer so the on-disk file can be
+// published atomically (tmp + fsync + rename, util/fileio.h): a crash mid
+// save leaves the previous checkpoint intact instead of a torn file that
+// LoadCheckpoint would reject after restart — exactly when it is needed.
+void WriteU64(std::string& out, uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-void WriteI64(std::ofstream& out, int64_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+void WriteI64(std::string& out, int64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
-void WriteDouble(std::ofstream& out, double v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+void WriteDouble(std::string& out, double v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
 }
 
 bool ReadU64(std::ifstream& in, uint64_t* v) {
@@ -39,11 +44,11 @@ bool ReadDouble(std::ifstream& in, double* v) {
   return static_cast<bool>(in);
 }
 
-void WriteMatrix(std::ofstream& out, const Matrix& m) {
+void WriteMatrix(std::string& out, const Matrix& m) {
   WriteI64(out, m.rows());
   WriteI64(out, m.cols());
-  out.write(reinterpret_cast<const char*>(m.data()),
-            static_cast<std::streamsize>(m.size() * sizeof(double)));
+  out.append(reinterpret_cast<const char*>(m.data()),
+             m.size() * sizeof(double));
 }
 
 bool ReadMatrix(std::ifstream& in, Matrix* m) {
@@ -59,7 +64,7 @@ bool ReadMatrix(std::ifstream& in, Matrix* m) {
   return static_cast<bool>(in);
 }
 
-void WriteMatrixList(std::ofstream& out, const std::vector<Matrix>& list) {
+void WriteMatrixList(std::string& out, const std::vector<Matrix>& list) {
   WriteU64(out, list.size());
   for (const Matrix& m : list) WriteMatrix(out, m);
 }
@@ -74,7 +79,7 @@ bool ReadMatrixList(std::ifstream& in, std::vector<Matrix>* list) {
   return true;
 }
 
-void WriteIntVector(std::ofstream& out, const std::vector<int>& v) {
+void WriteIntVector(std::string& out, const std::vector<int>& v) {
   WriteU64(out, v.size());
   for (int x : v) WriteI64(out, x);
 }
@@ -153,8 +158,7 @@ bool RestoreModel(const ModelCheckpoint& checkpoint, GaeModel* model,
 
 bool SaveCheckpoint(const TrainerCheckpoint& checkpoint,
                     const std::string& path, std::string* error) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) return Fail(error, "cannot open " + path + " for writing");
+  std::string out;
   WriteU64(out, kMagic);
   WriteMatrixList(out, checkpoint.model.values);
   WriteMatrixList(out, checkpoint.model.adam_m);
@@ -176,8 +180,7 @@ bool SaveCheckpoint(const TrainerCheckpoint& checkpoint,
   WriteIntVector(out, checkpoint.omega);
   WriteI64(out, checkpoint.epoch);
   WriteI64(out, checkpoint.pretrain ? 1 : 0);
-  if (!out) return Fail(error, "write error on " + path);
-  return true;
+  return WriteFileAtomic(path, out, error);
 }
 
 bool LoadCheckpoint(const std::string& path, TrainerCheckpoint* checkpoint,

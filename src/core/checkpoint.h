@@ -53,8 +53,11 @@ struct TrainerCheckpoint {
 
 /// Binary on-disk round trip. The format stores raw doubles, so restored
 /// parameters and Adam moments are byte-identical to the captured ones.
-/// Returns false (with `*error` filled when non-null) on I/O or format
-/// errors; `*checkpoint` is unspecified after a failed load.
+/// `SaveCheckpoint` publishes the file atomically (tmp + fsync + rename,
+/// see util/fileio.h): a crash — even `kill -9` — mid-save leaves the
+/// previous checkpoint intact, never a torn file. Returns false (with
+/// `*error` filled when non-null) on I/O or format errors; `*checkpoint`
+/// is unspecified after a failed load.
 bool SaveCheckpoint(const TrainerCheckpoint& checkpoint,
                     const std::string& path, std::string* error = nullptr);
 bool LoadCheckpoint(const std::string& path, TrainerCheckpoint* checkpoint,

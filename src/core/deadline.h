@@ -1,0 +1,65 @@
+#ifndef RGAE_CORE_DEADLINE_H_
+#define RGAE_CORE_DEADLINE_H_
+
+#include <chrono>
+#include <limits>
+
+namespace rgae {
+
+/// Wall-clock budget for one trial, threaded from the eval harness into
+/// `RGaeTrainer` (see `TrainerOptions::deadline`). The trainer checks it at
+/// epoch boundaries only — an expired deadline terminates the phase at the
+/// next boundary and the trial returns a partial `TrainResult` marked
+/// `timed_out`, so one stuck configuration cannot hang a whole table bench.
+/// Default-constructed deadlines are unlimited and cost one comparison per
+/// check.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unlimited: never expires.
+  Deadline() = default;
+
+  /// A deadline `seconds` from now; non-positive values mean unlimited
+  /// (the natural encoding of "0 = off" configuration knobs).
+  static Deadline After(double seconds) {
+    Deadline d;
+    if (seconds > 0.0) {
+      d.unlimited_ = false;
+      d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double>(seconds));
+    }
+    return d;
+  }
+
+  static Deadline Unlimited() { return Deadline(); }
+
+  bool unlimited() const { return unlimited_; }
+  bool expired() const { return !unlimited_ && Clock::now() >= at_; }
+
+  /// Seconds until expiry; +inf when unlimited, clamped at 0 once expired.
+  double remaining_seconds() const {
+    if (unlimited_) return std::numeric_limits<double>::infinity();
+    const double s = std::chrono::duration<double>(at_ - Clock::now()).count();
+    return s > 0.0 ? s : 0.0;
+  }
+
+ private:
+  bool unlimited_ = true;
+  Clock::time_point at_{};
+};
+
+/// Process-wide cooperative stop flag, set from the bench binaries'
+/// SIGINT/SIGTERM handlers (async-signal-safe: a relaxed atomic store).
+/// The trainer polls it at epoch boundaries alongside the deadline, and the
+/// multi-trial loops poll it between trials, so an interrupted bench run
+/// stops at the next consistent point, journals nothing partial, and still
+/// flushes its journal/metrics/trace sinks on the way out.
+void RequestGlobalStop();
+bool GlobalStopRequested();
+/// Re-arms the flag (tests; a new run after a handled interruption).
+void ClearGlobalStop();
+
+}  // namespace rgae
+
+#endif  // RGAE_CORE_DEADLINE_H_

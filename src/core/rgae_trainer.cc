@@ -210,6 +210,21 @@ bool RGaeTrainer::RecoverOrFail(const HealthVerdict& verdict, bool pretrain,
   return false;
 }
 
+bool RGaeTrainer::DeadlineExpired(bool pretrain, int epoch) {
+  const bool stop = GlobalStopRequested();
+  if (!stop && !options_.deadline.expired()) return false;
+  timed_out_ = true;
+  RGAE_COUNT("trainer.timeouts");
+  RGAE_LOG(kWarn)
+      .Event("trainer.deadline")
+      .Field("trial", options_.trial_id)
+      .Field("phase", pretrain ? "pretrain" : "cluster")
+      .Field("epoch", epoch)
+      .Field("cause", stop ? "interrupted" : "deadline")
+      .Msg("trial budget exhausted; stopping at epoch boundary");
+  return true;
+}
+
 bool RGaeTrainer::Pretrain() {
   RGAE_SPAN("train.pretrain");
   TrainContext ctx;
@@ -222,6 +237,7 @@ bool RGaeTrainer::Pretrain() {
 
   int epoch = 0;
   while (epoch < options_.pretrain_epochs) {
+    if (timed_out_ || DeadlineExpired(/*pretrain=*/true, epoch)) break;
     RGAE_SPAN("epoch.pretrain");
     RGAE_COUNT("trainer.epochs.pretrain");
     // First-group R-models: gradually transform the reconstruction target
@@ -273,6 +289,7 @@ TrainResult RGaeTrainer::TrainClustering() {
     result.cluster_seconds = Seconds(begin);
     result.failed = failed_;
     result.failure_reason = failure_reason_;
+    result.timed_out = timed_out_;
     result.rollbacks = rollbacks_;
     result.health_log = health_log_;
     result.pretrain_health = pretrain_health_;
@@ -300,6 +317,7 @@ TrainResult RGaeTrainer::TrainClustering() {
 
   int epoch = 0;
   while (epoch < options_.max_cluster_epochs) {
+    if (timed_out_ || DeadlineExpired(/*pretrain=*/false, epoch)) break;
     RGAE_SPAN("epoch.cluster");
     RGAE_COUNT("trainer.epochs.cluster");
     const bool xi_active =
@@ -369,6 +387,7 @@ TrainResult RGaeTrainer::TrainClustering() {
   result.cluster_seconds = Seconds(begin);
   result.failed = failed_;
   result.failure_reason = failure_reason_;
+  result.timed_out = timed_out_;
   result.rollbacks = rollbacks_;
   result.health_log = health_log_;
   result.pretrain_health = pretrain_health_;

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/core/checkpoint.h"
+#include "src/core/deadline.h"
 #include "src/core/health.h"
 #include "src/core/operators.h"
 #include "src/metrics/clustering_metrics.h"
@@ -86,6 +87,14 @@ struct TrainerOptions {
   /// so rollback/failure events are attributable to their trial.
   int trial_id = -1;
 
+  /// Wall-clock budget for the whole trial (both phases share it), checked
+  /// at epoch boundaries only. When it expires the current phase stops at
+  /// the next boundary and the trial returns a partial `TrainResult` with
+  /// `timed_out` set — it never hangs a table bench. The harness's retry
+  /// ladder (see eval/harness.h) decides what happens to such a trial.
+  /// Default: unlimited.
+  Deadline deadline;
+
   uint64_t seed = 7;
 };
 
@@ -128,6 +137,11 @@ struct TrainResult {
   /// and `AggregateTrials` excludes the trial.
   bool failed = false;
   std::string failure_reason;
+  /// True when `TrainerOptions::deadline` expired (or a global stop was
+  /// requested) before the schedule completed: the run stopped at an epoch
+  /// boundary and the scores reflect the partial state reached by then.
+  /// Orthogonal to `failed` — a timed-out run is numerically healthy.
+  bool timed_out = false;
   /// Number of checkpoint rollbacks performed across both phases.
   int rollbacks = 0;
   /// Bad verdicts and the recovery actions taken (empty in healthy runs).
@@ -182,6 +196,7 @@ class RGaeTrainer {
   /// Resilience outcome so far (useful between `Pretrain` and
   /// `TrainClustering`; `TrainResult` carries the same data for full runs).
   bool failed() const { return failed_; }
+  bool timed_out() const { return timed_out_; }
   const std::string& failure_reason() const { return failure_reason_; }
   int rollbacks() const { return rollbacks_; }
   const std::vector<HealthEvent>& health_log() const { return health_log_; }
@@ -225,8 +240,13 @@ class RGaeTrainer {
   ReconTarget recon_;
   std::vector<int> all_nodes_;
 
+  // True once the deadline / global-stop check tripped at an epoch
+  // boundary; returns true so the caller can log the budget event once.
+  bool DeadlineExpired(bool pretrain, int epoch);
+
   // Resilience outcome, accumulated across phases.
   bool failed_ = false;
+  bool timed_out_ = false;
   std::string failure_reason_;
   int rollbacks_ = 0;
   std::vector<HealthEvent> health_log_;

@@ -6,6 +6,9 @@ namespace rgae {
 
 int AddRandomEdges(AttributedGraph* g, int count, Rng& rng) {
   const int n = g->num_nodes();
+  if (n < 2 || count <= 0) return 0;  // No addable pair exists.
+  // A (near-)complete graph exhausts max_attempts instead of looping
+  // forever: the return value reports how many edges actually fit.
   int added = 0;
   int attempts = 0;
   const int max_attempts = count * 50 + 100;
@@ -35,6 +38,7 @@ int DropRandomEdges(AttributedGraph* g, int count, Rng& rng) {
 
 void AddFeatureNoise(AttributedGraph* g, double stddev, Rng& rng) {
   Matrix* x = g->mutable_features();
+  if (x->empty()) return;  // Featureless graphs: nothing to perturb.
   for (int r = 0; r < x->rows(); ++r) {
     double* p = x->row(r);
     for (int c = 0; c < x->cols(); ++c) p[c] += rng.Gaussian(0.0, stddev);

@@ -1,6 +1,8 @@
 #ifndef RGAE_GRAPH_MULTIPLEX_H_
 #define RGAE_GRAPH_MULTIPLEX_H_
 
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "src/graph/generators.h"
@@ -72,6 +74,28 @@ struct MultiplexCitationOptions {
 /// corrupted copy of the base edge set per layer.
 MultiplexGraph MakeMultiplexCitationLike(const MultiplexCitationOptions& o,
                                          Rng& rng);
+
+/// Text round trip mirroring graph/io.h. Format (doubles at precision 17,
+/// a lossless round-trip):
+///
+///   rgae-multiplex 1 <nodes> <layers> <fdim> <has_labels>
+///   layer <index> <edge_count>   (repeated <layers> times, edges follow)
+///   <u> <v>
+///   <feature rows> <labels>
+///
+/// `SaveMultiplex` publishes the file atomically (tmp + fsync + rename,
+/// util/fileio.h), so a crash mid-save leaves the previous file intact.
+bool SaveMultiplex(const MultiplexGraph& g, const std::string& path,
+                   std::string* error = nullptr);
+
+/// Loads with `LoadGraph`'s validation contract: every malformed input —
+/// bad magic or version, negative counts, a layer header whose index does
+/// not match its position (layer-count mismatch), out-of-range or
+/// self-loop or duplicate edges, truncation anywhere, non-finite feature
+/// values, out-of-range labels — yields `std::nullopt` and a descriptive
+/// message in `*error` (when non-null) naming the offending line item.
+std::optional<MultiplexGraph> LoadMultiplex(const std::string& path,
+                                            std::string* error = nullptr);
 
 }  // namespace rgae
 

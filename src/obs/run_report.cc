@@ -1,10 +1,9 @@
 #include "src/obs/run_report.h"
 
-#include <cstdio>
-
 #include "src/core/health.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/util/fileio.h"
 
 namespace rgae {
 namespace obs {
@@ -85,6 +84,7 @@ JsonValue TrainResultJson(const TrainResult& result) {
   out.Set("failure_reason", result.failure_reason.empty()
                                 ? JsonValue::Null()
                                 : JsonValue(result.failure_reason));
+  out.Set("timed_out", JsonValue(result.timed_out));
   out.Set("rollbacks", JsonValue(result.rollbacks));
   JsonValue health = JsonValue::MakeArray();
   for (const HealthEvent& event : result.health_log) {
@@ -110,10 +110,19 @@ JsonValue RunReportJson(const RunReportInfo& info,
   out.Set("trial", JsonValue(info.trial));
   out.Set("seed", JsonValue(info.seed));
   out.Set("seconds", JsonValue(outcome.seconds));
+  out.Set("retries", JsonValue(outcome.retries));
+  out.Set("degraded", JsonValue(outcome.degraded));
   const JsonValue result = TrainResultJson(outcome.result);
   for (const auto& [key, value] : result.entries()) {
     out.Set(key, value);
   }
+  // The outcome-level flags win over the raw result's: the harness's retry
+  // ladder may drop a trial (failed) whose last TrainResult succeeded.
+  out.Set("failed", JsonValue(outcome.failed));
+  out.Set("failure_reason", outcome.failure_reason.empty()
+                                ? JsonValue::Null()
+                                : JsonValue(outcome.failure_reason));
+  out.Set("timed_out", JsonValue(outcome.timed_out));
   return out;
 }
 
@@ -127,6 +136,9 @@ JsonValue AggregateJson(const Aggregate& aggregate) {
   out.Set("var_seconds", JsonValue(aggregate.var_seconds));
   out.Set("num_trials", JsonValue(aggregate.num_trials));
   out.Set("dropped_trials", JsonValue(aggregate.dropped_trials));
+  out.Set("timed_out_trials", JsonValue(aggregate.timed_out_trials));
+  out.Set("retried_trials", JsonValue(aggregate.retried_trials));
+  out.Set("degraded_trials", JsonValue(aggregate.degraded_trials));
   return out;
 }
 
@@ -146,16 +158,7 @@ JsonValue BenchDocument(const std::string& bench_name,
 
 bool WriteJsonFile(const JsonValue& doc, const std::string& path,
                    std::string* error) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    if (error != nullptr) *error = "cannot open " + path;
-    return false;
-  }
-  const std::string text = doc.Dump(2) + "\n";
-  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
-  std::fclose(f);
-  if (!ok && error != nullptr) *error = "short write to " + path;
-  return ok;
+  return WriteFileAtomic(path, doc.Dump(2) + "\n", error);
 }
 
 }  // namespace obs

@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <chrono>
-#include <cstdio>
+
+#include "src/util/fileio.h"
 
 namespace rgae {
 namespace obs {
@@ -129,16 +130,9 @@ JsonValue TraceCollector::ChromeTraceJson() const {
 
 bool TraceCollector::WriteChromeTrace(const std::string& path,
                                       std::string* error) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    if (error != nullptr) *error = "cannot open " + path;
-    return false;
-  }
-  const std::string text = ChromeTraceJson().Dump();
-  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
-  std::fclose(f);
-  if (!ok && error != nullptr) *error = "short write to " + path;
-  return ok;
+  // Atomic replace: a crash mid-export leaves the previous trace (or no
+  // file), never a torn JSON document chrome://tracing rejects.
+  return WriteFileAtomic(path, ChromeTraceJson().Dump() + "\n", error);
 }
 
 }  // namespace obs

@@ -1,0 +1,91 @@
+#include "src/util/fileio.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace rgae {
+
+namespace {
+
+bool Fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message + " (" + std::strerror(errno) + ")";
+  return false;
+}
+
+/// Directory part of `path` ("." when there is none), for the directory
+/// fsync that makes the rename itself durable.
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+bool WriteFileAtomic(const std::string& path, const std::string& contents,
+                     std::string* error) {
+  // Same-directory temp name so the rename stays within one filesystem.
+  // The pid suffix keeps concurrent writers (e.g. two bench processes
+  // pointed at the same output) from clobbering each other's staging file.
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Fail(error, "cannot open " + tmp + " for writing");
+
+  size_t written = 0;
+  while (written < contents.size()) {
+    const ssize_t n =
+        ::write(fd, contents.data() + written, contents.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Fail(error, "write error on " + tmp);
+    }
+    written += static_cast<size_t>(n);
+  }
+  // Data must be on disk before the rename publishes the file, otherwise a
+  // crash could expose a named-but-empty (torn) target.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Fail(error, "fsync failed on " + tmp);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Fail(error, "close failed on " + tmp);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Fail(error, "cannot rename " + tmp + " to " + path);
+  }
+  // Best-effort directory sync: persists the rename. Some filesystems
+  // refuse O_RDONLY fsync on directories; the rename is still atomic, so
+  // that is not worth failing the write over.
+  const int dir_fd = ::open(DirName(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    ::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+  return true;
+}
+
+bool ReadFileToString(const std::string& path, std::string* contents,
+                      std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Fail(error, "cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Fail(error, "read error on " + path);
+  *contents = buffer.str();
+  return true;
+}
+
+}  // namespace rgae

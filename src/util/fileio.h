@@ -1,0 +1,30 @@
+#ifndef RGAE_UTIL_FILEIO_H_
+#define RGAE_UTIL_FILEIO_H_
+
+#include <string>
+
+namespace rgae {
+
+/// Crash-safe file replacement: writes `contents` to a temporary file in
+/// the same directory as `path`, fsyncs it, renames it over `path`, and
+/// fsyncs the directory. At every instant the target path holds either the
+/// previous complete file or the new complete file — a process killed
+/// mid-write (even `kill -9`) can never leave a torn file behind. All
+/// durable emitters (checkpoints, bench `--json` documents, Chrome traces,
+/// multiplex graph saves) go through this; only append-only sinks (JSONL
+/// logs, the run journal) write in place, because appends of one line plus
+/// fsync are already atomic enough for their line-oriented readers.
+///
+/// Returns false on any I/O error, with a descriptive message in `*error`
+/// when non-null; the temporary file is unlinked on failure.
+bool WriteFileAtomic(const std::string& path, const std::string& contents,
+                     std::string* error = nullptr);
+
+/// Reads the whole file into `*contents`. Returns false (filling `*error`
+/// when non-null) when the file cannot be opened or read.
+bool ReadFileToString(const std::string& path, std::string* contents,
+                      std::string* error = nullptr);
+
+}  // namespace rgae
+
+#endif  // RGAE_UTIL_FILEIO_H_

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 
 #include <gtest/gtest.h>
 
@@ -177,6 +178,44 @@ TEST(CheckpointTest, FileRoundTripIsByteIdentical) {
   EXPECT_DOUBLE_EQ(fresh->EvalReconLoss(target),
                    model->EvalReconLoss(target));
   std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, SaveIsAtomicAndFailsCleanly) {
+  namespace fs = std::filesystem;
+  const AttributedGraph g = TinyGraph();
+  auto model = CreateModel("GAE", g, TinyModelOptions());
+  TrainerCheckpoint ckpt;
+  ckpt.model = CaptureModel(model.get());
+  ckpt.self_graph = g;
+  ckpt.epoch = 1;
+
+  // A save into a missing directory reports the error instead of dying,
+  // and publishes nothing.
+  const std::string missing =
+      (fs::path(::testing::TempDir()) / "no_such_dir" / "x.ckpt").string();
+  std::string error;
+  EXPECT_FALSE(SaveCheckpoint(ckpt, missing, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(fs::exists(missing));
+
+  // A successful save leaves exactly the published file — the atomic
+  // tmp-then-rename never leaks *.tmp.* residue next to it.
+  const std::string dir =
+      (fs::path(::testing::TempDir()) / "ckpt_atomic").string();
+  fs::remove_all(dir);
+  ASSERT_TRUE(fs::create_directory(dir));
+  const std::string path = (fs::path(dir) / "trainer.ckpt").string();
+  ASSERT_TRUE(SaveCheckpoint(ckpt, path, &error)) << error;
+  ASSERT_TRUE(SaveCheckpoint(ckpt, path, &error)) << error;  // Overwrite.
+  int entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1);
+  TrainerCheckpoint loaded;
+  EXPECT_TRUE(LoadCheckpoint(path, &loaded, &error)) << error;
+  fs::remove_all(dir);
 }
 
 TEST(CheckpointTest, LoadRejectsGarbageAndTruncation) {

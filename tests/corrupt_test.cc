@@ -105,5 +105,51 @@ TEST(CorruptTest, DropAllColumnsCaps) {
   EXPECT_EQ(dropped, g.feature_dim());
 }
 
+// ---------------------------------------------------------------------------
+// Degenerate inputs: the corruption helpers must stay total functions.
+
+TEST(CorruptTest, DropRateOneRemovesExactlyEveryEdge) {
+  AttributedGraph g = MakeGraph();
+  const int before = g.num_edges();
+  ASSERT_GT(before, 0);
+  Rng rng(2);
+  EXPECT_EQ(DropRandomEdges(&g, before, rng), before);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(CorruptTest, AddRandomEdgesOnCompleteGraphTerminates) {
+  // K5 has no addable pair left: the attempt budget must end the loop and
+  // the return value must report zero additions.
+  AttributedGraph g(5);
+  for (int u = 0; u < 5; ++u) {
+    for (int v = u + 1; v < 5; ++v) g.AddEdge(u, v);
+  }
+  const int before = g.num_edges();
+  Rng rng(3);
+  EXPECT_EQ(AddRandomEdges(&g, 20, rng), 0);
+  EXPECT_EQ(g.num_edges(), before);
+}
+
+TEST(CorruptTest, AddRandomEdgesOnDegenerateGraphsIsNoOp) {
+  AttributedGraph single(1);
+  Rng rng(4);
+  EXPECT_EQ(AddRandomEdges(&single, 10, rng), 0);
+  EXPECT_EQ(single.num_edges(), 0);
+
+  AttributedGraph pair(2);
+  EXPECT_EQ(AddRandomEdges(&pair, 0, rng), 0);   // Zero request.
+  EXPECT_EQ(AddRandomEdges(&pair, -3, rng), 0);  // Negative request.
+  EXPECT_EQ(pair.num_edges(), 0);
+}
+
+TEST(CorruptTest, FeatureNoiseOnFeaturelessGraphIsNoOp) {
+  AttributedGraph g(5);
+  g.AddEdge(0, 1);
+  Rng rng(6);
+  AddFeatureNoise(&g, 1.0, rng);  // Zero-width feature matrix: no crash.
+  EXPECT_TRUE(g.features().empty());
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
 }  // namespace
 }  // namespace rgae

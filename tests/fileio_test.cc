@@ -1,0 +1,93 @@
+#include "src/util/fileio.h"
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace rgae {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TmpPath(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+TEST(FileIoTest, WritesNewFileAndRoundTrips) {
+  const std::string path = TmpPath("fileio_new.txt");
+  fs::remove(path);
+  std::string error;
+  ASSERT_TRUE(WriteFileAtomic(path, "hello\natomic\n", &error)) << error;
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path, &contents, &error)) << error;
+  EXPECT_EQ(contents, "hello\natomic\n");
+  fs::remove(path);
+}
+
+TEST(FileIoTest, OverwriteReplacesWholeFile) {
+  const std::string path = TmpPath("fileio_overwrite.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, std::string(4096, 'a')));
+  ASSERT_TRUE(WriteFileAtomic(path, "short"));
+  std::string contents;
+  ASSERT_TRUE(ReadFileToString(path, &contents));
+  EXPECT_EQ(contents, "short");  // No stale tail from the longer old file.
+  fs::remove(path);
+}
+
+TEST(FileIoTest, LeavesNoTemporaryBehind) {
+  const std::string dir = TmpPath("fileio_tmpscan");
+  fs::remove_all(dir);
+  ASSERT_TRUE(fs::create_directory(dir));
+  const std::string path = (fs::path(dir) / "target.json").string();
+  ASSERT_TRUE(WriteFileAtomic(path, "{}"));
+  ASSERT_TRUE(WriteFileAtomic(path, "{\"v\":2}"));
+  int entries = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    (void)entry;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1);  // Only the published file, no .tmp.* residue.
+  fs::remove_all(dir);
+}
+
+TEST(FileIoTest, FailsCleanlyOnMissingDirectory) {
+  const std::string path = TmpPath("no_such_dir/deep/file.txt");
+  std::string error;
+  EXPECT_FALSE(WriteFileAtomic(path, "x", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(FileIoTest, FailedWriteLeavesExistingFileIntact) {
+  // A directory is not a writable target: the atomic publish must fail
+  // without touching what the path currently holds.
+  const std::string dir = TmpPath("fileio_dir_target");
+  fs::remove_all(dir);
+  ASSERT_TRUE(fs::create_directory(dir));
+  std::string error;
+  EXPECT_FALSE(WriteFileAtomic(dir, "clobber", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(fs::is_directory(dir));
+  fs::remove_all(dir);
+}
+
+TEST(FileIoTest, EmptyContentsProduceEmptyFile) {
+  const std::string path = TmpPath("fileio_empty.txt");
+  ASSERT_TRUE(WriteFileAtomic(path, ""));
+  std::string contents = "sentinel";
+  ASSERT_TRUE(ReadFileToString(path, &contents));
+  EXPECT_TRUE(contents.empty());
+  fs::remove(path);
+}
+
+TEST(FileIoTest, ReadMissingFileFails) {
+  std::string contents;
+  std::string error;
+  EXPECT_FALSE(
+      ReadFileToString(TmpPath("does_not_exist.bin"), &contents, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace rgae

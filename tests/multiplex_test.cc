@@ -1,5 +1,9 @@
 #include "src/graph/multiplex.h"
 
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace rgae {
@@ -99,6 +103,171 @@ TEST(MultiplexTest, MajorityFlattenBeatsUnionHomophily) {
   const AttributedGraph union_graph = mg.Flatten(1);
   const AttributedGraph majority_graph = mg.Flatten(2);
   EXPECT_GT(majority_graph.EdgeHomophily(), union_graph.EdgeHomophily());
+}
+
+// ---------------------------------------------------------------------------
+// Save/Load round trip and the LoadGraph-style validation contract.
+
+std::string MultiplexTmpPath(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+// Writes raw text and parses it back, for the malformed-input cases.
+std::optional<MultiplexGraph> LoadFromText(const std::string& contents,
+                                           std::string* error) {
+  const std::string path = MultiplexTmpPath("multiplex_case.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  std::fputs(contents.c_str(), f);
+  std::fclose(f);
+  auto loaded = LoadMultiplex(path, error);
+  std::remove(path.c_str());
+  return loaded;
+}
+
+// A minimal well-formed file (3 nodes, 1 layer, 1 feature column, labels)
+// the error cases below mutate one aspect of.
+constexpr char kValidMultiplexFile[] =
+    "rgae-multiplex 1 3 1 1 1\n"
+    "layer 0 2\n"
+    "0 1\n"
+    "1 2\n"
+    "0.5\n1.5\n-2.5\n"
+    "0\n0\n1\n";
+
+TEST(MultiplexIoTest, SaveLoadRoundTripIsExact) {
+  const MultiplexGraph original = SmallMultiplex();
+  const std::string path = MultiplexTmpPath("multiplex_roundtrip.txt");
+  std::string error;
+  ASSERT_TRUE(SaveMultiplex(original, path, &error)) << error;
+  auto loaded = LoadMultiplex(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->num_nodes(), original.num_nodes());
+  ASSERT_EQ(loaded->num_layers(), original.num_layers());
+  for (int l = 0; l < original.num_layers(); ++l) {
+    EXPECT_EQ(loaded->layer_edges(l), original.layer_edges(l));
+  }
+  EXPECT_EQ(loaded->labels(), original.labels());
+  ASSERT_EQ(loaded->features().rows(), original.features().rows());
+  ASSERT_EQ(loaded->features().cols(), original.features().cols());
+  for (size_t i = 0; i < original.features().size(); ++i) {
+    EXPECT_EQ(loaded->features().data()[i], original.features().data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MultiplexIoTest, ValidBaselineParses) {
+  std::string error;
+  auto loaded = LoadFromText(kValidMultiplexFile, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->num_nodes(), 3);
+  EXPECT_EQ(loaded->num_layers(), 1);
+  EXPECT_EQ(loaded->LayerEdgeCount(0), 2);
+  EXPECT_EQ(loaded->labels(), (std::vector<int>{0, 0, 1}));
+  EXPECT_EQ(loaded->features()(2, 0), -2.5);
+}
+
+TEST(MultiplexIoTest, LoadMissingFileFails) {
+  std::string error;
+  EXPECT_FALSE(LoadMultiplex(MultiplexTmpPath("absent.txt"), &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(MultiplexIoTest, RejectsBadMagicAndVersion) {
+  std::string error;
+  EXPECT_FALSE(LoadFromText("rgae-graph 1 3 1 1 1\n", &error));
+  EXPECT_NE(error.find("bad magic"), std::string::npos) << error;
+  EXPECT_FALSE(LoadFromText("rgae-multiplex 9 3 1 1 1\n", &error));
+  EXPECT_NE(error.find("version 9"), std::string::npos) << error;
+}
+
+TEST(MultiplexIoTest, RejectsNonPositiveNodeCount) {
+  std::string error;
+  EXPECT_FALSE(LoadFromText("rgae-multiplex 1 0 1 1 1\n", &error));
+  EXPECT_NE(error.find("must be positive"), std::string::npos) << error;
+}
+
+TEST(MultiplexIoTest, RejectsLayerCountMismatch) {
+  // Header promises 2 layers but the file holds 1: the parser hits the
+  // feature block where the second layer header should be.
+  std::string error;
+  EXPECT_FALSE(LoadFromText("rgae-multiplex 1 3 2 1 1\n"
+                            "layer 0 1\n0 1\n"
+                            "0.5\n1.5\n-2.5\n0\n0\n1\n",
+                            &error));
+  EXPECT_NE(error.find("layer-count mismatch"), std::string::npos) << error;
+}
+
+TEST(MultiplexIoTest, RejectsLayerIndexMismatch) {
+  std::string error;
+  EXPECT_FALSE(LoadFromText("rgae-multiplex 1 3 1 1 1\n"
+                            "layer 1 2\n0 1\n1 2\n"
+                            "0.5\n1.5\n-2.5\n0\n0\n1\n",
+                            &error));
+  EXPECT_NE(error.find("does not match position"), std::string::npos)
+      << error;
+}
+
+TEST(MultiplexIoTest, RejectsOutOfRangeEndpoint) {
+  std::string error;
+  EXPECT_FALSE(LoadFromText("rgae-multiplex 1 3 1 1 1\n"
+                            "layer 0 2\n0 1\n1 7\n"
+                            "0.5\n1.5\n-2.5\n0\n0\n1\n",
+                            &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+}
+
+TEST(MultiplexIoTest, RejectsSelfLoopAndDuplicateEdge) {
+  std::string error;
+  EXPECT_FALSE(LoadFromText("rgae-multiplex 1 3 1 1 1\n"
+                            "layer 0 2\n0 1\n2 2\n"
+                            "0.5\n1.5\n-2.5\n0\n0\n1\n",
+                            &error));
+  EXPECT_NE(error.find("self-loop"), std::string::npos) << error;
+  EXPECT_FALSE(LoadFromText("rgae-multiplex 1 3 1 1 1\n"
+                            "layer 0 2\n0 1\n1 0\n"
+                            "0.5\n1.5\n-2.5\n0\n0\n1\n",
+                            &error));
+  EXPECT_NE(error.find("repeats edge"), std::string::npos) << error;
+}
+
+TEST(MultiplexIoTest, RejectsTruncatedEdgeList) {
+  std::string error;
+  EXPECT_FALSE(
+      LoadFromText("rgae-multiplex 1 3 1 1 1\nlayer 0 2\n0 1\n", &error));
+  EXPECT_NE(error.find("truncated edge list"), std::string::npos) << error;
+}
+
+TEST(MultiplexIoTest, RejectsBadFeatureValues) {
+  std::string error;
+  // Truncated features.
+  EXPECT_FALSE(LoadFromText("rgae-multiplex 1 3 1 1 1\n"
+                            "layer 0 2\n0 1\n1 2\n"
+                            "0.5\n1.5\n",
+                            &error));
+  EXPECT_NE(error.find("feature value"), std::string::npos) << error;
+  // Non-numeric features.
+  EXPECT_FALSE(LoadFromText("rgae-multiplex 1 3 1 1 1\n"
+                            "layer 0 2\n0 1\n1 2\n"
+                            "0.5\nbroken\n-2.5\n0\n0\n1\n",
+                            &error));
+  EXPECT_NE(error.find("feature value"), std::string::npos) << error;
+}
+
+TEST(MultiplexIoTest, RejectsBadLabels) {
+  std::string error;
+  // Out-of-range label.
+  EXPECT_FALSE(LoadFromText("rgae-multiplex 1 3 1 1 1\n"
+                            "layer 0 2\n0 1\n1 2\n"
+                            "0.5\n1.5\n-2.5\n0\n0\n9\n",
+                            &error));
+  EXPECT_NE(error.find("out of range"), std::string::npos) << error;
+  // Truncated labels.
+  EXPECT_FALSE(LoadFromText("rgae-multiplex 1 3 1 1 1\n"
+                            "layer 0 2\n0 1\n1 2\n"
+                            "0.5\n1.5\n-2.5\n0\n0\n",
+                            &error));
+  EXPECT_NE(error.find("truncated labels"), std::string::npos) << error;
 }
 
 TEST(MultiplexTest, GeneratorDeterministic) {
