@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Full local CI pipeline: configure -> build -> unit tests -> static
+# analysis. Tools missing from the container (clang-tidy, cppcheck) are
+# skipped with a notice; everything available must pass.
+#
+# Usage: scripts/ci.sh [build-dir]   (default: build-ci)
+set -euo pipefail
+
+SOURCE_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-${SOURCE_DIR}/build-ci}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+step() { echo; echo "==== $* ===="; }
+
+step "configure (${BUILD_DIR})"
+cmake -S "${SOURCE_DIR}" -B "${BUILD_DIR}" \
+  -DCMAKE_BUILD_TYPE=Release -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+
+step "build"
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+
+step "ctest (unit + schema tests)"
+(cd "${BUILD_DIR}" && ctest --output-on-failure -LE lint -j "${JOBS}")
+
+step "ctest -L lint (registered lint cases)"
+(cd "${BUILD_DIR}" && ctest --output-on-failure -L lint)
+
+step "clang-tidy"
+if command -v clang-tidy >/dev/null 2>&1; then
+  "${SOURCE_DIR}/scripts/run_clang_tidy.sh" clang-tidy "${BUILD_DIR}" \
+    "${SOURCE_DIR}"
+else
+  echo "clang-tidy not installed; skipped"
+fi
+
+step "cppcheck"
+if command -v cppcheck >/dev/null 2>&1; then
+  cppcheck --quiet --error-exitcode=1 \
+    --enable=warning,performance,portability \
+    --suppressions-list="${SOURCE_DIR}/.cppcheck-suppressions" \
+    --inline-suppr -I "${SOURCE_DIR}" "${SOURCE_DIR}/src"
+else
+  echo "cppcheck not installed; skipped"
+fi
+
+step "rgae_lint"
+python3 "${SOURCE_DIR}/scripts/rgae_lint.py" --root "${SOURCE_DIR}"
+
+step "bench JSON schema check"
+"${BUILD_DIR}/bench/bench_micro_ops" --json \
+  --benchmark_filter=/200 --benchmark_min_time=0.05 >/dev/null
+python3 "${SOURCE_DIR}/scripts/check_bench_json.py" \
+  --run "${BUILD_DIR}/bench/bench_micro_ops" \
+  --benchmark_filter=/200 --benchmark_min_time=0.05
+
+echo
+echo "CI pipeline passed."

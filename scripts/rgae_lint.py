@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Project-specific source linter for the rgae codebase.
+
+Enforces invariants that generic tools do not know about:
+
+  R1 determinism   -- no wall-clock or ambient-RNG calls outside
+                      src/core/deadline.*. Every stochastic component takes
+                      an explicit seeded Rng; every timing component uses
+                      std::chrono::steady_clock. (std::rand, srand,
+                      random_device, system_clock, localtime, time(...),
+                      clock() are all banned.)
+  R2 ordering      -- no range-for over a std::unordered_{map,set} declared
+                      in the same file. Unordered iteration order feeds
+                      output ordering bugs; use std::map/std::set or sort.
+  R3 includes      -- quoted #include paths must be repo-rooted
+                      ("src/...", "bench/...", "tests/...", "examples/...")
+                      and src/ headers must carry an RGAE_<PATH>_H_ guard.
+  R4 ownership     -- no raw `new`; use containers or std::make_unique.
+                      Intentional leak-once singletons are exempted by a
+                      `// Never dies.` comment on the same line.
+  R5 namespaces    -- no `using namespace std`.
+
+Run: python3 scripts/rgae_lint.py [--root DIR]. Exits 1 if any finding.
+Registered as the ctest case `lint_rgae_sources` (label: lint).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SCAN_DIRS = ("src", "bench", "tests", "examples")
+EXTS = (".h", ".cc")
+
+# R1 applies to library and bench code; tests may construct edge cases.
+DETERMINISM_DIRS = ("src", "bench")
+DETERMINISM_ALLOW = ("src/core/deadline.h", "src/core/deadline.cc")
+DETERMINISM_TOKENS = [
+    (re.compile(r"\bstd::rand\b"), "std::rand"),
+    (re.compile(r"\bsrand\s*\("), "srand"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bsystem_clock\b"), "system_clock"),
+    (re.compile(r"\blocaltime\b"), "localtime"),
+    (re.compile(r"\bgmtime\b"), "gmtime"),
+    (re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)"), "time()"),
+    (re.compile(r"(?<![\w:.])clock\s*\(\s*\)"), "clock()"),
+]
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')
+UNORDERED_DECL_RE = re.compile(
+    r"std::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s*&?\s*"
+    r"([A-Za-z_]\w*)\s*[;={(]"
+)
+RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;:)]*:\s*([^)]+)\)")
+RAW_NEW_RE = re.compile(r"\bnew\b")
+USING_STD_RE = re.compile(r"\busing\s+namespace\s+std\b")
+
+
+def strip_comments_and_strings(line):
+    """Removes // comments and the contents of string/char literals."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            out.append(quote)
+            i += 1
+            while i < n and line[i] != quote:
+                if line[i] == "\\":
+                    i += 1
+                i += 1
+            out.append(quote)
+            i += 1
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def expected_guard(rel):
+    """src/models/gae.h -> RGAE_MODELS_GAE_H_ (leading src/ dropped)."""
+    stem = rel[len("src/"):] if rel.startswith("src/") else rel
+    return "RGAE_" + re.sub(r"[/.]", "_", stem).upper() + "_"
+
+
+def lint_file(root, rel, findings):
+    path = os.path.join(root, rel)
+    with open(path, encoding="utf-8") as f:
+        raw_lines = f.read().splitlines()
+
+    code_lines = [strip_comments_and_strings(l) for l in raw_lines]
+    unordered_names = set()
+    for code in code_lines:
+        for m in UNORDERED_DECL_RE.finditer(code):
+            unordered_names.add(m.group(1))
+
+    in_determinism_scope = (
+        rel.startswith(tuple(d + "/" for d in DETERMINISM_DIRS))
+        and rel not in DETERMINISM_ALLOW
+    )
+
+    for lineno, (raw, code) in enumerate(zip(raw_lines, code_lines), 1):
+        loc = f"{rel}:{lineno}"
+
+        if in_determinism_scope:
+            for pattern, name in DETERMINISM_TOKENS:
+                if pattern.search(code):
+                    findings.append(
+                        f"{loc}: [R1] nondeterministic call ({name}); use a "
+                        "seeded Rng or steady_clock (core/deadline owns "
+                        "wall-clock access)"
+                    )
+
+        m = RANGE_FOR_RE.search(code)
+        if m:
+            target = m.group(1).strip()
+            base = re.split(r"[.\->\[(]", target)[-1].strip()
+            first = re.split(r"[.\->\[(]", target)[0].strip()
+            if ("unordered_" in target or base in unordered_names
+                    or first in unordered_names):
+                findings.append(
+                    f"{loc}: [R2] iteration over unordered container "
+                    f"'{target}'; order is unspecified — use std::map/"
+                    "std::set or collect-and-sort before emitting"
+                )
+
+        inc = INCLUDE_RE.match(code)
+        if inc and not inc.group(1).startswith(
+                ("src/", "bench/", "tests/", "examples/")):
+            findings.append(
+                f"{loc}: [R3] quoted include \"{inc.group(1)}\" is not "
+                "repo-rooted; use \"src/...\"-style paths"
+            )
+
+        if RAW_NEW_RE.search(code) and "Never dies." not in raw:
+            findings.append(
+                f"{loc}: [R4] raw new; use std::make_unique or a container "
+                "(leak-once singletons must carry a `// Never dies.` note)"
+            )
+
+        if USING_STD_RE.search(code):
+            findings.append(f"{loc}: [R5] `using namespace std`")
+
+    if rel.startswith("src/") and rel.endswith(".h"):
+        guard = expected_guard(rel)
+        text = "\n".join(code_lines)
+        if f"#ifndef {guard}" not in text or f"#define {guard}" not in text:
+            findings.append(
+                f"{rel}:1: [R3] missing or misnamed header guard; "
+                f"expected {guard}"
+            )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    args = parser.parse_args()
+    root = os.path.abspath(args.root)
+
+    files = []
+    for d in SCAN_DIRS:
+        for dirpath, dirnames, filenames in os.walk(os.path.join(root, d)):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if name.endswith(EXTS):
+                    files.append(
+                        os.path.relpath(os.path.join(dirpath, name), root)
+                    )
+    files.sort()
+
+    findings = []
+    for rel in files:
+        lint_file(root, rel, findings)
+
+    for finding in findings:
+        print(finding)
+    print(
+        f"rgae_lint: {len(files)} files scanned, {len(findings)} finding(s)",
+        file=sys.stderr,
+    )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs clang-tidy over the library and bench sources using the
+# compile_commands.json from a configured build directory.
+#
+# Usage: run_clang_tidy.sh [clang-tidy-binary] [build-dir] [source-dir]
+set -euo pipefail
+
+TIDY="${1:-clang-tidy}"
+BUILD_DIR="${2:-build}"
+SOURCE_DIR="${3:-$(cd "$(dirname "$0")/.." && pwd)}"
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "error: ${BUILD_DIR}/compile_commands.json not found;" >&2
+  echo "       configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON first" >&2
+  exit 2
+fi
+
+cd "${SOURCE_DIR}"
+mapfile -t FILES < <(find src bench -name '*.cc' | sort)
+
+status=0
+for f in "${FILES[@]}"; do
+  "${TIDY}" -p "${BUILD_DIR}" --quiet "$f" || status=1
+done
+exit "${status}"

@@ -1,0 +1,78 @@
+#include "src/analysis/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/analysis/shape.h"
+
+namespace rgae {
+
+namespace {
+
+double EvalLoss(const std::function<Var(Tape*)>& build_loss) {
+  Tape tape;
+  const Var loss = build_loss(&tape);
+  return tape.value(loss)(0, 0);
+}
+
+}  // namespace
+
+GradCheckResult GradCheck(const std::function<Var(Tape*)>& build_loss,
+                          const std::vector<Parameter*>& params,
+                          const GradCheckOptions& options) {
+  GradCheckResult result;
+
+  // Preserve caller gradients; the analytic pass accumulates from zero.
+  std::vector<Matrix> saved_grads;
+  saved_grads.reserve(params.size());
+  for (Parameter* p : params) {
+    saved_grads.push_back(p->grad);
+    p->ZeroGrad();
+  }
+
+  std::vector<Matrix> analytic;
+  {
+    Tape tape;
+    const Var loss = build_loss(&tape);
+    if (tape.value(loss).size() != 1) {
+      throw TapeError("GradCheck: build_loss must return a scalar node");
+    }
+    tape.Backward(loss);
+    for (Parameter* p : params) analytic.push_back(p->grad);
+  }
+
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Parameter* p = params[pi];
+    const int size = static_cast<int>(p->value.size());
+    const int stride =
+        std::max(1, size / std::max(1, options.max_entries_per_param));
+    for (int i = 0; i < size; i += stride) {
+      double* entry = p->value.data() + i;
+      const double saved = *entry;
+      *entry = saved + options.epsilon;
+      const double up = EvalLoss(build_loss);
+      *entry = saved - options.epsilon;
+      const double down = EvalLoss(build_loss);
+      *entry = saved;
+      const double fd = (up - down) / (2.0 * options.epsilon);
+      const double an = analytic[pi].data()[i];
+      const double rel = std::abs(fd - an) /
+                         std::max({1.0, std::abs(fd), std::abs(an)});
+      ++result.entries_checked;
+      if (rel > result.max_rel_error) {
+        result.max_rel_error = rel;
+        result.worst = "param [" + std::to_string(pi) + "] entry " +
+                       std::to_string(i) + ": analytic " + std::to_string(an) +
+                       " vs finite-difference " + std::to_string(fd);
+      }
+    }
+  }
+  result.ok = result.max_rel_error <= options.tolerance;
+
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->grad = saved_grads[i];
+  }
+  return result;
+}
+
+}  // namespace rgae

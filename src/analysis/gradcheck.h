@@ -1,0 +1,48 @@
+#ifndef RGAE_ANALYSIS_GRADCHECK_H_
+#define RGAE_ANALYSIS_GRADCHECK_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/tensor/autograd.h"
+
+namespace rgae {
+
+struct GradCheckOptions {
+  /// Central-difference step.
+  double epsilon = 1e-5;
+  /// Maximum accepted relative error (|fd - analytic| / max(1, |fd|,
+  /// |analytic|)).
+  double tolerance = 1e-3;
+  /// Per-parameter entry budget; larger parameters are strided
+  /// deterministically so the check stays O(budget) forward passes each.
+  int max_entries_per_param = 32;
+};
+
+struct GradCheckResult {
+  bool ok = true;
+  double max_rel_error = 0.0;
+  int entries_checked = 0;
+  /// Description of the worst entry ("param [1] entry 7: analytic … fd …").
+  std::string worst;
+};
+
+/// Finite-difference verification of the tape's reverse-mode gradients.
+///
+/// `build_loss` must record the forward pass on the given (fresh) tape and
+/// return the scalar loss node; it is invoked repeatedly, so it must be
+/// deterministic in everything except the current `Parameter::value`s —
+/// stochastic models should replay fixed sampling noise (e.g. by passing
+/// copies of a fixed-seed `Rng` to `GaeModel::BuildLossOnTape`).
+///
+/// Checks every parameter in `params` (subsampled per
+/// `max_entries_per_param`), restores parameter values and gradients, and
+/// leaves optimizer state untouched.
+GradCheckResult GradCheck(const std::function<Var(Tape*)>& build_loss,
+                          const std::vector<Parameter*>& params,
+                          const GradCheckOptions& options = {});
+
+}  // namespace rgae
+
+#endif  // RGAE_ANALYSIS_GRADCHECK_H_

@@ -1,0 +1,107 @@
+#include "src/analysis/tape_lint.h"
+
+#include <string>
+
+namespace rgae {
+
+namespace {
+
+std::string NodeLabel(const TapeNodeView& v) {
+  return "#" + std::to_string(v.id) + " (" + v.op + ", " +
+         std::to_string(v.rows) + "x" + std::to_string(v.cols) + ")";
+}
+
+}  // namespace
+
+int TapeLintReport::Count(TapeLintFinding::Kind kind) const {
+  int n = 0;
+  for (const TapeLintFinding& f : findings) {
+    if (f.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string TapeLintReport::Format() const {
+  if (findings.empty()) return "tape lint: clean";
+  std::string out =
+      "tape lint: " + std::to_string(findings.size()) + " finding(s)";
+  for (const TapeLintFinding& f : findings) out += "\n  " + f.message;
+  return out;
+}
+
+TapeLintReport LintTape(const Tape& tape, Var loss,
+                        const std::vector<Parameter*>& params) {
+  TapeLintReport report;
+  const std::vector<TapeNodeView> views = tape.NodeViews();
+  const int n = static_cast<int>(views.size());
+
+  if (loss.tape != &tape || loss.id < 0 || loss.id >= n) {
+    report.findings.push_back(
+        {TapeLintFinding::Kind::kInvalidLoss, loss.id, nullptr,
+         "loss Var is invalid or belongs to another tape"});
+    return report;
+  }
+  if (views[loss.id].rows != 1 || views[loss.id].cols != 1) {
+    report.findings.push_back(
+        {TapeLintFinding::Kind::kInvalidLoss, loss.id, nullptr,
+         "loss node " + NodeLabel(views[loss.id]) + " is not scalar"});
+    return report;
+  }
+
+  // Nodes only reference earlier nodes, so a single reverse sweep computes
+  // both reachability sets. `value_reach`: the node's value feeds the loss
+  // through any input edge. `grad_reach`: Backward propagates a gradient
+  // into the node (a subset of value_reach; GmmKlLoss reads its mixture
+  // operands without differentiating them).
+  std::vector<char> value_reach(n, 0);
+  std::vector<char> grad_reach(n, 0);
+  value_reach[loss.id] = grad_reach[loss.id] = 1;
+  for (int id = loss.id; id >= 0; --id) {
+    if (!value_reach[id]) continue;
+    const TapeNodeView& v = views[id];
+    for (size_t s = 0; s < v.inputs.size(); ++s) {
+      const int in = v.inputs[s];
+      if (in < 0) continue;
+      value_reach[in] = 1;
+      if (grad_reach[id] && v.grad_flow[s]) grad_reach[in] = 1;
+    }
+  }
+
+  for (int id = 0; id < n; ++id) {
+    if (value_reach[id]) continue;
+    report.findings.push_back(
+        {TapeLintFinding::Kind::kDeadNode, id, nullptr,
+         "dead node " + NodeLabel(views[id]) +
+             ": value never reaches the loss"});
+  }
+
+  for (size_t p = 0; p < params.size(); ++p) {
+    const Parameter* param = params[p];
+    int first_leaf = -1;
+    bool reached = false;
+    for (const TapeNodeView& v : views) {
+      if (v.param != param) continue;
+      if (first_leaf < 0) first_leaf = v.id;
+      if (grad_reach[v.id]) {
+        reached = true;
+        break;
+      }
+    }
+    const std::string label = "parameter [" + std::to_string(p) + "] " +
+                              param->value.ShapeString();
+    if (first_leaf < 0) {
+      report.findings.push_back(
+          {TapeLintFinding::Kind::kParamNotOnTape, -1, param,
+           label + ": no Leaf registered on this tape"});
+    } else if (!reached) {
+      report.findings.push_back(
+          {TapeLintFinding::Kind::kParamNoGradPath, first_leaf, param,
+           label + ": leaf " + NodeLabel(views[first_leaf]) +
+               " receives no gradient from the loss"});
+    }
+  }
+
+  return report;
+}
+
+}  // namespace rgae

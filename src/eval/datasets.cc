@@ -93,15 +93,13 @@ AirTrafficLikeOptions BrazilAirOptions() {
 }  // namespace
 
 const std::vector<std::string>& CitationDatasetNames() {
-  static const std::vector<std::string>* names =
-      new std::vector<std::string>{"Cora", "Citeseer", "Pubmed"};
-  return *names;
+  static const std::vector<std::string> names{"Cora", "Citeseer", "Pubmed"};
+  return names;
 }
 
 const std::vector<std::string>& AirTrafficDatasetNames() {
-  static const std::vector<std::string>* names =
-      new std::vector<std::string>{"USA", "Europe", "Brazil"};
-  return *names;
+  static const std::vector<std::string> names{"USA", "Europe", "Brazil"};
+  return names;
 }
 
 bool IsKnownDataset(const std::string& name) {

@@ -33,7 +33,8 @@ Argae::Argae(const AttributedGraph& graph, const ModelOptions& options)
     : Gae(graph, options),
       discriminator_(options.latent_dim, options.discriminator_hidden, rng_),
       disc_adam_(std::make_unique<Adam>(discriminator_.Params(),
-                                        DiscAdamOptions(options))) {}
+                                        DiscAdamOptions(options))),
+      gen_target_ones_(graph.num_nodes(), 1, 1.0) {}
 
 void Argae::DiscriminatorStep() {
   const Matrix z_fake = Embed();
@@ -54,23 +55,21 @@ void Argae::DiscriminatorStep() {
   disc_adam_->ZeroGrads();
 }
 
-double Argae::TrainStep(const TrainContext& ctx) {
-  DiscriminatorStep();
-  const Matrix ones(graph_.num_nodes(), 1, 1.0);
-  Tape tape;
-  const Var x = FeaturesOnTape(&tape);
-  const Var z = encoder_.Encode(&tape, &filter_, x);
-  const Var recon = tape.InnerProductBceLoss(
+void Argae::PreStep(const TrainContext& /*ctx*/) { DiscriminatorStep(); }
+
+void Argae::PostStep(const TrainContext& /*ctx*/) {
+  disc_adam_->ZeroGrads();
+}
+
+Var Argae::BuildLossOnTape(Tape* tape, const TrainContext& ctx,
+                           Rng* /*rng*/) {
+  const Var x = FeaturesOnTape(tape);
+  const Var z = encoder_.Encode(tape, &filter_, x);
+  const Var recon = tape->InnerProductBceLoss(
       z, ctx.recon.graph, ctx.recon.pos_weight, ctx.recon.norm);
-  const Var gen = tape.BceWithLogits(discriminator_.Logits(&tape, z), &ones);
-  const Var loss =
-      tape.AddScalars(recon, tape.Scale(gen, options_.adversarial_weight));
-  adam_->ZeroGrads();
-  disc_adam_->ZeroGrads();
-  tape.Backward(loss);
-  adam_->Step();  // Encoder parameters only.
-  disc_adam_->ZeroGrads();
-  return tape.value(loss)(0, 0);
+  const Var gen = tape->BceWithLogits(discriminator_.Logits(tape, z),
+                                      &gen_target_ones_);
+  return tape->AddScalars(recon, tape->Scale(gen, options_.adversarial_weight));
 }
 
 std::vector<Parameter*> Argae::Params() {
@@ -83,7 +82,8 @@ Arvgae::Arvgae(const AttributedGraph& graph, const ModelOptions& options)
     : Vgae(graph, options),
       discriminator_(options.latent_dim, options.discriminator_hidden, rng_),
       disc_adam_(std::make_unique<Adam>(discriminator_.Params(),
-                                        DiscAdamOptions(options))) {}
+                                        DiscAdamOptions(options))),
+      gen_target_ones_(graph.num_nodes(), 1, 1.0) {}
 
 void Arvgae::DiscriminatorStep() {
   const Matrix z_fake = Embed();
@@ -104,25 +104,21 @@ void Arvgae::DiscriminatorStep() {
   disc_adam_->ZeroGrads();
 }
 
-double Arvgae::TrainStep(const TrainContext& ctx) {
-  DiscriminatorStep();
-  const Matrix ones(graph_.num_nodes(), 1, 1.0);
-  Tape tape;
-  const Heads heads = SampleOnTape(&tape, &rng_);
-  const Var recon = tape.InnerProductBceLoss(
+void Arvgae::PreStep(const TrainContext& /*ctx*/) { DiscriminatorStep(); }
+
+void Arvgae::PostStep(const TrainContext& /*ctx*/) {
+  disc_adam_->ZeroGrads();
+}
+
+Var Arvgae::BuildLossOnTape(Tape* tape, const TrainContext& ctx, Rng* rng) {
+  const Heads heads = SampleOnTape(tape, rng);
+  const Var recon = tape->InnerProductBceLoss(
       heads.z, ctx.recon.graph, ctx.recon.pos_weight, ctx.recon.norm);
-  const Var kl = tape.GaussianKlLoss(heads.mu, heads.logvar);
-  const Var gen =
-      tape.BceWithLogits(discriminator_.Logits(&tape, heads.z), &ones);
-  const Var loss = tape.AddScalars(
-      tape.AddScalars(recon, kl),
-      tape.Scale(gen, options_.adversarial_weight));
-  adam_->ZeroGrads();
-  disc_adam_->ZeroGrads();
-  tape.Backward(loss);
-  adam_->Step();  // Encoder parameters only.
-  disc_adam_->ZeroGrads();
-  return tape.value(loss)(0, 0);
+  const Var kl = tape->GaussianKlLoss(heads.mu, heads.logvar);
+  const Var gen = tape->BceWithLogits(discriminator_.Logits(tape, heads.z),
+                                      &gen_target_ones_);
+  return tape->AddScalars(tape->AddScalars(recon, kl),
+                          tape->Scale(gen, options_.adversarial_weight));
 }
 
 std::vector<Parameter*> Arvgae::Params() {

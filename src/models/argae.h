@@ -34,14 +34,26 @@ class Argae : public Gae {
   Argae(const AttributedGraph& graph, const ModelOptions& options);
 
   std::string name() const override { return "ARGAE"; }
-  double TrainStep(const TrainContext& ctx) override;
+  Var BuildLossOnTape(Tape* tape, const TrainContext& ctx,
+                      Rng* rng) override;
   std::vector<Parameter*> Params() override;
+
+ protected:
+  /// Trains the discriminator on prior vs. encoder samples before the
+  /// encoder step, mirroring the alternating schedule of Pan et al.
+  void PreStep(const TrainContext& ctx) override;
+  /// Drops the generator-loss gradients that Backward deposited on the
+  /// discriminator; only `adam_` (encoder parameters) stepped.
+  void PostStep(const TrainContext& ctx) override;
 
  private:
   void DiscriminatorStep();
 
   Discriminator discriminator_;
   std::unique_ptr<Adam> disc_adam_;
+  // Generator target labels; a member so the BceWithLogits external pointer
+  // recorded on the tape stays valid through Backward.
+  Matrix gen_target_ones_;
 };
 
 /// Adversarially Regularized Variational Graph Auto-Encoder (ARVGAE/ARVGE).
@@ -51,14 +63,20 @@ class Arvgae : public Vgae {
   Arvgae(const AttributedGraph& graph, const ModelOptions& options);
 
   std::string name() const override { return "ARVGAE"; }
-  double TrainStep(const TrainContext& ctx) override;
+  Var BuildLossOnTape(Tape* tape, const TrainContext& ctx,
+                      Rng* rng) override;
   std::vector<Parameter*> Params() override;
+
+ protected:
+  void PreStep(const TrainContext& ctx) override;
+  void PostStep(const TrainContext& ctx) override;
 
  private:
   void DiscriminatorStep();
 
   Discriminator discriminator_;
   std::unique_ptr<Adam> disc_adam_;
+  Matrix gen_target_ones_;
 };
 
 }  // namespace rgae

@@ -32,24 +32,22 @@ Matrix Dgae::SoftAssignments() const {
   return StudentTAssignments(Embed(), centers_.value);
 }
 
-double Dgae::TrainStep(const TrainContext& ctx) {
-  if (!ctx.include_clustering) return Gae::TrainStep(ctx);
+void Dgae::PreStep(const TrainContext& ctx) {
+  if (!ctx.include_clustering) return;
   assert(head_ready_ && "InitClusteringHead must be called first");
   if (steps_since_refresh_ >= options_.target_refresh) RefreshTarget();
   ++steps_since_refresh_;
+}
 
-  Tape tape;
-  const Var x = FeaturesOnTape(&tape);
-  const Var z = encoder_.Encode(&tape, &filter_, x);
-  const Var centers = tape.Leaf(&centers_);
-  const Var clus = tape.DecKlLoss(z, centers, &target_q_, ctx.omega);
-  const Var recon = tape.InnerProductBceLoss(
+Var Dgae::BuildLossOnTape(Tape* tape, const TrainContext& ctx, Rng* rng) {
+  if (!ctx.include_clustering) return Gae::BuildLossOnTape(tape, ctx, rng);
+  const Var x = FeaturesOnTape(tape);
+  const Var z = encoder_.Encode(tape, &filter_, x);
+  const Var centers = tape->Leaf(&centers_);
+  const Var clus = tape->DecKlLoss(z, centers, &target_q_, ctx.omega);
+  const Var recon = tape->InnerProductBceLoss(
       z, ctx.recon.graph, ctx.recon.pos_weight, ctx.recon.norm);
-  const Var loss = tape.AddScalars(clus, tape.Scale(recon, ctx.gamma));
-  adam_->ZeroGrads();
-  tape.Backward(loss);
-  adam_->Step();
-  return tape.value(loss)(0, 0);
+  return tape->AddScalars(clus, tape->Scale(recon, ctx.gamma));
 }
 
 std::vector<Matrix> Dgae::SaveAuxState() const {

@@ -23,7 +23,8 @@ class Dgae : public Gae {
   Dgae(const AttributedGraph& graph, const ModelOptions& options);
 
   std::string name() const override { return "DGAE"; }
-  double TrainStep(const TrainContext& ctx) override;
+  Var BuildLossOnTape(Tape* tape, const TrainContext& ctx,
+                      Rng* rng) override;
   std::vector<Parameter*> Params() override;
 
   bool has_clustering_head() const override { return true; }
@@ -33,6 +34,11 @@ class Dgae : public Gae {
 
   std::vector<Matrix> SaveAuxState() const override;
   bool RestoreAuxState(const std::vector<Matrix>& aux) override;
+
+ protected:
+  /// Refreshes the DEC target distribution on schedule during the
+  /// clustering phase; no-op while pretraining.
+  void PreStep(const TrainContext& ctx) override;
 
  private:
   void RefreshTarget();

@@ -9,17 +9,11 @@ Gae::Gae(const AttributedGraph& graph, const ModelOptions& options)
   InitOptimizer();
 }
 
-double Gae::TrainStep(const TrainContext& ctx) {
-  Tape tape;
-  const Var x = FeaturesOnTape(&tape);
-  const Var z = encoder_.Encode(&tape, &filter_, x);
-  const Var loss = tape.InnerProductBceLoss(z, ctx.recon.graph,
-                                            ctx.recon.pos_weight,
-                                            ctx.recon.norm);
-  adam_->ZeroGrads();
-  tape.Backward(loss);
-  adam_->Step();
-  return tape.value(loss)(0, 0);
+Var Gae::BuildLossOnTape(Tape* tape, const TrainContext& ctx, Rng* /*rng*/) {
+  const Var x = FeaturesOnTape(tape);
+  const Var z = encoder_.Encode(tape, &filter_, x);
+  return tape->InnerProductBceLoss(z, ctx.recon.graph, ctx.recon.pos_weight,
+                                   ctx.recon.norm);
 }
 
 std::vector<Parameter*> Gae::Params() { return encoder_.Params(); }

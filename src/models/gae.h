@@ -17,7 +17,8 @@ class Gae : public GaeModel {
   Gae(const AttributedGraph& graph, const ModelOptions& options);
 
   std::string name() const override { return "GAE"; }
-  double TrainStep(const TrainContext& ctx) override;
+  Var BuildLossOnTape(Tape* tape, const TrainContext& ctx,
+                      Rng* rng) override;
   std::vector<Parameter*> Params() override;
 
  protected:

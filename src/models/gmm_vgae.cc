@@ -90,32 +90,35 @@ Matrix GmmVgae::SoftAssignments() const {
   return CurrentMixture().Responsibilities(Embed());
 }
 
-double GmmVgae::TrainStep(const TrainContext& ctx) {
-  if (!ctx.include_clustering) return Vgae::TrainStep(ctx);
+void GmmVgae::PreStep(const TrainContext& ctx) {
+  if (!ctx.include_clustering) return;
   assert(head_ready_ && "InitClusteringHead must be called first");
   if (steps_since_refresh_ >= options_.target_refresh) RefreshMixture();
   ++steps_since_refresh_;
+}
 
-  Tape tape;
-  const Heads heads = SampleOnTape(&tape, &rng_);
-  const Var means = tape.Leaf(&means_);
-  const Var logvars = tape.Leaf(&logvars_);
-  const Var logits = tape.Leaf(&pi_logits_);
-  const Var clus = tape.GmmKlLoss(heads.mu, means, logvars, logits,
-                                  &target_q_, ctx.omega);
-  const Var recon = tape.InnerProductBceLoss(
-      heads.z, ctx.recon.graph, ctx.recon.pos_weight, ctx.recon.norm);
-  const Var kl = tape.GaussianKlLoss(heads.mu, heads.logvar);
-  const Var loss = tape.AddScalars(
-      clus, tape.Scale(tape.AddScalars(recon, kl), ctx.gamma));
-  adam_->ZeroGrads();
-  tape.Backward(loss);
-  adam_->Step();  // Encoder parameters only; see InitClusteringHead.
-  // Discard mixture gradients (EM owns those parameters).
+void GmmVgae::PostStep(const TrainContext& ctx) {
+  if (!ctx.include_clustering) return;
+  // Discard mixture gradients (EM owns those parameters; adam_ stepped
+  // encoder parameters only — see InitClusteringHead).
   means_.ZeroGrad();
   logvars_.ZeroGrad();
   pi_logits_.ZeroGrad();
-  return tape.value(loss)(0, 0);
+}
+
+Var GmmVgae::BuildLossOnTape(Tape* tape, const TrainContext& ctx, Rng* rng) {
+  if (!ctx.include_clustering) return Vgae::BuildLossOnTape(tape, ctx, rng);
+  const Heads heads = SampleOnTape(tape, rng);
+  const Var means = tape->Leaf(&means_);
+  const Var logvars = tape->Leaf(&logvars_);
+  const Var logits = tape->Leaf(&pi_logits_);
+  const Var clus = tape->GmmKlLoss(heads.mu, means, logvars, logits,
+                                   &target_q_, ctx.omega);
+  const Var recon = tape->InnerProductBceLoss(
+      heads.z, ctx.recon.graph, ctx.recon.pos_weight, ctx.recon.norm);
+  const Var kl = tape->GaussianKlLoss(heads.mu, heads.logvar);
+  return tape->AddScalars(
+      clus, tape->Scale(tape->AddScalars(recon, kl), ctx.gamma));
 }
 
 std::vector<Matrix> GmmVgae::SaveAuxState() const {

@@ -24,7 +24,8 @@ class GmmVgae : public Vgae {
   GmmVgae(const AttributedGraph& graph, const ModelOptions& options);
 
   std::string name() const override { return "GMM-VGAE"; }
-  double TrainStep(const TrainContext& ctx) override;
+  Var BuildLossOnTape(Tape* tape, const TrainContext& ctx,
+                      Rng* rng) override;
   std::vector<Parameter*> Params() override;
 
   bool has_clustering_head() const override { return true; }
@@ -34,6 +35,12 @@ class GmmVgae : public Vgae {
 
   std::vector<Matrix> SaveAuxState() const override;
   bool RestoreAuxState(const std::vector<Matrix>& aux) override;
+
+ protected:
+  /// Runs the warm-started EM refit on schedule during clustering.
+  void PreStep(const TrainContext& ctx) override;
+  /// Discards mixture gradients after the encoder step (EM owns them).
+  void PostStep(const TrainContext& ctx) override;
 
  private:
   // Converts the parameter blocks to/from a GmmModel.

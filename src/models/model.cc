@@ -41,6 +41,21 @@ void GaeModel::InitOptimizer() {
   adam_ = std::make_unique<Adam>(Params(), opts);
 }
 
+void GaeModel::PreStep(const TrainContext& /*ctx*/) {}
+
+void GaeModel::PostStep(const TrainContext& /*ctx*/) {}
+
+double GaeModel::TrainStep(const TrainContext& ctx) {
+  PreStep(ctx);
+  Tape tape;
+  const Var loss = BuildLossOnTape(&tape, ctx, &rng_);
+  adam_->ZeroGrads();
+  tape.Backward(loss);
+  adam_->Step();
+  PostStep(ctx);
+  return tape.value(loss)(0, 0);
+}
+
 Matrix GaeModel::Embed() const {
   Tape tape;
   const Var z = EncodeOnTape(&tape);

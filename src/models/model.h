@@ -69,8 +69,20 @@ class GaeModel {
   /// Model name as used in the paper's tables ("GAE", "GMM-VGAE", ...).
   virtual std::string name() const = 0;
 
-  /// Runs one optimization step and returns the total loss value.
-  virtual double TrainStep(const TrainContext& ctx) = 0;
+  /// Runs one optimization step and returns the total loss value. Template
+  /// method: `PreStep` hook → `BuildLossOnTape` → backward → Adam step →
+  /// `PostStep` hook. Subclasses customize the hooks and the loss, not the
+  /// step sequence.
+  double TrainStep(const TrainContext& ctx);
+
+  /// Records this model's full training loss for `ctx` on `tape` and
+  /// returns the scalar loss node, without touching optimizer or model
+  /// state. This is the exact graph `TrainStep` differentiates, exposed so
+  /// the analysis tools (`LintTape`, `GradCheck`) can audit it. Stochastic
+  /// models draw their sampling noise from `rng`; passing copies of a
+  /// fixed-seed `Rng` replays a bit-identical forward.
+  virtual Var BuildLossOnTape(Tape* tape, const TrainContext& ctx,
+                              Rng* rng) = 0;
 
   /// All trainable parameters (encoder + any clustering/adversarial heads).
   virtual std::vector<Parameter*> Params() = 0;
@@ -132,6 +144,13 @@ class GaeModel {
   Adam* optimizer() { return adam_.get(); }
 
  protected:
+  /// Hooks around the gradient step of `TrainStep`. `PreStep` runs before
+  /// the forward pass (discriminator updates, DEC target refreshes);
+  /// `PostStep` after the Adam step (clearing gradients of leaves excluded
+  /// from this model's optimizer). Defaults are no-ops.
+  virtual void PreStep(const TrainContext& ctx);
+  virtual void PostStep(const TrainContext& ctx);
+
   /// Builds the deterministic embedding on a tape (mean head for
   /// variational models).
   virtual Var EncodeOnTape(Tape* tape) const = 0;

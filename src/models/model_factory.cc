@@ -29,9 +29,9 @@ std::unique_ptr<GaeModel> CreateModel(const std::string& name,
 }
 
 const std::vector<std::string>& AllModelNames() {
-  static const std::vector<std::string>* names = new std::vector<std::string>{
+  static const std::vector<std::string> names{
       "GAE", "VGAE", "ARGAE", "ARVGAE", "DGAE", "GMM-VGAE"};
-  return *names;
+  return names;
 }
 
 }  // namespace rgae

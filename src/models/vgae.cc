@@ -32,17 +32,12 @@ Vgae::Heads Vgae::SampleOnTape(Tape* tape, Rng* rng) const {
   return heads;
 }
 
-double Vgae::TrainStep(const TrainContext& ctx) {
-  Tape tape;
-  const Heads heads = SampleOnTape(&tape, &rng_);
-  const Var recon = tape.InnerProductBceLoss(
+Var Vgae::BuildLossOnTape(Tape* tape, const TrainContext& ctx, Rng* rng) {
+  const Heads heads = SampleOnTape(tape, rng);
+  const Var recon = tape->InnerProductBceLoss(
       heads.z, ctx.recon.graph, ctx.recon.pos_weight, ctx.recon.norm);
-  const Var kl = tape.GaussianKlLoss(heads.mu, heads.logvar);
-  const Var loss = tape.AddScalars(recon, kl);
-  adam_->ZeroGrads();
-  tape.Backward(loss);
-  adam_->Step();
-  return tape.value(loss)(0, 0);
+  const Var kl = tape->GaussianKlLoss(heads.mu, heads.logvar);
+  return tape->AddScalars(recon, kl);
 }
 
 std::vector<Parameter*> Vgae::Params() {

@@ -17,7 +17,8 @@ class Vgae : public GaeModel {
   Vgae(const AttributedGraph& graph, const ModelOptions& options);
 
   std::string name() const override { return "VGAE"; }
-  double TrainStep(const TrainContext& ctx) override;
+  Var BuildLossOnTape(Tape* tape, const TrainContext& ctx,
+                      Rng* rng) override;
   std::vector<Parameter*> Params() override;
 
  protected:

@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <array>
-#include <cassert>
 #include <cmath>
 
+#include "src/analysis/shape.h"
 #include "src/obs/trace.h"
 
 namespace rgae {
@@ -43,6 +43,8 @@ constexpr const char* kOpMetricNames[] = {
     "add_scalars"};
 constexpr size_t kNumOps = std::size(kOpMetricNames);
 
+Shape ShapeOf(const Matrix& m) { return {m.rows(), m.cols()}; }
+
 /// Counter per tape op ("tape.op.matmul", …), resolved once per process.
 obs::Counter* OpCounter(size_t op) {
   static const std::array<obs::Counter*, kNumOps> counters = [] {
@@ -59,7 +61,11 @@ obs::Counter* OpCounter(size_t op) {
 }  // namespace
 
 int Tape::Push(Node n) {
-  assert(!backward_done_);
+  if (backward_done_) {
+    throw TapeError(std::string("Tape::") +
+                    kOpMetricNames[static_cast<size_t>(n.op)] +
+                    ": op recorded after Backward; build a fresh tape");
+  }
   if (obs::Enabled()) {
     const size_t op = static_cast<size_t>(n.op);
     if (op < kNumOps) OpCounter(op)->Inc();
@@ -68,78 +74,112 @@ int Tape::Push(Node n) {
   return static_cast<int>(nodes_.size()) - 1;
 }
 
+void Tape::CheckVar(const char* op, Var v) const {
+  if (v.id < 0 || v.tape == nullptr) {
+    throw TapeError(std::string("Tape::") + op +
+                    ": invalid Var (default-constructed or never recorded)");
+  }
+  if (v.tape != this) {
+    throw TapeError(std::string("Tape::") + op + ": Var #" +
+                    std::to_string(v.id) + " belongs to another tape");
+  }
+  if (v.id >= size()) {
+    throw TapeError(std::string("Tape::") + op + ": Var #" +
+                    std::to_string(v.id) + " out of range [0, " +
+                    std::to_string(size()) + ")");
+  }
+}
+
 Var Tape::Leaf(Parameter* p) {
-  assert(p != nullptr);
+  if (p == nullptr) throw TapeError("Tape::Leaf: null Parameter");
+  if (p->value.empty()) throw TapeError("Tape::Leaf: empty Parameter value");
   Node n;
   n.op = Op::kLeaf;
   n.value = p->value;
   n.param = p;
-  return {Push(std::move(n))};
+  return {Push(std::move(n)), this};
 }
 
 Var Tape::Constant(Matrix value) {
   Node n;
   n.op = Op::kConstant;
   n.value = std::move(value);
-  return {Push(std::move(n))};
+  return {Push(std::move(n)), this};
 }
 
 Var Tape::MatMul(Var a, Var b) {
+  CheckVar("MatMul", a);
+  CheckVar("MatMul", b);
+  InferMatMul(ShapeOf(node(a).value), ShapeOf(node(b).value));
   Node n;
   n.op = Op::kMatMul;
   n.a = a.id;
   n.b = b.id;
   n.value = rgae::MatMul(node(a).value, node(b).value);
-  return {Push(std::move(n))};
+  return {Push(std::move(n)), this};
 }
 
 Var Tape::Spmm(const CsrMatrix* s, Var x) {
-  assert(s != nullptr);
+  CheckVar("Spmm", x);
+  if (s == nullptr) throw TapeError("Tape::Spmm: null sparse operand");
+  InferSpmm({s->rows(), s->cols()}, ShapeOf(node(x).value));
   Node n;
   n.op = Op::kSpmm;
   n.a = x.id;
   n.sparse = s;
   n.value = s->Multiply(node(x).value);
-  return {Push(std::move(n))};
+  return {Push(std::move(n)), this};
 }
 
 Var Tape::Add(Var a, Var b) {
+  CheckVar("Add", a);
+  CheckVar("Add", b);
+  InferElementwise("Add", ShapeOf(node(a).value), ShapeOf(node(b).value));
   Node n;
   n.op = Op::kAdd;
   n.a = a.id;
   n.b = b.id;
   n.value = rgae::Add(node(a).value, node(b).value);
-  return {Push(std::move(n))};
+  return {Push(std::move(n)), this};
 }
 
 Var Tape::Sub(Var a, Var b) {
+  CheckVar("Sub", a);
+  CheckVar("Sub", b);
+  InferElementwise("Sub", ShapeOf(node(a).value), ShapeOf(node(b).value));
   Node n;
   n.op = Op::kSub;
   n.a = a.id;
   n.b = b.id;
   n.value = rgae::Sub(node(a).value, node(b).value);
-  return {Push(std::move(n))};
+  return {Push(std::move(n)), this};
 }
 
 Var Tape::Hadamard(Var a, Var b) {
+  CheckVar("Hadamard", a);
+  CheckVar("Hadamard", b);
+  InferElementwise("Hadamard", ShapeOf(node(a).value),
+                   ShapeOf(node(b).value));
   Node n;
   n.op = Op::kHadamard;
   n.a = a.id;
   n.b = b.id;
   n.value = rgae::Hadamard(node(a).value, node(b).value);
-  return {Push(std::move(n))};
+  return {Push(std::move(n)), this};
 }
 
 Var Tape::Scale(Var a, double s) {
+  CheckVar("Scale", a);
   Node n;
   n.op = Op::kScale;
   n.a = a.id;
   n.scalar = s;
   n.value = rgae::Scale(node(a).value, s);
-  return {Push(std::move(n))};
+  return {Push(std::move(n)), this};
 }
 
 Var Tape::Relu(Var a) {
+  CheckVar("Relu", a);
   Node n;
   n.op = Op::kRelu;
   n.a = a.id;
@@ -148,10 +188,11 @@ Var Tape::Relu(Var a) {
     double* p = n.value.row(r);
     for (int c = 0; c < n.value.cols(); ++c) p[c] = std::max(p[c], 0.0);
   }
-  return {Push(std::move(n))};
+  return {Push(std::move(n)), this};
 }
 
 Var Tape::Exp(Var a) {
+  CheckVar("Exp", a);
   Node n;
   n.op = Op::kExp;
   n.a = a.id;
@@ -160,10 +201,11 @@ Var Tape::Exp(Var a) {
     double* p = n.value.row(r);
     for (int c = 0; c < n.value.cols(); ++c) p[c] = std::exp(p[c]);
   }
-  return {Push(std::move(n))};
+  return {Push(std::move(n)), this};
 }
 
 Var Tape::Tanh(Var a) {
+  CheckVar("Tanh", a);
   Node n;
   n.op = Op::kTanh;
   n.a = a.id;
@@ -172,12 +214,14 @@ Var Tape::Tanh(Var a) {
     double* p = n.value.row(r);
     for (int c = 0; c < n.value.cols(); ++c) p[c] = std::tanh(p[c]);
   }
-  return {Push(std::move(n))};
+  return {Push(std::move(n)), this};
 }
 
 Var Tape::AddRowBroadcast(Var a, Var bias) {
+  CheckVar("AddRowBroadcast", a);
+  CheckVar("AddRowBroadcast", bias);
+  InferAddRowBroadcast(ShapeOf(node(a).value), ShapeOf(node(bias).value));
   const Matrix& bv = node(bias).value;
-  assert(bv.rows() == 1 && bv.cols() == node(a).value.cols());
   Node n;
   n.op = Op::kAddRowBroadcast;
   n.a = a.id;
@@ -187,24 +231,29 @@ Var Tape::AddRowBroadcast(Var a, Var bias) {
     double* p = n.value.row(r);
     for (int c = 0; c < n.value.cols(); ++c) p[c] += bv(0, c);
   }
-  return {Push(std::move(n))};
+  return {Push(std::move(n)), this};
 }
 
 Var Tape::GatherRows(Var a, std::vector<int> rows) {
+  CheckVar("GatherRows", a);
+  InferGatherRows(ShapeOf(node(a).value), rows);
   Node n;
   n.op = Op::kGatherRows;
   n.a = a.id;
   n.value = node(a).value.GatherRows(rows);
   n.indices = std::move(rows);
-  return {Push(std::move(n))};
+  return {Push(std::move(n)), this};
 }
 
 Var Tape::InnerProductBceLoss(Var z, const CsrMatrix* target,
                               double pos_weight, double norm) {
+  CheckVar("InnerProductBceLoss", z);
+  if (target == nullptr) {
+    throw TapeError("Tape::InnerProductBceLoss: null target graph");
+  }
   const Matrix& zv = node(z).value;
   const int nrows = zv.rows();
-  assert(target != nullptr && target->rows() == nrows &&
-         target->cols() == nrows);
+  InferInnerProductBce(ShapeOf(zv), {target->rows(), target->cols()});
   Node n;
   n.op = Op::kInnerProductBce;
   n.a = z.id;
@@ -232,13 +281,15 @@ Var Tape::InnerProductBceLoss(Var z, const CsrMatrix* target,
   }
   const double denom = static_cast<double>(nrows) * nrows;
   n.value = Scalar(norm * loss / denom);
-  return {Push(std::move(n))};
+  return {Push(std::move(n)), this};
 }
 
 Var Tape::GaussianKlLoss(Var mu, Var logvar) {
+  CheckVar("GaussianKlLoss", mu);
+  CheckVar("GaussianKlLoss", logvar);
   const Matrix& m = node(mu).value;
   const Matrix& lv = node(logvar).value;
-  assert(m.rows() == lv.rows() && m.cols() == lv.cols());
+  InferGaussianKl(ShapeOf(m), ShapeOf(lv));
   Node n;
   n.op = Op::kGaussianKl;
   n.a = mu.id;
@@ -253,14 +304,17 @@ Var Tape::GaussianKlLoss(Var mu, Var logvar) {
   // per-node KL row sums (i.e. an overall 1/N² on the entry sum).
   const double denom = static_cast<double>(m.rows()) * m.rows();
   n.value = Scalar(-0.5 * s / denom);
-  return {Push(std::move(n))};
+  return {Push(std::move(n)), this};
 }
 
 Var Tape::KMeansLoss(Var z, const Matrix* centers,
                      const std::vector<int>* assign, std::vector<int> rows) {
+  CheckVar("KMeansLoss", z);
+  if (centers == nullptr || assign == nullptr) {
+    throw TapeError("Tape::KMeansLoss: null centers or assignments");
+  }
   const Matrix& zv = node(z).value;
-  assert(centers != nullptr && assign != nullptr);
-  assert(static_cast<int>(assign->size()) == zv.rows());
+  InferKMeans(ShapeOf(zv), ShapeOf(*centers), *assign, rows);
   Node n;
   n.op = Op::kKMeans;
   n.a = z.id;
@@ -276,15 +330,19 @@ Var Tape::KMeansLoss(Var z, const Matrix* centers,
   }
   n.value = Scalar(loss / static_cast<double>(rows.size()));
   n.indices = std::move(rows);
-  return {Push(std::move(n))};
+  return {Push(std::move(n)), this};
 }
 
 Var Tape::DecKlLoss(Var z, Var centers, const Matrix* target_q,
                     std::vector<int> rows) {
+  CheckVar("DecKlLoss", z);
+  CheckVar("DecKlLoss", centers);
+  if (target_q == nullptr) {
+    throw TapeError("Tape::DecKlLoss: null target distribution");
+  }
   const Matrix& zv = node(z).value;
   const Matrix& cv = node(centers).value;
-  assert(target_q != nullptr);
-  assert(target_q->rows() == zv.rows() && target_q->cols() == cv.rows());
+  InferDecKl(ShapeOf(zv), ShapeOf(cv), ShapeOf(*target_q), rows);
   const int k = cv.rows();
   if (rows.empty()) {
     rows.resize(zv.rows());
@@ -316,19 +374,23 @@ Var Tape::DecKlLoss(Var z, Var centers, const Matrix* target_q,
   }
   n.value = Scalar(loss / m);
   n.indices = std::move(rows);
-  return {Push(std::move(n))};
+  return {Push(std::move(n)), this};
 }
 
 Var Tape::GmmNllLoss(Var z, Var means, Var logvars, Var pi_logits,
                      std::vector<int> rows) {
+  CheckVar("GmmNllLoss", z);
+  CheckVar("GmmNllLoss", means);
+  CheckVar("GmmNllLoss", logvars);
+  CheckVar("GmmNllLoss", pi_logits);
   const Matrix& zv = node(z).value;
   const Matrix& mu = node(means).value;
   const Matrix& lv = node(logvars).value;
   const Matrix& lg = node(pi_logits).value;
+  InferGmmMixture("GmmNllLoss", ShapeOf(zv), ShapeOf(mu), ShapeOf(lv),
+                  ShapeOf(lg), rows);
   const int k = mu.rows();
   const int d = zv.cols();
-  assert(mu.cols() == d && lv.rows() == k && lv.cols() == d);
-  assert(lg.rows() == 1 && lg.cols() == k);
   if (rows.empty()) {
     rows.resize(zv.rows());
     for (int i = 0; i < zv.rows(); ++i) rows[i] = i;
@@ -372,19 +434,26 @@ Var Tape::GmmNllLoss(Var z, Var means, Var logvars, Var pi_logits,
   }
   n.value = Scalar(loss / m);
   n.indices = std::move(rows);
-  return {Push(std::move(n))};
+  return {Push(std::move(n)), this};
 }
 
 Var Tape::GmmKlLoss(Var z, Var means, Var logvars, Var pi_logits,
                     const Matrix* target_q, std::vector<int> rows) {
+  CheckVar("GmmKlLoss", z);
+  CheckVar("GmmKlLoss", means);
+  CheckVar("GmmKlLoss", logvars);
+  CheckVar("GmmKlLoss", pi_logits);
+  if (target_q == nullptr) {
+    throw TapeError("Tape::GmmKlLoss: null target distribution");
+  }
   const Matrix& zv = node(z).value;
   const Matrix& mu = node(means).value;
   const Matrix& lv = node(logvars).value;
   const Matrix& lg = node(pi_logits).value;
+  InferGmmKl(ShapeOf(zv), ShapeOf(mu), ShapeOf(lv), ShapeOf(lg),
+             ShapeOf(*target_q), rows);
   const int k = mu.rows();
   const int d = zv.cols();
-  assert(target_q != nullptr && target_q->rows() == zv.rows() &&
-         target_q->cols() == k);
   if (rows.empty()) {
     rows.resize(zv.rows());
     for (int i = 0; i < zv.rows(); ++i) rows[i] = i;
@@ -404,6 +473,7 @@ Var Tape::GmmKlLoss(Var z, Var means, Var logvars, Var pi_logits,
   n.a = z.id;
   n.b = means.id;
   n.c = logvars.id;
+  n.d = pi_logits.id;  // Read-only input: no gradient flows (EM-owned).
   n.ext = target_q;
   n.aux = Matrix(m, k);  // Responsibilities r_ik.
   double loss = 0.0;
@@ -432,13 +502,16 @@ Var Tape::GmmKlLoss(Var z, Var means, Var logvars, Var pi_logits,
   }
   n.value = Scalar(loss / m);
   n.indices = std::move(rows);
-  return {Push(std::move(n))};
+  return {Push(std::move(n)), this};
 }
 
 Var Tape::BceWithLogits(Var logits, const Matrix* targets) {
+  CheckVar("BceWithLogits", logits);
+  if (targets == nullptr) {
+    throw TapeError("Tape::BceWithLogits: null targets");
+  }
   const Matrix& l = node(logits).value;
-  assert(targets != nullptr && targets->rows() == l.rows() &&
-         targets->cols() == l.cols());
+  InferBceWithLogits(ShapeOf(l), ShapeOf(*targets));
   Node n;
   n.op = Op::kBceWithLogits;
   n.a = logits.id;
@@ -450,22 +523,30 @@ Var Tape::BceWithLogits(Var logits, const Matrix* targets) {
     }
   }
   n.value = Scalar(loss / static_cast<double>(l.size()));
-  return {Push(std::move(n))};
+  return {Push(std::move(n)), this};
 }
 
 Var Tape::AddScalars(Var a, Var b) {
-  assert(node(a).value.size() == 1 && node(b).value.size() == 1);
+  CheckVar("AddScalars", a);
+  CheckVar("AddScalars", b);
+  InferAddScalars(ShapeOf(node(a).value), ShapeOf(node(b).value));
   Node n;
   n.op = Op::kAddScalars;
   n.a = a.id;
   n.b = b.id;
   n.value = Scalar(node(a).value(0, 0) + node(b).value(0, 0));
-  return {Push(std::move(n))};
+  return {Push(std::move(n)), this};
 }
 
-const Matrix& Tape::value(Var v) const { return node(v).value; }
+const Matrix& Tape::value(Var v) const {
+  CheckVar("value", v);
+  return node(v).value;
+}
 
-const Matrix& Tape::grad(Var v) const { return node(v).grad; }
+const Matrix& Tape::grad(Var v) const {
+  CheckVar("grad", v);
+  return node(v).grad;
+}
 
 void Tape::EnsureGrad(int id) {
   Node& n = nodes_[id];
@@ -474,10 +555,42 @@ void Tape::EnsureGrad(int id) {
   }
 }
 
+std::vector<TapeNodeView> Tape::NodeViews() const {
+  std::vector<TapeNodeView> views;
+  views.reserve(nodes_.size());
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    TapeNodeView v;
+    v.id = static_cast<int>(i);
+    v.op = kOpMetricNames[static_cast<size_t>(n.op)];
+    v.inputs = {n.a, n.b, n.c, n.d};
+    for (size_t s = 0; s < v.inputs.size(); ++s) {
+      v.grad_flow[s] = v.inputs[s] >= 0;
+    }
+    if (n.op == Op::kGmmKl) {
+      // Mixture operands are EM-owned: Backward only reaches z (input 0).
+      v.grad_flow[1] = v.grad_flow[2] = v.grad_flow[3] = false;
+    }
+    v.param = n.param;
+    v.rows = n.value.rows();
+    v.cols = n.value.cols();
+    views.push_back(v);
+  }
+  return views;
+}
+
 void Tape::Backward(Var loss) {
   RGAE_TIMED_KERNEL("tape.backward");
-  assert(!backward_done_);
-  assert(node(loss).value.size() == 1);
+  CheckVar("Backward", loss);
+  if (backward_done_) {
+    throw TapeError(
+        "Tape::Backward: called twice on the same tape; gradients would "
+        "double-accumulate. Build a fresh tape per step.");
+  }
+  if (node(loss).value.size() != 1) {
+    throw TapeError("Tape::Backward: loss node must be scalar (1x1), is " +
+                    node(loss).value.ShapeString());
+  }
   backward_done_ = true;
   EnsureGrad(loss.id);
   nodes_[loss.id].grad(0, 0) = 1.0;

@@ -1,6 +1,7 @@
 #ifndef RGAE_TENSOR_AUTOGRAD_H_
 #define RGAE_TENSOR_AUTOGRAD_H_
 
+#include <array>
 #include <vector>
 
 #include "src/graph/csr.h"
@@ -29,10 +30,29 @@ struct Parameter {
   Matrix adam_v;
 };
 
-/// Handle to a node on a `Tape`.
+class Tape;
+
+/// Handle to a node on a `Tape`. Carries the owning tape so every op can
+/// reject handles from another tape (or default-constructed ones) instead of
+/// silently indexing into the wrong node list.
 struct Var {
   int id = -1;
-  bool valid() const { return id >= 0; }
+  const Tape* tape = nullptr;
+  bool valid() const { return id >= 0 && tape != nullptr; }
+};
+
+/// Introspection view of one recorded tape node, consumed by the tape linter
+/// (`src/analysis/tape_lint.h`). `inputs` holds node ids (-1 = unused slot);
+/// `grad_flow[i]` says whether `Backward` propagates a gradient into
+/// `inputs[i]` (false for the EM-owned mixture operands of `GmmKlLoss`).
+struct TapeNodeView {
+  int id = -1;
+  const char* op = "";
+  std::array<int, 4> inputs{{-1, -1, -1, -1}};
+  std::array<bool, 4> grad_flow{{false, false, false, false}};
+  const Parameter* param = nullptr;  // Non-null for parameter leaves.
+  int rows = 0;
+  int cols = 0;
 };
 
 /// Reverse-mode automatic differentiation tape over dense matrices.
@@ -58,6 +78,14 @@ struct Var {
 ///
 /// All loss nodes are 1x1 matrices. Losses that drive the clustering head
 /// accept an optional node subset (the reliable set Ω from operator Ξ).
+///
+/// Every op validates its operands at node-creation time — shapes (via the
+/// inference rules in `src/analysis/shape.h`), `Var` ownership, null
+/// external operands, and index ranges — and throws `TapeError` with a
+/// descriptive message on any violation, in all build types. `Backward` on a
+/// non-scalar node, a second `Backward`, or recording after `Backward` throw
+/// as well. `src/analysis/tape_lint.h` adds a post-forward dataflow audit on
+/// top of the `NodeViews` introspection below.
 class Tape {
  public:
   Tape() = default;
@@ -153,11 +181,19 @@ class Tape {
 
   /// Runs reverse-mode accumulation from the scalar node `loss` (seeds 1).
   /// Parameter leaves receive gradients in `Parameter::grad` (accumulated,
-  /// not overwritten). May be called once per tape.
+  /// not overwritten). May be called once per tape; a second call throws
+  /// `TapeError`.
   void Backward(Var loss);
 
   /// Number of recorded nodes.
   int size() const { return static_cast<int>(nodes_.size()); }
+
+  // ---- Introspection (tape linter) ----------------------------------------
+
+  /// Per-node views of the recorded graph, in recording (topological) order.
+  std::vector<TapeNodeView> NodeViews() const;
+  /// True once `Backward` has run.
+  bool backward_done() const { return backward_done_; }
 
  private:
   enum class Op {
@@ -201,6 +237,9 @@ class Tape {
   };
 
   int Push(Node node);
+  /// Throws `TapeError` unless `v` is a live handle onto this tape; `op`
+  /// names the caller in the message.
+  void CheckVar(const char* op, Var v) const;
   Node& node(Var v) { return nodes_[v.id]; }
   const Node& node(Var v) const { return nodes_[v.id]; }
   void EnsureGrad(int id);
