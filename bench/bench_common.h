@@ -26,6 +26,8 @@
 // trial finishes its current epoch, sinks are flushed, and a second signal
 // force-exits.
 
+#include <algorithm>
+#include <cmath>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -45,6 +47,62 @@
 #include "src/obs/trace.h"
 
 namespace rgae_bench {
+
+/// Linear-interpolated percentile of an ascending-sorted sample set;
+/// `p` in [0, 100]. Returns 0 for an empty set.
+inline double PercentileSorted(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return sorted.front();
+  const double clamped = std::min(100.0, std::max(0.0, p));
+  const double rank = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+/// Latency/runtime distribution of one sample set. Units follow the input
+/// (the serve bench feeds microseconds, the table benches seconds).
+struct LatencySummary {
+  long long count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Sorts a copy of `samples` and reads off mean/min/max/p50/p95/p99.
+inline LatencySummary SummarizeLatencies(std::vector<double> samples) {
+  LatencySummary s;
+  s.count = static_cast<long long>(samples.size());
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  s.min = samples.front();
+  s.max = samples.back();
+  s.p50 = PercentileSorted(samples, 50.0);
+  s.p95 = PercentileSorted(samples, 95.0);
+  s.p99 = PercentileSorted(samples, 99.0);
+  return s;
+}
+
+/// JSON object form of a summary, used by the serve bench report (the
+/// fields `scripts/check_bench_json.py` validates for bench_serve).
+inline rgae::obs::JsonValue LatencySummaryJson(const LatencySummary& s) {
+  rgae::obs::JsonValue out = rgae::obs::JsonValue::MakeObject();
+  out.Set("count", rgae::obs::JsonValue(s.count));
+  out.Set("mean", rgae::obs::JsonValue(s.mean));
+  out.Set("min", rgae::obs::JsonValue(s.min));
+  out.Set("max", rgae::obs::JsonValue(s.max));
+  out.Set("p50", rgae::obs::JsonValue(s.p50));
+  out.Set("p95", rgae::obs::JsonValue(s.p95));
+  out.Set("p99", rgae::obs::JsonValue(s.p99));
+  return out;
+}
 
 /// First signal: cooperative stop (trainers bail at the next epoch
 /// boundary, loops stop starting trials, sinks flush on the way out).
@@ -130,8 +188,9 @@ class BenchObs {
     }
     std::string error;
     if (!json_path_.empty()) {
-      const rgae::obs::JsonValue doc =
+      rgae::obs::JsonValue doc =
           rgae::obs::BenchDocument(bench_, std::move(trials_));
+      for (auto& [key, value] : extras_) doc.Set(key, std::move(value));
       if (rgae::obs::WriteJsonFile(doc, json_path_, &error)) {
         std::printf("bench json written: %s\n", json_path_.c_str());
       } else {
@@ -162,6 +221,22 @@ class BenchObs {
     trials_.push_back(rgae::obs::RunReportJson(info, outcome));
   }
 
+  /// Attaches a top-level section to the `--json` document (e.g. the serve
+  /// bench's "serve" latency report). Replaces an existing key.
+  void SetExtra(const std::string& key, rgae::obs::JsonValue value) {
+    for (auto& [existing, stored] : extras_) {
+      if (existing == key) {
+        stored = std::move(value);
+        return;
+      }
+    }
+    extras_.emplace_back(key, std::move(value));
+  }
+
+  /// True when `--json=` was given (extras and trial reports will be
+  /// written on destruction).
+  bool json_requested() const { return !json_path_.empty(); }
+
   /// The journal behind `--journal=`, or null when the run is unjournaled.
   rgae::RunJournal* journal() {
     return journal_.is_open() ? &journal_ : nullptr;
@@ -177,6 +252,7 @@ class BenchObs {
   std::string json_path_;
   std::string trace_path_;
   std::vector<rgae::obs::JsonValue> trials_;
+  std::vector<std::pair<std::string, rgae::obs::JsonValue>> extras_;
   rgae::RunJournal journal_;
   rgae::TrialPolicy policy_;
 };

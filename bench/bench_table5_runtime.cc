@@ -11,9 +11,9 @@ int main(int argc, char** argv) {
   rgae_bench::PrintRunBanner("Table 5 — execution time");
   const int trials = rgae::NumTrialsFromEnv();
 
-  rgae::TablePrinter table({"Method", "Cora best", "mean", "var",
-                            "Citeseer best", "mean", "var", "Pubmed best",
-                            "mean", "var"});
+  rgae::TablePrinter table({"Method", "Cora best", "mean", "p50/p95/p99",
+                            "Citeseer best", "mean", "p50/p95/p99",
+                            "Pubmed best", "mean", "p50/p95/p99"});
   for (const std::string& model : {std::string("GMM-VGAE"),
                                    std::string("DGAE")}) {
     std::vector<std::string> base_row = {model};
@@ -25,9 +25,13 @@ int main(int argc, char** argv) {
            {&result.base, &result.rvariant}) {
         std::vector<std::string>& row =
             agg == &result.base ? base_row : r_row;
+        const rgae_bench::LatencySummary lat =
+            rgae_bench::SummarizeLatencies(agg->trial_seconds);
         row.push_back(rgae::FormatSeconds(agg->best_seconds));
         row.push_back(rgae::FormatSeconds(agg->mean_seconds));
-        row.push_back(rgae::FormatSeconds(agg->var_seconds));
+        row.push_back(rgae::FormatSeconds(lat.p50) + "/" +
+                      rgae::FormatSeconds(lat.p95) + "/" +
+                      rgae::FormatSeconds(lat.p99));
       }
     }
     table.AddRow(base_row);

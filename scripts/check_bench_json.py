@@ -7,13 +7,17 @@ Usage:
     check_bench_json.py --run <bench_binary> [bench args ...]
     check_bench_json.py --journal <journal.jsonl> [...]
     check_bench_json.py --run-journal <bench_binary> [bench args ...]
+    check_bench_json.py --run-serve <bench_serve_binary> [bench args ...]
 
 In `--run` mode the bench binary is invoked with `--json=<tempfile>` (plus
 any extra arguments, e.g. --benchmark_filter), and the document it writes is
 validated — a single ctest-friendly command. `--run-journal` does the same
 with `--journal=<tempfile>` and validates every line of the resulting
-journal. Exit status 0 means every document is schema-valid; violations are
-listed on stderr.
+journal. `--run-serve` runs bench_serve the same way and additionally
+validates the document's "serve" section: per-phase latency summaries with
+ordered percentiles, cache counters that account for every query, and the
+warm phase out-running the cold one in the same report. Exit status 0 means
+every document is schema-valid; violations are listed on stderr.
 
 The checker is intentionally strict about the contract downstream tooling
 relies on: sentinel values (-1 "untracked", -2 "untracked lambda") must have
@@ -54,6 +58,20 @@ EPOCH_NULLABLE = [
 ]
 
 HIST_REQUIRED = ["count", "sum", "min", "max", "mean", "buckets"]
+
+SERVE_REQUIRED = [
+    "model", "dataset", "num_nodes", "workers", "max_batch",
+    "cache_capacity", "warm_over_cold_throughput", "phases",
+]
+
+SERVE_PHASE_REQUIRED = [
+    "name", "queries", "seconds", "throughput_qps", "latency_us", "cache",
+    "mutations", "invalidated_rows",
+]
+
+LATENCY_REQUIRED = ["count", "mean", "min", "max", "p50", "p95", "p99"]
+
+SERVE_CACHE_REQUIRED = ["hits", "misses", "evictions", "invalidations"]
 
 
 class Checker:
@@ -188,6 +206,115 @@ class Checker:
                                          abs_tol=1e-6),
                             where, f"sum {total} != mean*count {mean * count}")
 
+    def check_latency_summary(self, lat, where, queries=None):
+        if not self.expect(isinstance(lat, dict), where, "not an object"):
+            return
+        for key in LATENCY_REQUIRED:
+            self.expect(self.is_num(lat.get(key)), f"{where}.{key}",
+                        "missing or non-numeric")
+        if not all(self.is_num(lat.get(k)) for k in LATENCY_REQUIRED):
+            return
+        if queries is not None:
+            self.expect(lat["count"] == queries, f"{where}.count",
+                        f"{lat['count']} samples for {queries} queries")
+        self.expect(
+            lat["min"] <= lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"],
+            where,
+            "percentiles not ordered: min {min} p50 {p50} p95 {p95} "
+            "p99 {p99} max {max}".format(**lat))
+        self.expect(lat["min"] <= lat["mean"] <= lat["max"], f"{where}.mean",
+                    "mean {mean} outside [min {min}, max {max}]".format(**lat))
+        self.expect(lat["min"] >= 0, f"{where}.min",
+                    f"negative latency {lat['min']}")
+
+    def check_serve_phase(self, phase, where):
+        if not self.expect(isinstance(phase, dict), where, "not an object"):
+            return
+        for key in SERVE_PHASE_REQUIRED:
+            self.expect(key in phase, f"{where}.{key}", "missing")
+        self.expect(isinstance(phase.get("name"), str) and phase.get("name"),
+                    f"{where}.name", "missing or empty")
+        queries = phase.get("queries")
+        if not self.expect(self.is_num(queries) and queries > 0,
+                           f"{where}.queries", "must be a positive number"):
+            return
+        self.expect(self.is_num(phase.get("seconds"))
+                    and phase.get("seconds") > 0,
+                    f"{where}.seconds", "must be a positive number")
+        self.expect(self.is_num(phase.get("throughput_qps"))
+                    and phase.get("throughput_qps") > 0,
+                    f"{where}.throughput_qps", "must be a positive number")
+        for key in ("mutations", "invalidated_rows"):
+            self.expect(self.is_num(phase.get(key)) and phase.get(key) >= 0,
+                        f"{where}.{key}", "must be a non-negative number")
+        self.check_latency_summary(phase.get("latency_us"),
+                                   f"{where}.latency_us", queries)
+        cache = phase.get("cache")
+        if not self.expect(isinstance(cache, dict), f"{where}.cache",
+                           "not an object"):
+            return
+        for key in SERVE_CACHE_REQUIRED:
+            self.expect(self.is_num(cache.get(key)) and cache.get(key) >= 0,
+                        f"{where}.cache.{key}",
+                        "must be a non-negative number")
+        if all(self.is_num(cache.get(k)) for k in ("hits", "misses")):
+            # Every query either hit or missed the cache — nothing else
+            # touches those two counters.
+            self.expect(cache["hits"] + cache["misses"] == queries,
+                        f"{where}.cache",
+                        f"hits {cache['hits']} + misses {cache['misses']} "
+                        f"!= queries {queries}")
+
+    def check_serve(self, serve):
+        """The "serve" section bench_serve adds to its rgae.bench.v1 doc."""
+        where = "$.serve"
+        if not self.expect(isinstance(serve, dict), where,
+                           "missing or not an object"):
+            return
+        for key in SERVE_REQUIRED:
+            self.expect(key in serve, f"{where}.{key}", "missing")
+        for key in ("model", "dataset"):
+            self.expect(isinstance(serve.get(key), str) and serve.get(key),
+                        f"{where}.{key}", "missing or empty")
+        for key in ("num_nodes", "workers", "max_batch", "cache_capacity"):
+            self.expect(self.is_num(serve.get(key)) and serve.get(key) > 0,
+                        f"{where}.{key}", "must be a positive number")
+        phases = serve.get("phases")
+        if not self.expect(isinstance(phases, list) and len(phases) >= 2,
+                           f"{where}.phases",
+                           "must be an array of at least two phases"):
+            return
+        by_name = {}
+        for i, phase in enumerate(phases):
+            self.check_serve_phase(phase, f"{where}.phases[{i}]")
+            if isinstance(phase, dict):
+                by_name[phase.get("name")] = phase
+        cold, warm = by_name.get("cold"), by_name.get("warm")
+        if not self.expect(cold is not None and warm is not None,
+                           f"{where}.phases",
+                           "must contain a 'cold' and a 'warm' phase"):
+            return
+        cold_qps = cold.get("throughput_qps")
+        warm_qps = warm.get("throughput_qps")
+        if self.is_num(cold_qps) and self.is_num(warm_qps) and cold_qps > 0:
+            self.expect(warm_qps > cold_qps, f"{where}.phases",
+                        f"warm throughput {warm_qps:.0f} qps not above cold "
+                        f"{cold_qps:.0f} qps — the cache bought nothing")
+            ratio = serve.get("warm_over_cold_throughput")
+            if self.expect(self.is_num(ratio),
+                           f"{where}.warm_over_cold_throughput",
+                           "missing or non-numeric"):
+                self.expect(
+                    math.isclose(ratio, warm_qps / cold_qps, rel_tol=1e-6),
+                    f"{where}.warm_over_cold_throughput",
+                    f"{ratio} does not match warm/cold "
+                    f"{warm_qps / cold_qps}")
+        warm_cache = warm.get("cache")
+        if isinstance(warm_cache, dict) and self.is_num(
+                warm_cache.get("hits")):
+            self.expect(warm_cache["hits"] > 0, f"{where}.phases",
+                        "warm phase recorded zero cache hits")
+
     def check_document(self, doc):
         if not self.expect(isinstance(doc, dict), "$", "top level not an object"):
             return
@@ -213,7 +340,7 @@ class Checker:
                     "$.dropped_trace_events", "must be a non-negative number")
 
 
-def check_file(path):
+def check_file(path, serve=False):
     checker = Checker(path)
     try:
         with open(path, encoding="utf-8") as f:
@@ -222,6 +349,8 @@ def check_file(path):
         checker.fail("$", f"cannot parse: {e}")
         return checker.errors
     checker.check_document(doc)
+    if serve and isinstance(doc, dict):
+        checker.check_serve(doc.get("serve"))
     return checker.errors
 
 
@@ -279,9 +408,10 @@ def check_journal_file(path):
     return checker.errors
 
 
-def run_mode(argv):
+def run_mode(argv, serve=False):
+    flag = "--run-serve" if serve else "--run"
     if not argv:
-        print("--run requires a bench binary path", file=sys.stderr)
+        print(f"{flag} requires a bench binary path", file=sys.stderr)
         return 2
     with tempfile.TemporaryDirectory() as tmp:
         out = os.path.join(tmp, "bench.json")
@@ -294,7 +424,7 @@ def run_mode(argv):
         if not os.path.exists(out):
             print(f"bench did not write {out}", file=sys.stderr)
             return 1
-        errors = check_file(out)
+        errors = check_file(out, serve=serve)
     return report(errors, [out])
 
 
@@ -333,6 +463,8 @@ def main(argv):
         return 0 if argv else 2
     if argv[0] == "--run":
         return run_mode(argv[1:])
+    if argv[0] == "--run-serve":
+        return run_mode(argv[1:], serve=True)
     if argv[0] == "--run-journal":
         return run_journal_mode(argv[1:])
     if argv[0] == "--journal":

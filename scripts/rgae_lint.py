@@ -19,6 +19,15 @@ Enforces invariants that generic tools do not know about:
                       Intentional leak-once singletons are exempted by a
                       `// Never dies.` comment on the same line.
   R5 namespaces    -- no `using namespace std`.
+  R6 serving locks -- in src/serve/*.cc, a write to a member field
+                      (trailing-underscore identifier) must happen inside a
+                      constructor/destructor or after a lock acquisition
+                      (std::lock_guard / unique_lock / scoped_lock) in the
+                      same function. Atomics are fine: writes through
+                      .fetch_add/.store are not flagged. A class that
+                      deliberately leaves locking to its caller opts out by
+                      carrying an `Externally synchronized` comment in the
+                      .cc file or its paired header (ForwardEngine does).
 
 Run: python3 scripts/rgae_lint.py [--root DIR]. Exits 1 if any finding.
 Registered as the ctest case `lint_rgae_sources` (label: lint).
@@ -55,6 +64,29 @@ RANGE_FOR_RE = re.compile(r"\bfor\s*\([^;:)]*:\s*([^)]+)\)")
 RAW_NEW_RE = re.compile(r"\bnew\b")
 USING_STD_RE = re.compile(r"\busing\s+namespace\s+std\b")
 
+# R6: src/serve implementation files only — shared mutable state written by
+# the worker pool must sit behind a mutex (DESIGN.md §8.4).
+SERVE_SCOPE = "src/serve/"
+SERVE_ANNOTATION = "Externally synchronized"
+SERVE_LOCK_RE = re.compile(r"\b(?:lock_guard|unique_lock|scoped_lock)\s*<")
+# Top-level (column 0) function definition, Google style.
+SERVE_FUNC_RE = re.compile(r"^[A-Za-z_][\w:<>,*& ]*\(")
+SERVE_CTOR_RE = re.compile(r"\b([A-Za-z_]\w*)::(~?)([A-Za-z_]\w*)\s*\(")
+SERVE_MUTATORS = (
+    "push_back|push_front|pop_back|pop_front|emplace_back|emplace_front|"
+    "emplace|insert|erase|clear|splice|resize|assign|swap|reserve"
+)
+SERVE_WRITE_RE = re.compile(
+    # ++member_ / member_++ (also through one field: ++counters_.hits)
+    r"(?:\+\+|--)\s*[A-Za-z_]\w*_\b"
+    r"|\b[A-Za-z_]\w*_\s*(?:\+\+|--)"
+    # member_ = / op= / [i] =, and member_.field = / op=  (== etc. excluded)
+    r"|\b[A-Za-z_]\w*_\s*(?:\[[^\]]*\]\s*|\.\s*\w+\s*)?"
+    r"(?:[-+*/|&^]|<<|>>)?=(?![=])"
+    # mutating container calls on a member
+    r"|\b[A-Za-z_]\w*_\s*\.\s*(?:" + SERVE_MUTATORS + r")\s*\("
+)
+
 
 def strip_comments_and_strings(line):
     """Removes // comments and the contents of string/char literals."""
@@ -84,6 +116,48 @@ def expected_guard(rel):
     """src/models/gae.h -> RGAE_MODELS_GAE_H_ (leading src/ dropped)."""
     stem = rel[len("src/"):] if rel.startswith("src/") else rel
     return "RGAE_" + re.sub(r"[/.]", "_", stem).upper() + "_"
+
+
+def serve_sync_exempt(root, rel, raw_lines):
+    """True when the file (or its paired header) opts out of R6 with an
+    `Externally synchronized` annotation — locking is the caller's job."""
+    if any(SERVE_ANNOTATION in line for line in raw_lines):
+        return True
+    header = os.path.join(root, rel[:-len(".cc")] + ".h")
+    if os.path.exists(header):
+        with open(header, encoding="utf-8") as f:
+            return SERVE_ANNOTATION in f.read()
+    return False
+
+
+def lint_serve_sync(root, rel, raw_lines, code_lines, findings):
+    """R6: member writes in src/serve/*.cc must be constructor/destructor
+    work or sit after a lock acquisition in the same function."""
+    if serve_sync_exempt(root, rel, raw_lines):
+        return
+    in_function = False
+    exempt = False   # constructor or destructor body
+    locked = False   # a lock_guard/unique_lock/scoped_lock seen earlier
+    for lineno, code in enumerate(code_lines, 1):
+        if SERVE_FUNC_RE.match(code):
+            in_function = True
+            locked = False
+            m = SERVE_CTOR_RE.search(code)
+            exempt = bool(m and (m.group(2) == "~"
+                                 or m.group(1) == m.group(3)))
+        if not in_function:
+            continue
+        if SERVE_LOCK_RE.search(code):
+            locked = True
+            continue
+        if exempt or locked:
+            continue
+        if SERVE_WRITE_RE.search(code):
+            findings.append(
+                f"{rel}:{lineno}: [R6] member write without a lock in "
+                "src/serve; acquire a mutex first, use an atomic, or mark "
+                "the class `Externally synchronized` (DESIGN.md §8.4)"
+            )
 
 
 def lint_file(root, rel, findings):
@@ -143,6 +217,9 @@ def lint_file(root, rel, findings):
 
         if USING_STD_RE.search(code):
             findings.append(f"{loc}: [R5] `using namespace std`")
+
+    if rel.startswith(SERVE_SCOPE) and rel.endswith(".cc"):
+        lint_serve_sync(root, rel, raw_lines, code_lines, findings)
 
     if rel.startswith("src/") and rel.endswith(".h"):
         guard = expected_guard(rel)

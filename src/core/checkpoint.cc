@@ -1,10 +1,10 @@
 #include "src/core/checkpoint.h"
 
 #include <cstdint>
-#include <fstream>
 
 #include "src/models/model.h"
 #include "src/obs/trace.h"
+#include "src/util/binio.h"
 #include "src/util/fileio.h"
 
 namespace rgae {
@@ -12,89 +12,6 @@ namespace rgae {
 namespace {
 
 constexpr uint64_t kMagic = 0x52474145434B5031ULL;  // "RGAECKP1".
-
-// The writer serializes into a memory buffer so the on-disk file can be
-// published atomically (tmp + fsync + rename, util/fileio.h): a crash mid
-// save leaves the previous checkpoint intact instead of a torn file that
-// LoadCheckpoint would reject after restart — exactly when it is needed.
-void WriteU64(std::string& out, uint64_t v) {
-  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-void WriteI64(std::string& out, int64_t v) {
-  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-void WriteDouble(std::string& out, double v) {
-  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-bool ReadU64(std::ifstream& in, uint64_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return static_cast<bool>(in);
-}
-
-bool ReadI64(std::ifstream& in, int64_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return static_cast<bool>(in);
-}
-
-bool ReadDouble(std::ifstream& in, double* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return static_cast<bool>(in);
-}
-
-void WriteMatrix(std::string& out, const Matrix& m) {
-  WriteI64(out, m.rows());
-  WriteI64(out, m.cols());
-  out.append(reinterpret_cast<const char*>(m.data()),
-             m.size() * sizeof(double));
-}
-
-bool ReadMatrix(std::ifstream& in, Matrix* m) {
-  int64_t rows = 0, cols = 0;
-  if (!ReadI64(in, &rows) || !ReadI64(in, &cols)) return false;
-  if (rows < 0 || cols < 0 || rows > (int64_t{1} << 31) ||
-      cols > (int64_t{1} << 31)) {
-    return false;
-  }
-  *m = Matrix(static_cast<int>(rows), static_cast<int>(cols));
-  in.read(reinterpret_cast<char*>(m->data()),
-          static_cast<std::streamsize>(m->size() * sizeof(double)));
-  return static_cast<bool>(in);
-}
-
-void WriteMatrixList(std::string& out, const std::vector<Matrix>& list) {
-  WriteU64(out, list.size());
-  for (const Matrix& m : list) WriteMatrix(out, m);
-}
-
-bool ReadMatrixList(std::ifstream& in, std::vector<Matrix>* list) {
-  uint64_t count = 0;
-  if (!ReadU64(in, &count) || count > (1u << 20)) return false;
-  list->resize(count);
-  for (Matrix& m : *list) {
-    if (!ReadMatrix(in, &m)) return false;
-  }
-  return true;
-}
-
-void WriteIntVector(std::string& out, const std::vector<int>& v) {
-  WriteU64(out, v.size());
-  for (int x : v) WriteI64(out, x);
-}
-
-bool ReadIntVector(std::ifstream& in, std::vector<int>* v) {
-  uint64_t count = 0;
-  if (!ReadU64(in, &count) || count > (1u << 28)) return false;
-  v->resize(count);
-  for (int& x : *v) {
-    int64_t raw = 0;
-    if (!ReadI64(in, &raw)) return false;
-    x = static_cast<int>(raw);
-  }
-  return true;
-}
 
 bool Fail(std::string* error, const std::string& message) {
   if (error != nullptr) *error = message;
@@ -158,62 +75,69 @@ bool RestoreModel(const ModelCheckpoint& checkpoint, GaeModel* model,
 
 bool SaveCheckpoint(const TrainerCheckpoint& checkpoint,
                     const std::string& path, std::string* error) {
+  // Serialized into memory first so the file publishes atomically
+  // (util/fileio.h): a crash mid-save leaves the previous checkpoint
+  // intact, never a torn file. Field encodings come from util/binio.h and
+  // are shared with the inference snapshot format.
   std::string out;
-  WriteU64(out, kMagic);
-  WriteMatrixList(out, checkpoint.model.values);
-  WriteMatrixList(out, checkpoint.model.adam_m);
-  WriteMatrixList(out, checkpoint.model.adam_v);
-  WriteMatrixList(out, checkpoint.model.aux);
-  WriteI64(out, checkpoint.model.adam_step);
-  WriteDouble(out, checkpoint.model.learning_rate);
+  BinaryWriter w(&out);
+  w.U64(kMagic);
+  w.MatList(checkpoint.model.values);
+  w.MatList(checkpoint.model.adam_m);
+  w.MatList(checkpoint.model.adam_v);
+  w.MatList(checkpoint.model.aux);
+  w.I64(checkpoint.model.adam_step);
+  w.F64(checkpoint.model.learning_rate);
 
   const AttributedGraph& g = checkpoint.self_graph;
-  WriteI64(out, g.num_nodes());
-  WriteU64(out, g.edges().size());
+  w.I64(g.num_nodes());
+  w.U64(g.edges().size());
   for (const auto& [u, v] : g.edges()) {
-    WriteI64(out, u);
-    WriteI64(out, v);
+    w.I64(u);
+    w.I64(v);
   }
-  WriteMatrix(out, g.features());
-  WriteIntVector(out, g.labels());
+  w.Mat(g.features());
+  w.IntVec(g.labels());
 
-  WriteIntVector(out, checkpoint.omega);
-  WriteI64(out, checkpoint.epoch);
-  WriteI64(out, checkpoint.pretrain ? 1 : 0);
+  w.IntVec(checkpoint.omega);
+  w.I64(checkpoint.epoch);
+  w.I64(checkpoint.pretrain ? 1 : 0);
   return WriteFileAtomic(path, out, error);
 }
 
 bool LoadCheckpoint(const std::string& path, TrainerCheckpoint* checkpoint,
                     std::string* error) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return Fail(error, "cannot open " + path);
+  std::string contents;
+  if (!ReadFileToString(path, &contents, nullptr)) {
+    return Fail(error, "cannot open " + path);
+  }
+  BinaryReader r(contents);
   uint64_t magic = 0;
-  if (!ReadU64(in, &magic) || magic != kMagic) {
+  if (!r.U64(&magic) || magic != kMagic) {
     return Fail(error, path + " is not an rgae checkpoint");
   }
-  if (!ReadMatrixList(in, &checkpoint->model.values) ||
-      !ReadMatrixList(in, &checkpoint->model.adam_m) ||
-      !ReadMatrixList(in, &checkpoint->model.adam_v) ||
-      !ReadMatrixList(in, &checkpoint->model.aux)) {
+  if (!r.MatList(&checkpoint->model.values) ||
+      !r.MatList(&checkpoint->model.adam_m) ||
+      !r.MatList(&checkpoint->model.adam_v) ||
+      !r.MatList(&checkpoint->model.aux)) {
     return Fail(error, "truncated model state in " + path);
   }
   int64_t step = 0;
-  if (!ReadI64(in, &step) ||
-      !ReadDouble(in, &checkpoint->model.learning_rate)) {
+  if (!r.I64(&step) || !r.F64(&checkpoint->model.learning_rate)) {
     return Fail(error, "truncated optimizer state in " + path);
   }
   checkpoint->model.adam_step = static_cast<long>(step);
 
   int64_t num_nodes = 0;
   uint64_t num_edges = 0;
-  if (!ReadI64(in, &num_nodes) || num_nodes < 0 || !ReadU64(in, &num_edges) ||
+  if (!r.I64(&num_nodes) || num_nodes < 0 || !r.U64(&num_edges) ||
       num_edges > (1u << 28)) {
     return Fail(error, "bad graph header in " + path);
   }
   AttributedGraph g(static_cast<int>(num_nodes));
   for (uint64_t i = 0; i < num_edges; ++i) {
     int64_t u = 0, v = 0;
-    if (!ReadI64(in, &u) || !ReadI64(in, &v)) {
+    if (!r.I64(&u) || !r.I64(&v)) {
       return Fail(error, "truncated edge list in " + path);
     }
     if (u < 0 || u >= num_nodes || v < 0 || v >= num_nodes) {
@@ -222,20 +146,19 @@ bool LoadCheckpoint(const std::string& path, TrainerCheckpoint* checkpoint,
     g.AddEdge(static_cast<int>(u), static_cast<int>(v));
   }
   Matrix features;
-  if (!ReadMatrix(in, &features)) {
+  if (!r.Mat(&features)) {
     return Fail(error, "truncated features in " + path);
   }
   if (!features.empty()) g.set_features(std::move(features));
   std::vector<int> labels;
-  if (!ReadIntVector(in, &labels)) {
+  if (!r.IntVec(&labels)) {
     return Fail(error, "truncated labels in " + path);
   }
   if (!labels.empty()) g.set_labels(std::move(labels));
   checkpoint->self_graph = std::move(g);
 
   int64_t epoch = 0, pretrain = 0;
-  if (!ReadIntVector(in, &checkpoint->omega) || !ReadI64(in, &epoch) ||
-      !ReadI64(in, &pretrain)) {
+  if (!r.IntVec(&checkpoint->omega) || !r.I64(&epoch) || !r.I64(&pretrain)) {
     return Fail(error, "truncated trainer state in " + path);
   }
   checkpoint->epoch = static_cast<int>(epoch);

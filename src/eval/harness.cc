@@ -377,6 +377,7 @@ Aggregate AggregateTrials(const std::vector<TrialOutcome>& trials) {
     sum_ari += t->scores.ari;
     sum_sec += t->seconds;
     agg.best_seconds = std::min(agg.best_seconds, t->seconds);
+    agg.trial_seconds.push_back(t->seconds);
   }
   const double n = static_cast<double>(alive.size());
   agg.mean = {sum_acc / n, sum_nmi / n, sum_ari / n};

@@ -135,6 +135,10 @@ struct Aggregate {
   double best_seconds = 0.0;
   double mean_seconds = 0.0;
   double var_seconds = 0.0;
+  /// Per-trial clustering-phase seconds of the surviving trials, in trial
+  /// order — the raw sample set behind the percentile columns of the
+  /// runtime benches (bench/bench_common.h `SummarizeLatencies`).
+  std::vector<double> trial_seconds;
   /// Trials that survived aggregation / trials dropped as failed.
   int num_trials = 0;
   int dropped_trials = 0;

@@ -32,6 +32,15 @@ Matrix Dgae::SoftAssignments() const {
   return StudentTAssignments(Embed(), centers_.value);
 }
 
+serve::ModelSnapshot Dgae::ExportSnapshot() const {
+  serve::ModelSnapshot snapshot = Gae::ExportSnapshot();
+  if (head_ready_) {
+    snapshot.head = serve::HeadKind::kStudentT;
+    snapshot.centers = centers_.value;
+  }
+  return snapshot;
+}
+
 void Dgae::PreStep(const TrainContext& ctx) {
   if (!ctx.include_clustering) return;
   assert(head_ready_ && "InitClusteringHead must be called first");

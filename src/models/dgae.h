@@ -31,6 +31,8 @@ class Dgae : public Gae {
   bool clustering_head_ready() const override { return head_ready_; }
   void InitClusteringHead(int num_clusters, Rng& rng) override;
   Matrix SoftAssignments() const override;
+  /// Adds the trained DEC centers as a Student-t head (once initialized).
+  serve::ModelSnapshot ExportSnapshot() const override;
 
   std::vector<Matrix> SaveAuxState() const override;
   bool RestoreAuxState(const std::vector<Matrix>& aux) override;

@@ -18,6 +18,11 @@ Var Gae::BuildLossOnTape(Tape* tape, const TrainContext& ctx, Rng* /*rng*/) {
 
 std::vector<Parameter*> Gae::Params() { return encoder_.Params(); }
 
+serve::ModelSnapshot Gae::ExportSnapshot() const {
+  return SnapshotBase(encoder_.layer0().weight()->value,
+                      encoder_.layer1().weight()->value);
+}
+
 Var Gae::EncodeOnTape(Tape* tape) const {
   const Var x = FeaturesOnTape(tape);
   return encoder_.Encode(tape, &filter_, x);

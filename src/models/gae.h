@@ -20,6 +20,9 @@ class Gae : public GaeModel {
   Var BuildLossOnTape(Tape* tape, const TrainContext& ctx,
                       Rng* rng) override;
   std::vector<Parameter*> Params() override;
+  /// Head-less snapshot (first group); ARGAE inherits this (the
+  /// discriminator only shapes training and plays no role at inference).
+  serve::ModelSnapshot ExportSnapshot() const override;
 
  protected:
   Var EncodeOnTape(Tape* tape) const override;

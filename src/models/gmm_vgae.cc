@@ -90,6 +90,24 @@ Matrix GmmVgae::SoftAssignments() const {
   return CurrentMixture().Responsibilities(Embed());
 }
 
+serve::ModelSnapshot GmmVgae::ExportSnapshot() const {
+  serve::ModelSnapshot snapshot = Vgae::ExportSnapshot();
+  if (head_ready_) {
+    // Freeze the post-transform mixture (exp'd variances, softmaxed
+    // weights) so the serve-side Responsibilities call is bit-identical to
+    // SoftAssignments().
+    const GmmModel gmm = CurrentMixture();
+    snapshot.head = serve::HeadKind::kGmm;
+    snapshot.means = gmm.means;
+    snapshot.variances = gmm.variances;
+    snapshot.mix_weights = Matrix(1, gmm.num_components());
+    for (int k = 0; k < gmm.num_components(); ++k) {
+      snapshot.mix_weights(0, k) = gmm.weights[static_cast<size_t>(k)];
+    }
+  }
+  return snapshot;
+}
+
 void GmmVgae::PreStep(const TrainContext& ctx) {
   if (!ctx.include_clustering) return;
   assert(head_ready_ && "InitClusteringHead must be called first");

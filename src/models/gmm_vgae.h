@@ -32,6 +32,9 @@ class GmmVgae : public Vgae {
   bool clustering_head_ready() const override { return head_ready_; }
   void InitClusteringHead(int num_clusters, Rng& rng) override;
   Matrix SoftAssignments() const override;
+  /// Adds the tracked mixture (post-transform: variances = exp(logvars),
+  /// softmaxed weights) as a GMM head (once initialized).
+  serve::ModelSnapshot ExportSnapshot() const override;
 
   std::vector<Matrix> SaveAuxState() const override;
   bool RestoreAuxState(const std::vector<Matrix>& aux) override;

@@ -62,6 +62,17 @@ Matrix GaeModel::Embed() const {
   return tape.value(z);
 }
 
+serve::ModelSnapshot GaeModel::SnapshotBase(const Matrix& w0,
+                                            const Matrix& w1) const {
+  serve::ModelSnapshot snapshot;
+  snapshot.model_name = name();
+  snapshot.w0 = w0;
+  snapshot.w1 = w1;
+  snapshot.filter = filter_;
+  snapshot.features = features_;
+  return snapshot;
+}
+
 void GaeModel::InitClusteringHead(int /*num_clusters*/, Rng& /*rng*/) {
   assert(false && "model has no clustering head");
 }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "src/graph/graph.h"
+#include "src/serve/snapshot.h"
 #include "src/tensor/autograd.h"
 #include "src/tensor/optimizer.h"
 #include "src/tensor/random.h"
@@ -90,6 +91,13 @@ class GaeModel {
   /// Deterministic embedding Z (the mean for variational models).
   Matrix Embed() const;
 
+  /// Freezes the trained encoder, the clustering head (when initialized),
+  /// and the serving graph into a self-contained inference artifact
+  /// (serve/snapshot.h). The snapshot's tape-free forward reproduces
+  /// `Embed()` bit for bit; second-group models additionally freeze their
+  /// head so `SoftAssignRows` reproduces `SoftAssignments()`.
+  virtual serve::ModelSnapshot ExportSnapshot() const = 0;
+
   /// True for second-group models carrying a trainable clustering head.
   virtual bool has_clustering_head() const { return false; }
   /// True once `InitClusteringHead` has run; `SoftAssignments` reads the
@@ -157,6 +165,10 @@ class GaeModel {
 
   /// Registers the feature matrix as a tape constant.
   Var FeaturesOnTape(Tape* tape) const { return tape->Constant(features_); }
+
+  /// Shared `ExportSnapshot` scaffolding: name, encoder weights, filter and
+  /// features. Subclasses add their head parameters on top.
+  serve::ModelSnapshot SnapshotBase(const Matrix& w0, const Matrix& w1) const;
 
   /// Creates the Adam optimizer once all parameters exist; subclasses call
   /// this at the end of their constructors.

@@ -52,4 +52,11 @@ Var Vgae::EncodeOnTape(Tape* tape) const {
   return encoder_.Encode(tape, &filter_, x);
 }
 
+serve::ModelSnapshot Vgae::ExportSnapshot() const {
+  // The μ head (encoder layer 1) is the deterministic embedding, so the
+  // logvar head is not part of the inference artifact.
+  return SnapshotBase(encoder_.layer0().weight()->value,
+                      encoder_.layer1().weight()->value);
+}
+
 }  // namespace rgae

@@ -20,6 +20,9 @@ class Vgae : public GaeModel {
   Var BuildLossOnTape(Tape* tape, const TrainContext& ctx,
                       Rng* rng) override;
   std::vector<Parameter*> Params() override;
+  /// Head-less snapshot freezing the μ head as the embedding weights;
+  /// ARVGAE inherits this.
+  serve::ModelSnapshot ExportSnapshot() const override;
 
  protected:
   Var EncodeOnTape(Tape* tape) const override;

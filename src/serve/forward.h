@@ -1,0 +1,100 @@
+#ifndef RGAE_SERVE_FORWARD_H_
+#define RGAE_SERVE_FORWARD_H_
+
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/serve/snapshot.h"
+#include "src/tensor/matrix.h"
+
+namespace rgae {
+namespace serve {
+
+/// Row counts touched by one incremental `UpdateGraph` pass; exposed so the
+/// bench and tests can verify the engine recomputed a neighborhood rather
+/// than the whole graph.
+struct UpdateStats {
+  int xw0_rows = 0;  // Rows of X·W0 recomputed (feature mutations).
+  int h_rows = 0;    // Hidden rows recomputed (1-hop of mutations).
+  int z_rows = 0;    // Embedding rows invalidated (2-hop of mutations).
+};
+
+/// Tape-free inference over a frozen `ModelSnapshot`.
+///
+/// Computes Z = Ã (ReLU(Ã X W₀) W₁) without allocating a `Tape` or `Var`:
+/// the full pass calls exactly the training kernels (`rgae::MatMul`,
+/// `CsrMatrix::Multiply`, `std::max` ReLU) and the row-restricted pass
+/// replicates their inner-loop accumulation order, so every produced row is
+/// bit-identical to `GaeModel::Embed()` under the same weights — exact
+/// equality, not tolerance-based (tested in serve_test.cc).
+///
+/// Intermediate stages X·W₀, H and H·W₁ are kept row-eager; Z rows are
+/// recomputed lazily against a validity bitmap, so a query batch for k nodes
+/// costs one row-restricted SpMM over at most k rows.
+///
+/// After a graph mutation, `UpdateGraph` recomputes only the affected
+/// neighborhood: a feature or incidence change at node u can alter H rows in
+/// u's closed 1-hop neighborhood and Z rows in its closed 2-hop
+/// neighborhood, and nothing else (the correctness argument is DESIGN.md
+/// §8.3). Degree changes widen the seed set: every filter row of an
+/// endpoint or of one of its old/new neighbors is dirty, because Ã entries
+/// scale by both endpoint degrees.
+///
+/// Externally synchronized: this class performs no locking. `ServeEngine`
+/// guards all access through its state mutex; single-threaded callers
+/// (tests, bench warm-up) may use it directly.
+class ForwardEngine {
+ public:
+  /// Builds all stages eagerly with a full forward pass.
+  explicit ForwardEngine(ModelSnapshot snapshot);
+
+  const ModelSnapshot& snapshot() const { return snapshot_; }
+  /// The serving graph the engine currently reflects.
+  const AttributedGraph& graph() const { return graph_; }
+  int num_nodes() const { return snapshot_.num_nodes(); }
+
+  /// Embedding rows for `nodes`, in order (|nodes| x latent_dim). Lazily
+  /// recomputes any invalidated Z rows first.
+  Matrix EmbedRows(const std::vector<int>& nodes);
+  /// Soft assignments for `nodes` under the snapshot head (|nodes| x K).
+  Matrix AssignRows(const std::vector<int>& nodes);
+  /// The full embedding (validates every row first).
+  const Matrix& Z();
+
+  /// Diffs `next` against the current graph (edge set and feature rows),
+  /// incrementally recomputes the affected stage rows, and invalidates the
+  /// affected Z rows. Returns the sorted list of invalidated node ids — the
+  /// caller's cue to drop cached entries. `next` must have the same node
+  /// count and feature dimension. Counts of the pass are in
+  /// `last_update()`.
+  std::vector<int> UpdateGraph(const AttributedGraph& next);
+
+  const UpdateStats& last_update() const { return last_update_; }
+
+  /// One full tape-free forward pass over a snapshot, using the training
+  /// kernels directly. This is the reference the incremental path must
+  /// reproduce bit-for-bit.
+  static Matrix FullForward(const ModelSnapshot& snapshot);
+
+ private:
+  // Recomputes the listed Z rows from hw1_ and marks them valid.
+  void RecomputeZRows(const std::vector<int>& rows);
+  // Marks the listed Z rows invalid.
+  void InvalidateZRows(const std::vector<int>& rows);
+
+  ModelSnapshot snapshot_;
+  AttributedGraph graph_;
+
+  Matrix xw0_;  // X · W0, row-eager.
+  Matrix h_;    // ReLU(Ã X W0), row-eager.
+  Matrix hw1_;  // H · W1, row-eager.
+  Matrix z_;    // Ã H W1, rows valid per z_valid_.
+  std::vector<char> z_valid_;
+
+  UpdateStats last_update_;
+};
+
+}  // namespace serve
+}  // namespace rgae
+
+#endif  // RGAE_SERVE_FORWARD_H_

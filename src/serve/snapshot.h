@@ -1,0 +1,100 @@
+#ifndef RGAE_SERVE_SNAPSHOT_H_
+#define RGAE_SERVE_SNAPSHOT_H_
+
+#include <string>
+
+#include "src/graph/csr.h"
+#include "src/graph/graph.h"
+#include "src/tensor/matrix.h"
+
+namespace rgae {
+namespace serve {
+
+/// Kind of clustering head frozen into a snapshot. First-group models
+/// export `kNone` (embedding-only serving) until centroids are attached;
+/// DGAE exports its trainable DEC centers as `kStudentT`; GMM-VGAE exports
+/// its mixture as `kGmm`. Values are part of the on-disk format — never
+/// renumber.
+enum class HeadKind : int {
+  kNone = 0,
+  /// Student-t soft assignment against `centers` (DEC / Eq. 20 form). Also
+  /// the kind produced by `AttachKMeansHead` for first-group models.
+  kStudentT = 1,
+  /// Diagonal-covariance Gaussian mixture responsibilities.
+  kGmm = 2,
+};
+
+/// A frozen, self-contained inference artifact: everything needed to answer
+/// embedding and cluster-assignment queries without a trained model object,
+/// a `Tape`, or the training dataset. Produced by `GaeModel::ExportSnapshot`
+/// (the paper's deliverable — embeddings Z plus assignments — frozen at the
+/// end of training) and consumed by `serve::ForwardEngine` / `ServeEngine`.
+struct ModelSnapshot {
+  std::string model_name;  // "GAE", ..., "GMM-VGAE" (paper table names).
+
+  /// Two-layer GCN encoder weights: Z = Ã (ReLU(Ã X W₀) W₁). For
+  /// variational models W₁ is the μ head (the deterministic embedding).
+  Matrix w0;  // in_dim x hidden_dim.
+  Matrix w1;  // hidden_dim x latent_dim.
+
+  HeadKind head = HeadKind::kNone;
+  Matrix centers;      // kStudentT: K x latent_dim.
+  Matrix means;        // kGmm: K x latent_dim.
+  Matrix variances;    // kGmm: K x latent_dim (diagonal covariances).
+  Matrix mix_weights;  // kGmm: 1 x K, sums to 1.
+
+  /// The GCN filter Ã = D^-1/2 (A+I) D^-1/2 of the serving graph.
+  CsrMatrix filter;
+  /// Node features X (num_nodes x in_dim).
+  Matrix features;
+
+  int num_nodes() const { return filter.rows(); }
+  int feature_dim() const { return features.cols(); }
+  int hidden_dim() const { return w0.cols(); }
+  int latent_dim() const { return w1.cols(); }
+  bool has_head() const { return head != HeadKind::kNone; }
+  /// K of the frozen head; 0 when `kNone`.
+  int num_clusters() const;
+
+  /// Equips a head-less (first-group) snapshot with post-hoc k-means
+  /// centroids so it can answer assignment queries; the serve-side soft
+  /// assignment is the Student-t kernel over these centers.
+  void AttachKMeansHead(Matrix kmeans_centers);
+};
+
+/// Shape-consistency check across all sections (weight dims vs features,
+/// head dims vs latent dim, square filter matching the feature rows, head
+/// matrices present for the declared kind). Returns false and fills
+/// `*error` with a descriptive message on the first violation.
+bool ValidateSnapshot(const ModelSnapshot& snapshot, std::string* error);
+
+/// Binary on-disk round trip of the `rgae.snapshot.v1` format (see
+/// DESIGN.md §8): magic + version header followed by CRC32-checked
+/// sections. `SaveSnapshot` publishes atomically via `WriteFileAtomic`
+/// (tmp + fsync + rename) so a crash mid-save never leaves a torn file.
+/// `LoadSnapshot` mirrors `LoadGraph`'s validation contract: truncated
+/// input, wrong magic, unsupported versions, CRC mismatches, missing
+/// sections, shape disagreements and non-finite payload values are all
+/// rejected with a descriptive message in `*error`; `*snapshot` is
+/// unspecified after a failed load.
+bool SaveSnapshot(const ModelSnapshot& snapshot, const std::string& path,
+                  std::string* error = nullptr);
+bool LoadSnapshot(const std::string& path, ModelSnapshot* snapshot,
+                  std::string* error = nullptr);
+
+/// Reconstructs the serving graph from a snapshot: one node per filter row,
+/// an edge per off-diagonal structural non-zero (the filter stores
+/// normalized A+I, so its off-diagonal support is exactly the edge set),
+/// and the snapshot's features. Labels are not part of a snapshot.
+AttributedGraph GraphFromSnapshot(const ModelSnapshot& snapshot);
+
+/// Soft assignments (rows x K, rows normalized) of embedding rows under the
+/// snapshot's head. Row-independent, so serving a subset of nodes yields
+/// exactly the rows a full `SoftAssignments` pass would. Must not be called
+/// on a `kNone` snapshot.
+Matrix SoftAssignRows(const ModelSnapshot& snapshot, const Matrix& z_rows);
+
+}  // namespace serve
+}  // namespace rgae
+
+#endif  // RGAE_SERVE_SNAPSHOT_H_

@@ -1,0 +1,136 @@
+#include "src/util/binio.h"
+
+#include <array>
+#include <cstring>
+
+namespace rgae {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(const char* data, size_t size) {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ static_cast<unsigned char>(data[i])) & 0xFFu] ^
+          (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void BinaryWriter::U32(uint32_t v) {
+  out_->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::U64(uint64_t v) {
+  out_->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::I64(int64_t v) {
+  out_->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::F64(double v) {
+  out_->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void BinaryWriter::Str(const std::string& s) {
+  U64(s.size());
+  out_->append(s);
+}
+
+void BinaryWriter::Mat(const Matrix& m) {
+  I64(m.rows());
+  I64(m.cols());
+  out_->append(reinterpret_cast<const char*>(m.data()),
+               m.size() * sizeof(double));
+}
+
+void BinaryWriter::MatList(const std::vector<Matrix>& list) {
+  U64(list.size());
+  for (const Matrix& m : list) Mat(m);
+}
+
+void BinaryWriter::IntVec(const std::vector<int>& v) {
+  U64(v.size());
+  for (int x : v) I64(x);
+}
+
+bool BinaryReader::Raw(void* dst, size_t bytes) {
+  if (size_ - pos_ < bytes) return false;
+  std::memcpy(dst, data_ + pos_, bytes);
+  pos_ += bytes;
+  return true;
+}
+
+bool BinaryReader::U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+bool BinaryReader::U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+bool BinaryReader::I64(int64_t* v) { return Raw(v, sizeof(*v)); }
+bool BinaryReader::F64(double* v) { return Raw(v, sizeof(*v)); }
+
+bool BinaryReader::Str(std::string* s) {
+  uint64_t len = 0;
+  if (!U64(&len) || len > (1u << 28) || size_ - pos_ < len) return false;
+  s->assign(data_ + pos_, static_cast<size_t>(len));
+  pos_ += static_cast<size_t>(len);
+  return true;
+}
+
+bool BinaryReader::Mat(Matrix* m) {
+  int64_t rows = 0, cols = 0;
+  if (!I64(&rows) || !I64(&cols)) return false;
+  if (rows < 0 || cols < 0 || rows > (int64_t{1} << 31) ||
+      cols > (int64_t{1} << 31)) {
+    return false;
+  }
+  const size_t bytes =
+      static_cast<size_t>(rows) * static_cast<size_t>(cols) * sizeof(double);
+  if (size_ - pos_ < bytes) return false;
+  *m = Matrix(static_cast<int>(rows), static_cast<int>(cols));
+  std::memcpy(m->data(), data_ + pos_, bytes);
+  pos_ += bytes;
+  return true;
+}
+
+bool BinaryReader::MatList(std::vector<Matrix>* list) {
+  uint64_t count = 0;
+  if (!U64(&count) || count > (1u << 20)) return false;
+  list->resize(count);
+  for (Matrix& m : *list) {
+    if (!Mat(&m)) return false;
+  }
+  return true;
+}
+
+bool BinaryReader::IntVec(std::vector<int>* v) {
+  uint64_t count = 0;
+  if (!U64(&count) || count > (1u << 28)) return false;
+  v->resize(count);
+  for (int& x : *v) {
+    int64_t raw = 0;
+    if (!I64(&raw)) return false;
+    x = static_cast<int>(raw);
+  }
+  return true;
+}
+
+bool BinaryReader::Skip(size_t bytes) {
+  if (size_ - pos_ < bytes) return false;
+  pos_ += bytes;
+  return true;
+}
+
+}  // namespace rgae

@@ -1,0 +1,91 @@
+#ifndef RGAE_UTIL_BINIO_H_
+#define RGAE_UTIL_BINIO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/tensor/matrix.h"
+
+namespace rgae {
+
+/// Shared fixed-width binary serialization used by every durable binary
+/// format in the library (checkpoints `RGAECKP1`, inference snapshots
+/// `rgae.snapshot.v1`). Centralizing the primitives keeps the two formats'
+/// field encodings — and their bounds checks — identical, so a corruption
+/// class caught in one reader is caught in both.
+///
+/// All integers and doubles are stored in native (little-endian on every
+/// supported target) byte order; matrices are `i64 rows, i64 cols` followed
+/// by the raw row-major double payload, byte-identical to the in-memory
+/// representation.
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of a byte range. Used to
+/// checksum snapshot sections so bit rot is reported as corruption instead
+/// of surfacing as silently wrong model output.
+uint32_t Crc32(const char* data, size_t size);
+inline uint32_t Crc32(const std::string& s) { return Crc32(s.data(), s.size()); }
+
+/// Appends fixed-width fields to a growing byte buffer.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::string* out) : out_(out) {}
+
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  void I64(int64_t v);
+  void F64(double v);
+  /// u64 byte count + raw bytes.
+  void Str(const std::string& s);
+  /// i64 rows, i64 cols, raw row-major doubles.
+  void Mat(const Matrix& m);
+  /// u64 count + that many matrices.
+  void MatList(const std::vector<Matrix>& list);
+  /// u64 count + one i64 per element.
+  void IntVec(const std::vector<int>& v);
+
+ private:
+  std::string* out_;
+};
+
+/// Bounds-checked cursor over an in-memory byte buffer. Every read returns
+/// false instead of running past the end, so truncated files surface as
+/// clean format errors. Size caps mirror the historical checkpoint reader:
+/// matrix dims <= 2^31, matrix-list count <= 2^20, int-vector count <= 2^28,
+/// string length <= 2^28.
+class BinaryReader {
+ public:
+  BinaryReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit BinaryReader(const std::string& buffer)
+      : BinaryReader(buffer.data(), buffer.size()) {}
+
+  bool U32(uint32_t* v);
+  bool U64(uint64_t* v);
+  bool I64(int64_t* v);
+  bool F64(double* v);
+  bool Str(std::string* s);
+  bool Mat(Matrix* m);
+  bool MatList(std::vector<Matrix>* list);
+  bool IntVec(std::vector<int>* v);
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return size_ - pos_; }
+  /// Current read offset.
+  size_t position() const { return pos_; }
+  /// Pointer to the next unread byte.
+  const char* cursor() const { return data_ + pos_; }
+  /// Advances the cursor without interpreting the bytes.
+  bool Skip(size_t bytes);
+
+ private:
+  bool Raw(void* dst, size_t bytes);
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace rgae
+
+#endif  // RGAE_UTIL_BINIO_H_
