@@ -1,0 +1,423 @@
+// Overload load-test bench: drives open-loop traffic through a
+// serve::ServeRegistry at fixed offered-QPS levels and reports, per level,
+// the request dispositions (admitted / degraded / shed) and the
+// admitted-request latency distribution. Unlike bench_serve's closed-loop
+// issuers, arrivals here follow a precomputed schedule and never wait for
+// responses — offered load stays fixed when the engine saturates, which is
+// exactly what exercises admission control, degraded serving, and deadline
+// shedding (DESIGN.md §8.6).
+//
+// The run is a chaos drill by default:
+//   - worker stalls and offer bursts fire on deterministic schedules
+//     (core/fault_injection's serve faults);
+//   - a mutation thread applies edge churn through the registry while the
+//     load runs;
+//   - mid-run, one hot snapshot swap is performed: a first, deliberately
+//     corrupted candidate must be rejected by validation, then the real
+//     candidate flips in with zero downtime.
+//
+// The headline invariants, validated by `scripts/check_bench_json.py
+// --run-loadtest` (the `loadtest_schema` ctest):
+//   - zero lost requests: every level's offered == admitted + degraded +
+//     shed, tallied from the resolved futures themselves;
+//   - no in-flight query fails because of the swap;
+//   - SLO violations are monotone in offered QPS;
+//   - the admitted-request p99 stays bounded by the request deadline plus
+//     scheduling slack.
+//
+// Environment knobs (all optional):
+//   RGAE_LOADTEST_QPS          comma-separated offered QPS levels
+//                              (default "500,2000,8000")
+//   RGAE_LOADTEST_SECONDS      seconds per level           (default 2.0)
+//   RGAE_LOADTEST_WORKERS      engine worker threads       (default 2)
+//   RGAE_LOADTEST_BATCH        max queries per worker tick (default 32)
+//   RGAE_LOADTEST_QUEUE        admission queue capacity    (default 256)
+//   RGAE_LOADTEST_DEADLINE_MS  per-request deadline        (default 100)
+//   RGAE_LOADTEST_SLO_MS       latency SLO                 (default 50)
+//   RGAE_LOADTEST_HOT          hot-set size                (default 64)
+//   RGAE_LOADTEST_MUT_MS       mutation period, 0 = off    (default 25)
+//   RGAE_LOADTEST_CHAOS        0 disables fault injection  (default 1)
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/fault_injection.h"
+#include "src/models/model_factory.h"
+#include "src/serve/registry.h"
+#include "src/tensor/random.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const double parsed = std::atof(value);
+  return parsed > 0.0 ? parsed : fallback;
+}
+
+bool EnvFlag(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoi(value) != 0;
+}
+
+std::vector<double> EnvQpsLevels(const char* name,
+                                 const std::string& fallback) {
+  const char* value = std::getenv(name);
+  std::string spec = (value != nullptr && *value != '\0') ? value : fallback;
+  std::vector<double> levels;
+  size_t pos = 0;
+  while (pos < spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const double qps = std::atof(spec.substr(pos, comma - pos).c_str());
+    if (qps > 0.0) levels.push_back(qps);
+    pos = comma + 1;
+  }
+  if (levels.empty()) levels = {500.0, 2000.0, 8000.0};
+  return levels;
+}
+
+// Dispositions of one level, tallied from the resolved futures — the
+// bench's own zero-lost proof, independent of engine-side counters.
+struct LevelReport {
+  double target_qps = 0.0;
+  double seconds = 0.0;
+  double achieved_qps = 0.0;  // Offered rate actually sustained.
+  int64_t offered = 0;
+  int64_t admitted = 0;  // Served fresh (kOk).
+  int64_t degraded = 0;
+  int64_t shed_overload = 0;
+  int64_t shed_deadline = 0;
+  int64_t shed_shutdown = 0;
+  int64_t slo_violations = 0;
+  int mutations = 0;
+  int invalidated_rows = 0;
+  rgae_bench::LatencySummary admitted_us;  // serve_us of kOk answers.
+  int64_t engine_offered = 0;  // Current generation, informational.
+  int64_t engine_settled = 0;
+
+  int64_t shed() const { return shed_overload + shed_deadline + shed_shutdown; }
+};
+
+rgae::obs::JsonValue LevelJson(const LevelReport& level) {
+  rgae::obs::JsonValue out = rgae::obs::JsonValue::MakeObject();
+  out.Set("target_qps", rgae::obs::JsonValue(level.target_qps));
+  out.Set("seconds", rgae::obs::JsonValue(level.seconds));
+  out.Set("achieved_qps", rgae::obs::JsonValue(level.achieved_qps));
+  out.Set("offered", rgae::obs::JsonValue(level.offered));
+  out.Set("admitted", rgae::obs::JsonValue(level.admitted));
+  out.Set("degraded", rgae::obs::JsonValue(level.degraded));
+  out.Set("shed", rgae::obs::JsonValue(level.shed()));
+  out.Set("shed_overload", rgae::obs::JsonValue(level.shed_overload));
+  out.Set("shed_deadline", rgae::obs::JsonValue(level.shed_deadline));
+  out.Set("shed_shutdown", rgae::obs::JsonValue(level.shed_shutdown));
+  out.Set("slo_violations", rgae::obs::JsonValue(level.slo_violations));
+  out.Set("mutations", rgae::obs::JsonValue(level.mutations));
+  out.Set("invalidated_rows", rgae::obs::JsonValue(level.invalidated_rows));
+  out.Set("admitted_latency_us",
+          rgae_bench::LatencySummaryJson(level.admitted_us));
+  rgae::obs::JsonValue engine = rgae::obs::JsonValue::MakeObject();
+  engine.Set("offered", rgae::obs::JsonValue(level.engine_offered));
+  engine.Set("settled", rgae::obs::JsonValue(level.engine_settled));
+  out.Set("engine", std::move(engine));
+  return out;
+}
+
+struct LoadConfig {
+  double seconds = 2.0;
+  int hot_set = 64;
+  double hot_fraction = 0.7;
+  double slo_us = 50000.0;
+  int mutate_period_ms = 25;
+};
+
+// One open-loop level: a dispatcher fires Submits on the precomputed
+// arrival schedule (never waiting on responses), a mutator applies edge
+// churn through the registry, and the tally happens after the last future
+// resolves. `swap_at_mid` runs the hot-swap drill at the level midpoint.
+LevelReport RunLevel(rgae::serve::ServeRegistry* registry, double target_qps,
+                     const LoadConfig& config, uint64_t seed,
+                     bool swap_at_mid, int* swaps_completed,
+                     int* swaps_rejected) {
+  LevelReport report;
+  report.target_qps = target_qps;
+  const int64_t planned =
+      static_cast<int64_t>(target_qps * config.seconds + 0.5);
+
+  std::vector<std::future<rgae::serve::QueryResult>> futures;
+  futures.reserve(static_cast<size_t>(planned));
+
+  std::atomic<bool> level_done{false};
+  int mutations = 0, invalidated = 0;
+  std::thread mutator;
+  if (config.mutate_period_ms > 0) {
+    mutator = std::thread([&] {
+      rgae::Rng rng(seed + 104729);
+      while (!level_done.load(std::memory_order_relaxed) &&
+             !rgae::GlobalStopRequested()) {
+        rgae::AttributedGraph next = registry->CurrentGraph();
+        const int u = rng.UniformInt(next.num_nodes());
+        const int v = rng.UniformInt(next.num_nodes());
+        if (u != v) {
+          if (next.HasEdge(u, v)) {
+            next.RemoveEdge(u, v);
+          } else {
+            next.AddEdge(u, v);
+          }
+          invalidated +=
+              static_cast<int>(registry->MutateGraph(next).size());
+          ++mutations;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(config.mutate_period_ms));
+      }
+    });
+  }
+
+  rgae::Rng rng(seed);
+  const auto start = Clock::now();
+  const auto mid = start + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(
+                                   config.seconds / 2.0));
+  bool swap_pending = swap_at_mid;
+  const auto period = std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(1.0 / target_qps));
+  for (int64_t i = 0; i < planned; ++i) {
+    if (rgae::GlobalStopRequested()) break;
+    const auto arrival = start + period * i;
+    std::this_thread::sleep_until(arrival);  // No-op once behind schedule.
+    if (swap_pending && Clock::now() >= mid) {
+      swap_pending = false;
+      // The hot-swap drill: under chaos the injector corrupts the first
+      // candidate, so validation must reject it; the retry flips in.
+      for (int attempt = 0; attempt < 2; ++attempt) {
+        std::string error;
+        if (registry->Swap(registry->engine()->SnapshotCopy(), &error)) {
+          ++*swaps_completed;
+          break;
+        }
+        ++*swaps_rejected;
+        std::printf("  swap rejected (%s)\n", error.c_str());
+      }
+    }
+    auto engine = registry->engine();
+    const int node =
+        rng.UniformInt(1000) < static_cast<int>(config.hot_fraction * 1000)
+            ? rng.UniformInt(std::min(config.hot_set, engine->num_nodes()))
+            : rng.UniformInt(engine->num_nodes());
+    // The engine stamps the configured default deadline on each request.
+    futures.push_back(engine->Submit(node, rgae::Deadline::Unlimited()));
+  }
+  const auto dispatch_end = Clock::now();
+  level_done.store(true, std::memory_order_relaxed);
+  if (mutator.joinable()) mutator.join();
+
+  std::vector<double> admitted_us;
+  admitted_us.reserve(futures.size());
+  for (auto& f : futures) {
+    const rgae::serve::QueryResult r = f.get();
+    bool violates = r.serve_us > config.slo_us;
+    switch (r.status) {
+      case rgae::serve::QueryStatus::kOk:
+        ++report.admitted;
+        admitted_us.push_back(r.serve_us);
+        break;
+      case rgae::serve::QueryStatus::kDegraded:
+        ++report.degraded;
+        break;
+      case rgae::serve::QueryStatus::kShedOverload:
+        ++report.shed_overload;
+        violates = true;  // A shed request did not meet its SLO.
+        break;
+      case rgae::serve::QueryStatus::kShedDeadline:
+        ++report.shed_deadline;
+        violates = true;
+        break;
+      case rgae::serve::QueryStatus::kShedShutdown:
+        ++report.shed_shutdown;
+        violates = true;
+        break;
+    }
+    if (violates) ++report.slo_violations;
+  }
+  report.offered = static_cast<int64_t>(futures.size());
+  report.seconds = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       dispatch_end - start)
+                       .count() /
+                   1e9;
+  report.achieved_qps =
+      report.seconds > 0.0
+          ? static_cast<double>(report.offered) / report.seconds
+          : 0.0;
+  report.mutations = mutations;
+  report.invalidated_rows = invalidated;
+  report.admitted_us = rgae_bench::SummarizeLatencies(std::move(admitted_us));
+  const rgae::serve::AdmissionStats engine_stats =
+      registry->engine()->stats().admission;
+  report.engine_offered = engine_stats.offered;
+  report.engine_settled = engine_stats.settled();
+  return report;
+}
+
+void PrintLevel(const LevelReport& level) {
+  std::printf(
+      "%7.0f qps  offered %6lld  admitted %6lld  degraded %6lld  "
+      "shed %6lld  slo-viol %6lld  p50/p95/p99 %.0f/%.0f/%.0f us\n",
+      level.target_qps, static_cast<long long>(level.offered),
+      static_cast<long long>(level.admitted),
+      static_cast<long long>(level.degraded),
+      static_cast<long long>(level.shed()),
+      static_cast<long long>(level.slo_violations), level.admitted_us.p50,
+      level.admitted_us.p95, level.admitted_us.p99);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rgae_bench::BenchObs obs(&argc, argv, "loadtest");
+  rgae_bench::PrintRunBanner(
+      "load test: admission + degradation + hot swap under chaos",
+      /*trials=*/1);
+
+  const std::string dataset = "Cora";
+  const std::string model_name = "DGAE";
+  const uint64_t seed = 1;
+  const rgae::AttributedGraph graph = rgae::MakeDataset(dataset, seed);
+
+  rgae::ModelOptions model_options;
+  model_options.seed = seed;
+  std::unique_ptr<rgae::GaeModel> model =
+      rgae::CreateModel(model_name, graph, model_options);
+  rgae::Rng head_rng(seed);
+  model->InitClusteringHead(graph.num_clusters(), head_rng);
+
+  const std::vector<double> levels =
+      EnvQpsLevels("RGAE_LOADTEST_QPS", "500,2000,8000");
+  LoadConfig config;
+  config.seconds = EnvDouble("RGAE_LOADTEST_SECONDS", 2.0);
+  config.hot_set = EnvInt("RGAE_LOADTEST_HOT", 64);
+  config.slo_us = EnvDouble("RGAE_LOADTEST_SLO_MS", 50.0) * 1000.0;
+  config.mutate_period_ms = EnvInt("RGAE_LOADTEST_MUT_MS", 25);
+  const double deadline_ms = EnvDouble("RGAE_LOADTEST_DEADLINE_MS", 100.0);
+  const bool chaos = EnvFlag("RGAE_LOADTEST_CHAOS", true);
+
+  rgae::ServeFaultInjector faults(
+      chaos ? std::vector<rgae::ServeFault>{
+                  {rgae::ServeFault::Type::kWorkerStall, /*every_n=*/50,
+                   /*after=*/20, /*magnitude=*/20.0, /*once=*/false},
+                  {rgae::ServeFault::Type::kQueueBurst, /*every_n=*/997,
+                   /*after=*/0, /*magnitude=*/64.0, /*once=*/false},
+                  {rgae::ServeFault::Type::kSnapshotCorruptOnSwap,
+                   /*every_n=*/1, /*after=*/0, /*magnitude=*/0.0,
+                   /*once=*/true}}
+            : std::vector<rgae::ServeFault>{});
+
+  rgae::serve::ServeOptions serve_options;
+  serve_options.num_workers = EnvInt("RGAE_LOADTEST_WORKERS", 2);
+  serve_options.max_batch = EnvInt("RGAE_LOADTEST_BATCH", 32);
+  serve_options.cache_capacity = graph.num_nodes();
+  serve_options.admission.queue_capacity = EnvInt("RGAE_LOADTEST_QUEUE", 256);
+  serve_options.admission.default_deadline_s = deadline_ms / 1000.0;
+  serve_options.faults = &faults;
+
+  std::printf(
+      "model=%s dataset=%s nodes=%d workers=%d queue=%d deadline=%.0fms "
+      "slo=%.0fms chaos=%d\n",
+      model_name.c_str(), dataset.c_str(), graph.num_nodes(),
+      serve_options.num_workers, serve_options.admission.queue_capacity,
+      deadline_ms, config.slo_us / 1000.0, chaos ? 1 : 0);
+
+  rgae::serve::ServeRegistry registry(model->ExportSnapshot(), serve_options);
+
+  // Warm the hot set so level 1 measures steady-state, not cold misses.
+  {
+    auto engine = registry.engine();
+    const int warm = std::min(config.hot_set, engine->num_nodes());
+    for (int node = 0; node < warm; ++node) engine->QueryBlocking(node);
+  }
+
+  // The swap drill runs during the middle level.
+  const size_t swap_level = levels.size() / 2;
+  int swaps_completed = 0, swaps_rejected = 0;
+  std::vector<LevelReport> reports;
+  for (size_t i = 0; i < levels.size(); ++i) {
+    if (rgae::GlobalStopRequested()) break;
+    reports.push_back(RunLevel(&registry, levels[i], config,
+                               seed + 31 * static_cast<uint64_t>(i),
+                               /*swap_at_mid=*/i == swap_level,
+                               &swaps_completed, &swaps_rejected));
+    PrintLevel(reports.back());
+  }
+
+  const bool interrupted = rgae::GlobalStopRequested();
+  int64_t lost = 0, in_flight_failures = 0;
+  for (const LevelReport& level : reports) {
+    lost += level.offered - (level.admitted + level.degraded + level.shed());
+    if (!interrupted) in_flight_failures += level.shed_shutdown;
+  }
+  const rgae::ServeFaultCounts fault_counts = faults.counts();
+  std::printf(
+      "swaps: %d completed, %d rejected; faults: %lld stalls, %lld burst "
+      "requests, %lld corrupted swaps; lost requests: %lld\n",
+      swaps_completed, swaps_rejected,
+      static_cast<long long>(fault_counts.stalls),
+      static_cast<long long>(fault_counts.burst_requests),
+      static_cast<long long>(fault_counts.corrupted_swaps),
+      static_cast<long long>(lost));
+
+  if (obs.json_requested()) {
+    rgae::obs::JsonValue loadtest = rgae::obs::JsonValue::MakeObject();
+    loadtest.Set("model", rgae::obs::JsonValue(model_name));
+    loadtest.Set("dataset", rgae::obs::JsonValue(dataset));
+    loadtest.Set("num_nodes", rgae::obs::JsonValue(graph.num_nodes()));
+    loadtest.Set("workers",
+                 rgae::obs::JsonValue(serve_options.num_workers));
+    loadtest.Set("queue_capacity",
+                 rgae::obs::JsonValue(serve_options.admission.queue_capacity));
+    loadtest.Set("deadline_ms", rgae::obs::JsonValue(deadline_ms));
+    loadtest.Set("slo_ms", rgae::obs::JsonValue(config.slo_us / 1000.0));
+    loadtest.Set("chaos", rgae::obs::JsonValue(chaos));
+    loadtest.Set("interrupted", rgae::obs::JsonValue(interrupted));
+    // Admitted answers must come back within the deadline plus one worker
+    // tick; the schema check holds p99 to this bound.
+    loadtest.Set("admitted_p99_bound_us",
+                 rgae::obs::JsonValue(deadline_ms * 1000.0 + 500000.0));
+    rgae::obs::JsonValue swap = rgae::obs::JsonValue::MakeObject();
+    swap.Set("completed", rgae::obs::JsonValue(swaps_completed));
+    swap.Set("rejected", rgae::obs::JsonValue(swaps_rejected));
+    swap.Set("in_flight_failures",
+             rgae::obs::JsonValue(in_flight_failures));
+    loadtest.Set("swap", std::move(swap));
+    rgae::obs::JsonValue fault_json = rgae::obs::JsonValue::MakeObject();
+    fault_json.Set("stalls", rgae::obs::JsonValue(fault_counts.stalls));
+    fault_json.Set("burst_requests",
+                   rgae::obs::JsonValue(fault_counts.burst_requests));
+    fault_json.Set("corrupted_swaps",
+                   rgae::obs::JsonValue(fault_counts.corrupted_swaps));
+    loadtest.Set("faults", std::move(fault_json));
+    rgae::obs::JsonValue level_array = rgae::obs::JsonValue::MakeArray();
+    for (const LevelReport& level : reports) {
+      level_array.Append(LevelJson(level));
+    }
+    loadtest.Set("levels", std::move(level_array));
+    loadtest.Set("lost_requests", rgae::obs::JsonValue(lost));
+    obs.SetExtra("loadtest", std::move(loadtest));
+  }
+  return lost == 0 ? 0 : 1;
+}

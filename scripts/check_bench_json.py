@@ -8,6 +8,7 @@ Usage:
     check_bench_json.py --journal <journal.jsonl> [...]
     check_bench_json.py --run-journal <bench_binary> [bench args ...]
     check_bench_json.py --run-serve <bench_serve_binary> [bench args ...]
+    check_bench_json.py --run-loadtest <bench_loadtest_binary> [args ...]
 
 In `--run` mode the bench binary is invoked with `--json=<tempfile>` (plus
 any extra arguments, e.g. --benchmark_filter), and the document it writes is
@@ -16,8 +17,14 @@ with `--journal=<tempfile>` and validates every line of the resulting
 journal. `--run-serve` runs bench_serve the same way and additionally
 validates the document's "serve" section: per-phase latency summaries with
 ordered percentiles, cache counters that account for every query, and the
-warm phase out-running the cold one in the same report. Exit status 0 means
-every document is schema-valid; violations are listed on stderr.
+warm phase out-running the cold one in the same report. `--run-loadtest`
+runs bench_loadtest and validates its "loadtest" section: per-level
+disposition arithmetic (offered == admitted + degraded + shed — the
+zero-lost-requests invariant), SLO violations monotone across the ascending
+offered-QPS levels, the admitted-request p99 within its declared bound, and
+the hot-swap drill outcome (a completed swap, the corrupted candidate
+rejected, no in-flight failures). Exit status 0 means every document is
+schema-valid; violations are listed on stderr.
 
 The checker is intentionally strict about the contract downstream tooling
 relies on: sentinel values (-1 "untracked", -2 "untracked lambda") must have
@@ -72,6 +79,19 @@ SERVE_PHASE_REQUIRED = [
 LATENCY_REQUIRED = ["count", "mean", "min", "max", "p50", "p95", "p99"]
 
 SERVE_CACHE_REQUIRED = ["hits", "misses", "evictions", "invalidations"]
+
+LOADTEST_REQUIRED = [
+    "model", "dataset", "num_nodes", "workers", "queue_capacity",
+    "deadline_ms", "slo_ms", "chaos", "interrupted",
+    "admitted_p99_bound_us", "swap", "faults", "levels", "lost_requests",
+]
+
+LOADTEST_LEVEL_REQUIRED = [
+    "target_qps", "seconds", "achieved_qps", "offered", "admitted",
+    "degraded", "shed", "shed_overload", "shed_deadline", "shed_shutdown",
+    "slo_violations", "mutations", "invalidated_rows",
+    "admitted_latency_us", "engine",
+]
 
 
 class Checker:
@@ -315,6 +335,152 @@ class Checker:
             self.expect(warm_cache["hits"] > 0, f"{where}.phases",
                         "warm phase recorded zero cache hits")
 
+    def check_loadtest_level(self, level, where):
+        if not self.expect(isinstance(level, dict), where, "not an object"):
+            return
+        for key in LOADTEST_LEVEL_REQUIRED:
+            self.expect(key in level, f"{where}.{key}", "missing")
+        counts = ["offered", "admitted", "degraded", "shed", "shed_overload",
+                  "shed_deadline", "shed_shutdown", "slo_violations"]
+        for key in counts:
+            v = level.get(key)
+            self.expect(self.is_num(v) and v >= 0 and v == int(v),
+                        f"{where}.{key}", "must be a non-negative integer")
+        if not all(self.is_num(level.get(k)) for k in counts):
+            return
+        # Zero lost requests: every offered request settled into exactly one
+        # disposition, tallied from the resolved futures themselves.
+        self.expect(
+            level["offered"] ==
+            level["admitted"] + level["degraded"] + level["shed"],
+            where,
+            "offered {offered} != admitted {admitted} + degraded {degraded} "
+            "+ shed {shed} — lost requests".format(**level))
+        self.expect(
+            level["shed"] == level["shed_overload"] +
+            level["shed_deadline"] + level["shed_shutdown"],
+            where, "shed buckets do not sum to shed {shed}".format(**level))
+        # Every shed request missed its SLO by definition, and no request
+        # can violate it more than once.
+        self.expect(level["shed"] <= level["slo_violations"] <= level["offered"],
+                    f"{where}.slo_violations",
+                    "outside [shed {shed}, offered {offered}]: "
+                    "{slo_violations}".format(**level))
+        self.check_latency_summary(level.get("admitted_latency_us"),
+                                   f"{where}.admitted_latency_us",
+                                   level["admitted"])
+        engine = level.get("engine")
+        if self.expect(isinstance(engine, dict), f"{where}.engine",
+                       "not an object"):
+            offered = engine.get("offered")
+            settled = engine.get("settled")
+            if self.expect(
+                    self.is_num(offered) and self.is_num(settled),
+                    f"{where}.engine", "offered/settled must be numbers"):
+                # The current generation may still be settling synthetic
+                # burst offers when sampled; it must never over-settle.
+                self.expect(settled <= offered, f"{where}.engine",
+                            f"settled {settled} > offered {offered}")
+
+    def check_loadtest(self, loadtest):
+        """The "loadtest" section bench_loadtest adds to its document."""
+        where = "$.loadtest"
+        if not self.expect(isinstance(loadtest, dict), where,
+                           "missing or not an object"):
+            return
+        for key in LOADTEST_REQUIRED:
+            self.expect(key in loadtest, f"{where}.{key}", "missing")
+        for key in ("model", "dataset"):
+            self.expect(isinstance(loadtest.get(key), str)
+                        and loadtest.get(key),
+                        f"{where}.{key}", "missing or empty")
+        for key in ("num_nodes", "workers", "queue_capacity", "deadline_ms",
+                    "slo_ms", "admitted_p99_bound_us"):
+            self.expect(self.is_num(loadtest.get(key))
+                        and loadtest.get(key) > 0,
+                        f"{where}.{key}", "must be a positive number")
+        for key in ("chaos", "interrupted"):
+            self.expect(isinstance(loadtest.get(key), bool),
+                        f"{where}.{key}", "must be a bool")
+        self.expect(loadtest.get("lost_requests") == 0,
+                    f"{where}.lost_requests",
+                    f"must be exactly 0, got {loadtest.get('lost_requests')}")
+        interrupted = loadtest.get("interrupted") is True
+        chaos = loadtest.get("chaos") is True
+
+        swap = loadtest.get("swap")
+        if self.expect(isinstance(swap, dict), f"{where}.swap",
+                       "not an object"):
+            for key in ("completed", "rejected", "in_flight_failures"):
+                self.expect(self.is_num(swap.get(key)) and swap.get(key) >= 0,
+                            f"{where}.swap.{key}",
+                            "must be a non-negative number")
+            # The swap never fails an in-flight query: the outgoing engine
+            # drains before teardown (only a requested stop may shed).
+            self.expect(swap.get("in_flight_failures") == 0,
+                        f"{where}.swap.in_flight_failures",
+                        f"must be 0, got {swap.get('in_flight_failures')}")
+            if not interrupted:
+                self.expect(swap.get("completed", 0) >= 1,
+                            f"{where}.swap.completed",
+                            "no hot swap completed in an uninterrupted run")
+                if chaos:
+                    self.expect(swap.get("rejected", 0) >= 1,
+                                f"{where}.swap.rejected",
+                                "chaos run: the corrupted candidate was "
+                                "not rejected")
+
+        faults = loadtest.get("faults")
+        if self.expect(isinstance(faults, dict), f"{where}.faults",
+                       "not an object"):
+            for key in ("stalls", "burst_requests", "corrupted_swaps"):
+                self.expect(self.is_num(faults.get(key))
+                            and faults.get(key) >= 0,
+                            f"{where}.faults.{key}",
+                            "must be a non-negative number")
+            if chaos and not interrupted:
+                self.expect(faults.get("corrupted_swaps", 0) >= 1,
+                            f"{where}.faults.corrupted_swaps",
+                            "chaos run fired no snapshot corruption")
+
+        levels = loadtest.get("levels")
+        if not self.expect(isinstance(levels, list) and levels,
+                           f"{where}.levels", "must be a non-empty array"):
+            return
+        for i, level in enumerate(levels):
+            self.check_loadtest_level(level, f"{where}.levels[{i}]")
+        bound = loadtest.get("admitted_p99_bound_us")
+        if self.is_num(bound):
+            for i, level in enumerate(levels):
+                lat = level.get("admitted_latency_us") if isinstance(
+                    level, dict) else None
+                if isinstance(lat, dict) and self.is_num(lat.get("p99")) \
+                        and self.is_num(lat.get("count")) and lat["count"]:
+                    self.expect(lat["p99"] <= bound,
+                                f"{where}.levels[{i}].admitted_latency_us.p99",
+                                f"{lat['p99']} exceeds the declared bound "
+                                f"{bound}")
+        # Overload must not ease as offered load rises: SLO violations are
+        # monotone (weakly, with a small noise allowance) in offered QPS.
+        prev = None
+        for i, level in enumerate(levels):
+            if not isinstance(level, dict):
+                continue
+            if not (self.is_num(level.get("target_qps"))
+                    and self.is_num(level.get("slo_violations"))
+                    and self.is_num(level.get("offered"))):
+                continue
+            if prev is not None and level["target_qps"] > prev["target_qps"]:
+                slack = max(2, prev["offered"] * 0.01)
+                self.expect(
+                    level["slo_violations"] >= prev["slo_violations"] - slack,
+                    f"{where}.levels[{i}].slo_violations",
+                    f"{level['slo_violations']} at {level['target_qps']} qps "
+                    f"below {prev['slo_violations']} at "
+                    f"{prev['target_qps']} qps — violations must be "
+                    "monotone in offered load")
+            prev = level
+
     def check_document(self, doc):
         if not self.expect(isinstance(doc, dict), "$", "top level not an object"):
             return
@@ -340,7 +506,7 @@ class Checker:
                     "$.dropped_trace_events", "must be a non-negative number")
 
 
-def check_file(path, serve=False):
+def check_file(path, section=None):
     checker = Checker(path)
     try:
         with open(path, encoding="utf-8") as f:
@@ -349,8 +515,11 @@ def check_file(path, serve=False):
         checker.fail("$", f"cannot parse: {e}")
         return checker.errors
     checker.check_document(doc)
-    if serve and isinstance(doc, dict):
-        checker.check_serve(doc.get("serve"))
+    if isinstance(doc, dict):
+        if section == "serve":
+            checker.check_serve(doc.get("serve"))
+        elif section == "loadtest":
+            checker.check_loadtest(doc.get("loadtest"))
     return checker.errors
 
 
@@ -408,8 +577,8 @@ def check_journal_file(path):
     return checker.errors
 
 
-def run_mode(argv, serve=False):
-    flag = "--run-serve" if serve else "--run"
+def run_mode(argv, section=None):
+    flag = f"--run-{section}" if section else "--run"
     if not argv:
         print(f"{flag} requires a bench binary path", file=sys.stderr)
         return 2
@@ -424,7 +593,7 @@ def run_mode(argv, serve=False):
         if not os.path.exists(out):
             print(f"bench did not write {out}", file=sys.stderr)
             return 1
-        errors = check_file(out, serve=serve)
+        errors = check_file(out, section=section)
     return report(errors, [out])
 
 
@@ -464,7 +633,9 @@ def main(argv):
     if argv[0] == "--run":
         return run_mode(argv[1:])
     if argv[0] == "--run-serve":
-        return run_mode(argv[1:], serve=True)
+        return run_mode(argv[1:], section="serve")
+    if argv[0] == "--run-loadtest":
+        return run_mode(argv[1:], section="loadtest")
     if argv[0] == "--run-journal":
         return run_journal_mode(argv[1:])
     if argv[0] == "--journal":

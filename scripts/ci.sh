@@ -53,5 +53,11 @@ python3 "${SOURCE_DIR}/scripts/check_bench_json.py" \
   --run "${BUILD_DIR}/bench/bench_micro_ops" \
   --benchmark_filter=/200 --benchmark_min_time=0.05
 
+step "loadtest JSON schema check (overload drill)"
+RGAE_LOADTEST_SECONDS=0.5 RGAE_LOADTEST_QPS=400,1600,6400 \
+RGAE_LOADTEST_QUEUE=48 RGAE_LOADTEST_DEADLINE_MS=8 RGAE_LOADTEST_SLO_MS=4 \
+python3 "${SOURCE_DIR}/scripts/check_bench_json.py" \
+  --run-loadtest "${BUILD_DIR}/bench/bench_loadtest"
+
 echo
 echo "CI pipeline passed."

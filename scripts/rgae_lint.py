@@ -28,6 +28,15 @@ Enforces invariants that generic tools do not know about:
                       deliberately leaves locking to its caller opts out by
                       carrying an `Externally synchronized` comment in the
                       .cc file or its paired header (ForwardEngine does).
+  R7 backpressure  -- in src/serve/*.cc, a push onto a queue-like member
+                      (identifier containing "queue" with the member
+                      trailing underscore) must share its function with an
+                      admission/capacity check (a call to Offer(...), a
+                      .size() comparison, or a "capacity" mention). An
+                      unbounded producer-side push is how overload turns
+                      into OOM instead of shed load (DESIGN.md §8.6). A
+                      push whose bound is enforced elsewhere opts out with
+                      a `// Bounded by admission.` comment on the line.
 
 Run: python3 scripts/rgae_lint.py [--root DIR]. Exits 1 if any finding.
 Registered as the ctest case `lint_rgae_sources` (label: lint).
@@ -86,6 +95,19 @@ SERVE_WRITE_RE = re.compile(
     # mutating container calls on a member
     r"|\b[A-Za-z_]\w*_\s*\.\s*(?:" + SERVE_MUTATORS + r")\s*\("
 )
+
+# R7: producer-side pushes onto serve queues must be bounded. The pattern
+# matches member fields whose name contains "queue"; locals are exempt
+# (batches popped off the queue are already bounded by max_batch).
+SERVE_QUEUE_PUSH_RE = re.compile(
+    r"\b[A-Za-z_]*queue\w*_\s*\.\s*"
+    r"(?:push_back|push_front|push|emplace_back|emplace_front|emplace)\s*\(",
+    re.IGNORECASE,
+)
+SERVE_CAPACITY_RE = re.compile(
+    r"capacity|\bOffer\s*\(|\.size\s*\(\s*\)\s*(?:[<>]=?|==)"
+)
+SERVE_BOUNDED_NOTE = "Bounded by admission"
 
 
 def strip_comments_and_strings(line):
@@ -160,6 +182,32 @@ def lint_serve_sync(root, rel, raw_lines, code_lines, findings):
             )
 
 
+def lint_serve_queue_bounds(rel, raw_lines, code_lines, findings):
+    """R7: a push onto a queue-like member in src/serve/*.cc must share its
+    function with an admission/capacity check, or carry an explicit
+    `// Bounded by admission.` note on the pushing line."""
+    spans = []
+    func_start = 0
+    for i, code in enumerate(code_lines):
+        if SERVE_FUNC_RE.match(code):
+            spans.append((func_start, i))
+            func_start = i
+    spans.append((func_start, len(code_lines)))
+    for start, end in spans:
+        if any(SERVE_CAPACITY_RE.search(code_lines[j])
+               for j in range(start, end)):
+            continue
+        for j in range(start, end):
+            if (SERVE_QUEUE_PUSH_RE.search(code_lines[j])
+                    and SERVE_BOUNDED_NOTE not in raw_lines[j]):
+                findings.append(
+                    f"{rel}:{j + 1}: [R7] unbounded push onto a queue "
+                    "member; run admission / check capacity in this "
+                    "function, or mark the line `// Bounded by admission.` "
+                    "(DESIGN.md §8.6)"
+                )
+
+
 def lint_file(root, rel, findings):
     path = os.path.join(root, rel)
     with open(path, encoding="utf-8") as f:
@@ -220,6 +268,7 @@ def lint_file(root, rel, findings):
 
     if rel.startswith(SERVE_SCOPE) and rel.endswith(".cc"):
         lint_serve_sync(root, rel, raw_lines, code_lines, findings)
+        lint_serve_queue_bounds(rel, raw_lines, code_lines, findings)
 
     if rel.startswith("src/") and rel.endswith(".h"):
         guard = expected_guard(rel)

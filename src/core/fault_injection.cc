@@ -78,4 +78,76 @@ int FaultInjector::Apply(bool pretrain, int epoch, GaeModel* model) {
   return fired;
 }
 
+const char* ServeFaultTypeName(ServeFault::Type type) {
+  switch (type) {
+    case ServeFault::Type::kWorkerStall:
+      return "worker-stall";
+    case ServeFault::Type::kQueueBurst:
+      return "queue-burst";
+    case ServeFault::Type::kSnapshotCorruptOnSwap:
+      return "snapshot-corrupt-on-swap";
+  }
+  return "unknown";
+}
+
+ServeFaultInjector::ServeFaultInjector(std::vector<ServeFault> faults) {
+  faults_.reserve(faults.size());
+  for (ServeFault& f : faults) faults_.push_back({f, false});
+}
+
+int ServeFaultInjector::Fire(ServeFault::Type type, int64_t ordinal,
+                             const char* trigger, double* magnitude) {
+  int fired = 0;
+  for (Armed& armed : faults_) {
+    const ServeFault& f = armed.fault;
+    if (armed.consumed || f.type != type || f.every_n <= 0) continue;
+    const int64_t since_warmup = ordinal - f.after;
+    if (since_warmup <= 0 || since_warmup % f.every_n != 0) continue;
+    *magnitude += f.magnitude;
+    ++fired;
+    if (f.once) armed.consumed = true;
+    log_.push_back(std::string(ServeFaultTypeName(type)) + " at " + trigger +
+                   " " + std::to_string(ordinal));
+  }
+  return fired;
+}
+
+double ServeFaultInjector::OnBatch() {
+  std::lock_guard<std::mutex> lock(mu_);
+  double stall_ms = 0.0;
+  if (Fire(ServeFault::Type::kWorkerStall, ++batches_, "batch", &stall_ms) >
+      0) {
+    ++counts_.stalls;
+  }
+  return stall_ms;
+}
+
+int ServeFaultInjector::OnOffer() {
+  std::lock_guard<std::mutex> lock(mu_);
+  double extra = 0.0;
+  Fire(ServeFault::Type::kQueueBurst, ++offers_, "offer", &extra);
+  counts_.burst_requests += static_cast<int64_t>(extra);
+  return static_cast<int>(extra);
+}
+
+bool ServeFaultInjector::OnSwap() {
+  std::lock_guard<std::mutex> lock(mu_);
+  double unused = 0.0;
+  const bool corrupt =
+      Fire(ServeFault::Type::kSnapshotCorruptOnSwap, ++swaps_, "swap",
+           &unused) > 0;
+  if (corrupt) ++counts_.corrupted_swaps;
+  return corrupt;
+}
+
+ServeFaultCounts ServeFaultInjector::counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counts_;
+}
+
+std::vector<std::string> ServeFaultInjector::log() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return log_;
+}
+
 }  // namespace rgae

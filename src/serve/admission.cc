@@ -1,0 +1,110 @@
+#include "src/serve/admission.h"
+
+#include <algorithm>
+
+#include "src/obs/metrics.h"
+
+namespace rgae {
+namespace serve {
+
+namespace {
+
+// RGAE_COUNT increments by one; settlements arrive batched.
+void BumpObsCounter(const char* name, int64_t n) {
+  if (obs::Enabled() && n > 0) {
+    obs::MetricsRegistry::Global().GetCounter(name)->Inc(n);
+  }
+}
+
+}  // namespace
+
+TokenBucket::TokenBucket(double rate_per_s, double burst)
+    : rate_per_s_(rate_per_s),
+      burst_(burst > 0.0 ? burst : std::max(1.0, rate_per_s)),
+      tokens_(burst_) {}
+
+bool TokenBucket::TryAcquire(Clock::time_point now) {
+  if (unlimited()) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!primed_) {
+    primed_ = true;
+    last_refill_ = now;
+  }
+  const double elapsed =
+      std::chrono::duration<double>(now - last_refill_).count();
+  if (elapsed > 0.0) {
+    tokens_ = std::min(burst_, tokens_ + elapsed * rate_per_s_);
+    last_refill_ = now;
+  }
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options),
+      bucket_(options.rate_limit_qps, options.rate_limit_burst) {}
+
+AdmissionVerdict AdmissionController::Offer(size_t queue_depth,
+                                            Clock::time_point now) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.offered;
+  }
+  if (options_.queue_capacity > 0 &&
+      queue_depth >= static_cast<size_t>(options_.queue_capacity)) {
+    return AdmissionVerdict::kQueueFull;
+  }
+  if (!bucket_.TryAcquire(now)) return AdmissionVerdict::kRateLimited;
+  return AdmissionVerdict::kAdmitted;
+}
+
+void AdmissionController::CountOffered() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.offered;
+}
+
+void AdmissionController::CountAdmitted(int64_t n) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.admitted += n;
+  }
+  BumpObsCounter("serve.admitted", n);
+}
+
+void AdmissionController::CountDegraded(int64_t n) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.degraded += n;
+  }
+  BumpObsCounter("serve.degraded", n);
+}
+
+void AdmissionController::CountShed(ShedReason reason, int64_t n) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    switch (reason) {
+      case ShedReason::kQueueFull:
+        stats_.shed_queue_full += n;
+        break;
+      case ShedReason::kRateLimited:
+        stats_.shed_rate_limited += n;
+        break;
+      case ShedReason::kDeadline:
+        stats_.shed_deadline += n;
+        break;
+      case ShedReason::kShutdown:
+        stats_.shed_shutdown += n;
+        break;
+    }
+  }
+  BumpObsCounter("serve.shed", n);
+}
+
+AdmissionStats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace serve
+}  // namespace rgae

@@ -1,0 +1,138 @@
+#ifndef RGAE_SERVE_ADMISSION_H_
+#define RGAE_SERVE_ADMISSION_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace rgae {
+namespace serve {
+
+/// Overload policy of one `ServeEngine` (DESIGN.md §8.6). Defaults keep the
+/// pre-admission behavior for existing callers: a generously bounded queue,
+/// no rate limiter, degraded serving allowed.
+struct AdmissionOptions {
+  /// Fresh-compute queue bound. An offer that would push the queue past
+  /// this depth is not enqueued — it is served degraded from the cache or
+  /// rejected, never blocking the producer. Non-positive = unbounded (the
+  /// explicit opt-out; production configs keep a bound).
+  int queue_capacity = 1024;
+  /// Token-bucket refill rate in requests/second; non-positive disables
+  /// rate limiting.
+  double rate_limit_qps = 0.0;
+  /// Token-bucket capacity (burst headroom); non-positive defaults to
+  /// max(1, rate_limit_qps).
+  double rate_limit_burst = 0.0;
+  /// Serve cached (possibly stale) embeddings to requests the queue or the
+  /// rate limiter turned away, instead of rejecting them outright.
+  bool allow_degraded = true;
+  /// Deadline applied to requests submitted without one; non-positive =
+  /// unlimited (`core/deadline`'s "0 = off" convention).
+  double default_deadline_s = 0.0;
+};
+
+/// Outcome of the admission check for one offered request.
+enum class AdmissionVerdict {
+  kAdmitted,     // Enqueued for fresh compute.
+  kQueueFull,    // The bounded queue is at capacity.
+  kRateLimited,  // The token bucket is empty.
+};
+
+/// Why a request was shed (its final disposition when neither served fresh
+/// nor served degraded).
+enum class ShedReason {
+  kQueueFull,    // Turned away at admission, no cached fallback.
+  kRateLimited,  // Token bucket empty, no cached fallback.
+  kDeadline,     // Admitted, but its deadline expired before execution.
+  kShutdown,     // Shed during engine teardown under a requested stop.
+};
+
+/// Request-disposition totals. Every offered request settles into exactly
+/// one of admitted (served fresh), degraded (served from cache under
+/// overload), or one of the shed buckets — `offered == settled()` once the
+/// engine is quiescent, the zero-lost-requests invariant the loadtest
+/// schema check enforces.
+struct AdmissionStats {
+  int64_t offered = 0;
+  int64_t admitted = 0;  // Served by a fresh forward compute.
+  int64_t degraded = 0;  // Served a cached/stale row under overload.
+  int64_t shed_queue_full = 0;
+  int64_t shed_rate_limited = 0;
+  int64_t shed_deadline = 0;
+  int64_t shed_shutdown = 0;
+
+  int64_t shed() const {
+    return shed_queue_full + shed_rate_limited + shed_deadline +
+           shed_shutdown;
+  }
+  int64_t settled() const { return admitted + degraded + shed(); }
+};
+
+/// Deterministic token bucket over `steady_clock` time points. The caller
+/// supplies `now`, so tests drive it with synthetic clocks and the firing
+/// sequence is a pure function of the offered timestamps.
+class TokenBucket {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// `rate_per_s` <= 0 builds an unlimited bucket (every acquire succeeds).
+  TokenBucket(double rate_per_s, double burst);
+
+  /// Takes one token if available, refilling for the elapsed time first.
+  /// `now` must not move backwards between calls.
+  bool TryAcquire(Clock::time_point now);
+
+  bool unlimited() const { return rate_per_s_ <= 0.0; }
+
+ private:
+  const double rate_per_s_;
+  const double burst_;
+  std::mutex mu_;
+  double tokens_;
+  bool primed_ = false;
+  Clock::time_point last_refill_;
+};
+
+/// Admission policy + disposition accounting for one `ServeEngine`.
+///
+/// `Offer` renders the verdict for one offered request (and counts it
+/// offered); the engine then settles the request with exactly one
+/// `CountAdmitted` / `CountDegraded` / `CountShed` call once its final
+/// disposition is known. Thread-safe; the engine calls `Offer` under its
+/// queue mutex and the settlement calls from worker threads.
+class AdmissionController {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  explicit AdmissionController(const AdmissionOptions& options);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Admission check for one offered request given the current
+  /// fresh-compute queue depth. Counts the request offered; the caller
+  /// settles its disposition later.
+  AdmissionVerdict Offer(size_t queue_depth, Clock::time_point now);
+
+  /// Counts a request offered without an admission check (the engine's
+  /// shutdown path, which sheds unconditionally).
+  void CountOffered();
+
+  void CountAdmitted(int64_t n = 1);
+  void CountDegraded(int64_t n = 1);
+  void CountShed(ShedReason reason, int64_t n = 1);
+
+  AdmissionStats stats() const;
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  const AdmissionOptions options_;
+  TokenBucket bucket_;
+  mutable std::mutex mu_;
+  AdmissionStats stats_;
+};
+
+}  // namespace serve
+}  // namespace rgae
+
+#endif  // RGAE_SERVE_ADMISSION_H_

@@ -32,6 +32,11 @@ struct CacheCounters {
 /// the graph, however, is the caller's job — `ServeEngine` performs inserts
 /// and invalidations under its state mutex so a worker racing a graph
 /// mutation can never re-insert a stale row (see DESIGN.md §8.4).
+///
+/// Invalidated entries are not discarded: they move into a bounded stale
+/// side-store (FIFO-evicted at the same capacity) that only the degraded
+/// admission path reads via `PeekAny`. A fresh `Put` supersedes the stale
+/// copy, so a recomputed row can never be shadowed by its predecessor.
 class EmbeddingCache {
  public:
   /// `capacity` <= 0 disables caching (every Get misses, Put is a no-op).
@@ -41,21 +46,28 @@ class EmbeddingCache {
   EmbeddingCache& operator=(const EmbeddingCache&) = delete;
 
   /// Looks up `node`, refreshing its LRU position. Returns true and copies
-  /// the entry into `*out` on a hit.
+  /// the entry into `*out` on a hit. Fresh entries only — never stale.
   bool Get(int node, CachedEntry* out);
 
+  /// Overload probe for degraded serving: fresh store first, then the
+  /// stale side-store (`*stale` reports which answered). Touches neither
+  /// the LRU order nor the hit/miss counters, so saturation probes cannot
+  /// perturb the accounting that ties `hits + misses` to admitted queries.
+  bool PeekAny(int node, CachedEntry* out, bool* stale) const;
+
   /// Inserts or refreshes `node`, evicting the least-recently-used entry
-  /// when over capacity.
+  /// when over capacity. Drops any stale copy of `node`.
   void Put(int node, CachedEntry entry);
 
-  /// Drops the listed nodes (missing ids are ignored).
+  /// Moves the listed nodes into the stale store (missing ids ignored).
   void Invalidate(const std::vector<int>& nodes);
 
-  /// Drops everything.
+  /// Drops everything, stale store included.
   void Clear();
 
   int capacity() const { return capacity_; }
   int size() const;
+  int stale_size() const;
   CacheCounters counters() const;
 
  private:
@@ -69,6 +81,9 @@ class EmbeddingCache {
   // Most-recently-used at the front; map values point into the list.
   std::list<Slot> lru_;
   std::map<int, std::list<Slot>::iterator> index_;
+  // Invalidated entries, newest-first; same layout, FIFO-bounded.
+  std::list<Slot> stale_;
+  std::map<int, std::list<Slot>::iterator> stale_index_;
   CacheCounters counters_;
 };
 

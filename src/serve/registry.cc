@@ -1,0 +1,96 @@
+#include "src/serve/registry.h"
+
+#include <limits>
+#include <utility>
+
+#include "src/obs/trace.h"
+
+namespace rgae {
+namespace serve {
+
+ServeRegistry::ServeRegistry(ModelSnapshot snapshot,
+                             const ServeOptions& options)
+    : options_(options),
+      current_(std::make_shared<ServeEngine>(std::move(snapshot), options)) {}
+
+std::shared_ptr<ServeEngine> ServeRegistry::engine() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+bool ServeRegistry::Swap(ModelSnapshot candidate, std::string* error) {
+  RGAE_SPAN("serve.swap");
+  // `retired` is declared before the swap lock so the lock releases first
+  // and a slow drain of the outgoing engine cannot stall mutations.
+  std::shared_ptr<ServeEngine> retired;
+  std::lock_guard<std::mutex> swap_lock(swap_mu_);
+
+  if (options_.faults != nullptr && options_.faults->OnSwap()) {
+    // Chaos: corrupt the candidate before validation; the swap must be
+    // rejected and the serving generation left untouched.
+    if (!candidate.w0.empty()) {
+      candidate.w0(0, 0) = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+
+  std::string why;
+  if (!ValidateSnapshot(candidate, &why)) {
+    if (error != nullptr) *error = why;
+    RGAE_COUNT("serve.swap_rejected");
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected_swaps;
+    return false;
+  }
+
+  // Build the replacement fully (workers running, cache cold) before the
+  // flip, so there is never a moment without a servable engine.
+  auto fresh = std::make_shared<ServeEngine>(std::move(candidate), options_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired = std::move(current_);
+    current_ = std::move(fresh);
+    ++stats_.swaps;
+    ++stats_.version;
+  }
+  RGAE_COUNT("serve.swapped");
+  return true;
+}
+
+bool ServeRegistry::SwapFromFile(const std::string& path, std::string* error) {
+  ModelSnapshot candidate;
+  std::string why;
+  if (!LoadSnapshot(path, &candidate, &why)) {
+    if (error != nullptr) *error = why;
+    RGAE_COUNT("serve.swap_rejected");
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected_swaps;
+    return false;
+  }
+  return Swap(std::move(candidate), error);
+}
+
+std::vector<int> ServeRegistry::MutateGraph(const AttributedGraph& next) {
+  // Holding swap_mu_ pins the generation: the mutation and its cache
+  // invalidations land entirely on the engine that is current for the whole
+  // call, never on one retired mid-mutation.
+  std::lock_guard<std::mutex> swap_lock(swap_mu_);
+  std::shared_ptr<ServeEngine> engine;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    engine = current_;
+    ++stats_.mutations;
+  }
+  return engine->MutateGraph(next);
+}
+
+AttributedGraph ServeRegistry::CurrentGraph() const {
+  return engine()->CurrentGraph();
+}
+
+RegistryStats ServeRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace serve
+}  // namespace rgae

@@ -1,0 +1,104 @@
+#ifndef RGAE_SERVE_REGISTRY_H_
+#define RGAE_SERVE_REGISTRY_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/serve/engine.h"
+#include "src/serve/snapshot.h"
+
+namespace rgae {
+namespace serve {
+
+/// Registry-level counters (monotone since construction).
+struct RegistryStats {
+  /// Completed hot swaps.
+  int64_t swaps = 0;
+  /// Swap attempts rejected by validation (corrupt or mis-shaped snapshot,
+  /// unreadable file). The serving engine is untouched by a rejected swap.
+  int64_t rejected_swaps = 0;
+  /// Graph mutations applied through the registry.
+  int64_t mutations = 0;
+  /// Serving generation: 1 for the boot engine, +1 per completed swap.
+  int64_t version = 1;
+};
+
+/// Multi-snapshot registry: owns the current `ServeEngine` behind a shared
+/// pointer and supports zero-downtime hot swap to a new snapshot.
+///
+/// Queries pin the serving generation with `engine()` — a `shared_ptr` copy
+/// taken under a cheap mutex — so a swap never invalidates an engine a
+/// client is mid-query on. The swap itself builds the replacement engine
+/// off to the side (workers started, cache cold), atomically flips the
+/// current pointer, and retires the outgoing engine only when its last
+/// client releases it; the engine destructor then drains still-queued
+/// requests before the workers exit, so no in-flight query is lost to a
+/// swap (DESIGN.md §8.6).
+///
+/// A candidate must pass `ValidateSnapshot` (shapes and finiteness — the
+/// same contract `LoadSnapshot` enforces on disk artifacts) before the flip;
+/// a rejected candidate leaves the registry serving the old generation.
+///
+/// Mutations must go through `MutateGraph`, not directly to an engine:
+/// `swap_mu_` serializes mutations against swaps, so a mutation lands
+/// entirely on one generation and can never invalidate rows in an outgoing
+/// engine's cache after the flip has happened. Neither lock is ever held
+/// across a query, and `swap_mu_` is released before the retired engine
+/// drains, so a slow drain cannot stall mutations on the new generation.
+class ServeRegistry {
+ public:
+  /// Boots generation 1 from `snapshot`. Every engine this registry creates
+  /// (boot and swapped-in) uses `options`, including its fault injector.
+  explicit ServeRegistry(ModelSnapshot snapshot,
+                         const ServeOptions& options = {});
+
+  ServeRegistry(const ServeRegistry&) = delete;
+  ServeRegistry& operator=(const ServeRegistry&) = delete;
+
+  /// The current serving engine. Callers hold the returned pointer for the
+  /// duration of a query (or a batch of them) and re-fetch afterwards; a
+  /// concurrent swap retires the pinned engine only after release.
+  std::shared_ptr<ServeEngine> engine() const;
+
+  /// Validates `candidate` and, on success, hot-swaps it in: the new engine
+  /// is fully constructed before an atomic pointer flip, and the outgoing
+  /// engine drains its in-flight requests before teardown. On failure the
+  /// registry is unchanged, `*error` (optional) gets the reason, and the
+  /// attempt counts as rejected. A `kSnapshotCorruptOnSwap` fault corrupts
+  /// the candidate *before* validation — exercising the reject path.
+  bool Swap(ModelSnapshot candidate, std::string* error = nullptr);
+
+  /// `Swap` from a `LoadSnapshot` artifact; an unreadable or corrupt file
+  /// counts as a rejected swap.
+  bool SwapFromFile(const std::string& path, std::string* error = nullptr);
+
+  /// Applies a graph mutation to the current generation, serialized against
+  /// swaps (see class comment). Returns the invalidated node ids.
+  std::vector<int> MutateGraph(const AttributedGraph& next);
+
+  /// The current generation's serving graph.
+  AttributedGraph CurrentGraph() const;
+
+  RegistryStats stats() const;
+
+ private:
+  const ServeOptions options_;
+
+  // Serializes Swap/SwapFromFile against MutateGraph. Never held while a
+  // query runs, and released before a retired engine destructs.
+  std::mutex swap_mu_;
+
+  // Guards current_ and stats_; held only for pointer/struct copies.
+  mutable std::mutex mu_;
+  std::shared_ptr<ServeEngine> current_;
+  RegistryStats stats_;
+};
+
+}  // namespace serve
+}  // namespace rgae
+
+#endif  // RGAE_SERVE_REGISTRY_H_

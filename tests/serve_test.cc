@@ -1,6 +1,9 @@
 #include "src/serve/engine.h"
 
 #include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <future>
 #include <set>
 #include <string>
 #include <thread>
@@ -8,19 +11,26 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/deadline.h"
+#include "src/core/fault_injection.h"
 #include "src/graph/corrupt.h"
 #include "src/graph/generators.h"
 #include "src/models/model_factory.h"
 #include "src/serve/forward.h"
+#include "src/serve/registry.h"
 #include "src/serve/snapshot.h"
 
 namespace rgae {
 namespace {
 
+using serve::AdmissionStats;
 using serve::ForwardEngine;
 using serve::ModelSnapshot;
+using serve::QueryResult;
+using serve::QueryStatus;
 using serve::ServeEngine;
 using serve::ServeOptions;
+using serve::ServeRegistry;
 
 AttributedGraph TinyGraph(uint64_t seed = 1) {
   CitationLikeOptions o;
@@ -335,6 +345,402 @@ TEST(ServeEngineTest, ConcurrentQueriesAndMutationsStayCoherent) {
   EXPECT_EQ(engine.stats().queries,
             kIssuers * kQueriesPerIssuer + g.num_nodes());
   EXPECT_GE(engine.stats().batches, 1);
+}
+
+TEST(TokenBucketTest, FiringSequenceIsAFunctionOfTheOfferedTimestamps) {
+  serve::TokenBucket bucket(10.0, 2.0);  // 10 tokens/s, burst of 2.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(bucket.TryAcquire(t0));   // Burst token 1.
+  EXPECT_TRUE(bucket.TryAcquire(t0));   // Burst token 2.
+  EXPECT_FALSE(bucket.TryAcquire(t0));  // Empty.
+  const auto t1 = t0 + std::chrono::milliseconds(100);  // Refills 1 token.
+  EXPECT_TRUE(bucket.TryAcquire(t1));
+  EXPECT_FALSE(bucket.TryAcquire(t1));
+  const auto t2 = t1 + std::chrono::milliseconds(50);  // 0.5 tokens: short.
+  EXPECT_FALSE(bucket.TryAcquire(t2));
+  const auto t3 = t2 + std::chrono::milliseconds(50);  // Now a full token.
+  EXPECT_TRUE(bucket.TryAcquire(t3));
+
+  serve::TokenBucket unlimited(0.0, 0.0);
+  EXPECT_TRUE(unlimited.unlimited());
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(unlimited.TryAcquire(t0));
+}
+
+TEST(ServeFaultInjectorTest, FiresOnDeterministicTriggerOrdinals) {
+  ServeFaultInjector injector({
+      {ServeFault::Type::kWorkerStall, /*every_n=*/2, /*after=*/1,
+       /*magnitude=*/5.0, /*once=*/false},
+      {ServeFault::Type::kQueueBurst, /*every_n=*/1, /*after=*/0,
+       /*magnitude=*/3.0, /*once=*/true},
+      {ServeFault::Type::kSnapshotCorruptOnSwap, /*every_n=*/1, /*after=*/0,
+       /*magnitude=*/0.0, /*once=*/true},
+  });
+  // Batches 1..5: the warm-up skips ordinal 1, then every 2nd fires.
+  const double stalls[5] = {injector.OnBatch(), injector.OnBatch(),
+                            injector.OnBatch(), injector.OnBatch(),
+                            injector.OnBatch()};
+  EXPECT_EQ(stalls[0], 0.0);
+  EXPECT_EQ(stalls[1], 0.0);
+  EXPECT_EQ(stalls[2], 5.0);
+  EXPECT_EQ(stalls[3], 0.0);
+  EXPECT_EQ(stalls[4], 5.0);
+  // One-shot burst fires on the first offer only.
+  EXPECT_EQ(injector.OnOffer(), 3);
+  EXPECT_EQ(injector.OnOffer(), 0);
+  // One-shot corruption fires on the first swap only.
+  EXPECT_TRUE(injector.OnSwap());
+  EXPECT_FALSE(injector.OnSwap());
+
+  const ServeFaultCounts counts = injector.counts();
+  EXPECT_EQ(counts.stalls, 2);
+  EXPECT_EQ(counts.burst_requests, 3);
+  EXPECT_EQ(counts.corrupted_swaps, 1);
+  EXPECT_EQ(injector.log().size(), 4u);
+}
+
+// Overload: with the only worker stalled, offers past the queue bound are
+// rejected immediately — the producer is never blocked — and every future
+// still resolves with an accounted disposition.
+TEST(ServeEngineTest, QueueFullOffersAreShedNotBlocked) {
+  const AttributedGraph g = TinyGraph();
+  const auto model = MakeModel("GAE", g);
+
+  ServeFaultInjector faults({{ServeFault::Type::kWorkerStall, /*every_n=*/1,
+                              /*after=*/0, /*magnitude=*/300.0,
+                              /*once=*/true}});
+  ServeOptions options;
+  options.num_workers = 1;
+  options.max_batch = 64;
+  options.cache_capacity = 0;  // No cache: no degraded fallback possible.
+  options.admission.queue_capacity = 4;
+  options.admission.allow_degraded = false;
+  options.faults = &faults;
+
+  std::vector<std::future<QueryResult>> futures;
+  ServeEngine engine(model->ExportSnapshot(), options);
+  futures.push_back(engine.Query(0));  // Pulls the worker into the stall.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (int i = 1; i <= 7; ++i) futures.push_back(engine.Query(i));
+
+  int served = 0, shed = 0;
+  for (auto& f : futures) {
+    const QueryResult r = f.get();
+    if (r.ok()) {
+      ++served;
+      EXPECT_FALSE(r.embedding.empty());
+    } else {
+      ++shed;
+      EXPECT_EQ(r.status, QueryStatus::kShedOverload);
+      EXPECT_TRUE(r.embedding.empty());
+    }
+  }
+  EXPECT_EQ(served + shed, 8);
+  // At least 7 - capacity = 3 offers found the queue full (exactly 3 when
+  // the stalled worker had already taken the first request).
+  EXPECT_GE(shed, 3);
+  const AdmissionStats stats = engine.stats().admission;
+  EXPECT_EQ(stats.offered, 8);
+  EXPECT_EQ(stats.shed_queue_full, shed);
+  EXPECT_EQ(stats.settled(), stats.offered);
+}
+
+// Deadlines: an admitted request whose deadline expires before a worker
+// reaches it is shed without executing — not served late.
+TEST(ServeEngineTest, ExpiredDeadlinesAreShedBeforeExecution) {
+  const AttributedGraph g = TinyGraph();
+  const auto model = MakeModel("DGAE", g);
+  ServeOptions options;
+  options.num_workers = 1;
+  ServeEngine engine(model->ExportSnapshot(), options);
+
+  constexpr int kDead = 16;
+  std::vector<std::future<QueryResult>> doomed;
+  for (int i = 0; i < kDead; ++i) {
+    doomed.push_back(engine.Submit(i, Deadline::After(1e-9)));
+  }
+  for (auto& f : doomed) {
+    const QueryResult r = f.get();
+    EXPECT_EQ(r.status, QueryStatus::kShedDeadline);
+    EXPECT_TRUE(r.embedding.empty());
+    EXPECT_GE(r.serve_us, 0.0);
+  }
+  // A generous deadline serves normally through the same path.
+  const QueryResult ok = engine.Submit(3, Deadline::After(60.0)).get();
+  EXPECT_EQ(ok.status, QueryStatus::kOk);
+  EXPECT_FALSE(ok.embedding.empty());
+
+  const AdmissionStats stats = engine.stats().admission;
+  EXPECT_EQ(stats.offered, kDead + 1);
+  EXPECT_EQ(stats.shed_deadline, kDead);
+  EXPECT_EQ(stats.admitted, 1);
+  EXPECT_EQ(stats.settled(), stats.offered);
+}
+
+// Degraded mode: once the token bucket is exhausted, queries are answered
+// from the cache — including rows a mutation moved to the stale store —
+// instead of being rejected, and the staleness is labeled.
+TEST(ServeEngineTest, RateLimitedQueriesDegradeToCachedAndStaleRows) {
+  const AttributedGraph g = SparseGraph();
+  const auto model = MakeModel("DGAE", g);
+  const Matrix z_before = ForwardEngine::FullForward(model->ExportSnapshot());
+
+  ServeOptions options;
+  options.cache_capacity = g.num_nodes();
+  // Burst covers exactly one fresh pass over the graph; the refill rate is
+  // negligible, so everything after that pass hits the degraded path.
+  options.admission.rate_limit_qps = 1e-6;
+  options.admission.rate_limit_burst = g.num_nodes();
+  ServeEngine engine(model->ExportSnapshot(), options);
+
+  for (int node = 0; node < engine.num_nodes(); ++node) {
+    ASSERT_EQ(engine.QueryBlocking(node).status, QueryStatus::kOk);
+  }
+  AttributedGraph mutated = engine.CurrentGraph();
+  Rng rng(23);
+  AddRandomEdges(&mutated, 1, rng);
+  const std::vector<int> invalidated = engine.MutateGraph(mutated);
+  ASSERT_FALSE(invalidated.empty());
+  const std::set<int> stale_nodes(invalidated.begin(), invalidated.end());
+
+  for (int node = 0; node < engine.num_nodes(); ++node) {
+    const QueryResult r = engine.QueryBlocking(node);
+    EXPECT_EQ(r.status, QueryStatus::kDegraded) << "node " << node;
+    EXPECT_TRUE(r.cache_hit);
+    EXPECT_EQ(r.stale, stale_nodes.count(node) > 0) << "node " << node;
+    // Degraded answers are the pre-mutation rows: bit-exact for untouched
+    // nodes and the invalidation-time value for stale ones.
+    ExpectRowEq(r.embedding, z_before, node);
+  }
+  const AdmissionStats stats = engine.stats().admission;
+  EXPECT_EQ(stats.offered, 2 * g.num_nodes());
+  EXPECT_EQ(stats.admitted, g.num_nodes());
+  EXPECT_EQ(stats.degraded, g.num_nodes());
+  EXPECT_EQ(stats.shed(), 0);
+  // Degraded probes must not perturb the cache accounting that ties
+  // hits + misses to admitted queries.
+  const serve::CacheCounters cache = engine.stats().cache;
+  EXPECT_EQ(cache.hits + cache.misses, stats.admitted);
+}
+
+TEST(ServeEngineTest, RateLimitRejectsOutrightWhenDegradedDisallowed) {
+  const AttributedGraph g = TinyGraph();
+  const auto model = MakeModel("GAE", g);
+  ServeOptions options;
+  options.cache_capacity = g.num_nodes();
+  options.admission.rate_limit_qps = 1e-6;
+  options.admission.rate_limit_burst = 5;
+  options.admission.allow_degraded = false;
+  ServeEngine engine(model->ExportSnapshot(), options);
+
+  int served = 0, shed = 0;
+  for (int i = 0; i < 10; ++i) {
+    const QueryResult r = engine.QueryBlocking(i % 5);
+    (r.ok() ? served : shed)++;
+  }
+  EXPECT_EQ(served, 5);
+  EXPECT_EQ(shed, 5);
+  EXPECT_EQ(engine.stats().admission.shed_rate_limited, 5);
+}
+
+// A queue-burst fault amplifies one offer into synthetic extras that run
+// the full admission path and are fully accounted.
+TEST(ServeEngineTest, QueueBurstFaultOffersAreAccounted) {
+  const AttributedGraph g = TinyGraph();
+  const auto model = MakeModel("GAE", g);
+  ServeFaultInjector faults({{ServeFault::Type::kQueueBurst, /*every_n=*/1,
+                              /*after=*/0, /*magnitude=*/2.0,
+                              /*once=*/true}});
+  ServeOptions options;
+  options.faults = &faults;
+  ServeEngine engine(model->ExportSnapshot(), options);
+
+  EXPECT_TRUE(engine.QueryBlocking(7).ok());
+  EXPECT_TRUE(engine.QueryBlocking(8).ok());  // No fault: 1 offer.
+  EXPECT_EQ(faults.counts().burst_requests, 2);
+  const AdmissionStats stats = engine.stats().admission;
+  EXPECT_EQ(stats.offered, 4);  // 1 + 2 synthetic + 1.
+  EXPECT_EQ(stats.settled(), 4);
+  EXPECT_EQ(engine.stats().queries, 4);
+}
+
+// Shutdown under a requested global stop: the backlog is shed, not
+// computed; every future resolves; teardown cannot deadlock.
+TEST(ServeEngineTest, GlobalStopShedsTheBacklogAtShutdown) {
+  struct StopGuard {
+    ~StopGuard() { ClearGlobalStop(); }
+  } guard;
+  ClearGlobalStop();
+
+  const AttributedGraph g = TinyGraph();
+  const auto model = MakeModel("GAE", g);
+  ServeFaultInjector faults({{ServeFault::Type::kWorkerStall, /*every_n=*/1,
+                              /*after=*/0, /*magnitude=*/200.0,
+                              /*once=*/true}});
+  ServeOptions options;
+  options.num_workers = 1;
+  options.max_batch = 4;  // The stalled first batch can't swallow the lot.
+  options.cache_capacity = 0;
+  options.faults = &faults;
+
+  constexpr int kSubmitted = 30;
+  std::vector<std::future<QueryResult>> futures;
+  int64_t offered = 0;
+  {
+    ServeEngine engine(model->ExportSnapshot(), options);
+    for (int i = 0; i < kSubmitted; ++i) {
+      futures.push_back(engine.Query(i % engine.num_nodes()));
+    }
+    RequestGlobalStop();
+    offered = engine.stats().admission.offered;
+  }  // Destructor: backlog shed as kShedShutdown, workers joined.
+  EXPECT_EQ(offered, kSubmitted);
+
+  int served = 0, shed = 0;
+  for (auto& f : futures) {
+    const QueryResult r = f.get();
+    if (r.status == QueryStatus::kShedShutdown) {
+      EXPECT_TRUE(r.embedding.empty());
+      ++shed;
+    } else {
+      ASSERT_EQ(r.status, QueryStatus::kOk);
+      EXPECT_FALSE(r.embedding.empty());
+      ++served;
+    }
+  }
+  EXPECT_EQ(served + shed, kSubmitted);  // Zero lost requests.
+  EXPECT_GE(shed, 1) << "the stalled backlog should have been shed";
+}
+
+// Hot swap under load: a swap mid-traffic never fails an in-flight query,
+// and the registry serves the new generation coherently afterwards.
+TEST(ServeRegistryTest, HotSwapUnderConcurrentQueriesAndMutations) {
+  const AttributedGraph g = TinyGraph();
+  const auto model = MakeModel("DGAE", g);
+  ServeOptions options;
+  options.num_workers = 3;
+  options.cache_capacity = g.num_nodes();
+  ServeRegistry registry(model->ExportSnapshot(), options);
+
+  constexpr int kIssuers = 4;
+  constexpr int kQueriesPerIssuer = 200;
+  std::vector<std::thread> issuers;
+  for (int t = 0; t < kIssuers; ++t) {
+    issuers.emplace_back([&registry, t] {
+      Rng rng(300 + static_cast<uint64_t>(t));
+      for (int q = 0; q < kQueriesPerIssuer; ++q) {
+        // Pin the generation for one query, as serving clients do.
+        auto engine = registry.engine();
+        const QueryResult r =
+            engine->QueryBlocking(rng.UniformInt(engine->num_nodes()));
+        ASSERT_TRUE(r.ok()) << serve::QueryStatusName(r.status);
+        ASSERT_FALSE(r.embedding.empty());
+      }
+    });
+  }
+
+  Rng mut_rng(31);
+  for (int m = 0; m < 6; ++m) {
+    AttributedGraph next = registry.CurrentGraph();
+    AddRandomEdges(&next, 2, mut_rng);
+    registry.MutateGraph(next);
+    if (m == 2) {
+      // Mid-run hot swap to a candidate frozen off the live generation.
+      std::string error;
+      ASSERT_TRUE(registry.Swap(registry.engine()->SnapshotCopy(), &error))
+          << error;
+    }
+  }
+  for (std::thread& t : issuers) t.join();
+
+  const serve::RegistryStats stats = registry.stats();
+  EXPECT_EQ(stats.swaps, 1);
+  EXPECT_EQ(stats.rejected_swaps, 0);
+  EXPECT_EQ(stats.version, 2);
+  EXPECT_EQ(stats.mutations, 6);
+
+  const ModelSnapshot reference =
+      WithGraph(model->ExportSnapshot(), registry.CurrentGraph());
+  const Matrix z = ForwardEngine::FullForward(reference);
+  auto engine = registry.engine();
+  for (int node = 0; node < engine->num_nodes(); ++node) {
+    ExpectRowEq(engine->QueryBlocking(node).embedding, z, node);
+  }
+}
+
+// Regression (registry-aware invalidation): a mutation issued after the
+// flip must land on the new generation — never invalidate rows in the
+// outgoing engine's cache.
+TEST(ServeRegistryTest, MutationsAfterTheFlipLandOnTheNewGeneration) {
+  const AttributedGraph g = SparseGraph();
+  const auto model = MakeModel("DGAE", g);
+  ServeOptions options;
+  options.cache_capacity = g.num_nodes();
+  ServeRegistry registry(model->ExportSnapshot(), options);
+
+  // Warm the boot generation's cache, then pin it across the swap.
+  auto old_engine = registry.engine();
+  for (int node = 0; node < old_engine->num_nodes(); ++node) {
+    old_engine->QueryBlocking(node);
+  }
+  ASSERT_TRUE(registry.Swap(old_engine->SnapshotCopy()));
+  ASSERT_NE(registry.engine(), old_engine);
+  // Warm the new generation too, so its invalidations are observable.
+  for (int node = 0; node < g.num_nodes(); ++node) {
+    registry.engine()->QueryBlocking(node);
+  }
+
+  AttributedGraph mutated = registry.CurrentGraph();
+  Rng rng(37);
+  AddRandomEdges(&mutated, 1, rng);
+  registry.MutateGraph(mutated);
+
+  // The outgoing engine kept its cache; the new generation took the
+  // invalidations and serves the mutated graph.
+  EXPECT_EQ(old_engine->stats().cache.invalidations, 0);
+  EXPECT_GT(registry.engine()->stats().cache.invalidations, 0);
+  const Matrix z = ForwardEngine::FullForward(
+      WithGraph(model->ExportSnapshot(), mutated));
+  ExpectRowEq(registry.engine()->QueryBlocking(0).embedding, z, 0);
+  // The pinned old generation still answers (its pre-mutation graph).
+  EXPECT_TRUE(old_engine->QueryBlocking(0).ok());
+}
+
+// A corrupt candidate must be rejected by validation, leaving the serving
+// generation untouched and still answering.
+TEST(ServeRegistryTest, CorruptSnapshotSwapIsRejected) {
+  const AttributedGraph g = TinyGraph();
+  const auto model = MakeModel("DGAE", g);
+  ServeFaultInjector faults({{ServeFault::Type::kSnapshotCorruptOnSwap,
+                              /*every_n=*/1, /*after=*/0, /*magnitude=*/0.0,
+                              /*once=*/true}});
+  ServeOptions options;
+  options.faults = &faults;
+  ServeRegistry registry(model->ExportSnapshot(), options);
+
+  // First attempt: the one-shot fault corrupts the candidate; validation
+  // must catch the non-finite weight and refuse the flip.
+  std::string error;
+  EXPECT_FALSE(registry.Swap(model->ExportSnapshot(), &error));
+  EXPECT_NE(error.find("non-finite"), std::string::npos) << error;
+  EXPECT_EQ(faults.counts().corrupted_swaps, 1);
+  EXPECT_EQ(registry.stats().rejected_swaps, 1);
+  EXPECT_EQ(registry.stats().version, 1);
+  EXPECT_TRUE(registry.engine()->QueryBlocking(0).ok());
+
+  // Second attempt: the fault is consumed; the same candidate swaps in.
+  EXPECT_TRUE(registry.Swap(model->ExportSnapshot(), &error)) << error;
+  EXPECT_EQ(registry.stats().swaps, 1);
+  EXPECT_EQ(registry.stats().version, 2);
+
+  // An unreadable artifact is a rejected swap too, via the LoadSnapshot
+  // contract.
+  const std::string bad_path =
+      ::testing::TempDir() + "/rgae_bad_snapshot.bin";
+  { std::ofstream(bad_path) << "not a snapshot"; }
+  EXPECT_FALSE(registry.SwapFromFile(bad_path, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(registry.stats().rejected_swaps, 2);
+  EXPECT_EQ(registry.stats().version, 2);
 }
 
 TEST(ServeEngineTest, DestructorDrainsPendingQueries) {
