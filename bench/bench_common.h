@@ -142,6 +142,9 @@ class BenchObs {
     *argc = out;
     if (!json_path_.empty() || !trace_path_.empty()) {
       rgae::obs::SetEnabled(true);
+      // The profile tree rides the same sinks (a `profile` block in the
+      // JSON document, span attribution in the trace).
+      rgae::obs::SetProfileEnabled(true);
     }
     if (!trace_path_.empty()) rgae::obs::SetTraceEnabled(true);
 

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""End-to-end test of the bench-baseline regression gate (a ctest target).
+
+Usage:
+    bench_baseline_test.py --micro <bench_micro_ops> --serve <bench_serve> \
+        --table5 <bench_table5_runtime> [--committed-baselines <dir>]
+
+Runs each bench once with --json (the caller sets the reduced-effort
+environment), then drives scripts/compare_bench.py through its contract:
+
+  1. seed a fresh baseline from each report (--update-baseline),
+  2. compare the same report against it — must PASS (a report is never a
+     regression against itself),
+  3. inflate every latency-band metric in a copy of the micro_ops report by
+     20% — the gate must FAIL (the band is 15%),
+  4. tamper one per-kernel FLOP total — the gate must FAIL even under
+     --timing-advisory (exactness is never advisory).
+
+With --committed-baselines, each report is additionally compared against
+the committed bench/baselines/<name>.json in --timing-advisory mode: the
+FLOP counts and metric coverage must match the repository's record
+regardless of machine speed.
+
+Exit status 0 when every step behaves as specified.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SCRIPTS = os.path.dirname(os.path.abspath(__file__))
+COMPARE = os.path.join(SCRIPTS, "compare_bench.py")
+
+PASSED = 0
+FAILED = []
+
+
+def check(name, ok, detail=""):
+    global PASSED
+    if ok:
+        PASSED += 1
+        print(f"PASS: {name}")
+    else:
+        FAILED.append(name)
+        print(f"FAIL: {name} {detail}", file=sys.stderr)
+
+
+def run(cmd, **kwargs):
+    return subprocess.run(cmd, capture_output=True, text=True, **kwargs)
+
+
+def compare(report, baseline, *flags):
+    return run([sys.executable, COMPARE, report, baseline, *flags])
+
+
+def run_bench(binary, report, extra_args=()):
+    proc = run([binary, f"--json={report}", *extra_args])
+    if proc.returncode != 0:
+        print(proc.stdout, file=sys.stderr)
+        print(proc.stderr, file=sys.stderr)
+        raise SystemExit(f"{binary} exited with {proc.returncode}")
+    if not os.path.exists(report):
+        raise SystemExit(f"{binary} did not write {report}")
+
+
+def main(argv):
+    args = {}
+    i = 0
+    while i < len(argv):
+        if argv[i] in ("--micro", "--serve", "--table5",
+                       "--committed-baselines") and i + 1 < len(argv):
+            args[argv[i][2:]] = argv[i + 1]
+            i += 2
+        else:
+            raise SystemExit(f"unknown or incomplete argument: {argv[i]}")
+    for key in ("micro", "serve", "table5"):
+        if key not in args:
+            raise SystemExit(f"--{key} is required\n\n{__doc__.strip()}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        reports = {}
+        committed_names = {"micro": "micro_ops.json", "serve": "serve.json",
+                           "table5": "table5_runtime.json"}
+        bench_args = {
+            "micro": ("--benchmark_filter=BM_SpMM/200",
+                      "--benchmark_min_time=0.05"),
+            "serve": (),
+            "table5": (),
+        }
+        for key in ("micro", "serve", "table5"):
+            reports[key] = os.path.join(tmp, f"{key}.json")
+            run_bench(args[key], reports[key], bench_args[key])
+
+        # 1 + 2: a fresh baseline accepts the report it was seeded from.
+        for key, report in reports.items():
+            baseline = os.path.join(tmp, f"baseline_{key}.json")
+            proc = compare(report, baseline, "--update-baseline")
+            check(f"seed baseline ({key})", proc.returncode == 0,
+                  proc.stderr.strip())
+            proc = compare(report, baseline)
+            check(f"self-compare passes ({key})", proc.returncode == 0,
+                  proc.stderr.strip())
+
+        # 3: a 20% latency inflation must trip the 15% band.
+        with open(reports["micro"], encoding="utf-8") as f:
+            doc = json.load(f)
+
+        def inflate(nodes):
+            for node in nodes:
+                node["inclusive_us"] = node["inclusive_us"] * 1.2
+                inflate(node.get("children") or [])
+
+        inflate(doc["profile"]["nodes"])
+        slow = os.path.join(tmp, "micro_slow.json")
+        with open(slow, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        proc = compare(slow, os.path.join(tmp, "baseline_micro.json"))
+        check("20% latency regression fails", proc.returncode == 1,
+              f"exit={proc.returncode} stderr={proc.stderr.strip()}")
+        check("latency failure names the band",
+              "exceeds baseline" in proc.stderr, proc.stderr.strip())
+
+        # 4: a tampered FLOP count must fail even in advisory mode.
+        with open(reports["micro"], encoding="utf-8") as f:
+            doc = json.load(f)
+
+        def first_kernel(nodes):
+            for node in nodes:
+                if node["name"].startswith("kernel."):
+                    return node
+                found = first_kernel(node.get("children") or [])
+                if found is not None:
+                    return found
+            return None
+
+        kernel = first_kernel(doc["profile"]["nodes"])
+        if kernel is None:
+            raise SystemExit("micro_ops profile tree holds no kernel nodes")
+        kernel["flops"] += 1
+        tampered = os.path.join(tmp, "micro_tampered.json")
+        with open(tampered, "w", encoding="utf-8") as f:
+            json.dump(doc, f)
+        proc = compare(tampered, os.path.join(tmp, "baseline_micro.json"),
+                       "--timing-advisory")
+        check("tampered FLOPs fail under --timing-advisory",
+              proc.returncode == 1,
+              f"exit={proc.returncode} stderr={proc.stderr.strip()}")
+        check("FLOP failure is marked exact",
+              "exact metric" in proc.stderr, proc.stderr.strip())
+
+        # Optional: the committed baselines must accept a fresh run in
+        # advisory mode (exact metrics and coverage, not wall clock).
+        committed = args.get("committed-baselines")
+        if committed:
+            for key, report in reports.items():
+                baseline = os.path.join(committed, committed_names[key])
+                if not os.path.exists(baseline):
+                    check(f"committed baseline exists ({key})", False,
+                          baseline)
+                    continue
+                proc = compare(report, baseline, "--timing-advisory")
+                check(f"committed baseline accepts fresh run ({key})",
+                      proc.returncode == 0, proc.stderr.strip())
+
+    if FAILED:
+        print(f"FAIL: {len(FAILED)} of {PASSED + len(FAILED)} checks",
+              file=sys.stderr)
+        return 1
+    print(f"OK: {PASSED} checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -9,6 +9,7 @@ Usage:
     check_bench_json.py --run-journal <bench_binary> [bench args ...]
     check_bench_json.py --run-serve <bench_serve_binary> [bench args ...]
     check_bench_json.py --run-loadtest <bench_loadtest_binary> [args ...]
+    check_bench_json.py --run-profile <bench_micro_ops_binary> [args ...]
 
 In `--run` mode the bench binary is invoked with `--json=<tempfile>` (plus
 any extra arguments, e.g. --benchmark_filter), and the document it writes is
@@ -23,8 +24,14 @@ disposition arithmetic (offered == admitted + degraded + shed — the
 zero-lost-requests invariant), SLO violations monotone across the ascending
 offered-QPS levels, the admitted-request p99 within its declared bound, and
 the hot-swap drill outcome (a completed swap, the corrupted candidate
-rejected, no in-flight failures). Exit status 0 means every document is
-schema-valid; violations are listed on stderr.
+rejected, no in-flight failures). `--run-profile` runs bench_micro_ops and
+validates the profiler contract: a non-empty `profile` calling-context tree,
+per-kernel FLOP totals matching the closed-form `profile_expect` numbers the
+bench emits from its calibrated fixed-workload pass EXACTLY (cost-model
+drift between src/ and the bench is a hard failure, not a tolerance), at
+least one node with a positive achieved GFLOP/s, and a positive peak RSS.
+Exit status 0 means every document is schema-valid; violations are listed
+on stderr.
 
 The checker is intentionally strict about the contract downstream tooling
 relies on: sentinel values (-1 "untracked", -2 "untracked lambda") must have
@@ -84,6 +91,16 @@ LOADTEST_REQUIRED = [
     "model", "dataset", "num_nodes", "workers", "queue_capacity",
     "deadline_ms", "slo_ms", "chaos", "interrupted",
     "admitted_p99_bound_us", "swap", "faults", "levels", "lost_requests",
+]
+
+PROFILE_NODE_REQUIRED = [
+    "name", "calls", "inclusive_us", "exclusive_us", "flops", "bytes",
+    "gflops", "gbs", "children",
+]
+
+MEMORY_REQUIRED = [
+    "peak_rss_bytes", "current_rss_bytes", "matrix_allocs", "matrix_bytes",
+    "tape_nodes", "tape_bytes",
 ]
 
 LOADTEST_LEVEL_REQUIRED = [
@@ -335,6 +352,131 @@ class Checker:
             self.expect(warm_cache["hits"] > 0, f"{where}.phases",
                         "warm phase recorded zero cache hits")
 
+    def check_profile_node(self, node, where):
+        if not self.expect(isinstance(node, dict), where, "not an object"):
+            return
+        for key in PROFILE_NODE_REQUIRED:
+            self.expect(key in node, f"{where}.{key}", "missing")
+        self.expect(isinstance(node.get("name"), str) and node.get("name"),
+                    f"{where}.name", "missing or empty")
+        for key in ("calls", "inclusive_us", "exclusive_us", "flops",
+                    "bytes", "gflops", "gbs"):
+            v = node.get(key)
+            self.expect(self.is_num(v) and v >= 0, f"{where}.{key}",
+                        f"must be a non-negative number, got {v!r}")
+        calls = node.get("calls")
+        if self.is_num(calls):
+            self.expect(calls >= 1, f"{where}.calls",
+                        "a materialized node must have been entered")
+        incl, excl = node.get("inclusive_us"), node.get("exclusive_us")
+        if self.is_num(incl) and self.is_num(excl):
+            self.expect(excl <= incl, where,
+                        f"exclusive_us {excl} > inclusive_us {incl}")
+        children = node.get("children")
+        if self.expect(isinstance(children, list), f"{where}.children",
+                       "must be an array"):
+            for i, child in enumerate(children):
+                self.check_profile_node(child, f"{where}.children[{i}]")
+
+    def check_profile_block(self, profile):
+        """The `profile` block every rgae.bench.v1 document carries."""
+        where = "$.profile"
+        if not self.expect(isinstance(profile, dict), where,
+                           "missing or not an object"):
+            return
+        self.expect(isinstance(profile.get("enabled"), bool),
+                    f"{where}.enabled", "must be a bool")
+        nodes = profile.get("nodes")
+        if self.expect(isinstance(nodes, list), f"{where}.nodes",
+                       "must be an array"):
+            for i, node in enumerate(nodes):
+                self.check_profile_node(node, f"{where}.nodes[{i}]")
+
+    def check_memory_block(self, memory):
+        where = "$.memory"
+        if not self.expect(isinstance(memory, dict), where,
+                           "missing or not an object"):
+            return
+        for key in MEMORY_REQUIRED:
+            v = memory.get(key)
+            self.expect(self.is_num(v) and v >= 0, f"{where}.{key}",
+                        f"must be a non-negative number, got {v!r}")
+
+    def _profile_totals(self, profile):
+        """Sums flops/calls per node name across the whole tree."""
+        flops, calls, gflops_positive = {}, {}, False
+
+        def visit(node):
+            nonlocal gflops_positive
+            if not isinstance(node, dict):
+                return
+            name = node.get("name")
+            if isinstance(name, str):
+                if self.is_num(node.get("flops")):
+                    flops[name] = flops.get(name, 0) + node["flops"]
+                if self.is_num(node.get("calls")):
+                    calls[name] = calls.get(name, 0) + node["calls"]
+            if self.is_num(node.get("gflops")) and node["gflops"] > 0:
+                gflops_positive = True
+            for child in node.get("children") or []:
+                visit(child)
+
+        for node in profile.get("nodes") or []:
+            visit(node)
+        return flops, calls, gflops_positive
+
+    def check_profile(self, doc):
+        """--run-profile: the calibrated profile contract of bench_micro_ops.
+
+        Requires instrumentation on, a non-empty calling-context tree, an
+        exact match between the tree's per-kernel FLOP totals and the
+        closed-form `profile_expect` numbers, some node achieving a positive
+        GFLOP/s, and a positive peak RSS.
+        """
+        where = "$.profile"
+        profile = doc.get("profile")
+        if not isinstance(profile, dict):
+            return  # Shape errors already reported by check_profile_block.
+        self.expect(profile.get("enabled") is True, f"{where}.enabled",
+                    "profiling must be on in a --run-profile run")
+        nodes = profile.get("nodes")
+        if not self.expect(isinstance(nodes, list) and nodes,
+                           f"{where}.nodes", "profile tree is empty"):
+            return
+        flops, calls, gflops_positive = self._profile_totals(profile)
+        self.expect(gflops_positive, where,
+                    "no node achieved a positive GFLOP/s")
+        expect = doc.get("profile_expect")
+        if not self.expect(isinstance(expect, dict) and expect,
+                           "$.profile_expect",
+                           "missing (bench did not run its calibrated "
+                           "profile pass)"):
+            return
+        for name, want in expect.items():
+            w = f"{where}[{name!r}]"
+            if not self.expect(self.is_num(want) and want > 0,
+                               f"$.profile_expect[{name!r}]",
+                               f"must be a positive number, got {want!r}"):
+                continue
+            got = flops.get(name)
+            if not self.expect(got is not None, w,
+                               "kernel missing from the profile tree"):
+                continue
+            self.expect(got == want, w,
+                        f"FLOP count {got} != closed-form {want} "
+                        "(cost-model drift between src/ and the bench)")
+            self.expect(calls.get(name, 0) > 0, w, "zero recorded calls")
+        memory = doc.get("memory")
+        if isinstance(memory, dict):
+            peak = memory.get("peak_rss_bytes")
+            self.expect(self.is_num(peak) and peak > 0,
+                        "$.memory.peak_rss_bytes",
+                        f"must be positive in a run, got {peak!r}")
+            allocs = memory.get("matrix_allocs")
+            self.expect(self.is_num(allocs) and allocs > 0,
+                        "$.memory.matrix_allocs",
+                        "bench ran kernels but counted no matrix buffers")
+
     def check_loadtest_level(self, level, where):
         if not self.expect(isinstance(level, dict), where, "not an object"):
             return
@@ -501,6 +643,8 @@ class Checker:
                             f"$.metrics.{section}", "missing or not an object")
             for name, hist in (metrics.get("histograms") or {}).items():
                 self.check_histogram(hist, f"$.metrics.histograms[{name!r}]")
+        self.check_memory_block(doc.get("memory"))
+        self.check_profile_block(doc.get("profile"))
         dropped = doc.get("dropped_trace_events")
         self.expect(self.is_num(dropped) and dropped >= 0,
                     "$.dropped_trace_events", "must be a non-negative number")
@@ -520,6 +664,8 @@ def check_file(path, section=None):
             checker.check_serve(doc.get("serve"))
         elif section == "loadtest":
             checker.check_loadtest(doc.get("loadtest"))
+        elif section == "profile":
+            checker.check_profile(doc)
     return checker.errors
 
 
@@ -636,6 +782,8 @@ def main(argv):
         return run_mode(argv[1:], section="serve")
     if argv[0] == "--run-loadtest":
         return run_mode(argv[1:], section="loadtest")
+    if argv[0] == "--run-profile":
+        return run_mode(argv[1:], section="profile")
     if argv[0] == "--run-journal":
         return run_journal_mode(argv[1:])
     if argv[0] == "--journal":

@@ -59,5 +59,30 @@ RGAE_LOADTEST_QUEUE=48 RGAE_LOADTEST_DEADLINE_MS=8 RGAE_LOADTEST_SLO_MS=4 \
 python3 "${SOURCE_DIR}/scripts/check_bench_json.py" \
   --run-loadtest "${BUILD_DIR}/bench/bench_loadtest"
 
+step "profile schema check (calling-context tree + FLOP exactness)"
+python3 "${SOURCE_DIR}/scripts/check_bench_json.py" \
+  --run-profile "${BUILD_DIR}/bench/bench_micro_ops" \
+  --benchmark_filter=/200 --benchmark_min_time=0.05
+
+step "bench baselines (advisory: exact metrics + coverage vs committed)"
+# Wall-clock bands are machine-dependent, so CI compares in advisory mode:
+# FLOP counts and metric coverage are hard failures, timing bands warn.
+# The committed baselines were seeded under this exact environment.
+PROFILE_REPORT="$(mktemp)"
+trap 'rm -f "${PROFILE_REPORT}"' EXIT
+"${BUILD_DIR}/bench/bench_micro_ops" --json="${PROFILE_REPORT}" \
+  --benchmark_filter=BM_SpMM/200 --benchmark_min_time=0.05 >/dev/null
+python3 "${SOURCE_DIR}/scripts/compare_bench.py" "${PROFILE_REPORT}" \
+  "${SOURCE_DIR}/bench/baselines/micro_ops.json" --timing-advisory
+RGAE_SERVE_QUERIES=1200 \
+  "${BUILD_DIR}/bench/bench_serve" --json="${PROFILE_REPORT}" >/dev/null
+python3 "${SOURCE_DIR}/scripts/compare_bench.py" "${PROFILE_REPORT}" \
+  "${SOURCE_DIR}/bench/baselines/serve.json" --timing-advisory
+RGAE_TRIALS=1 RGAE_EPOCH_SCALE=0.02 \
+  "${BUILD_DIR}/bench/bench_table5_runtime" --json="${PROFILE_REPORT}" \
+  >/dev/null
+python3 "${SOURCE_DIR}/scripts/compare_bench.py" "${PROFILE_REPORT}" \
+  "${SOURCE_DIR}/bench/baselines/table5_runtime.json" --timing-advisory
+
 echo
 echo "CI pipeline passed."

@@ -37,6 +37,16 @@ Enforces invariants that generic tools do not know about:
                       into OOM instead of shed load (DESIGN.md §8.6). A
                       push whose bound is enforced elsewhere opts out with
                       a `// Bounded by admission.` comment on the line.
+  R8 timing        -- in src/ (outside src/obs/ and src/core/deadline.*),
+                      raw monotonic-clock reads (steady_clock::now,
+                      high_resolution_clock::now, Clock::now, NowMicros)
+                      are banned: timing must flow through the RGAE_SPAN /
+                      RGAE_TIMED_KERNEL macros so the profiler and metrics
+                      see it. Product timestamps that are data rather than
+                      instrumentation (phase seconds on TrainResult,
+                      serve_us on QueryResult) opt out with a
+                      `// Raw timing: <why>` comment on the line or within
+                      the three lines above it.
 
 Run: python3 scripts/rgae_lint.py [--root DIR]. Exits 1 if any finding.
 Registered as the ctest case `lint_rgae_sources` (label: lint).
@@ -108,6 +118,19 @@ SERVE_CAPACITY_RE = re.compile(
     r"capacity|\bOffer\s*\(|\.size\s*\(\s*\)\s*(?:[<>]=?|==)"
 )
 SERVE_BOUNDED_NOTE = "Bounded by admission"
+
+# R8: raw clock reads in src/ must go through the obs macros. src/obs/ is
+# the implementation of those macros; src/core/deadline.* owns deadline
+# arithmetic (and is already the R1 carve-out).
+TIMING_SCOPE = "src/"
+TIMING_ALLOW_PREFIXES = ("src/obs/",)
+TIMING_ALLOW_FILES = ("src/core/deadline.h", "src/core/deadline.cc")
+TIMING_RE = re.compile(
+    r"\b(?:steady_clock|high_resolution_clock|[A-Za-z_]\w*Clock)\s*::\s*"
+    r"now\s*\(|\bNowMicros\s*\("
+)
+TIMING_NOTE = "Raw timing:"
+TIMING_NOTE_WINDOW = 3  # opt-out comment may sit up to 3 lines above
 
 
 def strip_comments_and_strings(line):
@@ -208,6 +231,27 @@ def lint_serve_queue_bounds(rel, raw_lines, code_lines, findings):
                 )
 
 
+def lint_timing(rel, raw_lines, code_lines, findings):
+    """R8: raw clock reads in src/ must go through RGAE_SPAN /
+    RGAE_TIMED_KERNEL (or carry a `// Raw timing:` opt-out nearby)."""
+    if not rel.startswith(TIMING_SCOPE):
+        return
+    if rel.startswith(TIMING_ALLOW_PREFIXES) or rel in TIMING_ALLOW_FILES:
+        return
+    for i, code in enumerate(code_lines):
+        if not TIMING_RE.search(code):
+            continue
+        lo = max(0, i - TIMING_NOTE_WINDOW)
+        if any(TIMING_NOTE in raw_lines[j] for j in range(lo, i + 1)):
+            continue
+        findings.append(
+            f"{rel}:{i + 1}: [R8] raw clock read; time through RGAE_SPAN / "
+            "RGAE_TIMED_KERNEL so the profiler sees it, or mark the site "
+            "`// Raw timing: <why>` when the timestamp is product data "
+            "(DESIGN.md §7)"
+        )
+
+
 def lint_file(root, rel, findings):
     path = os.path.join(root, rel)
     with open(path, encoding="utf-8") as f:
@@ -269,6 +313,8 @@ def lint_file(root, rel, findings):
     if rel.startswith(SERVE_SCOPE) and rel.endswith(".cc"):
         lint_serve_sync(root, rel, raw_lines, code_lines, findings)
         lint_serve_queue_bounds(rel, raw_lines, code_lines, findings)
+
+    lint_timing(rel, raw_lines, code_lines, findings)
 
     if rel.startswith("src/") and rel.endswith(".h"):
         guard = expected_guard(rel)

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/obs/trace.h"
+
 namespace rgae {
 
 std::vector<int> HardAssign(const Matrix& soft) {
@@ -25,8 +27,18 @@ Matrix OneHot(const std::vector<int>& assignments, int k) {
 }
 
 Matrix StudentTAssignments(const Matrix& z, const Matrix& centers) {
+  RGAE_TIMED_KERNEL("kernel.row_softmax");
   const int n = z.rows();
   const int k = centers.rows();
+  const int d = z.cols();
+  // Cost model: per (i,j) pair a d-dim squared distance (3d flops) plus the
+  // kernel + normalization (~4 flops); bytes = read z and centers once per
+  // pair-row plus the output.
+  RGAE_KERNEL_WORK("kernel.row_softmax",
+                   static_cast<int64_t>(n) * k * (3LL * d + 4),
+                   8LL * (static_cast<int64_t>(n) * d +
+                          static_cast<int64_t>(k) * d +
+                          static_cast<int64_t>(n) * k));
   Matrix p(n, k);
   for (int i = 0; i < n; ++i) {
     double sum = 0.0;
@@ -66,6 +78,14 @@ Matrix GaussianSoftAssignments(const Matrix& z, const Matrix& centers,
   const int n = z.rows();
   const int k = centers.rows();
   const int d = z.cols();
+  RGAE_TIMED_KERNEL("kernel.row_softmax");
+  // Cost model: per (i,j) pair a d-dim variance-scaled distance (4d flops)
+  // plus log-sum-exp normalization (~5 flops); centers and variances are
+  // both streamed per row.
+  RGAE_KERNEL_WORK("kernel.row_softmax",
+                   static_cast<int64_t>(n) * k * (4LL * d + 5),
+                   8LL * (static_cast<int64_t>(n) * d +
+                          2LL * k * d + static_cast<int64_t>(n) * k));
   Matrix p(n, k);
   std::vector<double> logits(k);
   for (int i = 0; i < n; ++i) {

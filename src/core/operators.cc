@@ -13,6 +13,9 @@ XiResult OperatorXi(const Matrix& soft_assignments, const XiOptions& options) {
   RGAE_TIMED_KERNEL("op.xi");
   const int n = soft_assignments.rows();
   const int k = soft_assignments.cols();
+  // Cost model: one comparison sweep over the n·k assignment matrix.
+  RGAE_KERNEL_WORK("op.xi", static_cast<int64_t>(n) * k,
+                   8LL * n * k);
   assert(k >= 2);
   XiResult result;
   result.lambda1.resize(n);

@@ -18,9 +18,11 @@ namespace rgae {
 
 namespace {
 
+// Raw timing: phase seconds are product fields on TrainResult, not an obs
+// span (R8 opt-out).
 double Seconds(std::chrono::steady_clock::time_point begin) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       begin)
+                                       begin)  // Raw timing: see above.
       .count();
 }
 
@@ -277,7 +279,7 @@ bool RGaeTrainer::Pretrain() {
 TrainResult RGaeTrainer::TrainClustering() {
   RGAE_SPAN("train.cluster");
   TrainResult result;
-  const auto begin = std::chrono::steady_clock::now();
+  const auto begin = std::chrono::steady_clock::now();  // Raw timing: phase clock.
   const int n = model_->graph().num_nodes();
 
   if (!model_->has_clustering_head() || failed_) {
@@ -488,7 +490,7 @@ void RGaeTrainer::TrackEpoch(EpochRecord* record,
 }
 
 TrainResult RGaeTrainer::Run() {
-  const auto begin = std::chrono::steady_clock::now();
+  const auto begin = std::chrono::steady_clock::now();  // Raw timing: phase clock.
   Pretrain();  // A failed pretrain short-circuits TrainClustering.
   const double pretrain_seconds = Seconds(begin);
   TrainResult result = TrainClustering();

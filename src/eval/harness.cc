@@ -13,9 +13,11 @@ namespace rgae {
 
 namespace {
 
+// Raw timing: trial wall-clock is a product field on TrialOutcome, not an
+// obs span (R8 opt-out).
 double Seconds(std::chrono::steady_clock::time_point begin) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       begin)
+                                       begin)  // Raw timing: see above.
       .count();
 }
 
@@ -181,7 +183,7 @@ CoupleOutcome RunCouple(const CoupleConfig& config,
     // phases from the identical checkpoint. A failed shared pretrain fails
     // both halves of the couple.
     RGaeTrainer base_trainer(base_model.get(), config.base);
-    const auto pre_begin = std::chrono::steady_clock::now();
+    const auto pre_begin = std::chrono::steady_clock::now();  // Raw timing: phase clock.
     const bool pretrain_ok = base_trainer.Pretrain();
     const double pretrain_seconds = Seconds(pre_begin);
     const std::vector<Matrix> weights = base_model->SaveWeights();

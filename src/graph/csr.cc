@@ -71,6 +71,11 @@ std::vector<int> CsrMatrix::RowCols(int r) const {
 
 Matrix CsrMatrix::Multiply(const Matrix& x) const {
   RGAE_TIMED_KERNEL("kernel.spmm");
+  // Cost model: 2 flops per stored entry per output column; bytes = the
+  // stored values once plus one x-row read and the dense output.
+  RGAE_KERNEL_WORK("kernel.spmm", 2LL * nnz() * x.cols(),
+                   8LL * (nnz() + static_cast<int64_t>(nnz()) * x.cols() +
+                          static_cast<int64_t>(rows_) * x.cols()));
   assert(cols_ == x.rows());
   Matrix out(rows_, x.cols());
   for (int r = 0; r < rows_; ++r) {
@@ -86,6 +91,9 @@ Matrix CsrMatrix::Multiply(const Matrix& x) const {
 
 Matrix CsrMatrix::MultiplyTransposed(const Matrix& x) const {
   RGAE_TIMED_KERNEL("kernel.spmm");
+  RGAE_KERNEL_WORK("kernel.spmm", 2LL * nnz() * x.cols(),
+                   8LL * (nnz() + static_cast<int64_t>(nnz()) * x.cols() +
+                          static_cast<int64_t>(cols_) * x.cols()));
   assert(rows_ == x.rows());
   Matrix out(cols_, x.cols());
   for (int r = 0; r < rows_; ++r) {

@@ -1,0 +1,118 @@
+#include "src/obs/memstat.h"
+
+#include <sys/resource.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+namespace rgae {
+namespace obs {
+
+namespace {
+
+std::atomic<int64_t> g_matrix_allocs{0};
+std::atomic<int64_t> g_matrix_bytes{0};
+std::atomic<int64_t> g_tape_nodes{0};
+std::atomic<int64_t> g_tape_bytes{0};
+
+/// Reads a "<key>:   <n> kB" field from /proc/self/status; -1 if absent
+/// (non-Linux or procfs unavailable).
+int64_t ReadProcStatusKb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "re");
+  if (f == nullptr) return -1;
+  const size_t key_len = std::strlen(key);
+  char line[256];
+  int64_t kb = -1;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      long long parsed = -1;
+      if (std::sscanf(line + key_len + 1, "%lld", &parsed) == 1) {
+        kb = parsed;
+      }
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+int64_t ReadPeakRssBytes() {
+  const int64_t kb = ReadProcStatusKb("VmHWM");
+  if (kb >= 0) return kb * 1024;
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    return static_cast<int64_t>(usage.ru_maxrss) * 1024;  // Linux: kB.
+  }
+  return 0;
+}
+
+int64_t ReadCurrentRssBytes() {
+  const int64_t kb = ReadProcStatusKb("VmRSS");
+  return kb >= 0 ? kb * 1024 : 0;
+}
+
+namespace memstat_internal {
+
+void RecordMatrixAlloc(size_t entries) {
+  g_matrix_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_matrix_bytes.fetch_add(static_cast<int64_t>(entries) * 8,
+                           std::memory_order_relaxed);
+}
+
+void RecordTapeNode(size_t value_entries) {
+  g_tape_nodes.fetch_add(1, std::memory_order_relaxed);
+  g_tape_bytes.fetch_add(static_cast<int64_t>(value_entries) * 8,
+                         std::memory_order_relaxed);
+}
+
+}  // namespace memstat_internal
+
+MemCounters MemCountersNow() {
+  MemCounters c;
+  c.matrix_allocs = g_matrix_allocs.load(std::memory_order_relaxed);
+  c.matrix_bytes = g_matrix_bytes.load(std::memory_order_relaxed);
+  c.tape_nodes = g_tape_nodes.load(std::memory_order_relaxed);
+  c.tape_bytes = g_tape_bytes.load(std::memory_order_relaxed);
+  return c;
+}
+
+void ResetMemCounters() {
+  g_matrix_allocs.store(0, std::memory_order_relaxed);
+  g_matrix_bytes.store(0, std::memory_order_relaxed);
+  g_tape_nodes.store(0, std::memory_order_relaxed);
+  g_tape_bytes.store(0, std::memory_order_relaxed);
+}
+
+void UpdateMemoryGauges() {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  const MemCounters c = MemCountersNow();
+  registry.GetGauge("mem.peak_rss_bytes")
+      ->Set(static_cast<double>(ReadPeakRssBytes()));
+  registry.GetGauge("mem.current_rss_bytes")
+      ->Set(static_cast<double>(ReadCurrentRssBytes()));
+  registry.GetGauge("mem.matrix_allocs")
+      ->Set(static_cast<double>(c.matrix_allocs));
+  registry.GetGauge("mem.matrix_bytes")
+      ->Set(static_cast<double>(c.matrix_bytes));
+  registry.GetGauge("mem.tape_nodes")->Set(static_cast<double>(c.tape_nodes));
+  registry.GetGauge("mem.tape_bytes")->Set(static_cast<double>(c.tape_bytes));
+}
+
+JsonValue MemoryReportJson() {
+  UpdateMemoryGauges();
+  const MemCounters c = MemCountersNow();
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("peak_rss_bytes", JsonValue(ReadPeakRssBytes()));
+  out.Set("current_rss_bytes", JsonValue(ReadCurrentRssBytes()));
+  out.Set("matrix_allocs", JsonValue(c.matrix_allocs));
+  out.Set("matrix_bytes", JsonValue(c.matrix_bytes));
+  out.Set("tape_nodes", JsonValue(c.tape_nodes));
+  out.Set("tape_bytes", JsonValue(c.tape_bytes));
+  return out;
+}
+
+}  // namespace obs
+}  // namespace rgae

@@ -1,0 +1,70 @@
+#ifndef RGAE_OBS_MEMSTAT_H_
+#define RGAE_OBS_MEMSTAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+
+namespace rgae {
+namespace obs {
+
+/// Memory accounting (DESIGN.md §6.7): process-level RSS readings plus
+/// allocation counters fed by the `Matrix` constructors and `Tape::Push`.
+/// The counters are cumulative relaxed atomics behind the `Enabled()`
+/// master switch — a disabled build path costs one well-predicted branch
+/// per construction, same budget as the kernel instrumentation.
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status, falling back to getrusage). 0 when unavailable.
+int64_t ReadPeakRssBytes();
+
+/// Current resident set size in bytes (VmRSS). 0 when unavailable.
+int64_t ReadCurrentRssBytes();
+
+/// Cumulative allocation counters since process start (or the last
+/// `ResetMemCounters`). `matrix_bytes`/`tape_bytes` count the double
+/// payloads (8 bytes per entry), not allocator overhead.
+struct MemCounters {
+  int64_t matrix_allocs = 0;
+  int64_t matrix_bytes = 0;
+  int64_t tape_nodes = 0;
+  int64_t tape_bytes = 0;
+};
+
+MemCounters MemCountersNow();
+void ResetMemCounters();
+
+namespace memstat_internal {
+void RecordMatrixAlloc(size_t entries);
+void RecordTapeNode(size_t value_entries);
+}  // namespace memstat_internal
+
+/// Hook for the shape-taking `Matrix` constructors (copies and moves are
+/// not counted: the accounting tracks fresh buffer demand, not churn).
+inline void CountMatrixAlloc(size_t entries) {
+  if (Enabled()) memstat_internal::RecordMatrixAlloc(entries);
+}
+
+/// Hook for `Tape::Push`: one tape node plus its value payload.
+inline void CountTapeNode(size_t value_entries) {
+  if (Enabled()) memstat_internal::RecordTapeNode(value_entries);
+}
+
+/// Publishes the RSS readings and allocation counters as gauges
+/// (mem.peak_rss_bytes, mem.current_rss_bytes, mem.matrix_allocs,
+/// mem.matrix_bytes, mem.tape_nodes, mem.tape_bytes) so they appear in
+/// the standard `MetricsRegistry` snapshot.
+void UpdateMemoryGauges();
+
+/// The `memory` block of the rgae.bench.v1 document:
+/// {"peak_rss_bytes":…, "current_rss_bytes":…, "matrix_allocs":…,
+///  "matrix_bytes":…, "tape_nodes":…, "tape_bytes":…}.
+/// Also refreshes the gauges (`UpdateMemoryGauges`).
+JsonValue MemoryReportJson();
+
+}  // namespace obs
+}  // namespace rgae
+
+#endif  // RGAE_OBS_MEMSTAT_H_

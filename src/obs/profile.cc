@@ -1,0 +1,197 @@
+#include "src/obs/profile.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rgae {
+namespace obs {
+
+/// Tree node. Counters are atomics so EndScope/AddWork never take the
+/// structure mutex; the children map is guarded by `Profiler::mu_`.
+struct Profiler::Node {
+  std::string name;
+  Node* parent = nullptr;
+  std::atomic<int64_t> calls{0};
+  std::atomic<int64_t> inclusive_us{0};
+  std::atomic<int64_t> flops{0};
+  std::atomic<int64_t> bytes{0};
+  std::map<std::string, Node*> children;  // Guarded by Profiler::mu_.
+};
+
+namespace {
+
+std::atomic<bool> g_profile_enabled{false};
+
+/// Per-thread stack of open profile nodes. `epoch` detects a Profiler
+/// Reset() between pushes: a stale stack would parent new scopes under
+/// retired nodes, so it is discarded wholesale on mismatch.
+struct ThreadScopeStack {
+  uint64_t epoch = 0;
+  std::vector<Profiler::Node*> stack;
+};
+thread_local ThreadScopeStack t_scope_stack;
+
+constexpr const char* kUnattributed = "(unattributed)";
+
+}  // namespace
+
+bool ProfileEnabled() {
+  return g_profile_enabled.load(std::memory_order_relaxed);
+}
+
+void SetProfileEnabled(bool enabled) {
+  g_profile_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Profiler& Profiler::Global() {
+  static Profiler* profiler = new Profiler();  // Never dies.
+  return *profiler;
+}
+
+Profiler::Node* Profiler::Intern(Node* parent, const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Node*>& siblings =
+      parent == nullptr ? roots_ : parent->children;
+  auto it = siblings.find(name);
+  if (it != siblings.end()) return it->second;
+  nodes_.push_back(std::make_unique<Node>());
+  Node* node = nodes_.back().get();
+  node->name = name;
+  node->parent = parent;
+  siblings.emplace(name, node);
+  return node;
+}
+
+Profiler::Node* Profiler::BeginScope(const char* name) {
+  if (!ProfileEnabled()) return nullptr;
+  ThreadScopeStack& ts = t_scope_stack;
+  const uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  if (ts.epoch != epoch) {
+    ts.stack.clear();
+    ts.epoch = epoch;
+  }
+  Node* parent = ts.stack.empty() ? nullptr : ts.stack.back();
+  Node* node = Intern(parent, name);
+  ts.stack.push_back(node);
+  return node;
+}
+
+void Profiler::EndScope(Node* node, int64_t dur_us) {
+  if (node == nullptr) return;
+  ThreadScopeStack& ts = t_scope_stack;
+  if (ts.epoch == epoch_.load(std::memory_order_acquire)) {
+    // Pop through to the matching frame: a child scope abandoned by an
+    // exception (its timer destroyed out of order) must not leave the
+    // stack pointing at a closed node.
+    while (!ts.stack.empty()) {
+      Node* top = ts.stack.back();
+      ts.stack.pop_back();
+      if (top == node) break;
+    }
+  }
+  node->calls.fetch_add(1, std::memory_order_relaxed);
+  node->inclusive_us.fetch_add(dur_us, std::memory_order_relaxed);
+}
+
+Profiler::Node* Profiler::UnattributedRoot() {
+  return Intern(nullptr, kUnattributed);
+}
+
+void Profiler::AddWork(int64_t flops, int64_t bytes) {
+  if (!ProfileEnabled()) return;
+  ThreadScopeStack& ts = t_scope_stack;
+  Node* target = nullptr;
+  if (ts.epoch == epoch_.load(std::memory_order_acquire) &&
+      !ts.stack.empty()) {
+    target = ts.stack.back();
+  }
+  if (target == nullptr) target = UnattributedRoot();
+  target->flops.fetch_add(flops, std::memory_order_relaxed);
+  target->bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+void Profiler::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Retire rather than free: in-flight ScopedTimers still hold pointers
+  // into the old tree, and their late EndScope writes must stay valid
+  // (they land in the retired tree, which is never reported).
+  for (std::unique_ptr<Node>& node : nodes_) {
+    retired_.push_back(std::move(node));
+  }
+  nodes_.clear();
+  roots_.clear();
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
+namespace {
+
+ProfileNode SnapshotNode(const Profiler::Node& node);
+
+ProfileNode SnapshotNode(const Profiler::Node& node) {
+  ProfileNode out;
+  out.name = node.name;
+  out.calls = node.calls.load(std::memory_order_relaxed);
+  out.inclusive_us = node.inclusive_us.load(std::memory_order_relaxed);
+  out.flops = node.flops.load(std::memory_order_relaxed);
+  out.bytes = node.bytes.load(std::memory_order_relaxed);
+  int64_t children_inclusive = 0;
+  for (const auto& [name, child] : node.children) {
+    out.children.push_back(SnapshotNode(*child));
+    children_inclusive += out.children.back().inclusive_us;
+  }
+  // Clamped: a child running on another thread can overlap (and so
+  // overcount against) its parent's wall time.
+  out.exclusive_us =
+      std::max<int64_t>(0, out.inclusive_us - children_inclusive);
+  return out;
+}
+
+JsonValue NodeJson(const ProfileNode& node) {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("name", JsonValue(node.name));
+  out.Set("calls", JsonValue(node.calls));
+  out.Set("inclusive_us", JsonValue(node.inclusive_us));
+  out.Set("exclusive_us", JsonValue(node.exclusive_us));
+  out.Set("flops", JsonValue(node.flops));
+  out.Set("bytes", JsonValue(node.bytes));
+  const double us = static_cast<double>(node.inclusive_us);
+  out.Set("gflops", JsonValue(node.flops > 0 && us > 0.0
+                                  ? static_cast<double>(node.flops) /
+                                        (us * 1e3)
+                                  : 0.0));
+  out.Set("gbs", JsonValue(node.bytes > 0 && us > 0.0
+                               ? static_cast<double>(node.bytes) / (us * 1e3)
+                               : 0.0));
+  JsonValue children = JsonValue::MakeArray();
+  for (const ProfileNode& child : node.children) {
+    children.Append(NodeJson(child));
+  }
+  out.Set("children", std::move(children));
+  return out;
+}
+
+}  // namespace
+
+std::vector<ProfileNode> Profiler::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<ProfileNode> out;
+  out.reserve(roots_.size());
+  for (const auto& [name, node] : roots_) {
+    out.push_back(SnapshotNode(*node));
+  }
+  return out;
+}
+
+JsonValue Profiler::ToJson() const {
+  JsonValue out = JsonValue::MakeObject();
+  out.Set("enabled", JsonValue(Enabled() && ProfileEnabled()));
+  JsonValue nodes = JsonValue::MakeArray();
+  for (const ProfileNode& root : Snapshot()) {
+    nodes.Append(NodeJson(root));
+  }
+  out.Set("nodes", std::move(nodes));
+  return out;
+}
+
+}  // namespace obs
+}  // namespace rgae

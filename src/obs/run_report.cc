@@ -1,7 +1,9 @@
 #include "src/obs/run_report.h"
 
 #include "src/core/health.h"
+#include "src/obs/memstat.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profile.h"
 #include "src/obs/trace.h"
 #include "src/util/fileio.h"
 
@@ -150,7 +152,11 @@ JsonValue BenchDocument(const std::string& bench_name,
   JsonValue trials = JsonValue::MakeArray();
   for (JsonValue& report : trial_reports) trials.Append(std::move(report));
   doc.Set("trials", std::move(trials));
+  // Memory first: MemoryReportJson refreshes the mem.* gauges, which the
+  // metrics snapshot below should include.
+  doc.Set("memory", MemoryReportJson());
   doc.Set("metrics", MetricsRegistry::Global().ToJson());
+  doc.Set("profile", Profiler::Global().ToJson());
   doc.Set("dropped_trace_events",
           JsonValue(TraceCollector::Global().dropped()));
   return doc;

@@ -43,9 +43,10 @@ JsonValue RunReportJson(const RunReportInfo& info, const TrialOutcome& outcome);
 JsonValue AggregateJson(const Aggregate& aggregate);
 
 /// Top-level bench document:
-/// {"schema":"rgae.bench.v1","bench":…,"trials":[…],"metrics":{…},
-///  "dropped_trace_events":…}. `trials` entries must come from
-/// `RunReportJson`.
+/// {"schema":"rgae.bench.v1","bench":…,"trials":[…],"memory":{…},
+///  "metrics":{…},"profile":{…},"dropped_trace_events":…}. `trials`
+/// entries must come from `RunReportJson`; `memory` is
+/// `MemoryReportJson()` and `profile` is `Profiler::ToJson()`.
 JsonValue BenchDocument(const std::string& bench_name,
                         std::vector<JsonValue> trial_reports);
 

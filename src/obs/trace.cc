@@ -80,7 +80,11 @@ void TraceCollector::EndSpan(int index) {
   std::lock_guard<std::mutex> lock(mu_);
   // A Clear() between Begin and End invalidates the index; skip quietly.
   if (index < static_cast<int>(events_.size())) {
-    events_[index].dur_us = now - events_[index].start_us;
+    // Monotonic guard: a span closed on the same steady-clock tick it
+    // opened records dur 0, never a negative value (which the Chrome
+    // export would otherwise conflate with the -1 "still open" sentinel).
+    const int64_t dur = now - events_[index].start_us;
+    events_[index].dur_us = dur > 0 ? dur : 0;
   }
 }
 

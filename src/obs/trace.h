@@ -8,6 +8,7 @@
 
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
+#include "src/obs/profile.h"
 
 namespace rgae {
 namespace obs {
@@ -75,7 +76,15 @@ class TraceCollector {
 /// branch instructions total) when observability or tracing is off. When
 /// `hist` is non-null the span duration in microseconds is also observed
 /// into the histogram whenever `Enabled()` — even with tracing off — which
-/// is how the per-kernel wall-time histograms are fed.
+/// is how the per-kernel wall-time histograms are fed. When
+/// `ProfileEnabled()` the span also opens a `Profiler` scope, building the
+/// calling-context tree.
+///
+/// The destructor runs during exception unwinding too, so a span that
+/// throws mid-scope still closes its trace event and profiler scope — and
+/// it must never itself throw while another exception is in flight, so
+/// every sink close is wrapped: a failing sink loses one observation, not
+/// the process.
 class ScopedTimer {
  public:
   explicit ScopedTimer(const char* name, Histogram* hist = nullptr)
@@ -83,12 +92,26 @@ class ScopedTimer {
     if (!Enabled()) return;
     start_us_ = NowMicros();
     if (TraceEnabled()) index_ = TraceCollector::Global().BeginSpan(name);
+    if (ProfileEnabled()) scope_ = Profiler::Global().BeginScope(name);
   }
-  ~ScopedTimer() {
+  ~ScopedTimer() noexcept {
     if (start_us_ < 0) return;
-    if (index_ >= 0) TraceCollector::Global().EndSpan(index_);
-    if (hist_ != nullptr) {
-      hist_->Observe(static_cast<double>(NowMicros() - start_us_));
+    // Monotonic guard: NowMicros is steady, but clamp anyway so a
+    // zero-resolution tick (or any clock surprise) can never record a
+    // negative duration into the histogram, trace, or profile.
+    const int64_t elapsed = NowMicros() - start_us_;
+    const int64_t dur_us = elapsed > 0 ? elapsed : 0;
+    try {
+      if (index_ >= 0) TraceCollector::Global().EndSpan(index_);
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+    try {
+      if (scope_ != nullptr) Profiler::Global().EndScope(scope_, dur_us);
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
+    }
+    try {
+      if (hist_ != nullptr) hist_->Observe(static_cast<double>(dur_us));
+    } catch (...) {  // NOLINT(bugprone-empty-catch)
     }
   }
   ScopedTimer(const ScopedTimer&) = delete;
@@ -98,6 +121,7 @@ class ScopedTimer {
   Histogram* hist_;
   int64_t start_us_ = -1;  // -1 = inactive.
   int index_ = -1;
+  Profiler::Node* scope_ = nullptr;
 };
 
 #define RGAE_OBS_CONCAT_INNER_(a, b) a##b

@@ -51,6 +51,7 @@ AdmissionVerdict AdmissionController::Offer(size_t queue_depth,
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.offered;
   }
+  BumpObsCounter("serve.offered", 1);
   if (options_.queue_capacity > 0 &&
       queue_depth >= static_cast<size_t>(options_.queue_capacity)) {
     return AdmissionVerdict::kQueueFull;
@@ -60,8 +61,11 @@ AdmissionVerdict AdmissionController::Offer(size_t queue_depth,
 }
 
 void AdmissionController::CountOffered() {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++stats_.offered;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.offered;
+  }
+  BumpObsCounter("serve.offered", 1);
 }
 
 void AdmissionController::CountAdmitted(int64_t n) {
@@ -81,24 +85,30 @@ void AdmissionController::CountDegraded(int64_t n) {
 }
 
 void AdmissionController::CountShed(ShedReason reason, int64_t n) {
+  const char* reason_counter = "serve.shed_queue_full";
   {
     std::lock_guard<std::mutex> lock(mu_);
     switch (reason) {
       case ShedReason::kQueueFull:
         stats_.shed_queue_full += n;
+        reason_counter = "serve.shed_queue_full";
         break;
       case ShedReason::kRateLimited:
         stats_.shed_rate_limited += n;
+        reason_counter = "serve.shed_rate_limited";
         break;
       case ShedReason::kDeadline:
         stats_.shed_deadline += n;
+        reason_counter = "serve.shed_deadline";
         break;
       case ShedReason::kShutdown:
         stats_.shed_shutdown += n;
+        reason_counter = "serve.shed_shutdown";
         break;
     }
   }
   BumpObsCounter("serve.shed", n);
+  BumpObsCounter(reason_counter, n);
 }
 
 AdmissionStats AdmissionController::stats() const {

@@ -88,7 +88,13 @@ void EmbeddingCache::Invalidate(const std::vector<int>& nodes) {
 
 void EmbeddingCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  counters_.invalidations += static_cast<int64_t>(lru_.size());
+  const int64_t dropped = static_cast<int64_t>(lru_.size());
+  counters_.invalidations += dropped;
+  if (obs::Enabled() && dropped > 0) {
+    obs::MetricsRegistry::Global()
+        .GetCounter("serve.cache_invalidations")
+        ->Inc(dropped);
+  }
   lru_.clear();
   index_.clear();
   stale_.clear();

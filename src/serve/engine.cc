@@ -17,6 +17,8 @@ std::vector<double> RowVector(const Matrix& m, int r) {
 }
 
 double ElapsedUs(std::chrono::steady_clock::time_point since) {
+  // Raw timing: per-query serve_us is a product field on QueryResult, not an
+  // obs span (R8 opt-out).
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now() - since)
              .count() /
@@ -109,7 +111,7 @@ std::future<QueryResult> ServeEngine::OfferOne(int node, Deadline deadline) {
 
   Request request;
   request.node = node;
-  request.submitted = Clock::now();
+  request.submitted = Clock::now();  // Raw timing: admission timestamp.
   if (deadline.unlimited() && options_.admission.default_deadline_s > 0.0) {
     deadline = Deadline::After(options_.admission.default_deadline_s);
   }
@@ -238,6 +240,7 @@ void ServeEngine::WorkerLoop() {
 
 void ServeEngine::ProcessBatch(std::vector<Request>* batch) {
   RGAE_SPAN("serve.batch");
+  RGAE_COUNT("serve.batches");
   batches_.fetch_add(1, std::memory_order_relaxed);
 
   // Deadline shedding happens before any execution: an expired request

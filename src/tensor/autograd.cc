@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "src/analysis/shape.h"
+#include "src/obs/memstat.h"
 #include "src/obs/trace.h"
 
 namespace rgae {
@@ -69,6 +70,7 @@ int Tape::Push(Node n) {
   if (obs::Enabled()) {
     const size_t op = static_cast<size_t>(n.op);
     if (op < kNumOps) OpCounter(op)->Inc();
+    obs::CountTapeNode(n.value.size());
   }
   nodes_.push_back(std::move(n));
   return static_cast<int>(nodes_.size()) - 1;
@@ -262,6 +264,10 @@ Var Tape::InnerProductBceLoss(Var z, const CsrMatrix* target,
   n.w2 = norm;
   // S = Z Zᵀ; cached for the backward pass.
   n.aux = MatMulTransB(zv, zv);
+  // Cost model for the softplus sweep + positive fixup below (the matmul
+  // above accounts for itself): ~5 flops and 8 bytes per dense n² entry.
+  RGAE_KERNEL_WORK("loss.inner_product_bce",
+                   5LL * nrows * nrows, 8LL * nrows * nrows);
   // Base: every entry as a negative (target 0). Then fix up the stored
   // positives. bce(s,0) = softplus(s), bce(s,1) = softplus(s) - s.
   double loss = 0.0;

@@ -36,12 +36,20 @@ Matrix Matrix::Transposed() const {
 }
 
 double Matrix::Sum() const {
+  RGAE_TIMED_KERNEL("kernel.reduce");
+  // Cost model: 1 flop/entry, 8 bytes/entry read (DESIGN.md §6.6).
+  RGAE_KERNEL_WORK("kernel.reduce", static_cast<int64_t>(data_.size()),
+                   static_cast<int64_t>(data_.size()) * 8);
   double s = 0.0;
   for (double v : data_) s += v;
   return s;
 }
 
 double Matrix::FrobeniusNorm() const {
+  RGAE_TIMED_KERNEL("kernel.reduce");
+  // Cost model: 2 flops/entry (multiply + accumulate), 8 bytes/entry read.
+  RGAE_KERNEL_WORK("kernel.reduce", static_cast<int64_t>(data_.size()) * 2,
+                   static_cast<int64_t>(data_.size()) * 8);
   double s = 0.0;
   for (double v : data_) s += v * v;
   return std::sqrt(s);
@@ -70,6 +78,13 @@ std::string Matrix::ShapeString() const {
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   RGAE_TIMED_KERNEL("kernel.matmul");
+  // Nominal cost of (m,k)x(k,n): 2mkn flops (the zero-skip below only
+  // lowers the achieved count), 8(mk + kn + mn) bytes touched.
+  RGAE_KERNEL_WORK(
+      "kernel.matmul",
+      2LL * a.rows() * a.cols() * b.cols(),
+      8LL * (static_cast<int64_t>(a.size()) + b.size() +
+             static_cast<int64_t>(a.rows()) * b.cols()));
   assert(a.cols() == b.rows());
   Matrix out(a.rows(), b.cols());
   // i-k-j loop order: streams through b and out rows for cache friendliness.
@@ -88,6 +103,12 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   RGAE_TIMED_KERNEL("kernel.matmul");
+  // aᵀb with a (k,m), b (k,n): 2kmn flops, 8(km + kn + mn) bytes.
+  RGAE_KERNEL_WORK(
+      "kernel.matmul",
+      2LL * a.rows() * a.cols() * b.cols(),
+      8LL * (static_cast<int64_t>(a.size()) + b.size() +
+             static_cast<int64_t>(a.cols()) * b.cols()));
   assert(a.rows() == b.rows());
   Matrix out(a.cols(), b.cols());
   for (int k = 0; k < a.rows(); ++k) {
@@ -105,6 +126,12 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   RGAE_TIMED_KERNEL("kernel.matmul");
+  // abᵀ with a (m,k), b (n,k): 2mkn flops, 8(mk + nk + mn) bytes.
+  RGAE_KERNEL_WORK(
+      "kernel.matmul",
+      2LL * a.rows() * a.cols() * b.rows(),
+      8LL * (static_cast<int64_t>(a.size()) + b.size() +
+             static_cast<int64_t>(a.rows()) * b.rows()));
   assert(a.cols() == b.cols());
   Matrix out(a.rows(), b.rows());
   for (int i = 0; i < a.rows(); ++i) {
@@ -161,6 +188,10 @@ double RowSquaredDistance(const Matrix& a, int i, const Matrix& b, int j) {
 }
 
 double Dot(const Matrix& a, const Matrix& b) {
+  RGAE_TIMED_KERNEL("kernel.reduce");
+  // Cost model: 2 flops/entry (multiply + accumulate), 16 bytes/entry read.
+  RGAE_KERNEL_WORK("kernel.reduce", static_cast<int64_t>(a.size()) * 2,
+                   static_cast<int64_t>(a.size()) * 16);
   assert(a.rows() == b.rows() && a.cols() == b.cols());
   const double* pa = a.data();
   const double* pb = b.data();

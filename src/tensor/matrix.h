@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/memstat.h"
+
 namespace rgae {
 
 /// Dense row-major matrix of doubles.
@@ -18,16 +20,20 @@ class Matrix {
  public:
   Matrix() = default;
 
-  /// Creates a rows x cols matrix initialized to `fill`.
+  /// Creates a rows x cols matrix initialized to `fill`. The shape-taking
+  /// constructors feed the obs memory accounting (fresh buffer demand;
+  /// copies and moves are churn, not demand, and are not counted).
   Matrix(int rows, int cols, double fill = 0.0)
       : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, fill) {
     assert(rows >= 0 && cols >= 0);
+    obs::CountMatrixAlloc(data_.size());
   }
 
   /// Creates a matrix from a flat row-major buffer (size must be rows*cols).
   Matrix(int rows, int cols, std::vector<double> data)
       : rows_(rows), cols_(cols), data_(std::move(data)) {
     assert(data_.size() == static_cast<size_t>(rows) * cols);
+    obs::CountMatrixAlloc(data_.size());
   }
 
   int rows() const { return rows_; }

@@ -2,12 +2,22 @@
 
 #include <cmath>
 
+#include "src/obs/trace.h"
+
 namespace rgae {
 
 Adam::Adam(std::vector<Parameter*> params, Options options)
     : params_(std::move(params)), options_(options) {}
 
 void Adam::Step() {
+  RGAE_TIMED_KERNEL("kernel.adam");
+  int64_t total_elems = 0;
+  for (const Parameter* p : params_) {
+    total_elems += static_cast<int64_t>(p->value.size());
+  }
+  // Cost model: ~14 flops per element (two EMA updates, bias correction,
+  // sqrt, divide, apply) and 56 bytes (read g/m/v/value, write m/v/value).
+  RGAE_KERNEL_WORK("kernel.adam", 14 * total_elems, 56 * total_elems);
   ++step_;
   const double bc1 = 1.0 - std::pow(options_.beta1, step_);
   const double bc2 = 1.0 - std::pow(options_.beta2, step_);

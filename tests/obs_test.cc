@@ -3,9 +3,12 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/core/rgae_trainer.h"
@@ -232,6 +235,120 @@ TEST(TraceTest, ChromeTraceRoundTrips) {
   EXPECT_EQ(events->at(0).Get("name")->string(), "phase");
   EXPECT_EQ(events->at(1).Get("name")->string(), "kernel");
   EXPECT_EQ(parsed.Get("displayTimeUnit")->string(), "ms");
+}
+
+TEST(MetricsTest, HistogramEdgeBuckets) {
+  // The base-2 bucket ladder at its edges: zero and one both land in the
+  // first bucket (le=1), anything past 2^30 lands in the overflow bucket,
+  // and a negative observation (a clock surprise) must not fall off the
+  // bottom of the ladder.
+  EXPECT_EQ(obs::Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1.0), 0);
+  EXPECT_EQ(obs::Histogram::BucketIndex(-5.0), 0);
+  EXPECT_EQ(obs::Histogram::BucketIndex(std::numeric_limits<double>::max()),
+            obs::Histogram::kNumBuckets - 1);
+  EXPECT_TRUE(std::isinf(
+      obs::Histogram::BucketUpperBound(obs::Histogram::kNumBuckets - 1)));
+
+  obs::Histogram h;
+  h.Observe(0.0);
+  h.Observe(1.0);
+  h.Observe(1e18);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_EQ(h.bucket_count(obs::Histogram::kNumBuckets - 1), 1);
+  EXPECT_EQ(h.min(), 0.0);
+  EXPECT_EQ(h.max(), 1e18);
+  // ToJson emits the overflow bucket with a null upper bound.
+  const JsonValue json = h.ToJson();
+  const JsonValue* buckets = json.Get("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->size(), 2u);
+  EXPECT_EQ(buckets->at(0).Get("le")->number(), 1.0);
+  EXPECT_EQ(buckets->at(0).Get("count")->number(), 2.0);
+  EXPECT_TRUE(buckets->at(1).Get("le")->is_null());
+  EXPECT_EQ(buckets->at(1).Get("count")->number(), 1.0);
+}
+
+TEST(TraceTest, ThrowingSpanStillClosesItsTraceEvent) {
+  ObsScope scope;
+  obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram("boom.us");
+  try {
+    obs::ScopedTimer t("boom", h);
+    throw std::runtime_error("mid-span failure");
+  } catch (const std::runtime_error&) {
+  }
+  const std::vector<obs::TraceEvent> events =
+      obs::TraceCollector::Global().Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "boom");
+  // dur_us is -1 while a span is open; unwinding must have closed it.
+  EXPECT_GE(events[0].dur_us, 0);
+  EXPECT_EQ(h->count(), 1);
+  // The thread-local nesting stack unwound too: the next span is a root.
+  {
+    obs::ScopedTimer t("after");
+  }
+  const std::vector<obs::TraceEvent> after =
+      obs::TraceCollector::Global().Snapshot();
+  ASSERT_EQ(after.size(), 2u);
+  EXPECT_EQ(after[1].depth, 0);
+  EXPECT_EQ(after[1].parent, -1);
+}
+
+TEST(TraceTest, ZeroDurationSpanIsClampedNonNegative) {
+  ObsScope scope;
+  obs::Histogram* h = obs::MetricsRegistry::Global().GetHistogram("fast.us");
+  // An empty body is faster than the microsecond tick; the monotonic
+  // guard must record 0, never a negative duration.
+  for (int i = 0; i < 100; ++i) {
+    obs::ScopedTimer t("fast", h);
+  }
+  EXPECT_EQ(h->count(), 100);
+  EXPECT_GE(h->min(), 0.0);
+  for (const obs::TraceEvent& e :
+       obs::TraceCollector::Global().Snapshot()) {
+    EXPECT_GE(e.dur_us, 0);
+  }
+  const JsonValue doc = obs::TraceCollector::Global().ChromeTraceJson();
+  const JsonValue* events = doc.Get("traceEvents");
+  ASSERT_NE(events, nullptr);
+  for (size_t i = 0; i < events->size(); ++i) {
+    EXPECT_GE(events->at(i).Get("dur")->number(), 0.0);
+  }
+}
+
+TEST(TraceTest, ConcurrentWritersKeepTheCollectorConsistent) {
+  ObsScope scope;
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        obs::ScopedTimer outer("mt.outer");
+        obs::ScopedTimer inner("mt.inner");
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  const std::vector<obs::TraceEvent> events =
+      obs::TraceCollector::Global().Snapshot();
+  ASSERT_EQ(events.size(),
+            static_cast<size_t>(kThreads) * kSpansPerThread * 2);
+  EXPECT_EQ(obs::TraceCollector::Global().dropped(), 0);
+  for (const obs::TraceEvent& e : events) {
+    EXPECT_GE(e.dur_us, 0) << e.name;  // Every span closed.
+    // Nesting is tracked per thread: inner spans parent onto an outer
+    // span from the SAME thread.
+    if (e.parent >= 0) {
+      const obs::TraceEvent& parent = events[e.parent];
+      EXPECT_EQ(parent.tid, e.tid);
+      EXPECT_EQ(parent.name, "mt.outer");
+      EXPECT_EQ(e.name, "mt.inner");
+    }
+  }
 }
 
 // ---- Logger ----------------------------------------------------------------
