@@ -1,0 +1,616 @@
+// Network chaos bench: drives mixed multi-tenant traffic through the
+// `rgae.wire.v1` TCP front-end (`serve/net`) over real sockets and reports
+// per-tenant dispositions, round-trip latency distributions, and the
+// server's wire-level counters. The traffic mix is deliberately hostile
+// (DESIGN.md §8.7):
+//
+//   - a "victim" tenant issuing paced, well-formed queries;
+//   - an "attacker" tenant flooding its own admission policy from tight
+//     loops — shed by *its* token bucket while the victim keeps SLO;
+//   - an abuse thread cycling malformed frames (bad CRC), slow clients
+//     (half a frame then silence), and idle connections;
+//   - injected socket faults (torn writes, connection resets, accept
+//     stalls, mid-write byte stalls) on deterministic trigger ordinals,
+//     which the bundled `NetClient` must ride out via bounded reconnect
+//     + retry.
+//
+// The headline invariants, validated by `scripts/check_bench_json.py
+// --run-nettest` (the `nettest_schema` ctest):
+//   - zero lost requests: every client query settles into exactly one of
+//     answered / server-error / transport-error, and every engine-side
+//     offer settles into admitted / degraded / shed;
+//   - isolation: the victim's answered p99 stays under the published bound
+//     and its engine sheds nothing while the attacker is flooding;
+//   - every malformed frame is rejected (structured error or close) within
+//     the I/O budget — the server never hangs on a hostile peer;
+//   - slow and idle clients are reaped by their respective budgets.
+//
+// Environment knobs (all optional):
+//   RGAE_NETTEST_SECONDS           load phase length        (default 1.5)
+//   RGAE_NETTEST_NODES             nodes per tenant graph   (default 300)
+//   RGAE_NETTEST_VICTIM_QPS        victim offered rate      (default 150)
+//   RGAE_NETTEST_VICTIM_CLIENTS    victim connections       (default 2)
+//   RGAE_NETTEST_ATTACKER_CLIENTS  attacker connections     (default 3)
+//   RGAE_NETTEST_WORKERS           server connection workers (default 8)
+//   RGAE_NETTEST_DEADLINE_MS       per-query deadline       (default 100)
+//   RGAE_NETTEST_IO_MS             server I/O budget        (default 300)
+//   RGAE_NETTEST_IDLE_MS           server idle budget       (default 600)
+//   RGAE_NETTEST_CHAOS             0 disables socket faults (default 1)
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/core/deadline.h"
+#include "src/core/fault_injection.h"
+#include "src/graph/generators.h"
+#include "src/models/model_factory.h"
+#include "src/serve/net/client.h"
+#include "src/serve/net/server.h"
+#include "src/serve/net/socket.h"
+#include "src/serve/net/tenant_router.h"
+#include "src/serve/net/wire.h"
+#include "src/tensor/random.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+namespace net = rgae::serve::net;
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const int parsed = std::atoi(value);
+  return parsed > 0 ? parsed : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  const double parsed = std::atof(value);
+  return parsed > 0.0 ? parsed : fallback;
+}
+
+bool EnvFlag(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoi(value) != 0;
+}
+
+// Terminal dispositions of one client thread, tallied from the returned
+// NetQueryResult kinds — the bench's own zero-lost proof, independent of
+// both the server's and the engines' counters.
+struct ClientTally {
+  int64_t queries = 0;
+  int64_t answered = 0;
+  int64_t ok = 0;        // Answered with QueryStatus::kOk.
+  int64_t degraded = 0;  // Answered from the stale/cache path.
+  int64_t shed = 0;      // Answered with a shed status.
+  int64_t server_errors = 0;
+  int64_t transport_errors = 0;
+  int64_t retries = 0;
+  int64_t reconnects = 0;
+  std::vector<double> answered_rtt_us;
+};
+
+// Per-tenant aggregate across its client threads plus the engine's own
+// admission accounting, sampled after the server drains.
+struct TenantReport {
+  std::string name;
+  std::string role;  // "victim" | "attacker"
+  int clients = 0;
+  double target_qps = 0.0;  // 0 = unpaced flood.
+  double seconds = 0.0;
+  double achieved_qps = 0.0;
+  ClientTally tally;
+  rgae_bench::LatencySummary answered_us;
+  rgae::serve::AdmissionStats engine;
+};
+
+// Outcomes of the misbehaving-client probes. "Rejected" means the server
+// produced evidence of rejection (a structured error frame or a close)
+// within the probe's wait budget; a "hang" means it did not — the one
+// outcome the front-end must never produce.
+struct AbuseReport {
+  int64_t malformed_sent = 0;
+  int64_t malformed_rejected = 0;
+  int64_t malformed_hangs = 0;
+  int64_t slow_conns = 0;
+  int64_t slow_reaped = 0;
+  int64_t slow_hangs = 0;
+  int64_t idle_conns = 0;
+  int64_t idle_reaped = 0;
+  int64_t idle_hangs = 0;
+};
+
+void Accumulate(ClientTally* into, const ClientTally& part) {
+  into->queries += part.queries;
+  into->answered += part.answered;
+  into->ok += part.ok;
+  into->degraded += part.degraded;
+  into->shed += part.shed;
+  into->server_errors += part.server_errors;
+  into->transport_errors += part.transport_errors;
+  into->retries += part.retries;
+  into->reconnects += part.reconnects;
+  into->answered_rtt_us.insert(into->answered_rtt_us.end(),
+                               part.answered_rtt_us.begin(),
+                               part.answered_rtt_us.end());
+}
+
+// One client thread: paced arrivals when `target_qps` > 0 (open loop —
+// sleeps until each precomputed arrival, never waits extra for responses
+// once behind), tight loop otherwise (the flood).
+void RunClient(uint16_t port, const std::string& tenant, int num_nodes,
+               double target_qps, double seconds, double deadline_ms,
+               uint64_t seed, ClientTally* tally) {
+  net::NetClientOptions copts;
+  copts.port = port;
+  copts.connect_timeout_s = 1.0;
+  copts.io_timeout_s = 1.0;
+  copts.max_attempts = 3;
+  copts.seed = seed;
+  net::NetClient client(copts);
+  rgae::Rng rng(seed * 2654435761u + 1);
+
+  const auto start = Clock::now();
+  const auto end = start + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(seconds));
+  const auto period =
+      target_qps > 0.0
+          ? std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(1.0 / target_qps))
+          : Clock::duration::zero();
+  for (int64_t i = 0; Clock::now() < end; ++i) {
+    if (rgae::GlobalStopRequested()) break;
+    if (target_qps > 0.0) {
+      std::this_thread::sleep_until(start + period * i);  // No-op when behind.
+    }
+    const int node = rng.UniformInt(num_nodes);
+    const auto issued = Clock::now();
+    const net::NetQueryResult r = client.Query(tenant, node, deadline_ms);
+    const double rtt_us =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             issued)
+            .count() /
+        1e3;
+    ++tally->queries;
+    switch (r.kind) {
+      case net::NetQueryResult::Kind::kAnswered: {
+        ++tally->answered;
+        tally->answered_rtt_us.push_back(rtt_us);
+        const auto status =
+            static_cast<rgae::serve::QueryStatus>(r.reply.status);
+        if (status == rgae::serve::QueryStatus::kOk) {
+          ++tally->ok;
+        } else if (status == rgae::serve::QueryStatus::kDegraded) {
+          ++tally->degraded;
+        } else {
+          ++tally->shed;
+        }
+        break;
+      }
+      case net::NetQueryResult::Kind::kServerError:
+        ++tally->server_errors;
+        break;
+      case net::NetQueryResult::Kind::kTransportError:
+        ++tally->transport_errors;
+        break;
+    }
+  }
+  tally->retries = client.stats().retries;
+  tally->reconnects = client.stats().reconnects;
+}
+
+// Reads from `conn` until an error frame, a close, or the deadline.
+// Returns true on rejection evidence (error frame or close).
+bool AwaitRejection(int fd, const rgae::Deadline& deadline) {
+  std::string buffer;
+  char chunk[512];
+  while (!deadline.expired()) {
+    size_t got = 0;
+    const net::IoStatus status =
+        net::RecvSome(fd, chunk, sizeof(chunk), &got, deadline);
+    if (status == net::IoStatus::kClosed) return true;
+    if (status != net::IoStatus::kOk) return false;  // Timeout/error: hang.
+    buffer.append(chunk, got);
+    net::Frame frame;
+    size_t consumed = 0;
+    if (net::DecodeFrame(buffer.data(), buffer.size(), &frame, &consumed) ==
+            net::DecodeStatus::kFrame &&
+        frame.type == static_cast<uint32_t>(net::FrameType::kError)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Waits for the server to close `fd` (the reap evidence for slow and idle
+// probes). Any payload the server sends first is drained and ignored.
+bool AwaitClose(int fd, const rgae::Deadline& deadline) {
+  char chunk[512];
+  while (!deadline.expired()) {
+    size_t got = 0;
+    const net::IoStatus status =
+        net::RecvSome(fd, chunk, sizeof(chunk), &got, deadline);
+    if (status == net::IoStatus::kClosed) return true;
+    if (status != net::IoStatus::kOk) return false;
+  }
+  return false;
+}
+
+// The misbehaving-client thread: cycles malformed / slow / idle probes
+// until the phase ends (always completing at least one full cycle).
+void RunAbuse(uint16_t port, double seconds, double io_budget_s,
+              double idle_budget_s, AbuseReport* report) {
+  const auto start = Clock::now();
+  const auto end = start + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(seconds));
+  // Evidence must arrive within the relevant server budget plus slack for
+  // scheduling and injected stalls.
+  const double wait_s = io_budget_s + 1.0;
+  bool first = true;
+  while ((first || Clock::now() < end) && !rgae::GlobalStopRequested()) {
+    first = false;
+    // 1. Malformed frame: a valid query frame with one payload byte
+    //    flipped, so the CRC check must reject it.
+    {
+      std::string error;
+      net::Socket conn = net::ConnectTo("127.0.0.1", port,
+                                        rgae::Deadline::After(1.0), &error);
+      if (conn.valid()) {
+        net::QueryPayload q;
+        q.tenant = "victim";
+        q.node = 0;
+        std::string frame =
+            net::EncodeFrame(net::FrameType::kQuery, 1, net::EncodeQuery(q));
+        frame[net::kWireHeaderBytes] ^= 0x5a;  // Corrupt payload, not header.
+        ++report->malformed_sent;
+        if (net::SendAll(conn.fd(), frame.data(), frame.size(),
+                         rgae::Deadline::After(wait_s)) == net::IoStatus::kOk &&
+            AwaitRejection(conn.fd(), rgae::Deadline::After(wait_s))) {
+          ++report->malformed_rejected;
+        } else {
+          ++report->malformed_hangs;
+        }
+      }
+    }
+    // 2. Slow client: half a frame, then silence — the mid-frame I/O
+    //    budget must reap it.
+    {
+      std::string error;
+      net::Socket conn = net::ConnectTo("127.0.0.1", port,
+                                        rgae::Deadline::After(1.0), &error);
+      if (conn.valid()) {
+        net::QueryPayload q;
+        q.tenant = "victim";
+        q.node = 1;
+        const std::string frame =
+            net::EncodeFrame(net::FrameType::kQuery, 2, net::EncodeQuery(q));
+        ++report->slow_conns;
+        if (net::SendAll(conn.fd(), frame.data(), frame.size() / 2,
+                         rgae::Deadline::After(wait_s)) == net::IoStatus::kOk &&
+            AwaitClose(conn.fd(), rgae::Deadline::After(wait_s))) {
+          ++report->slow_reaped;
+        } else {
+          ++report->slow_hangs;
+        }
+      }
+    }
+    // 3. Idle client: connect and say nothing — the idle budget must
+    //    reap it.
+    {
+      std::string error;
+      net::Socket conn = net::ConnectTo("127.0.0.1", port,
+                                        rgae::Deadline::After(1.0), &error);
+      if (conn.valid()) {
+        ++report->idle_conns;
+        if (AwaitClose(conn.fd(),
+                       rgae::Deadline::After(idle_budget_s + 1.0))) {
+          ++report->idle_reaped;
+        } else {
+          ++report->idle_hangs;
+        }
+      }
+    }
+  }
+}
+
+rgae::serve::ModelSnapshot MakeTenantSnapshot(int num_nodes, uint64_t seed) {
+  rgae::CitationLikeOptions o;
+  o.num_nodes = num_nodes;
+  o.num_clusters = 3;
+  o.feature_dim = 40;
+  o.topic_words = 10;
+  o.intra_degree = 4.0;
+  o.inter_degree = 0.5;
+  rgae::Rng rng(seed);
+  const rgae::AttributedGraph graph = rgae::MakeCitationLike(o, rng);
+  rgae::ModelOptions model_options;
+  model_options.seed = seed;
+  std::unique_ptr<rgae::GaeModel> model =
+      rgae::CreateModel("DGAE", graph, model_options);
+  rgae::Rng head_rng(seed + 7);
+  model->InitClusteringHead(graph.num_clusters(), head_rng);
+  return model->ExportSnapshot();
+}
+
+rgae::obs::JsonValue TenantJson(const TenantReport& t) {
+  rgae::obs::JsonValue out = rgae::obs::JsonValue::MakeObject();
+  out.Set("name", rgae::obs::JsonValue(t.name));
+  out.Set("role", rgae::obs::JsonValue(t.role));
+  out.Set("clients", rgae::obs::JsonValue(t.clients));
+  out.Set("target_qps", rgae::obs::JsonValue(t.target_qps));
+  out.Set("seconds", rgae::obs::JsonValue(t.seconds));
+  out.Set("achieved_qps", rgae::obs::JsonValue(t.achieved_qps));
+  out.Set("queries", rgae::obs::JsonValue(t.tally.queries));
+  out.Set("answered", rgae::obs::JsonValue(t.tally.answered));
+  out.Set("ok", rgae::obs::JsonValue(t.tally.ok));
+  out.Set("degraded", rgae::obs::JsonValue(t.tally.degraded));
+  out.Set("shed", rgae::obs::JsonValue(t.tally.shed));
+  out.Set("server_errors", rgae::obs::JsonValue(t.tally.server_errors));
+  out.Set("transport_errors",
+          rgae::obs::JsonValue(t.tally.transport_errors));
+  out.Set("retries", rgae::obs::JsonValue(t.tally.retries));
+  out.Set("reconnects", rgae::obs::JsonValue(t.tally.reconnects));
+  out.Set("latency_us", rgae_bench::LatencySummaryJson(t.answered_us));
+  rgae::obs::JsonValue engine = rgae::obs::JsonValue::MakeObject();
+  engine.Set("offered", rgae::obs::JsonValue(t.engine.offered));
+  engine.Set("admitted", rgae::obs::JsonValue(t.engine.admitted));
+  engine.Set("degraded", rgae::obs::JsonValue(t.engine.degraded));
+  engine.Set("shed", rgae::obs::JsonValue(t.engine.shed()));
+  engine.Set("settled", rgae::obs::JsonValue(t.engine.settled()));
+  out.Set("engine", std::move(engine));
+  return out;
+}
+
+rgae::obs::JsonValue ServerJson(const net::NetServerStats& s) {
+  rgae::obs::JsonValue out = rgae::obs::JsonValue::MakeObject();
+  out.Set("accepted", rgae::obs::JsonValue(s.accepted));
+  out.Set("rejected_conns", rgae::obs::JsonValue(s.rejected_conns));
+  out.Set("closed_conns", rgae::obs::JsonValue(s.closed_conns));
+  out.Set("frames", rgae::obs::JsonValue(s.frames));
+  out.Set("queries", rgae::obs::JsonValue(s.queries));
+  out.Set("pings", rgae::obs::JsonValue(s.pings));
+  out.Set("replies_sent", rgae::obs::JsonValue(s.replies_sent));
+  out.Set("errors_sent", rgae::obs::JsonValue(s.errors_sent));
+  out.Set("bad_magic", rgae::obs::JsonValue(s.bad_magic));
+  out.Set("bad_length", rgae::obs::JsonValue(s.bad_length));
+  out.Set("bad_crc", rgae::obs::JsonValue(s.bad_crc));
+  out.Set("bad_type", rgae::obs::JsonValue(s.bad_type));
+  out.Set("bad_payload", rgae::obs::JsonValue(s.bad_payload));
+  out.Set("unknown_tenant", rgae::obs::JsonValue(s.unknown_tenant));
+  out.Set("bad_node", rgae::obs::JsonValue(s.bad_node));
+  out.Set("shed_slow_client", rgae::obs::JsonValue(s.shed_slow_client));
+  out.Set("idle_closes", rgae::obs::JsonValue(s.idle_closes));
+  out.Set("drained_rejects", rgae::obs::JsonValue(s.drained_rejects));
+  out.Set("protocol_errors", rgae::obs::JsonValue(s.protocol_errors()));
+  return out;
+}
+
+rgae::obs::JsonValue AbuseJson(const AbuseReport& a) {
+  rgae::obs::JsonValue out = rgae::obs::JsonValue::MakeObject();
+  out.Set("malformed_sent", rgae::obs::JsonValue(a.malformed_sent));
+  out.Set("malformed_rejected", rgae::obs::JsonValue(a.malformed_rejected));
+  out.Set("malformed_hangs", rgae::obs::JsonValue(a.malformed_hangs));
+  out.Set("slow_conns", rgae::obs::JsonValue(a.slow_conns));
+  out.Set("slow_reaped", rgae::obs::JsonValue(a.slow_reaped));
+  out.Set("slow_hangs", rgae::obs::JsonValue(a.slow_hangs));
+  out.Set("idle_conns", rgae::obs::JsonValue(a.idle_conns));
+  out.Set("idle_reaped", rgae::obs::JsonValue(a.idle_reaped));
+  out.Set("idle_hangs", rgae::obs::JsonValue(a.idle_hangs));
+  return out;
+}
+
+void PrintTenant(const TenantReport& t) {
+  std::printf(
+      "%-8s %7.0f qps  queries %6lld  answered %6lld (ok %lld, deg %lld, "
+      "shed %lld)  xport-err %4lld  p50/p95/p99 %.0f/%.0f/%.0f us\n",
+      t.name.c_str(), t.achieved_qps,
+      static_cast<long long>(t.tally.queries),
+      static_cast<long long>(t.tally.answered),
+      static_cast<long long>(t.tally.ok),
+      static_cast<long long>(t.tally.degraded),
+      static_cast<long long>(t.tally.shed),
+      static_cast<long long>(t.tally.transport_errors), t.answered_us.p50,
+      t.answered_us.p95, t.answered_us.p99);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rgae_bench::BenchObs obs(&argc, argv, "nettest");
+  rgae_bench::PrintRunBanner(
+      "nettest: multi-tenant TCP front-end under socket chaos",
+      /*trials=*/1);
+
+  const double seconds = EnvDouble("RGAE_NETTEST_SECONDS", 1.5);
+  const int num_nodes = EnvInt("RGAE_NETTEST_NODES", 300);
+  const double victim_qps = EnvDouble("RGAE_NETTEST_VICTIM_QPS", 150.0);
+  const int victim_clients = EnvInt("RGAE_NETTEST_VICTIM_CLIENTS", 2);
+  const int attacker_clients = EnvInt("RGAE_NETTEST_ATTACKER_CLIENTS", 3);
+  const int workers = EnvInt("RGAE_NETTEST_WORKERS", 8);
+  const double deadline_ms = EnvDouble("RGAE_NETTEST_DEADLINE_MS", 100.0);
+  const double io_ms = EnvDouble("RGAE_NETTEST_IO_MS", 300.0);
+  const double idle_ms = EnvDouble("RGAE_NETTEST_IDLE_MS", 600.0);
+  const bool chaos = EnvFlag("RGAE_NETTEST_CHAOS", true);
+
+  // Socket faults on deterministic ordinals: frequent enough to fire many
+  // times over the run, rare enough that retries absorb them.
+  rgae::ServeFaultInjector faults(
+      chaos ? std::vector<rgae::ServeFault>{
+                  {rgae::ServeFault::Type::kTornWrite, /*every_n=*/97,
+                   /*after=*/40, /*magnitude=*/0.0, /*once=*/false},
+                  {rgae::ServeFault::Type::kConnReset, /*every_n=*/131,
+                   /*after=*/60, /*magnitude=*/0.0, /*once=*/false},
+                  {rgae::ServeFault::Type::kByteStall, /*every_n=*/61,
+                   /*after=*/10, /*magnitude=*/10.0, /*once=*/false},
+                  {rgae::ServeFault::Type::kAcceptStall, /*every_n=*/5,
+                   /*after=*/2, /*magnitude=*/20.0, /*once=*/false}}
+            : std::vector<rgae::ServeFault>{});
+
+  // Two isolated tenants: the victim gets headroom, the attacker gets a
+  // tight admission policy (no degraded fallback) so its flood is hard-shed
+  // by its own token bucket.
+  net::TenantRouter router;
+  {
+    rgae::serve::ServeOptions victim_options;
+    victim_options.num_workers = 2;
+    victim_options.max_batch = 32;
+    victim_options.admission.queue_capacity = 256;
+    victim_options.admission.default_deadline_s = deadline_ms / 1000.0;
+    std::string error;
+    if (!router.AddTenant("victim", MakeTenantSnapshot(num_nodes, 11),
+                          victim_options, &error)) {
+      std::fprintf(stderr, "victim tenant failed: %s\n", error.c_str());
+      return 1;
+    }
+    rgae::serve::ServeOptions attacker_options;
+    attacker_options.num_workers = 1;
+    attacker_options.max_batch = 16;
+    attacker_options.admission.queue_capacity = 64;
+    attacker_options.admission.rate_limit_qps = 200.0;
+    attacker_options.admission.rate_limit_burst = 50.0;
+    attacker_options.admission.allow_degraded = false;
+    attacker_options.admission.default_deadline_s = deadline_ms / 1000.0;
+    if (!router.AddTenant("attacker", MakeTenantSnapshot(num_nodes, 23),
+                          attacker_options, &error)) {
+      std::fprintf(stderr, "attacker tenant failed: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  net::NetServerOptions server_options;
+  server_options.port = 0;  // Ephemeral.
+  server_options.num_workers = workers;
+  server_options.io_timeout_s = io_ms / 1000.0;
+  server_options.idle_timeout_s = idle_ms / 1000.0;
+  server_options.faults = chaos ? &faults : nullptr;
+  net::NetServer server(&router, server_options);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "server start failed: %s\n", error.c_str());
+    return 1;
+  }
+  const uint16_t port = server.port();
+  std::printf(
+      "port=%u tenants=2 conn-workers=%d victim=%d@%.0fqps attacker=%d@flood "
+      "deadline=%.0fms io=%.0fms idle=%.0fms chaos=%d\n",
+      static_cast<unsigned>(port), workers, victim_clients, victim_qps,
+      attacker_clients, deadline_ms, io_ms, idle_ms, chaos ? 1 : 0);
+
+  std::vector<ClientTally> victim_tallies(victim_clients);
+  std::vector<ClientTally> attacker_tallies(attacker_clients);
+  AbuseReport abuse;
+  std::vector<std::thread> threads;
+  const auto phase_start = Clock::now();
+  for (int i = 0; i < victim_clients; ++i) {
+    threads.emplace_back(RunClient, port, std::string("victim"), num_nodes,
+                         victim_qps / victim_clients, seconds, deadline_ms,
+                         static_cast<uint64_t>(100 + i),
+                         &victim_tallies[i]);
+  }
+  for (int i = 0; i < attacker_clients; ++i) {
+    threads.emplace_back(RunClient, port, std::string("attacker"), num_nodes,
+                         /*target_qps=*/0.0, seconds, deadline_ms,
+                         static_cast<uint64_t>(200 + i),
+                         &attacker_tallies[i]);
+  }
+  threads.emplace_back(RunAbuse, port, seconds, io_ms / 1000.0,
+                       idle_ms / 1000.0, &abuse);
+  for (std::thread& t : threads) t.join();
+  const double phase_seconds =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           phase_start)
+          .count() /
+      1e9;
+
+  // Drain: in-flight frames finish, then the listener closes. Engine
+  // admission totals are settled after this point.
+  server.Stop();
+
+  const bool interrupted = rgae::GlobalStopRequested();
+  std::vector<TenantReport> tenants(2);
+  tenants[0].name = "victim";
+  tenants[0].role = "victim";
+  tenants[0].clients = victim_clients;
+  tenants[0].target_qps = victim_qps;
+  for (const ClientTally& t : victim_tallies) Accumulate(&tenants[0].tally, t);
+  tenants[1].name = "attacker";
+  tenants[1].role = "attacker";
+  tenants[1].clients = attacker_clients;
+  tenants[1].target_qps = 0.0;
+  for (const ClientTally& t : attacker_tallies) {
+    Accumulate(&tenants[1].tally, t);
+  }
+  int64_t lost = 0;
+  for (TenantReport& t : tenants) {
+    t.seconds = phase_seconds;
+    t.achieved_qps = phase_seconds > 0.0
+                         ? static_cast<double>(t.tally.queries) / phase_seconds
+                         : 0.0;
+    t.answered_us = rgae_bench::SummarizeLatencies(
+        std::move(t.tally.answered_rtt_us));
+    t.engine = router.Route(t.name)->engine()->stats().admission;
+    lost += t.tally.queries - (t.tally.answered + t.tally.server_errors +
+                               t.tally.transport_errors);
+    PrintTenant(t);
+  }
+
+  const net::NetServerStats server_stats = server.stats();
+  const rgae::ServeFaultCounts fault_counts = faults.counts();
+  std::printf(
+      "server: %lld conns, %lld frames, %lld protocol errors, %lld slow "
+      "sheds, %lld idle closes; faults: %lld torn, %lld resets, %lld "
+      "accept-stalls, %lld byte-stalls; lost requests: %lld\n",
+      static_cast<long long>(server_stats.accepted),
+      static_cast<long long>(server_stats.frames),
+      static_cast<long long>(server_stats.protocol_errors()),
+      static_cast<long long>(server_stats.shed_slow_client),
+      static_cast<long long>(server_stats.idle_closes),
+      static_cast<long long>(fault_counts.torn_writes),
+      static_cast<long long>(fault_counts.conn_resets),
+      static_cast<long long>(fault_counts.accept_stalls),
+      static_cast<long long>(fault_counts.byte_stalls),
+      static_cast<long long>(lost));
+
+  if (obs.json_requested()) {
+    rgae::obs::JsonValue nettest = rgae::obs::JsonValue::MakeObject();
+    nettest.Set("num_tenants", rgae::obs::JsonValue(router.num_tenants()));
+    nettest.Set("workers", rgae::obs::JsonValue(workers));
+    nettest.Set("seconds", rgae::obs::JsonValue(phase_seconds));
+    nettest.Set("deadline_ms", rgae::obs::JsonValue(deadline_ms));
+    nettest.Set("chaos", rgae::obs::JsonValue(chaos));
+    nettest.Set("interrupted", rgae::obs::JsonValue(interrupted));
+    // An answered round-trip rides the query deadline plus retry backoff
+    // and injected stalls; the schema check holds the victim p99 to this.
+    nettest.Set("isolation_bound_us",
+                rgae::obs::JsonValue(deadline_ms * 1000.0 + 500000.0));
+    nettest.Set("lost_requests", rgae::obs::JsonValue(lost));
+    rgae::obs::JsonValue tenant_array = rgae::obs::JsonValue::MakeArray();
+    for (const TenantReport& t : tenants) tenant_array.Append(TenantJson(t));
+    nettest.Set("tenants", std::move(tenant_array));
+    nettest.Set("server", ServerJson(server_stats));
+    rgae::obs::JsonValue fault_json = rgae::obs::JsonValue::MakeObject();
+    fault_json.Set("torn_writes",
+                   rgae::obs::JsonValue(fault_counts.torn_writes));
+    fault_json.Set("conn_resets",
+                   rgae::obs::JsonValue(fault_counts.conn_resets));
+    fault_json.Set("accept_stalls",
+                   rgae::obs::JsonValue(fault_counts.accept_stalls));
+    fault_json.Set("byte_stalls",
+                   rgae::obs::JsonValue(fault_counts.byte_stalls));
+    nettest.Set("faults", std::move(fault_json));
+    nettest.Set("abuse", AbuseJson(abuse));
+    obs.SetExtra("nettest", std::move(nettest));
+  }
+  const bool hangs =
+      abuse.malformed_hangs + abuse.slow_hangs + abuse.idle_hangs > 0;
+  return (lost == 0 && !hangs) ? 0 : 1;
+}

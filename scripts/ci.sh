@@ -59,6 +59,12 @@ RGAE_LOADTEST_QUEUE=48 RGAE_LOADTEST_DEADLINE_MS=8 RGAE_LOADTEST_SLO_MS=4 \
 python3 "${SOURCE_DIR}/scripts/check_bench_json.py" \
   --run-loadtest "${BUILD_DIR}/bench/bench_loadtest"
 
+step "nettest JSON schema check (socket chaos drill)"
+RGAE_NETTEST_SECONDS=1.0 RGAE_NETTEST_NODES=200 \
+RGAE_NETTEST_IO_MS=200 RGAE_NETTEST_IDLE_MS=400 \
+python3 "${SOURCE_DIR}/scripts/check_bench_json.py" \
+  --run-nettest "${BUILD_DIR}/bench/bench_nettest"
+
 step "profile schema check (calling-context tree + FLOP exactness)"
 python3 "${SOURCE_DIR}/scripts/check_bench_json.py" \
   --run-profile "${BUILD_DIR}/bench/bench_micro_ops" \

@@ -47,6 +47,16 @@ Enforces invariants that generic tools do not know about:
                       serve_us on QueryResult) opt out with a
                       `// Raw timing: <why>` comment on the line or within
                       the three lines above it.
+  R9 socket bounds -- in src/, a blocking socket syscall (recv, send,
+                      accept, connect) must show its bound: a
+                      deadline/timeout/poll mention on the line, within the
+                      three lines above, or on the line below (the
+                      serve/net socket layer routes every call through a
+                      deadline-bounded PollWait). A deliberately unbounded
+                      call opts out with an `// Unbounded I/O: <why>`
+                      comment in the same window. Unbounded network I/O is
+                      how one dead peer pins a worker forever
+                      (DESIGN.md §8.7).
 
 Run: python3 scripts/rgae_lint.py [--root DIR]. Exits 1 if any finding.
 Registered as the ctest case `lint_rgae_sources` (label: lint).
@@ -131,6 +141,15 @@ TIMING_RE = re.compile(
 )
 TIMING_NOTE = "Raw timing:"
 TIMING_NOTE_WINDOW = 3  # opt-out comment may sit up to 3 lines above
+
+# R9: blocking socket syscalls in src/ must carry a visible bound. The
+# evidence window runs three lines above through one line below the call,
+# so a trailing comment on a wrapped argument list still counts.
+SOCKET_SCOPE = "src/"
+SOCKET_CALL_RE = re.compile(r"\b(?:recv|send|accept|connect)\s*\(")
+SOCKET_BOUND_RE = re.compile(r"deadline|timeout|poll", re.IGNORECASE)
+SOCKET_NOTE = "Unbounded I/O:"
+SOCKET_NOTE_WINDOW = 3
 
 
 def strip_comments_and_strings(line):
@@ -252,6 +271,28 @@ def lint_timing(rel, raw_lines, code_lines, findings):
         )
 
 
+def lint_socket_bounds(rel, raw_lines, code_lines, findings):
+    """R9: a blocking socket syscall in src/ must have a deadline/timeout/
+    poll mention nearby, or an `// Unbounded I/O:` justification."""
+    if not rel.startswith(SOCKET_SCOPE):
+        return
+    for i, code in enumerate(code_lines):
+        if not SOCKET_CALL_RE.search(code):
+            continue
+        lo = max(0, i - SOCKET_NOTE_WINDOW)
+        hi = min(len(raw_lines), i + 2)
+        window = raw_lines[lo:hi]
+        if any(SOCKET_NOTE in line for line in window):
+            continue
+        if any(SOCKET_BOUND_RE.search(line) for line in window):
+            continue
+        findings.append(
+            f"{rel}:{i + 1}: [R9] blocking socket syscall without a visible "
+            "timeout/deadline; bound it (poll with a Deadline budget) or "
+            "justify with `// Unbounded I/O: <why>` (DESIGN.md §8.7)"
+        )
+
+
 def lint_file(root, rel, findings):
     path = os.path.join(root, rel)
     with open(path, encoding="utf-8") as f:
@@ -315,6 +356,7 @@ def lint_file(root, rel, findings):
         lint_serve_queue_bounds(rel, raw_lines, code_lines, findings)
 
     lint_timing(rel, raw_lines, code_lines, findings)
+    lint_socket_bounds(rel, raw_lines, code_lines, findings)
 
     if rel.startswith("src/") and rel.endswith(".h"):
         guard = expected_guard(rel)

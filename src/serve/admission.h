@@ -79,7 +79,9 @@ class TokenBucket {
   TokenBucket(double rate_per_s, double burst);
 
   /// Takes one token if available, refilling for the elapsed time first.
-  /// `now` must not move backwards between calls.
+  /// A `now` that regresses below the last refill timestamp is clamped:
+  /// nothing is refilled, nothing is lost, and later refills are still
+  /// measured from the high-water timestamp.
   bool TryAcquire(Clock::time_point now);
 
   bool unlimited() const { return rate_per_s_ <= 0.0; }

@@ -32,6 +32,9 @@ bool EmbeddingCache::PeekAny(int node, CachedEntry* out, bool* stale) const {
   }
   auto st = stale_index_.find(node);
   if (st != stale_index_.end()) {
+    // Refresh the stale row's LRU position: rows still answering degraded
+    // traffic should outlive rows nobody asks for.
+    stale_.splice(stale_.begin(), stale_, st->second);
     *out = st->second->entry;
     *stale = true;
     return true;
@@ -80,6 +83,8 @@ void EmbeddingCache::Invalidate(const std::vector<int>& nodes) {
     while (static_cast<int>(stale_.size()) > capacity_) {
       stale_index_.erase(stale_.back().node);
       stale_.pop_back();
+      ++counters_.stale_evictions;
+      RGAE_COUNT("serve.stale_evictions");
     }
     ++counters_.invalidations;
     RGAE_COUNT("serve.cache_invalidations");

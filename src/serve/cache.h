@@ -23,6 +23,9 @@ struct CacheCounters {
   int64_t misses = 0;
   int64_t evictions = 0;
   int64_t invalidations = 0;
+  /// Stale side-store entries dropped by its LRU bound — the signal that a
+  /// mutation stream is outrunning the degraded-serving window.
+  int64_t stale_evictions = 0;
 };
 
 /// Bounded LRU cache of per-node serving results, keyed by node id.
@@ -33,10 +36,12 @@ struct CacheCounters {
 /// and invalidations under its state mutex so a worker racing a graph
 /// mutation can never re-insert a stale row (see DESIGN.md §8.4).
 ///
-/// Invalidated entries are not discarded: they move into a bounded stale
-/// side-store (FIFO-evicted at the same capacity) that only the degraded
-/// admission path reads via `PeekAny`. A fresh `Put` supersedes the stale
-/// copy, so a recomputed row can never be shadowed by its predecessor.
+/// Invalidated entries are not discarded: they move into a stale side-store
+/// (LRU-bounded at the same capacity, evictions counted as
+/// `stale_evictions`) that only the degraded admission path reads via
+/// `PeekAny` — so a long mutation stream can never grow it without limit. A
+/// fresh `Put` supersedes the stale copy, so a recomputed row can never be
+/// shadowed by its predecessor.
 class EmbeddingCache {
  public:
   /// `capacity` <= 0 disables caching (every Get misses, Put is a no-op).
@@ -51,8 +56,10 @@ class EmbeddingCache {
 
   /// Overload probe for degraded serving: fresh store first, then the
   /// stale side-store (`*stale` reports which answered). Touches neither
-  /// the LRU order nor the hit/miss counters, so saturation probes cannot
-  /// perturb the accounting that ties `hits + misses` to admitted queries.
+  /// the fresh LRU order nor the hit/miss counters, so saturation probes
+  /// cannot perturb the accounting that ties `hits + misses` to admitted
+  /// queries. A stale answer does refresh its side-store LRU position:
+  /// rows still serving degraded traffic outlive rows nobody asks for.
   bool PeekAny(int node, CachedEntry* out, bool* stale) const;
 
   /// Inserts or refreshes `node`, evicting the least-recently-used entry
@@ -81,9 +88,11 @@ class EmbeddingCache {
   // Most-recently-used at the front; map values point into the list.
   std::list<Slot> lru_;
   std::map<int, std::list<Slot>::iterator> index_;
-  // Invalidated entries, newest-first; same layout, FIFO-bounded.
-  std::list<Slot> stale_;
-  std::map<int, std::list<Slot>::iterator> stale_index_;
+  // Invalidated entries, most-recently-used first; LRU-bounded at
+  // capacity_. Mutable so the logically-const PeekAny can refresh a stale
+  // row's recency under mu_.
+  mutable std::list<Slot> stale_;
+  mutable std::map<int, std::list<Slot>::iterator> stale_index_;
   CacheCounters counters_;
 };
 

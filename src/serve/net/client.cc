@@ -1,0 +1,158 @@
+#include "src/serve/net/client.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace rgae {
+namespace serve {
+namespace net {
+
+NetClient::NetClient(const NetClientOptions& options)
+    : options_(options), rng_(options.seed) {}
+
+void NetClient::Disconnect() {
+  conn_.Close();
+  buffer_.clear();
+}
+
+bool NetClient::EnsureConnected() {
+  if (conn_.valid()) return true;
+  std::string error;
+  Socket conn = ConnectTo(options_.host, options_.port,
+                          Deadline::After(options_.connect_timeout_s), &error);
+  if (!conn.valid()) return false;
+  conn_ = std::move(conn);
+  buffer_.clear();
+  if (ever_connected_) ++stats_.reconnects;
+  ever_connected_ = true;
+  return true;
+}
+
+void NetClient::Backoff(int attempt) {
+  double delay = options_.backoff_initial_s;
+  for (int i = 1; i < attempt; ++i) delay *= 2.0;
+  delay = std::min(delay, options_.backoff_max_s);
+  if (options_.backoff_jitter > 0.0) {
+    // Jitter desynchronizes reconnect storms; the seeded rng keeps each
+    // client's schedule reproducible.
+    delay *= 1.0 + options_.backoff_jitter * rng_.Uniform(-1.0, 1.0);
+  }
+  if (delay > 0.0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+  }
+}
+
+bool NetClient::RoundTrip(const std::string& frame, uint64_t request_id,
+                          Frame* reply) {
+  const Deadline budget = Deadline::After(options_.io_timeout_s);
+  if (SendAll(conn_.fd(), frame.data(), frame.size(), budget) !=
+      IoStatus::kOk) {
+    return false;
+  }
+  char chunk[16 * 1024];
+  for (;;) {
+    // Drain buffered frames first; a reply to an abandoned earlier request
+    // may still be in flight on a reused connection.
+    for (;;) {
+      size_t consumed = 0;
+      const DecodeStatus status =
+          DecodeFrame(buffer_.data(), buffer_.size(), reply, &consumed);
+      if (status == DecodeStatus::kNeedMore) break;
+      if (status != DecodeStatus::kFrame) return false;  // Corrupt stream.
+      buffer_.erase(0, consumed);
+      if (reply->request_id == request_id) return true;
+    }
+    size_t received = 0;
+    const IoStatus status =
+        RecvSome(conn_.fd(), chunk, sizeof(chunk), &received, budget);
+    if (status != IoStatus::kOk) return false;
+    buffer_.append(chunk, received);
+  }
+}
+
+NetQueryResult NetClient::Query(const std::string& tenant, int64_t node,
+                                double deadline_ms) {
+  ++stats_.queries;
+  NetQueryResult result;
+  QueryPayload query;
+  query.tenant = tenant;
+  query.node = node;
+  query.deadline_ms = deadline_ms;
+  const int max_attempts = std::max(1, options_.max_attempts);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    result.attempts = attempt;
+    if (attempt > 1) {
+      ++stats_.retries;
+      Backoff(attempt - 1);
+    }
+    if (!EnsureConnected()) {
+      result.error_message = "connect failed";
+      continue;
+    }
+    const uint64_t request_id = next_request_id_++;
+    const std::string frame =
+        EncodeFrame(FrameType::kQuery, request_id, EncodeQuery(query));
+    Frame reply;
+    if (!RoundTrip(frame, request_id, &reply)) {
+      // Transport failure: the reply (if any) is lost, the stream state
+      // unknown. Drop the connection; the query is idempotent, so retry.
+      Disconnect();
+      result.error_message = "transport failure";
+      continue;
+    }
+    if (reply.type == static_cast<uint32_t>(FrameType::kQueryReply) &&
+        DecodeQueryReply(reply.payload, &result.reply)) {
+      result.kind = NetQueryResult::Kind::kAnswered;
+      ++stats_.answered;
+      return result;
+    }
+    ErrorPayload error;
+    if (reply.type == static_cast<uint32_t>(FrameType::kError) &&
+        DecodeError(reply.payload, &error)) {
+      // A structured server error is terminal: the server counted this
+      // request, so re-offering it would double-count against admission.
+      result.kind = NetQueryResult::Kind::kServerError;
+      result.error_code = error.code;
+      result.error_message = error.message;
+      ++stats_.server_errors;
+      // Framing-violation and shutdown errors are followed by a server
+      // close; drop our half proactively. Per-request errors leave the
+      // connection usable.
+      switch (static_cast<WireErrorCode>(error.code)) {
+        case WireErrorCode::kBadMagic:
+        case WireErrorCode::kBadLength:
+        case WireErrorCode::kBadCrc:
+        case WireErrorCode::kShuttingDown:
+        case WireErrorCode::kBusy:
+          Disconnect();
+          break;
+        default:
+          break;
+      }
+      return result;
+    }
+    Disconnect();  // Unintelligible reply: treat as transport failure.
+    result.error_message = "unexpected reply frame";
+  }
+  result.kind = NetQueryResult::Kind::kTransportError;
+  ++stats_.transport_errors;
+  return result;
+}
+
+bool NetClient::Ping() {
+  if (!EnsureConnected()) return false;
+  const uint64_t request_id = next_request_id_++;
+  const std::string frame =
+      EncodeFrame(FrameType::kPing, request_id, std::string());
+  Frame reply;
+  if (!RoundTrip(frame, request_id, &reply)) {
+    Disconnect();
+    return false;
+  }
+  return reply.type == static_cast<uint32_t>(FrameType::kPong);
+}
+
+}  // namespace net
+}  // namespace serve
+}  // namespace rgae

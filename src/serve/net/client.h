@@ -1,0 +1,116 @@
+#ifndef RGAE_SERVE_NET_CLIENT_H_
+#define RGAE_SERVE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/serve/net/socket.h"
+#include "src/serve/net/wire.h"
+#include "src/tensor/random.h"
+
+namespace rgae {
+namespace serve {
+namespace net {
+
+struct NetClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  /// Budget for one connect attempt.
+  double connect_timeout_s = 2.0;
+  /// Budget for sending a request and draining its reply.
+  double io_timeout_s = 2.0;
+  /// Total attempts for one query (1 = no retry). Queries are idempotent
+  /// reads, so transport-level failures are safe to retry; server-reported
+  /// errors and shed verdicts are terminal and never retried.
+  int max_attempts = 3;
+  /// Exponential backoff between attempts: initial * 2^(attempt-1),
+  /// capped at `backoff_max_s`, each delay jittered by up to
+  /// ±`backoff_jitter` of itself (drawn from the seeded rng).
+  double backoff_initial_s = 0.005;
+  double backoff_max_s = 0.25;
+  double backoff_jitter = 0.5;
+  /// Seed for the jitter rng — reconnect schedules reproduce per client.
+  uint64_t seed = 1;
+};
+
+/// Terminal outcome of one client query after bounded retries.
+struct NetQueryResult {
+  enum class Kind {
+    /// The server answered with a QueryReply (inspect `reply.status` for
+    /// the engine's disposition — ok/degraded/shed).
+    kAnswered,
+    /// The server answered with a structured wire error (`error_code`).
+    kServerError,
+    /// No usable answer within the attempt budget (connect failures,
+    /// timeouts, torn frames, resets).
+    kTransportError,
+  };
+  Kind kind = Kind::kTransportError;
+  QueryReplyPayload reply;      // Valid when kAnswered.
+  uint32_t error_code = 0;      // WireErrorCode, valid when kServerError.
+  std::string error_message;    // Valid when kServerError/kTransportError.
+  int attempts = 0;             // Attempts consumed (>= 1).
+};
+
+/// Monotone per-client counters.
+struct NetClientStats {
+  int64_t queries = 0;
+  int64_t answered = 0;
+  int64_t server_errors = 0;
+  int64_t transport_errors = 0;  // Terminal, after exhausting retries.
+  int64_t retries = 0;           // Extra attempts beyond the first.
+  int64_t reconnects = 0;        // Successful re-established connections.
+};
+
+/// Minimal blocking client for the `rgae.wire.v1` front-end.
+///
+/// Externally synchronized: one connection carrying one request/reply
+/// exchange at a time, owned by one thread (the bench spawns one client
+/// per simulated user). Reconnects lazily with exponential backoff +
+/// seeded jitter; retries only on transport-level failure, since a
+/// structured server reply — including a shed — means the request was
+/// counted by the tenant's admission control and must not be re-offered.
+class NetClient {
+ public:
+  explicit NetClient(const NetClientOptions& options);
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Queries `node` of `tenant`. `deadline_ms <= 0` defers to the tenant's
+  /// default deadline budget.
+  NetQueryResult Query(const std::string& tenant, int64_t node,
+                       double deadline_ms = 0.0);
+
+  /// Round-trips a ping frame. False on transport failure.
+  bool Ping();
+
+  /// Drops the current connection (the next call reconnects).
+  void Disconnect();
+
+  bool connected() const { return conn_.valid(); }
+  const NetClientStats& stats() const { return stats_; }
+
+ private:
+  /// Ensures a live connection; false after a failed attempt.
+  bool EnsureConnected();
+  /// Sleeps the jittered backoff for `attempt` (1-based).
+  void Backoff(int attempt);
+  /// Sends `frame` and reads one whole reply frame for `request_id`.
+  /// False on any transport-level failure (caller disconnects + retries).
+  bool RoundTrip(const std::string& frame, uint64_t request_id, Frame* reply);
+
+  const NetClientOptions options_;
+  Rng rng_;
+  Socket conn_;
+  std::string buffer_;  // Bytes read past the previous reply frame.
+  uint64_t next_request_id_ = 1;
+  bool ever_connected_ = false;
+  NetClientStats stats_;
+};
+
+}  // namespace net
+}  // namespace serve
+}  // namespace rgae
+
+#endif  // RGAE_SERVE_NET_CLIENT_H_

@@ -1,0 +1,370 @@
+#include "src/serve/net/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "src/core/deadline.h"
+#include "src/serve/engine.h"
+
+namespace rgae {
+namespace serve {
+namespace net {
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+// Caps a slice deadline at whatever remains of an enclosing budget, so the
+// inner poll wakes often enough to notice a drain request.
+Deadline SliceWithin(double slice_s, const Deadline& outer) {
+  const double remaining = outer.remaining_seconds();
+  return Deadline::After(std::min(slice_s, remaining));
+}
+
+}  // namespace
+
+NetServer::NetServer(TenantRouter* router, const NetServerOptions& options)
+    : router_(router), options_(options) {}
+
+NetServer::~NetServer() { Stop(); }
+
+bool NetServer::Start(std::string* error) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (started_) {
+    if (error != nullptr) *error = "server already started";
+    return false;
+  }
+  listener_ = ListenOn(options_.port, options_.accept_backlog, error);
+  if (!listener_.valid()) return false;
+  port_ = BoundPort(listener_.fd());
+  started_ = true;
+  acceptor_ = std::thread(&NetServer::AcceptorLoop, this);
+  const int n = std::max(1, options_.num_workers);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back(&NetServer::WorkerLoop, this);
+  }
+  return true;
+}
+
+void NetServer::Drain() {
+  draining_.store(true, std::memory_order_release);
+  conn_cv_.notify_all();
+}
+
+void NetServer::Stop() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (stopped_) return;
+  Drain();
+  if (acceptor_.joinable()) acceptor_.join();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  // Connections still queued were never picked up; close them outright.
+  std::vector<int> orphans;
+  {
+    std::lock_guard<std::mutex> conn_lock(conn_mu_);
+    orphans.assign(conn_queue_.begin(), conn_queue_.end());
+    conn_queue_.clear();
+  }
+  for (int fd : orphans) Socket(fd).Close();
+  listener_.Close();
+  stopped_ = true;
+}
+
+bool NetServer::StopRequested() const {
+  return draining_.load(std::memory_order_acquire) || GlobalStopRequested();
+}
+
+NetServerStats NetServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void NetServer::AcceptorLoop() {
+  while (!StopRequested()) {
+    int fd = -1;
+    const IoStatus status = AcceptOne(
+        listener_.fd(), Deadline::After(options_.poll_slice_s), &fd);
+    if (status == IoStatus::kTimeout) continue;  // Re-check the drain flag.
+    if (status != IoStatus::kOk) continue;
+    Socket conn(fd);
+    if (options_.faults != nullptr) {
+      const double stall_ms = options_.faults->OnAccept();
+      if (stall_ms > 0.0) {
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(stall_ms));
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.accepted;
+    }
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(conn_mu_);
+      if (conn_queue_.size() <
+          static_cast<size_t>(std::max(1, options_.max_pending_conns))) {
+        conn_queue_.push_back(conn.Release());
+        admitted = true;
+      }
+    }
+    if (admitted) {
+      conn_cv_.notify_one();
+      continue;
+    }
+    // Pool saturated: structured kBusy reply, then close — the acceptor
+    // never blocks behind slow workers.
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.rejected_conns;
+    }
+    WriteError(conn, 0, WireErrorCode::kBusy, "connection pool saturated");
+  }
+}
+
+void NetServer::WorkerLoop() {
+  const auto slice = std::chrono::duration<double>(options_.poll_slice_s);
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(conn_mu_);
+      conn_cv_.wait_for(lock, slice, [this] {
+        return !conn_queue_.empty() ||
+               draining_.load(std::memory_order_acquire);
+      });
+      if (conn_queue_.empty()) {
+        if (StopRequested()) return;
+        continue;
+      }
+      fd = conn_queue_.front();
+      conn_queue_.pop_front();
+    }
+    ServeConnection(Socket(fd));
+  }
+}
+
+void NetServer::ServeConnection(Socket conn) {
+  std::string buffer;
+  char chunk[kReadChunk];
+  bool open = true;
+  while (open) {
+    // Drain every complete frame already buffered.
+    for (;;) {
+      Frame frame;
+      size_t consumed = 0;
+      const DecodeStatus status =
+          DecodeFrame(buffer.data(), buffer.size(), &frame, &consumed);
+      if (status == DecodeStatus::kNeedMore) break;
+      if (status != DecodeStatus::kFrame) {
+        // The stream offset is untrustworthy after a framing violation:
+        // reply with a structured error, then close.
+        WireErrorCode code = WireErrorCode::kBadMagic;
+        {
+          std::lock_guard<std::mutex> lock(stats_mu_);
+          if (status == DecodeStatus::kBadMagic) {
+            ++stats_.bad_magic;
+          } else if (status == DecodeStatus::kBadLength) {
+            code = WireErrorCode::kBadLength;
+            ++stats_.bad_length;
+          } else {
+            code = WireErrorCode::kBadCrc;
+            ++stats_.bad_crc;
+          }
+        }
+        WriteError(conn, 0, code, DecodeStatusName(status));
+        open = false;
+        break;
+      }
+      buffer.erase(0, consumed);
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.frames;
+      }
+      if (!HandleFrame(conn, frame)) {
+        open = false;
+        break;
+      }
+    }
+    if (!open) break;
+    if (StopRequested()) break;  // Buffered frames finished; drain closes.
+
+    // Wait for more bytes. An empty buffer waits out the idle budget; a
+    // partial frame gets only the I/O budget — a peer stalled mid-frame is
+    // a slow client, not an idle one.
+    const bool mid_frame = !buffer.empty();
+    const Deadline budget = Deadline::After(
+        mid_frame ? options_.io_timeout_s : options_.idle_timeout_s);
+    for (;;) {
+      size_t received = 0;
+      const IoStatus status =
+          RecvSome(conn.fd(), chunk, sizeof(chunk), &received,
+                   SliceWithin(options_.poll_slice_s, budget));
+      if (status == IoStatus::kOk) {
+        buffer.append(chunk, received);
+        break;
+      }
+      if (status == IoStatus::kTimeout) {
+        if (StopRequested()) {
+          open = false;
+          break;
+        }
+        if (!budget.expired()) continue;  // Just a poll slice; keep waiting.
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        if (mid_frame) {
+          ++stats_.shed_slow_client;
+        } else {
+          ++stats_.idle_closes;
+        }
+        open = false;
+        break;
+      }
+      // kClosed (orderly) or kError (reset): either way the peer is gone.
+      open = false;
+      break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  ++stats_.closed_conns;
+}
+
+bool NetServer::HandleFrame(const Socket& conn, const Frame& frame) {
+  switch (frame.type) {
+    case static_cast<uint32_t>(FrameType::kPing): {
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.pings;
+      }
+      return WriteFrame(conn, FrameType::kPong, frame.request_id,
+                        std::string());
+    }
+    case static_cast<uint32_t>(FrameType::kQuery):
+      return HandleQuery(conn, frame);
+    default: {
+      // Unknown type on an intact stream: per-request error, stay open.
+      {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.bad_type;
+      }
+      return WriteError(conn, frame.request_id, WireErrorCode::kBadType,
+                        "unknown frame type " + std::to_string(frame.type));
+    }
+  }
+}
+
+bool NetServer::HandleQuery(const Socket& conn, const Frame& frame) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    ++stats_.queries;
+  }
+  if (StopRequested()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.drained_rejects;
+    }
+    WriteError(conn, frame.request_id, WireErrorCode::kShuttingDown,
+               "server draining");
+    return false;  // Close after the structured shutdown reply.
+  }
+  QueryPayload query;
+  if (!DecodeQuery(frame.payload, &query)) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.bad_payload;
+    }
+    return WriteError(conn, frame.request_id, WireErrorCode::kBadPayload,
+                      "malformed query payload");
+  }
+  ServeRegistry* registry = router_->Route(query.tenant);
+  if (registry == nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.unknown_tenant;
+    }
+    return WriteError(conn, frame.request_id, WireErrorCode::kUnknownTenant,
+                      "unknown tenant '" + query.tenant + "'");
+  }
+  const std::shared_ptr<ServeEngine> engine = registry->engine();
+  if (query.node < 0 || query.node >= engine->num_nodes()) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      ++stats_.bad_node;
+    }
+    return WriteError(conn, frame.request_id, WireErrorCode::kBadNode,
+                      "node " + std::to_string(query.node) +
+                          " out of range [0, " +
+                          std::to_string(engine->num_nodes()) + ")");
+  }
+  const Deadline deadline = query.deadline_ms > 0.0
+                                ? Deadline::After(query.deadline_ms / 1000.0)
+                                : Deadline::Unlimited();
+  QueryResult result =
+      engine->Submit(static_cast<int>(query.node), deadline).get();
+
+  QueryReplyPayload reply;
+  reply.status = static_cast<uint32_t>(result.status);
+  reply.cache_hit = result.cache_hit;
+  reply.stale = result.stale;
+  reply.embedding = std::move(result.embedding);
+  reply.assignment = std::move(result.assignment);
+  reply.serve_us = result.serve_us;
+  return WriteFrame(conn, FrameType::kQueryReply, frame.request_id,
+                    EncodeQueryReply(reply));
+}
+
+bool NetServer::WriteFrame(const Socket& conn, FrameType type,
+                           uint64_t request_id, const std::string& payload) {
+  const std::string frame = EncodeFrame(type, request_id, payload);
+  const Deadline budget = Deadline::After(options_.io_timeout_s);
+  NetWriteFault fault;
+  if (options_.faults != nullptr) fault = options_.faults->OnNetWrite();
+  if (fault.reset) return false;  // Close without writing: injected RST.
+
+  IoStatus status = IoStatus::kOk;
+  if (fault.torn || fault.stall_ms > 0.0) {
+    // Split the frame so the fault lands mid-write.
+    const size_t prefix = std::max<size_t>(1, frame.size() / 2);
+    status = SendAll(conn.fd(), frame.data(), prefix, budget);
+    if (status == IoStatus::kOk && fault.stall_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(fault.stall_ms));
+    }
+    if (fault.torn) {
+      // Injected torn write: the suffix is never sent and the connection
+      // closes, leaving the peer a truncated frame. Accounted by the fault
+      // injector's torn_writes counter, not as a slow client.
+      return false;
+    }
+    if (status == IoStatus::kOk) {
+      status = SendAll(conn.fd(), frame.data() + prefix,
+                       frame.size() - prefix, budget);
+    }
+  } else {
+    status = SendAll(conn.fd(), frame.data(), frame.size(), budget);
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (status == IoStatus::kTimeout) {
+    // The peer cannot drain its response: shed the slow client.
+    ++stats_.shed_slow_client;
+    return false;
+  }
+  if (status != IoStatus::kOk) return false;
+  if (type == FrameType::kError) {
+    ++stats_.errors_sent;
+  } else {
+    ++stats_.replies_sent;
+  }
+  return true;
+}
+
+bool NetServer::WriteError(const Socket& conn, uint64_t request_id,
+                           WireErrorCode code, const std::string& message) {
+  return WriteFrame(conn, FrameType::kError, request_id,
+                    EncodeError(code, message));
+}
+
+}  // namespace net
+}  // namespace serve
+}  // namespace rgae

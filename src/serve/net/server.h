@@ -1,0 +1,172 @@
+#ifndef RGAE_SERVE_NET_SERVER_H_
+#define RGAE_SERVE_NET_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/core/fault_injection.h"
+#include "src/serve/net/socket.h"
+#include "src/serve/net/tenant_router.h"
+#include "src/serve/net/wire.h"
+
+namespace rgae {
+namespace serve {
+namespace net {
+
+struct NetServerOptions {
+  /// Listening port; 0 picks an ephemeral port (read it back via `port()`).
+  uint16_t port = 0;
+  /// Fixed connection worker-pool size; clamped to at least 1.
+  int num_workers = 4;
+  /// listen(2) backlog.
+  int accept_backlog = 64;
+  /// Bound on accepted-but-unserved connections queued for the worker
+  /// pool. An accept that would exceed it gets a `kBusy` error and a close
+  /// — the acceptor never blocks on a saturated pool.
+  int max_pending_conns = 64;
+  /// How long a connection may sit idle between frames before the server
+  /// closes it.
+  double idle_timeout_s = 5.0;
+  /// Budget for mid-frame reads and response writes. A client that cannot
+  /// drain its response within it is shed as a slow client.
+  double io_timeout_s = 2.0;
+  /// Acceptor/worker poll slice: the granularity at which blocked threads
+  /// re-check the drain flag and the global stop.
+  double poll_slice_s = 0.05;
+  /// Socket fault injector (chaos tests and `bench_nettest`); not owned,
+  /// may be null, must outlive the server.
+  ServeFaultInjector* faults = nullptr;
+};
+
+/// Monotone front-end counters, keyed by what happened on the wire.
+struct NetServerStats {
+  int64_t accepted = 0;
+  /// Connections turned away because the pending-connection queue was full.
+  int64_t rejected_conns = 0;
+  int64_t closed_conns = 0;
+  int64_t frames = 0;
+  int64_t queries = 0;
+  int64_t pings = 0;
+  int64_t replies_sent = 0;
+  int64_t errors_sent = 0;
+  // Framing violations (connection closed after a structured error reply).
+  int64_t bad_magic = 0;
+  int64_t bad_length = 0;
+  int64_t bad_crc = 0;
+  // Per-request errors on an intact stream (connection stays open).
+  int64_t bad_type = 0;
+  int64_t bad_payload = 0;
+  int64_t unknown_tenant = 0;
+  int64_t bad_node = 0;
+  /// Connections closed because the peer could not drain its response (or
+  /// stalled mid-frame) within the I/O budget.
+  int64_t shed_slow_client = 0;
+  /// Connections closed after sitting idle past the idle timeout.
+  int64_t idle_closes = 0;
+  /// Queries answered after the drain began (`kShuttingDown` errors).
+  int64_t drained_rejects = 0;
+
+  int64_t protocol_errors() const {
+    return bad_magic + bad_length + bad_crc + bad_type + bad_payload;
+  }
+};
+
+/// Blocking-socket TCP front-end for the serving stack (DESIGN.md §8.7).
+///
+/// One acceptor thread accepts connections and pushes them onto a bounded
+/// queue; a fixed pool of connection workers pops one connection at a time
+/// and speaks `rgae.wire.v1` on it until the peer closes, a deadline fires,
+/// or a framing violation makes the stream untrustworthy. Queries route
+/// through the `TenantRouter` to the tenant's own `ServeRegistry`, so all
+/// admission, batching, caching, and shed accounting stay per-tenant.
+///
+/// Robustness contract:
+///  - Every read and write is deadline-bounded (`socket.h`); nothing blocks
+///    forever on a dead or malicious peer.
+///  - Malformed frames (magic/length/CRC) get a structured error reply,
+///    then the connection closes — never a crash, never a hang.
+///  - Per-request errors (unknown type, bad payload, unknown tenant, node
+///    out of range) get an error reply on a connection that stays open.
+///  - A client that cannot drain its response within `io_timeout_s` is
+///    shed (`shed_slow_client`) so one slow reader cannot pin a worker.
+///  - `Drain()` (or a process-wide stop, e.g. SIGTERM via
+///    `GlobalStopRequested`) stops accepting, finishes the frame each
+///    worker is on, answers queued queries with `kShuttingDown`, and
+///    closes — in-flight work is completed, not dropped.
+class NetServer {
+ public:
+  NetServer(TenantRouter* router, const NetServerOptions& options);
+  /// Stops and joins (idempotent with an explicit `Stop`).
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Binds, listens, and starts the acceptor + workers. False (with
+  /// `*error`) if the port cannot be bound.
+  bool Start(std::string* error = nullptr);
+
+  /// The bound listening port (valid after a successful `Start`).
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting new connections and lets in-flight frames finish.
+  void Drain();
+
+  /// Drain + join all threads. Safe to call twice.
+  void Stop();
+
+  bool draining() const { return draining_.load(std::memory_order_acquire); }
+
+  NetServerStats stats() const;
+
+ private:
+  void AcceptorLoop();
+  void WorkerLoop();
+  /// Serves one connection until close/shed/drain. Owns the fd.
+  void ServeConnection(Socket conn);
+  /// Handles one decoded frame; false means the connection must close.
+  bool HandleFrame(const Socket& conn, const Frame& frame);
+  /// Answers one query frame (routing, range checks, engine call).
+  bool HandleQuery(const Socket& conn, const Frame& frame);
+  /// Encodes and writes a reply frame, applying injected socket faults.
+  /// False means the connection must close.
+  bool WriteFrame(const Socket& conn, FrameType type, uint64_t request_id,
+                  const std::string& payload);
+  bool WriteError(const Socket& conn, uint64_t request_id, WireErrorCode code,
+                  const std::string& message);
+  /// True once either a local drain or the process-wide stop is requested.
+  bool StopRequested() const;
+
+  TenantRouter* const router_;
+  const NetServerOptions options_;
+
+  // Serializes Start/Stop and guards the lifecycle fields below.
+  std::mutex lifecycle_mu_;
+  Socket listener_;
+  uint16_t port_ = 0;
+  std::atomic<bool> draining_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::mutex conn_mu_;
+  std::condition_variable conn_cv_;
+  std::deque<int> conn_queue_;  // Accepted fds awaiting a worker.
+
+  mutable std::mutex stats_mu_;
+  NetServerStats stats_;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace net
+}  // namespace serve
+}  // namespace rgae
+
+#endif  // RGAE_SERVE_NET_SERVER_H_

@@ -1,0 +1,247 @@
+#include "src/serve/net/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace rgae {
+namespace serve {
+namespace net {
+namespace {
+
+// Converts the deadline's remaining budget into a poll() timeout in
+// milliseconds: -1 (wait forever) when unlimited, 0 when already expired,
+// and at least 1ms for any positive remainder so a sub-millisecond budget
+// still gets one poll rather than a busy spin.
+int PollTimeoutMs(const Deadline& deadline) {
+  if (deadline.unlimited()) return -1;
+  const double s = deadline.remaining_seconds();
+  if (s <= 0.0) return 0;
+  const double ms = s * 1000.0;
+  if (ms >= 2147483647.0) return 2147483647;
+  const int whole = static_cast<int>(ms);
+  return whole > 0 ? whole : 1;
+}
+
+// Waits until `fd` is ready for `events` or the deadline runs out.
+// Returns kOk on readiness, kTimeout on expiry, kError on poll failure or
+// a socket error/hangup with no readable data.
+IoStatus PollWait(int fd, short events, const Deadline& deadline) {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, PollTimeoutMs(deadline));
+    if (rc > 0) {
+      // POLLHUP/POLLERR with POLLIN still allows draining buffered bytes;
+      // recv/send below report the terminal condition precisely.
+      return IoStatus::kOk;
+    }
+    if (rc == 0) return IoStatus::kTimeout;
+    if (errno == EINTR) continue;
+    return IoStatus::kError;
+  }
+}
+
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+sockaddr_in LoopbackAddr(const std::string& host, uint16_t port) {
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    addr.sin_family = AF_UNSPEC;  // Signals a bad address to the caller.
+  }
+  return addr;
+}
+
+}  // namespace
+
+const char* IoStatusName(IoStatus status) {
+  switch (status) {
+    case IoStatus::kOk:
+      return "ok";
+    case IoStatus::kTimeout:
+      return "timeout";
+    case IoStatus::kClosed:
+      return "closed";
+    case IoStatus::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Socket::Release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+IoStatus RecvSome(int fd, char* buf, size_t cap, size_t* received,
+                  const Deadline& deadline) {
+  *received = 0;
+  for (;;) {
+    const IoStatus ready = PollWait(fd, POLLIN, deadline);
+    if (ready != IoStatus::kOk) return ready;
+    const ssize_t n = ::recv(fd, buf, cap, 0);  // Bounded by the poll deadline.
+    if (n > 0) {
+      *received = static_cast<size_t>(n);
+      return IoStatus::kOk;
+    }
+    if (n == 0) return IoStatus::kClosed;
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+    return IoStatus::kError;
+  }
+}
+
+IoStatus SendAll(int fd, const char* data, size_t size,
+                 const Deadline& deadline) {
+  size_t sent = 0;
+  while (sent < size) {
+    const IoStatus ready = PollWait(fd, POLLOUT, deadline);
+    if (ready != IoStatus::kOk) return ready;
+    const ssize_t n =
+        ::send(fd, data + sent, size - sent,  // Bounded by the poll deadline.
+               MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 &&
+        (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+Socket ListenOn(uint16_t port, int backlog, std::string* error) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = "socket() failed";
+    return Socket();
+  }
+  Socket sock(fd);
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = LoopbackAddr("127.0.0.1", port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (error != nullptr) {
+      *error = "bind(127.0.0.1:" + std::to_string(port) + ") failed";
+    }
+    return Socket();
+  }
+  if (::listen(fd, backlog > 0 ? backlog : 16) != 0) {
+    if (error != nullptr) *error = "listen() failed";
+    return Socket();
+  }
+  SetNonBlocking(fd);
+  return sock;
+}
+
+uint16_t BoundPort(int listen_fd) {
+  sockaddr_in addr;
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return 0;
+  }
+  return ntohs(addr.sin_port);
+}
+
+IoStatus AcceptOne(int listen_fd, const Deadline& deadline, int* conn_fd) {
+  for (;;) {
+    const IoStatus ready = PollWait(listen_fd, POLLIN, deadline);
+    if (ready != IoStatus::kOk) return ready;
+    const int fd = ::accept(listen_fd, nullptr,  // Bounded by the poll
+                            nullptr);            // deadline above.
+    if (fd >= 0) {
+      SetNonBlocking(fd);
+      SetNoDelay(fd);
+      *conn_fd = fd;
+      return IoStatus::kOk;
+    }
+    if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK ||
+        errno == ECONNABORTED) {
+      continue;  // The pending connection vanished; wait for the next.
+    }
+    return IoStatus::kError;
+  }
+}
+
+Socket ConnectTo(const std::string& host, uint16_t port,
+                 const Deadline& deadline, std::string* error) {
+  sockaddr_in addr = LoopbackAddr(host, port);
+  if (addr.sin_family == AF_UNSPEC) {
+    if (error != nullptr) *error = "bad address: " + host;
+    return Socket();
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = "socket() failed";
+    return Socket();
+  }
+  Socket sock(fd);
+  SetNonBlocking(fd);
+  // Non-blocking connect; completion is awaited under `deadline` below.
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    if (error != nullptr) *error = "connect() failed";
+    return Socket();
+  }
+  if (rc != 0) {
+    if (PollWait(fd, POLLOUT, deadline) != IoStatus::kOk) {
+      if (error != nullptr) *error = "connect timeout";
+      return Socket();
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      if (error != nullptr) {
+        *error = "connect failed: " + std::string(std::strerror(so_error));
+      }
+      return Socket();
+    }
+  }
+  SetNoDelay(fd);
+  return sock;
+}
+
+}  // namespace net
+}  // namespace serve
+}  // namespace rgae

@@ -1,0 +1,87 @@
+#ifndef RGAE_SERVE_NET_SOCKET_H_
+#define RGAE_SERVE_NET_SOCKET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/core/deadline.h"
+
+namespace rgae {
+namespace serve {
+namespace net {
+
+/// Thin deadline-bounded wrapper over blocking POSIX TCP sockets. Every
+/// operation that can block takes a `Deadline` and waits in `poll()` for at
+/// most the remaining budget, so no read, write, accept, or connect in the
+/// front-end is unbounded (lint rule R9). An expired or exceeded deadline
+/// surfaces as `IoStatus::kTimeout`; the caller decides whether that means
+/// an idle close, a slow-client shed, or a retry.
+
+/// Outcome of one socket operation.
+enum class IoStatus {
+  kOk = 0,
+  kTimeout,  // The deadline ran out before the operation completed.
+  kClosed,   // Orderly peer close (recv returned 0).
+  kError,    // Socket error (errno-level failure or peer reset).
+};
+
+/// Human-readable name of an I/O status ("ok", "timeout", ...).
+const char* IoStatusName(IoStatus status);
+
+/// Owning RAII handle for one socket fd. Move-only; closes on destruction.
+/// Externally synchronized: a handle belongs to one thread at a time.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+  /// Releases ownership of the fd to the caller.
+  int Release();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Reads at least one byte into `buf` (up to `cap`), waiting at most until
+/// `deadline`. `*received` gets the byte count on kOk and 0 otherwise.
+IoStatus RecvSome(int fd, char* buf, size_t cap, size_t* received,
+                  const Deadline& deadline);
+
+/// Writes all `size` bytes, waiting for writability before each chunk.
+/// Partial progress before a timeout is reported as kTimeout (the frame is
+/// torn either way — the connection must be closed).
+IoStatus SendAll(int fd, const char* data, size_t size,
+                 const Deadline& deadline);
+
+/// Opens a listening socket on 127.0.0.1:`port` (0 = ephemeral; read the
+/// bound port back with `BoundPort`). Returns an invalid Socket and sets
+/// `*error` on failure.
+Socket ListenOn(uint16_t port, int backlog, std::string* error);
+
+/// The locally bound port of a listening socket (0 on failure).
+uint16_t BoundPort(int listen_fd);
+
+/// Accepts one connection, waiting at most until `deadline`. On kOk the
+/// new fd is stored in `*conn_fd` with TCP_NODELAY set.
+IoStatus AcceptOne(int listen_fd, const Deadline& deadline, int* conn_fd);
+
+/// Connects to `host`:`port`, waiting at most until `deadline`. Returns an
+/// invalid Socket and sets `*error` on failure or timeout.
+Socket ConnectTo(const std::string& host, uint16_t port,
+                 const Deadline& deadline, std::string* error);
+
+}  // namespace net
+}  // namespace serve
+}  // namespace rgae
+
+#endif  // RGAE_SERVE_NET_SOCKET_H_

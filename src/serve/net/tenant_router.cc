@@ -1,0 +1,60 @@
+#include "src/serve/net/tenant_router.h"
+
+#include <utility>
+
+namespace rgae {
+namespace serve {
+namespace net {
+
+namespace {
+constexpr size_t kMaxTenantName = 64;
+}  // namespace
+
+bool TenantRouter::AddTenant(const std::string& name, ModelSnapshot snapshot,
+                             const ServeOptions& options, std::string* error) {
+  if (name.empty() || name.size() > kMaxTenantName) {
+    if (error != nullptr) {
+      *error = "tenant name must be 1.." + std::to_string(kMaxTenantName) +
+               " bytes";
+    }
+    return false;
+  }
+  std::string validate_error;
+  if (!ValidateSnapshot(snapshot, &validate_error)) {
+    if (error != nullptr) {
+      *error = "tenant '" + name + "' snapshot invalid: " + validate_error;
+    }
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (tenants_.find(name) != tenants_.end()) {
+    if (error != nullptr) *error = "tenant '" + name + "' already registered";
+    return false;
+  }
+  tenants_.emplace(
+      name, std::make_unique<ServeRegistry>(std::move(snapshot), options));
+  return true;
+}
+
+ServeRegistry* TenantRouter::Route(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> TenantRouter::TenantNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, registry] : tenants_) names.push_back(name);
+  return names;
+}
+
+int TenantRouter::num_tenants() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(tenants_.size());
+}
+
+}  // namespace net
+}  // namespace serve
+}  // namespace rgae

@@ -1,0 +1,58 @@
+#ifndef RGAE_SERVE_NET_TENANT_ROUTER_H_
+#define RGAE_SERVE_NET_TENANT_ROUTER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/serve/registry.h"
+#include "src/serve/snapshot.h"
+
+namespace rgae {
+namespace serve {
+namespace net {
+
+/// Maps tenant ids to isolated serving stacks. Each tenant owns a full
+/// `ServeRegistry` — its own `ServeEngine`, worker pool, embedding cache,
+/// and admission control (token bucket, queue bound, deadline budget) — so
+/// one tenant flooding its queue is shed by *its* admission policy while
+/// every other tenant's latency stays bounded (DESIGN.md §8.7).
+///
+/// Tenants are registered before the server starts and never removed, so
+/// `Route` can hand out raw registry pointers that stay valid for the
+/// router's lifetime. Thread-safe.
+class TenantRouter {
+ public:
+  TenantRouter() = default;
+
+  TenantRouter(const TenantRouter&) = delete;
+  TenantRouter& operator=(const TenantRouter&) = delete;
+
+  /// Registers `name` with its own registry booted from `snapshot` under
+  /// `options`. Fails (false + `*error`) on an empty/oversized name, a
+  /// duplicate, or a snapshot that fails validation.
+  bool AddTenant(const std::string& name, ModelSnapshot snapshot,
+                 const ServeOptions& options, std::string* error = nullptr);
+
+  /// The tenant's registry, or nullptr for an unknown tenant. The pointer
+  /// stays valid for the router's lifetime.
+  ServeRegistry* Route(const std::string& name) const;
+
+  /// Registered tenant ids, sorted.
+  std::vector<std::string> TenantNames() const;
+
+  int num_tenants() const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: deterministic iteration for TenantNames (lint R2).
+  std::map<std::string, std::unique_ptr<ServeRegistry>> tenants_;
+};
+
+}  // namespace net
+}  // namespace serve
+}  // namespace rgae
+
+#endif  // RGAE_SERVE_NET_TENANT_ROUTER_H_

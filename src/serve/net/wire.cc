@@ -1,0 +1,169 @@
+#include "src/serve/net/wire.h"
+
+#include "src/util/binio.h"
+
+namespace rgae {
+namespace serve {
+namespace net {
+namespace {
+
+// Encodes a double vector as u64 count + raw F64 elements.
+void PutDoubles(BinaryWriter* w, const std::vector<double>& v) {
+  w->U64(static_cast<uint64_t>(v.size()));
+  for (double d : v) w->F64(d);
+}
+
+// Strict inverse of PutDoubles. The count is validated against the bytes
+// actually remaining before any allocation, so a hostile header cannot
+// drive a huge reserve.
+bool GetDoubles(BinaryReader* r, std::vector<double>* v) {
+  uint64_t count = 0;
+  if (!r->U64(&count)) return false;
+  if (count > r->remaining() / sizeof(double)) return false;
+  v->clear();
+  v->reserve(static_cast<size_t>(count));
+  for (uint64_t i = 0; i < count; ++i) {
+    double d = 0.0;
+    if (!r->F64(&d)) return false;
+    v->push_back(d);
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* WireErrorName(WireErrorCode code) {
+  switch (code) {
+    case WireErrorCode::kBadMagic:
+      return "bad-magic";
+    case WireErrorCode::kBadLength:
+      return "bad-length";
+    case WireErrorCode::kBadCrc:
+      return "bad-crc";
+    case WireErrorCode::kBadType:
+      return "bad-type";
+    case WireErrorCode::kBadPayload:
+      return "bad-payload";
+    case WireErrorCode::kUnknownTenant:
+      return "unknown-tenant";
+    case WireErrorCode::kBadNode:
+      return "bad-node";
+    case WireErrorCode::kShuttingDown:
+      return "shutting-down";
+    case WireErrorCode::kBusy:
+      return "busy";
+  }
+  return "unknown";
+}
+
+const char* DecodeStatusName(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kFrame:
+      return "frame";
+    case DecodeStatus::kNeedMore:
+      return "need-more";
+    case DecodeStatus::kBadMagic:
+      return "bad-magic";
+    case DecodeStatus::kBadLength:
+      return "bad-length";
+    case DecodeStatus::kBadCrc:
+      return "bad-crc";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(FrameType type, uint64_t request_id,
+                        const std::string& payload) {
+  std::string out;
+  out.reserve(kWireHeaderBytes + payload.size());
+  BinaryWriter w(&out);
+  w.U32(kWireMagic);
+  w.U32(static_cast<uint32_t>(type));
+  w.U64(request_id);
+  w.U32(static_cast<uint32_t>(payload.size()));
+  w.U32(Crc32(payload));
+  out.append(payload);
+  return out;
+}
+
+DecodeStatus DecodeFrame(const char* data, size_t size, Frame* frame,
+                         size_t* consumed) {
+  if (size < kWireHeaderBytes) return DecodeStatus::kNeedMore;
+  BinaryReader r(data, size);
+  uint32_t magic = 0, type = 0, payload_len = 0, payload_crc = 0;
+  uint64_t request_id = 0;
+  // The header reads cannot fail: size >= kWireHeaderBytes.
+  r.U32(&magic);
+  r.U32(&type);
+  r.U64(&request_id);
+  r.U32(&payload_len);
+  r.U32(&payload_crc);
+  if (magic != kWireMagic) return DecodeStatus::kBadMagic;
+  if (payload_len > kWireMaxPayload) return DecodeStatus::kBadLength;
+  if (size < kWireHeaderBytes + payload_len) return DecodeStatus::kNeedMore;
+  const char* payload = data + kWireHeaderBytes;
+  if (Crc32(payload, payload_len) != payload_crc) {
+    return DecodeStatus::kBadCrc;
+  }
+  frame->type = type;
+  frame->request_id = request_id;
+  frame->payload.assign(payload, payload_len);
+  *consumed = kWireHeaderBytes + payload_len;
+  return DecodeStatus::kFrame;
+}
+
+std::string EncodeQuery(const QueryPayload& q) {
+  std::string out;
+  BinaryWriter w(&out);
+  w.Str(q.tenant);
+  w.I64(q.node);
+  w.F64(q.deadline_ms);
+  return out;
+}
+
+std::string EncodeQueryReply(const QueryReplyPayload& r) {
+  std::string out;
+  BinaryWriter w(&out);
+  w.U32(r.status);
+  w.U32((r.cache_hit ? 1u : 0u) | (r.stale ? 2u : 0u));
+  PutDoubles(&w, r.embedding);
+  PutDoubles(&w, r.assignment);
+  w.F64(r.serve_us);
+  return out;
+}
+
+std::string EncodeError(WireErrorCode code, const std::string& message) {
+  std::string out;
+  BinaryWriter w(&out);
+  w.U32(static_cast<uint32_t>(code));
+  w.Str(message);
+  return out;
+}
+
+bool DecodeQuery(const std::string& payload, QueryPayload* out) {
+  BinaryReader r(payload);
+  return r.Str(&out->tenant) && r.I64(&out->node) &&
+         r.F64(&out->deadline_ms) && r.remaining() == 0;
+}
+
+bool DecodeQueryReply(const std::string& payload, QueryReplyPayload* out) {
+  BinaryReader r(payload);
+  uint32_t flags = 0;
+  if (!(r.U32(&out->status) && r.U32(&flags) &&
+        GetDoubles(&r, &out->embedding) && GetDoubles(&r, &out->assignment) &&
+        r.F64(&out->serve_us) && r.remaining() == 0)) {
+    return false;
+  }
+  out->cache_hit = (flags & 1u) != 0;
+  out->stale = (flags & 2u) != 0;
+  return true;
+}
+
+bool DecodeError(const std::string& payload, ErrorPayload* out) {
+  BinaryReader r(payload);
+  return r.U32(&out->code) && r.Str(&out->message) && r.remaining() == 0;
+}
+
+}  // namespace net
+}  // namespace serve
+}  // namespace rgae

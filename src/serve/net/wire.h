@@ -1,0 +1,133 @@
+#ifndef RGAE_SERVE_NET_WIRE_H_
+#define RGAE_SERVE_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rgae {
+namespace serve {
+namespace net {
+
+/// `rgae.wire.v1`: the length-prefixed, CRC-checked frame format the TCP
+/// front-end speaks (DESIGN.md §8.7). Every frame is a fixed 24-byte header
+/// followed by `payload_len` payload bytes, all fields little-endian via
+/// `util/binio`:
+///
+///   u32 magic        "RGW1" (0x31574752)
+///   u32 type         FrameType
+///   u64 request_id   echoed verbatim in the response
+///   u32 payload_len  <= kWireMaxPayload
+///   u32 payload_crc  CRC-32 (IEEE) of the payload bytes
+///
+/// The decoder is strict and total: any byte stream either yields a frame,
+/// asks for more bytes, or is rejected with a structured status — it never
+/// throws, never reads past the buffer, and never leaves partial state in
+/// its outputs. Framing violations (bad magic, oversized length, CRC
+/// mismatch) are unrecoverable for the connection: the stream offset is
+/// untrustworthy, so the server replies with a structured error and closes.
+
+inline constexpr uint32_t kWireMagic = 0x31574752u;  // "RGW1"
+inline constexpr size_t kWireHeaderBytes = 24;
+/// Frames carry one query or one embedding row — 1 MiB is generous.
+inline constexpr uint32_t kWireMaxPayload = 1u << 20;
+
+enum class FrameType : uint32_t {
+  kQuery = 1,       // client -> server: QueryPayload
+  kQueryReply = 2,  // server -> client: QueryReplyPayload
+  kError = 3,       // server -> client: ErrorPayload
+  kPing = 4,        // client -> server: empty payload
+  kPong = 5,        // server -> client: empty payload
+};
+
+/// Wire-level error codes carried in an ErrorPayload. The first three mark
+/// framing violations (connection closed after the reply); the rest are
+/// per-request errors on an intact stream (connection stays open).
+enum class WireErrorCode : uint32_t {
+  kBadMagic = 1,
+  kBadLength = 2,
+  kBadCrc = 3,
+  kBadType = 4,
+  kBadPayload = 5,
+  kUnknownTenant = 6,
+  kBadNode = 7,
+  kShuttingDown = 8,
+  kBusy = 9,
+};
+
+/// Human-readable name of a wire error code ("bad-magic", ...).
+const char* WireErrorName(WireErrorCode code);
+
+/// Outcome of one decode attempt against a byte buffer.
+enum class DecodeStatus {
+  kFrame,     // A complete, CRC-verified frame was extracted.
+  kNeedMore,  // Prefix of a valid frame; read more bytes and retry.
+  kBadMagic,  // First four bytes are not "RGW1".
+  kBadLength, // Declared payload length exceeds kWireMaxPayload.
+  kBadCrc,    // Payload bytes do not match the declared CRC.
+};
+
+/// Human-readable name of a decode status ("frame", "need-more", ...).
+const char* DecodeStatusName(DecodeStatus status);
+
+/// One decoded frame. `type` is the raw wire value — the caller validates
+/// it against `FrameType` (an unknown type is a per-request error, not a
+/// framing violation).
+struct Frame {
+  uint32_t type = 0;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Encodes a complete frame (header + payload) ready to write to a socket.
+std::string EncodeFrame(FrameType type, uint64_t request_id,
+                        const std::string& payload);
+
+/// Attempts to decode one frame from the front of `data`. On `kFrame`,
+/// fills `*frame` and sets `*consumed` to the bytes to drop from the
+/// buffer; on every other status both outputs are untouched.
+DecodeStatus DecodeFrame(const char* data, size_t size, Frame* frame,
+                         size_t* consumed);
+
+/// kQuery payload: which tenant, which node, how long the client is
+/// willing to wait (<= 0 defers to the tenant's default deadline).
+struct QueryPayload {
+  std::string tenant;
+  int64_t node = 0;
+  double deadline_ms = 0.0;
+};
+
+/// kQueryReply payload. `status` is the numeric `serve::QueryStatus` of
+/// the engine's answer; shed requests come back with empty vectors.
+struct QueryReplyPayload {
+  uint32_t status = 0;
+  bool cache_hit = false;
+  bool stale = false;
+  std::vector<double> embedding;
+  std::vector<double> assignment;
+  double serve_us = 0.0;
+};
+
+/// kError payload.
+struct ErrorPayload {
+  uint32_t code = 0;  // WireErrorCode
+  std::string message;
+};
+
+std::string EncodeQuery(const QueryPayload& q);
+std::string EncodeQueryReply(const QueryReplyPayload& r);
+std::string EncodeError(WireErrorCode code, const std::string& message);
+
+/// Payload decoders: strict (trailing bytes are an error), bounds-checked,
+/// and total — on failure they return false with `*out` in an unspecified
+/// but valid state the caller must discard.
+bool DecodeQuery(const std::string& payload, QueryPayload* out);
+bool DecodeQueryReply(const std::string& payload, QueryReplyPayload* out);
+bool DecodeError(const std::string& payload, ErrorPayload* out);
+
+}  // namespace net
+}  // namespace serve
+}  // namespace rgae
+
+#endif  // RGAE_SERVE_NET_WIRE_H_

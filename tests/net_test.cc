@@ -1,0 +1,773 @@
+#include "src/serve/net/server.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/deadline.h"
+#include "src/core/fault_injection.h"
+#include "src/graph/generators.h"
+#include "src/models/model_factory.h"
+#include "src/serve/net/client.h"
+#include "src/serve/net/socket.h"
+#include "src/serve/net/tenant_router.h"
+#include "src/serve/net/wire.h"
+#include "src/util/binio.h"
+
+namespace rgae {
+namespace {
+
+using serve::ModelSnapshot;
+using serve::QueryStatus;
+using serve::ServeOptions;
+using serve::net::DecodeError;
+using serve::net::DecodeFrame;
+using serve::net::DecodeQuery;
+using serve::net::DecodeQueryReply;
+using serve::net::DecodeStatus;
+using serve::net::EncodeFrame;
+using serve::net::EncodeQuery;
+using serve::net::EncodeQueryReply;
+using serve::net::ErrorPayload;
+using serve::net::Frame;
+using serve::net::FrameType;
+using serve::net::IoStatus;
+using serve::net::NetClient;
+using serve::net::NetClientOptions;
+using serve::net::NetQueryResult;
+using serve::net::NetServer;
+using serve::net::NetServerOptions;
+using serve::net::NetServerStats;
+using serve::net::QueryPayload;
+using serve::net::QueryReplyPayload;
+using serve::net::Socket;
+using serve::net::TenantRouter;
+using serve::net::WireErrorCode;
+using serve::net::kWireHeaderBytes;
+using serve::net::kWireMaxPayload;
+
+AttributedGraph NetTinyGraph(uint64_t seed = 1) {
+  CitationLikeOptions o;
+  o.num_nodes = 40;
+  o.num_clusters = 3;
+  o.feature_dim = 24;
+  o.topic_words = 8;
+  o.intra_degree = 3.0;
+  o.inter_degree = 0.5;
+  Rng rng(seed);
+  return MakeCitationLike(o, rng);
+}
+
+ModelSnapshot NetTinySnapshot(uint64_t seed = 1) {
+  const AttributedGraph g = NetTinyGraph(seed);
+  ModelOptions options;
+  options.hidden_dim = 8;
+  options.latent_dim = 4;
+  options.seed = 5;
+  auto model = CreateModel("dgae", g, options);
+  if (model->has_clustering_head()) {
+    Rng rng(3);
+    model->InitClusteringHead(g.num_clusters(), rng);
+  }
+  return model->ExportSnapshot();
+}
+
+// A router with one default tenant, ready to serve.
+struct TestStack {
+  TenantRouter router;
+  explicit TestStack(const std::string& tenant = "acme",
+                     ServeOptions options = {}) {
+    options.num_workers = 2;
+    std::string error;
+    EXPECT_TRUE(router.AddTenant(tenant, NetTinySnapshot(), options, &error))
+        << error;
+  }
+};
+
+NetServerOptions FastServerOptions() {
+  NetServerOptions o;
+  o.num_workers = 2;
+  o.idle_timeout_s = 2.0;
+  o.io_timeout_s = 2.0;
+  o.poll_slice_s = 0.01;
+  return o;
+}
+
+NetClientOptions ClientFor(const NetServer& server) {
+  NetClientOptions o;
+  o.port = server.port();
+  o.connect_timeout_s = 2.0;
+  o.io_timeout_s = 2.0;
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Wire format round-trips.
+
+TEST(WireTest, QueryPayloadRoundTrips) {
+  QueryPayload q;
+  q.tenant = "tenant-7";
+  q.node = 1234567;
+  q.deadline_ms = 42.5;
+  QueryPayload back;
+  ASSERT_TRUE(DecodeQuery(EncodeQuery(q), &back));
+  EXPECT_EQ(back.tenant, q.tenant);
+  EXPECT_EQ(back.node, q.node);
+  EXPECT_EQ(back.deadline_ms, q.deadline_ms);
+}
+
+TEST(WireTest, QueryReplyPayloadRoundTrips) {
+  QueryReplyPayload r;
+  r.status = static_cast<uint32_t>(QueryStatus::kDegraded);
+  r.cache_hit = true;
+  r.stale = true;
+  r.embedding = {1.5, -2.25, 0.0};
+  r.assignment = {0.25, 0.75};
+  r.serve_us = 17.0;
+  QueryReplyPayload back;
+  ASSERT_TRUE(DecodeQueryReply(EncodeQueryReply(r), &back));
+  EXPECT_EQ(back.status, r.status);
+  EXPECT_TRUE(back.cache_hit);
+  EXPECT_TRUE(back.stale);
+  EXPECT_EQ(back.embedding, r.embedding);
+  EXPECT_EQ(back.assignment, r.assignment);
+  EXPECT_EQ(back.serve_us, r.serve_us);
+}
+
+TEST(WireTest, FrameRoundTripsThroughTheDecoder) {
+  const std::string payload = EncodeQuery({"t", 3, 0.0});
+  const std::string bytes = EncodeFrame(FrameType::kQuery, 99, payload);
+  Frame frame;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(bytes.data(), bytes.size(), &frame, &consumed),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(frame.type, static_cast<uint32_t>(FrameType::kQuery));
+  EXPECT_EQ(frame.request_id, 99u);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(WireTest, BackToBackFramesDecodeOneAtATime) {
+  const std::string a = EncodeFrame(FrameType::kPing, 1, "");
+  const std::string b =
+      EncodeFrame(FrameType::kQuery, 2, EncodeQuery({"t", 0, 0.0}));
+  std::string stream = a + b;
+  Frame frame;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(stream.data(), stream.size(), &frame, &consumed),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(frame.request_id, 1u);
+  stream.erase(0, consumed);
+  ASSERT_EQ(DecodeFrame(stream.data(), stream.size(), &frame, &consumed),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(frame.request_id, 2u);
+  EXPECT_EQ(consumed, stream.size());
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic protocol corpus: every malformed frame class must be
+// rejected with a structured status — no throw, no partial state, no
+// consumed bytes.
+
+struct CorpusCase {
+  const char* name;
+  // Builds the malformed bytes from a valid frame.
+  std::string (*mutate)(const std::string& valid);
+  DecodeStatus want;
+};
+
+std::string TruncateToHalfHeader(const std::string& valid) {
+  return valid.substr(0, kWireHeaderBytes / 2);
+}
+std::string TruncateAfterHeader(const std::string& valid) {
+  return valid.substr(0, kWireHeaderBytes + 1);
+}
+std::string WrongMagic(const std::string& valid) {
+  std::string bytes = valid;
+  bytes[0] = 'X';
+  return bytes;
+}
+std::string OversizedLength(const std::string& valid) {
+  std::string bytes = valid;
+  const uint32_t huge = kWireMaxPayload + 1;
+  std::memcpy(&bytes[16], &huge, sizeof(huge));
+  return bytes;
+}
+std::string BitFlippedPayload(const std::string& valid) {
+  std::string bytes = valid;
+  bytes[kWireHeaderBytes] = static_cast<char>(bytes[kWireHeaderBytes] ^ 0x40);
+  return bytes;
+}
+std::string WrongCrc(const std::string& valid) {
+  std::string bytes = valid;
+  bytes[20] = static_cast<char>(bytes[20] ^ 0xff);
+  return bytes;
+}
+
+TEST(WireCorpusTest, MalformedFramesAreRejectedStructurally) {
+  const CorpusCase kCorpus[] = {
+      {"truncated-half-header", TruncateToHalfHeader, DecodeStatus::kNeedMore},
+      {"truncated-mid-payload", TruncateAfterHeader, DecodeStatus::kNeedMore},
+      {"wrong-magic", WrongMagic, DecodeStatus::kBadMagic},
+      {"oversized-length", OversizedLength, DecodeStatus::kBadLength},
+      {"bit-flipped-payload", BitFlippedPayload, DecodeStatus::kBadCrc},
+      {"wrong-crc-field", WrongCrc, DecodeStatus::kBadCrc},
+  };
+  const std::string valid =
+      EncodeFrame(FrameType::kQuery, 7, EncodeQuery({"tenant", 5, 10.0}));
+  for (const CorpusCase& c : kCorpus) {
+    const std::string bytes = c.mutate(valid);
+    Frame frame;
+    frame.request_id = 12345;  // Sentinel: must be untouched on rejection.
+    frame.payload = "sentinel";
+    size_t consumed = 7777;
+    EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size(), &frame, &consumed),
+              c.want)
+        << c.name;
+    EXPECT_EQ(frame.request_id, 12345u) << c.name << ": partial state";
+    EXPECT_EQ(frame.payload, "sentinel") << c.name << ": partial state";
+    EXPECT_EQ(consumed, 7777u) << c.name << ": consumed moved";
+  }
+}
+
+TEST(WireCorpusTest, EveryHeaderBitFlipIsRejectedOrReframed) {
+  // Flip each byte of the header in turn: the decoder must return a
+  // structured status every time — never crash — and only a flip that
+  // keeps magic/length/CRC coherent may still yield a frame (flipping the
+  // type or request-id bytes does not invalidate framing).
+  const std::string valid = EncodeFrame(FrameType::kPing, 1, "");
+  for (size_t i = 0; i < kWireHeaderBytes; ++i) {
+    std::string bytes = valid;
+    bytes[i] = static_cast<char>(bytes[i] ^ 0x10);
+    Frame frame;
+    size_t consumed = 0;
+    const DecodeStatus status =
+        DecodeFrame(bytes.data(), bytes.size(), &frame, &consumed);
+    if (i < 4) {
+      EXPECT_EQ(status, DecodeStatus::kBadMagic) << "byte " << i;
+    } else if (i >= 4 && i < 16) {
+      // Type/request-id flips keep the frame well-formed on the wire; the
+      // server rejects unknown types at the request layer instead.
+      EXPECT_EQ(status, DecodeStatus::kFrame) << "byte " << i;
+    } else {
+      // Length or CRC flips: either the declared payload no longer matches
+      // (kNeedMore for a longer declared length, kBadCrc for a CRC
+      // mismatch) or the length cap trips.
+      EXPECT_NE(status, DecodeStatus::kFrame) << "byte " << i;
+    }
+  }
+}
+
+TEST(WireCorpusTest, MalformedPayloadsFailStrictDecode) {
+  QueryPayload q;
+  // Truncated payload.
+  const std::string full = EncodeQuery({"tenant", 3, 1.0});
+  EXPECT_FALSE(DecodeQuery(full.substr(0, full.size() - 1), &q));
+  // Trailing garbage.
+  EXPECT_FALSE(DecodeQuery(full + "x", &q));
+  // Hostile string length: u64 count far past the buffer.
+  std::string hostile;
+  BinaryWriter w(&hostile);
+  w.U64(~0ull);
+  EXPECT_FALSE(DecodeQuery(hostile, &q));
+  // Reply with a hostile embedding count must fail before allocating.
+  QueryReplyPayload r;
+  std::string reply;
+  BinaryWriter rw(&reply);
+  rw.U32(0);
+  rw.U32(0);
+  rw.U64(1ull << 60);  // Claims 2^60 doubles.
+  EXPECT_FALSE(DecodeQueryReply(reply, &r));
+}
+
+// ---------------------------------------------------------------------------
+// BinaryReader bounds-check edge cases (satellite: the decoder's substrate
+// must be as total as the decoder).
+
+TEST(BinaryReaderBoundsTest, EmptyBufferFailsEveryRead) {
+  BinaryReader r("", 0);
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  int64_t i64 = 0;
+  double f64 = 0.0;
+  std::string s;
+  EXPECT_FALSE(r.U32(&u32));
+  EXPECT_FALSE(r.U64(&u64));
+  EXPECT_FALSE(r.I64(&i64));
+  EXPECT_FALSE(r.F64(&f64));
+  EXPECT_FALSE(r.Str(&s));
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(BinaryReaderBoundsTest, ReadsStopExactlyAtTheEnd) {
+  std::string buf;
+  BinaryWriter w(&buf);
+  w.U32(7);
+  BinaryReader r(buf);
+  uint32_t v = 0;
+  EXPECT_TRUE(r.U32(&v));
+  EXPECT_EQ(v, 7u);
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_FALSE(r.U32(&v));      // One past the end fails...
+  EXPECT_EQ(r.position(), 4u);  // ...without moving the cursor.
+}
+
+TEST(BinaryReaderBoundsTest, StringLengthPastTheEndFails) {
+  std::string buf;
+  BinaryWriter w(&buf);
+  w.U64(100);  // Declares 100 bytes; none follow.
+  BinaryReader r(buf);
+  std::string s;
+  EXPECT_FALSE(r.Str(&s));
+}
+
+TEST(BinaryReaderBoundsTest, StringLengthOverCapFails) {
+  std::string buf;
+  BinaryWriter w(&buf);
+  w.U64((1ull << 28) + 1);  // One past the 2^28 cap.
+  BinaryReader r(buf);
+  std::string s;
+  EXPECT_FALSE(r.Str(&s));
+}
+
+TEST(BinaryReaderBoundsTest, SkipPastTheEndFails) {
+  std::string buf(8, 'a');
+  BinaryReader r(buf);
+  EXPECT_TRUE(r.Skip(8));
+  EXPECT_FALSE(r.Skip(1));
+  BinaryReader r2(buf);
+  EXPECT_FALSE(r2.Skip(9));
+}
+
+TEST(BinaryReaderBoundsTest, IntVecCountOverCapFails) {
+  std::string buf;
+  BinaryWriter w(&buf);
+  w.U64((1ull << 28) + 1);
+  BinaryReader r(buf);
+  std::vector<int> v;
+  EXPECT_FALSE(r.IntVec(&v));
+}
+
+TEST(BinaryReaderBoundsTest, NegativeMatrixDimsFail) {
+  std::string buf;
+  BinaryWriter w(&buf);
+  w.I64(-1);
+  w.I64(4);
+  BinaryReader r(buf);
+  Matrix m;
+  EXPECT_FALSE(r.Mat(&m));
+}
+
+// ---------------------------------------------------------------------------
+// Tenant router.
+
+TEST(TenantRouterTest, RoutesRegisteredTenantsAndRejectsBadOnes) {
+  TenantRouter router;
+  std::string error;
+  EXPECT_TRUE(router.AddTenant("a", NetTinySnapshot(1), {}, &error)) << error;
+  EXPECT_TRUE(router.AddTenant("b", NetTinySnapshot(2), {}, &error)) << error;
+  EXPECT_FALSE(router.AddTenant("a", NetTinySnapshot(3), {}, &error));
+  EXPECT_NE(error.find("already registered"), std::string::npos);
+  EXPECT_FALSE(router.AddTenant("", NetTinySnapshot(4), {}, &error));
+  EXPECT_FALSE(
+      router.AddTenant(std::string(65, 'x'), NetTinySnapshot(5), {}, &error));
+  ModelSnapshot corrupt = NetTinySnapshot(6);
+  corrupt.w0(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(router.AddTenant("c", std::move(corrupt), {}, &error));
+  EXPECT_EQ(router.num_tenants(), 2);
+  EXPECT_NE(router.Route("a"), nullptr);
+  EXPECT_NE(router.Route("b"), nullptr);
+  EXPECT_EQ(router.Route("nope"), nullptr);
+  EXPECT_EQ(router.TenantNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end serving over real sockets.
+
+TEST(NetServerTest, AnswersQueriesMatchingTheEngine) {
+  TestStack stack;
+  NetServer server(&stack.router, FastServerOptions());
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  ASSERT_GT(server.port(), 0);
+
+  NetClient client(ClientFor(server));
+  ASSERT_TRUE(client.Ping());
+  for (int node = 0; node < 5; ++node) {
+    const NetQueryResult result = client.Query("acme", node, 2000.0);
+    ASSERT_EQ(result.kind, NetQueryResult::Kind::kAnswered) << "node " << node;
+    EXPECT_EQ(result.reply.status, static_cast<uint32_t>(QueryStatus::kOk));
+    // The wire answer must match the engine's own answer bit for bit.
+    const serve::QueryResult direct =
+        stack.router.Route("acme")->engine()->QueryBlocking(node);
+    EXPECT_EQ(result.reply.embedding, direct.embedding) << "node " << node;
+    EXPECT_EQ(result.reply.assignment, direct.assignment) << "node " << node;
+  }
+  server.Stop();
+  const NetServerStats stats = server.stats();
+  EXPECT_EQ(stats.queries, 5);
+  EXPECT_EQ(stats.pings, 1);
+  EXPECT_EQ(stats.replies_sent, 6);  // 5 replies + 1 pong.
+  EXPECT_EQ(stats.protocol_errors(), 0);
+}
+
+TEST(NetServerTest, MalformedFrameGetsStructuredErrorThenClose) {
+  TestStack stack;
+  NetServerOptions options = FastServerOptions();
+  NetServer server(&stack.router, options);
+  ASSERT_TRUE(server.Start());
+
+  // Hand-rolled client: valid header bytes except the magic.
+  std::string error;
+  Socket conn = serve::net::ConnectTo("127.0.0.1", server.port(),
+                                      Deadline::After(2.0), &error);
+  ASSERT_TRUE(conn.valid()) << error;
+  std::string bad = EncodeFrame(FrameType::kPing, 1, "");
+  bad[1] = 'Z';
+  ASSERT_EQ(serve::net::SendAll(conn.fd(), bad.data(), bad.size(),
+                                Deadline::After(2.0)),
+            IoStatus::kOk);
+  // The server must reply with a structured kBadMagic error...
+  std::string buf;
+  char chunk[1024];
+  Frame frame;
+  for (;;) {
+    size_t consumed = 0;
+    if (DecodeFrame(buf.data(), buf.size(), &frame, &consumed) ==
+        DecodeStatus::kFrame) {
+      break;
+    }
+    size_t got = 0;
+    ASSERT_EQ(serve::net::RecvSome(conn.fd(), chunk, sizeof(chunk), &got,
+                                   Deadline::After(2.0)),
+              IoStatus::kOk);
+    buf.append(chunk, got);
+  }
+  ASSERT_EQ(frame.type, static_cast<uint32_t>(FrameType::kError));
+  ErrorPayload payload;
+  ASSERT_TRUE(DecodeError(frame.payload, &payload));
+  EXPECT_EQ(payload.code, static_cast<uint32_t>(WireErrorCode::kBadMagic));
+  // ...then close the connection.
+  size_t got = 0;
+  EXPECT_EQ(serve::net::RecvSome(conn.fd(), chunk, sizeof(chunk), &got,
+                                 Deadline::After(2.0)),
+            IoStatus::kClosed);
+  server.Stop();
+  EXPECT_EQ(server.stats().bad_magic, 1);
+}
+
+TEST(NetServerTest, PerRequestErrorsKeepTheConnectionOpen) {
+  TestStack stack;
+  NetServer server(&stack.router, FastServerOptions());
+  ASSERT_TRUE(server.Start());
+  NetClient client(ClientFor(server));
+
+  const NetQueryResult unknown = client.Query("ghost", 0, 1000.0);
+  ASSERT_EQ(unknown.kind, NetQueryResult::Kind::kServerError);
+  EXPECT_EQ(unknown.error_code,
+            static_cast<uint32_t>(WireErrorCode::kUnknownTenant));
+
+  const NetQueryResult bad_node = client.Query("acme", 10'000, 1000.0);
+  ASSERT_EQ(bad_node.kind, NetQueryResult::Kind::kServerError);
+  EXPECT_EQ(bad_node.error_code,
+            static_cast<uint32_t>(WireErrorCode::kBadNode));
+  const NetQueryResult negative = client.Query("acme", -1, 1000.0);
+  ASSERT_EQ(negative.kind, NetQueryResult::Kind::kServerError);
+  EXPECT_EQ(negative.error_code,
+            static_cast<uint32_t>(WireErrorCode::kBadNode));
+
+  // Same connection still serves good queries: no reconnect happened.
+  const NetQueryResult good = client.Query("acme", 1, 1000.0);
+  ASSERT_EQ(good.kind, NetQueryResult::Kind::kAnswered);
+  EXPECT_EQ(client.stats().reconnects, 0);
+  server.Stop();
+  const NetServerStats stats = server.stats();
+  EXPECT_EQ(stats.unknown_tenant, 1);
+  EXPECT_EQ(stats.bad_node, 2);
+}
+
+TEST(NetServerTest, MidFrameStallIsShedAsASlowClient) {
+  TestStack stack;
+  NetServerOptions options = FastServerOptions();
+  options.io_timeout_s = 0.1;
+  options.idle_timeout_s = 5.0;  // Idle must not be what fires here.
+  NetServer server(&stack.router, options);
+  ASSERT_TRUE(server.Start());
+
+  std::string error;
+  Socket conn = serve::net::ConnectTo("127.0.0.1", server.port(),
+                                      Deadline::After(2.0), &error);
+  ASSERT_TRUE(conn.valid()) << error;
+  // Send half a valid frame, then stall: the server must shed us on the
+  // I/O budget, not wait out the idle window.
+  const std::string frame = EncodeFrame(FrameType::kPing, 1, "");
+  ASSERT_EQ(serve::net::SendAll(conn.fd(), frame.data(), frame.size() / 2,
+                                Deadline::After(2.0)),
+            IoStatus::kOk);
+  char chunk[256];
+  size_t got = 0;
+  const IoStatus status = serve::net::RecvSome(conn.fd(), chunk, sizeof(chunk),
+                                               &got, Deadline::After(3.0));
+  EXPECT_EQ(status, IoStatus::kClosed);
+  server.Stop();
+  EXPECT_EQ(server.stats().shed_slow_client, 1);
+  EXPECT_EQ(server.stats().idle_closes, 0);
+}
+
+TEST(NetServerTest, IdleConnectionsAreClosedOnTheIdleBudget) {
+  TestStack stack;
+  NetServerOptions options = FastServerOptions();
+  options.idle_timeout_s = 0.1;
+  NetServer server(&stack.router, options);
+  ASSERT_TRUE(server.Start());
+  std::string error;
+  Socket conn = serve::net::ConnectTo("127.0.0.1", server.port(),
+                                      Deadline::After(2.0), &error);
+  ASSERT_TRUE(conn.valid()) << error;
+  char chunk[64];
+  size_t got = 0;
+  EXPECT_EQ(serve::net::RecvSome(conn.fd(), chunk, sizeof(chunk), &got,
+                                 Deadline::After(3.0)),
+            IoStatus::kClosed);
+  server.Stop();
+  EXPECT_EQ(server.stats().idle_closes, 1);
+}
+
+TEST(NetServerTest, ClientReconnectsAndRetriesThroughAnInjectedReset) {
+  TestStack stack;
+  // The first response write is replaced by a connection close.
+  ServeFaultInjector faults({{ServeFault::Type::kConnReset, 1, 0, 0.0,
+                              /*once=*/true}});
+  NetServerOptions options = FastServerOptions();
+  options.faults = &faults;
+  NetServer server(&stack.router, options);
+  ASSERT_TRUE(server.Start());
+
+  NetClientOptions copts = ClientFor(server);
+  copts.max_attempts = 3;
+  copts.backoff_initial_s = 0.001;
+  NetClient client(copts);
+  const NetQueryResult result = client.Query("acme", 2, 2000.0);
+  ASSERT_EQ(result.kind, NetQueryResult::Kind::kAnswered);
+  EXPECT_GE(result.attempts, 2);
+  EXPECT_GE(client.stats().reconnects, 1);
+  EXPECT_GE(client.stats().retries, 1);
+  EXPECT_EQ(faults.counts().conn_resets, 1);
+  server.Stop();
+}
+
+TEST(NetServerTest, TornWriteSurfacesAsTransportErrorWithoutRetryBudget) {
+  TestStack stack;
+  // Every response write is torn: with a single attempt the client must
+  // report a transport error — never a garbled answer.
+  ServeFaultInjector faults({{ServeFault::Type::kTornWrite, 1, 0, 0.0,
+                              /*once=*/false}});
+  NetServerOptions options = FastServerOptions();
+  options.faults = &faults;
+  NetServer server(&stack.router, options);
+  ASSERT_TRUE(server.Start());
+
+  NetClientOptions copts = ClientFor(server);
+  copts.max_attempts = 1;
+  copts.io_timeout_s = 0.3;
+  NetClient client(copts);
+  const NetQueryResult result = client.Query("acme", 0, 500.0);
+  EXPECT_EQ(result.kind, NetQueryResult::Kind::kTransportError);
+  EXPECT_GE(faults.counts().torn_writes, 1);
+  server.Stop();
+}
+
+TEST(NetServerTest, AcceptStallFiresOnItsDeterministicOrdinal) {
+  TestStack stack;
+  // Stall the 2nd accepted connection by 30ms.
+  ServeFault stall;
+  stall.type = ServeFault::Type::kAcceptStall;
+  stall.every_n = 1;
+  stall.after = 1;
+  stall.magnitude = 30.0;
+  stall.once = true;
+  ServeFaultInjector armed({stall});
+  NetServerOptions options = FastServerOptions();
+  options.faults = &armed;
+  NetServer server(&stack.router, options);
+  ASSERT_TRUE(server.Start());
+  NetClient a(ClientFor(server)), b(ClientFor(server));
+  EXPECT_TRUE(a.Ping());
+  EXPECT_TRUE(b.Ping());  // Rides through the stalled accept.
+  EXPECT_EQ(armed.counts().accept_stalls, 1);
+  server.Stop();
+}
+
+TEST(NetServerTest, ByteStallDelaysButDeliversTheFrame) {
+  TestStack stack;
+  ServeFault stall;
+  stall.type = ServeFault::Type::kByteStall;
+  stall.every_n = 1;
+  stall.magnitude = 50.0;
+  stall.once = true;
+  ServeFaultInjector faults({stall});
+  NetServerOptions options = FastServerOptions();
+  options.faults = &faults;
+  NetServer server(&stack.router, options);
+  ASSERT_TRUE(server.Start());
+  NetClient client(ClientFor(server));
+  const NetQueryResult result = client.Query("acme", 3, 2000.0);
+  EXPECT_EQ(result.kind, NetQueryResult::Kind::kAnswered);
+  EXPECT_EQ(faults.counts().byte_stalls, 1);
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant isolation: the attacker's flood sheds inside its own
+// admission envelope while the victim keeps answering.
+
+TEST(NetServerTest, FloodingTenantIsShedWhileVictimKeepsAnswering) {
+  TenantRouter router;
+  ServeOptions victim_opts;
+  victim_opts.num_workers = 2;
+  ServeOptions attacker_opts;
+  attacker_opts.num_workers = 1;
+  attacker_opts.admission.queue_capacity = 2;
+  attacker_opts.admission.rate_limit_qps = 50.0;
+  attacker_opts.admission.rate_limit_burst = 5.0;
+  attacker_opts.admission.allow_degraded = false;
+  std::string error;
+  ASSERT_TRUE(
+      router.AddTenant("victim", NetTinySnapshot(1), victim_opts, &error))
+      << error;
+  ASSERT_TRUE(
+      router.AddTenant("attacker", NetTinySnapshot(2), attacker_opts, &error))
+      << error;
+  NetServerOptions options = FastServerOptions();
+  options.num_workers = 4;
+  NetServer server(&router, options);
+  ASSERT_TRUE(server.Start());
+
+  std::atomic<int> attacker_shed{0};
+  std::thread flood([&] {
+    NetClientOptions copts;
+    copts.port = server.port();
+    copts.max_attempts = 1;
+    NetClient client(copts);
+    for (int i = 0; i < 200; ++i) {
+      const NetQueryResult r = client.Query("attacker", i % 40, 200.0);
+      if (r.kind == NetQueryResult::Kind::kAnswered &&
+          r.reply.status ==
+              static_cast<uint32_t>(QueryStatus::kShedOverload)) {
+        attacker_shed.fetch_add(1);
+      }
+    }
+  });
+  NetClient victim(ClientFor(server));
+  int victim_ok = 0;
+  for (int i = 0; i < 50; ++i) {
+    const NetQueryResult r = victim.Query("victim", i % 40, 2000.0);
+    if (r.kind == NetQueryResult::Kind::kAnswered &&
+        r.reply.status == static_cast<uint32_t>(QueryStatus::kOk)) {
+      ++victim_ok;
+    }
+  }
+  flood.join();
+  // Every victim query is served fresh; the attacker's flood was shed by
+  // its own token bucket without touching the victim's engine.
+  EXPECT_EQ(victim_ok, 50);
+  EXPECT_GT(attacker_shed.load(), 0);
+  const serve::ServeStats attacker_stats =
+      router.Route("attacker")->engine()->stats();
+  EXPECT_GT(attacker_stats.admission.shed(), 0);
+  const serve::ServeStats victim_stats =
+      router.Route("victim")->engine()->stats();
+  EXPECT_EQ(victim_stats.admission.shed(), 0);
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Listener lifecycle under concurrency (tsan-covered): start → concurrent
+// clients → drain mid-flight → stop. Every client call returns a terminal
+// result; nothing hangs, nothing crashes, the disposition arithmetic holds.
+
+TEST(NetServerLifecycleTest, DrainUnderConcurrentClientsSettlesEverything) {
+  TestStack stack;
+  NetServerOptions options = FastServerOptions();
+  options.num_workers = 3;
+  NetServer server(&stack.router, options);
+  ASSERT_TRUE(server.Start());
+
+  constexpr int kThreads = 4;
+  constexpr int kQueriesPerThread = 30;
+  std::atomic<int64_t> answered{0}, server_errors{0}, transport_errors{0};
+  std::atomic<int64_t> shutdown_errors{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      NetClientOptions copts;
+      copts.port = server.port();
+      copts.max_attempts = 1;  // Terminal dispositions, no retry noise.
+      copts.seed = static_cast<uint64_t>(t + 1);
+      NetClient client(copts);
+      for (int i = 0; i < kQueriesPerThread; ++i) {
+        const NetQueryResult r = client.Query("acme", (t * 7 + i) % 40,
+                                              2000.0);
+        switch (r.kind) {
+          case NetQueryResult::Kind::kAnswered:
+            answered.fetch_add(1);
+            break;
+          case NetQueryResult::Kind::kServerError:
+            server_errors.fetch_add(1);
+            if (r.error_code ==
+                static_cast<uint32_t>(WireErrorCode::kShuttingDown)) {
+              shutdown_errors.fetch_add(1);
+            }
+            break;
+          case NetQueryResult::Kind::kTransportError:
+            transport_errors.fetch_add(1);
+            break;
+        }
+      }
+    });
+  }
+  // Let traffic flow, then drain mid-flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.Drain();
+  for (std::thread& c : clients) c.join();
+  server.Stop();
+
+  // Zero lost requests: every query settled into exactly one disposition.
+  EXPECT_EQ(answered.load() + server_errors.load() + transport_errors.load(),
+            kThreads * kQueriesPerThread);
+  EXPECT_GT(answered.load(), 0);  // Some traffic flowed before the drain.
+  // Post-drain queries that reached the server saw a structured shutdown.
+  EXPECT_EQ(server_errors.load(), shutdown_errors.load());
+  const NetServerStats stats = server.stats();
+  EXPECT_EQ(stats.drained_rejects, shutdown_errors.load());
+  // A second Stop is a no-op, not a crash.
+  server.Stop();
+}
+
+TEST(NetServerLifecycleTest, StopWithoutTrafficIsClean) {
+  TestStack stack;
+  NetServer server(&stack.router, FastServerOptions());
+  ASSERT_TRUE(server.Start());
+  server.Stop();
+  EXPECT_EQ(server.stats().accepted, 0);
+}
+
+TEST(NetServerLifecycleTest, StartTwiceFails) {
+  TestStack stack;
+  NetServer server(&stack.router, FastServerOptions());
+  ASSERT_TRUE(server.Start());
+  std::string error;
+  EXPECT_FALSE(server.Start(&error));
+  EXPECT_NE(error.find("already started"), std::string::npos);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace rgae

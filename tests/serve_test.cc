@@ -18,6 +18,7 @@
 #include "src/graph/corrupt.h"
 #include "src/graph/generators.h"
 #include "src/models/model_factory.h"
+#include "src/serve/cache.h"
 #include "src/serve/forward.h"
 #include "src/serve/registry.h"
 #include "src/serve/snapshot.h"
@@ -366,6 +367,138 @@ TEST(TokenBucketTest, FiringSequenceIsAFunctionOfTheOfferedTimestamps) {
   serve::TokenBucket unlimited(0.0, 0.0);
   EXPECT_TRUE(unlimited.unlimited());
   for (int i = 0; i < 100; ++i) EXPECT_TRUE(unlimited.TryAcquire(t0));
+}
+
+TEST(TokenBucketTest, ZeroCapacityClampsToASaneDefault) {
+  // burst <= 0 falls back to max(1, rate): a "zero capacity" config can
+  // never build a bucket that rejects everything forever.
+  serve::TokenBucket bucket(10.0, 0.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(bucket.TryAcquire(t0)) << "token " << i;
+  }
+  EXPECT_FALSE(bucket.TryAcquire(t0));
+
+  // Sub-1 rates still get one token of headroom.
+  serve::TokenBucket slow(0.5, 0.0);
+  EXPECT_TRUE(slow.TryAcquire(t0));
+  EXPECT_FALSE(slow.TryAcquire(t0));
+}
+
+TEST(TokenBucketTest, ZeroRefillRateMeansUnlimited) {
+  // rate <= 0 is the documented "rate limiting off" switch — even with an
+  // explicit burst, every acquire succeeds and no state is consulted.
+  serve::TokenBucket bucket(0.0, 5.0);
+  EXPECT_TRUE(bucket.unlimited());
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(bucket.TryAcquire(t0));
+  serve::TokenBucket negative(-3.0, 5.0);
+  EXPECT_TRUE(negative.unlimited());
+  EXPECT_TRUE(negative.TryAcquire(t0));
+}
+
+TEST(TokenBucketTest, CallerClockRegressionNeverMintsNegativeTokens) {
+  serve::TokenBucket bucket(10.0, 2.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_TRUE(bucket.TryAcquire(t0));
+  EXPECT_TRUE(bucket.TryAcquire(t0));
+  EXPECT_FALSE(bucket.TryAcquire(t0));  // Empty at t0.
+  // A caller clock that runs backwards must clamp: no negative refill that
+  // drives tokens below zero, no refill bookkeeping moving backwards.
+  const auto back = t0 - std::chrono::seconds(5);
+  EXPECT_FALSE(bucket.TryAcquire(back));
+  EXPECT_FALSE(bucket.TryAcquire(back));
+  // Refill still accrues against the original (not regressed) timestamp:
+  // +100ms from t0 is exactly one token, which a negative-token balance
+  // would have swallowed.
+  const auto t1 = t0 + std::chrono::milliseconds(100);
+  EXPECT_TRUE(bucket.TryAcquire(t1));
+  EXPECT_FALSE(bucket.TryAcquire(t1));
+}
+
+TEST(TokenBucketTest, BurstExactlyAtCapacity) {
+  serve::TokenBucket bucket(10.0, 3.0);
+  const auto t0 = std::chrono::steady_clock::now();
+  // Exactly `burst` tokens are available cold — not one more.
+  EXPECT_TRUE(bucket.TryAcquire(t0));
+  EXPECT_TRUE(bucket.TryAcquire(t0));
+  EXPECT_TRUE(bucket.TryAcquire(t0));
+  EXPECT_FALSE(bucket.TryAcquire(t0));
+  // A long idle stretch refills to the cap, never past it.
+  const auto t1 = t0 + std::chrono::hours(1);
+  EXPECT_TRUE(bucket.TryAcquire(t1));
+  EXPECT_TRUE(bucket.TryAcquire(t1));
+  EXPECT_TRUE(bucket.TryAcquire(t1));
+  EXPECT_FALSE(bucket.TryAcquire(t1));
+}
+
+// ---------------------------------------------------------------------------
+// Stale side-store bounds (DESIGN.md §8.6): LRU eviction + counter, so a
+// long mutation stream cannot grow the degraded-serving store without
+// limit.
+
+serve::CachedEntry EntryFor(double v) {
+  serve::CachedEntry e;
+  e.embedding = {v};
+  return e;
+}
+
+TEST(EmbeddingCacheTest, StaleStoreEvictsLeastRecentlyUsedAndCountsIt) {
+  serve::EmbeddingCache cache(2);
+  cache.Put(1, EntryFor(1.0));
+  cache.Put(2, EntryFor(2.0));
+  cache.Invalidate({1});  // stale: [1]
+  cache.Put(3, EntryFor(3.0));
+  cache.Invalidate({2});  // stale: [2, 1]
+  EXPECT_EQ(cache.stale_size(), 2);
+  EXPECT_EQ(cache.counters().stale_evictions, 0);
+
+  // A degraded probe refreshes the stale row's recency...
+  serve::CachedEntry out;
+  bool stale = false;
+  ASSERT_TRUE(cache.PeekAny(1, &out, &stale));
+  EXPECT_TRUE(stale);
+  EXPECT_EQ(out.embedding[0], 1.0);
+
+  // ...so the next stale insert evicts node 2 (now least recent), not 1.
+  cache.Put(4, EntryFor(4.0));
+  cache.Invalidate({3});  // stale: [3, 1] after evicting 2.
+  EXPECT_EQ(cache.stale_size(), 2);
+  EXPECT_EQ(cache.counters().stale_evictions, 1);
+  EXPECT_FALSE(cache.PeekAny(2, &out, &stale));
+  ASSERT_TRUE(cache.PeekAny(1, &out, &stale));
+  EXPECT_TRUE(stale);
+  ASSERT_TRUE(cache.PeekAny(3, &out, &stale));
+  EXPECT_TRUE(stale);
+}
+
+TEST(EmbeddingCacheTest, LongMutationStreamKeepsTheStaleStoreBounded) {
+  constexpr int kCapacity = 8;
+  serve::EmbeddingCache cache(kCapacity);
+  // Alternate Put/Invalidate far past capacity: the side-store must stay
+  // bounded with every drop accounted.
+  for (int i = 0; i < 100; ++i) {
+    cache.Put(i, EntryFor(static_cast<double>(i)));
+    cache.Invalidate({i});
+  }
+  EXPECT_LE(cache.stale_size(), kCapacity);
+  const serve::CacheCounters counters = cache.counters();
+  EXPECT_EQ(counters.stale_evictions, 100 - kCapacity);
+  EXPECT_EQ(counters.invalidations, 100);
+}
+
+TEST(EmbeddingCacheTest, FreshPutSupersedesTheStaleCopyWithoutEviction) {
+  serve::EmbeddingCache cache(4);
+  cache.Put(1, EntryFor(1.0));
+  cache.Invalidate({1});
+  cache.Put(1, EntryFor(1.5));  // Recompute: drops the stale copy.
+  EXPECT_EQ(cache.stale_size(), 0);
+  EXPECT_EQ(cache.counters().stale_evictions, 0);  // Superseded, not evicted.
+  serve::CachedEntry out;
+  bool stale = true;
+  ASSERT_TRUE(cache.PeekAny(1, &out, &stale));
+  EXPECT_FALSE(stale);
+  EXPECT_EQ(out.embedding[0], 1.5);
 }
 
 TEST(ServeFaultInjectorTest, FiresOnDeterministicTriggerOrdinals) {
