@@ -25,6 +25,22 @@ step "ctest (unit + schema tests)"
 step "ctest -L lint (registered lint cases)"
 (cd "${BUILD_DIR}" && ctest --output-on-failure -L lint)
 
+step "ctest -L concurrency under lockcheck (RGAE_LOCKCHECK=abort)"
+# The serve/net suites re-run with the runtime lock-order checker armed in
+# fatal mode: any inversion or re-entrant acquisition aborts the test binary.
+# Seeded-violation tests disarm fatality themselves via SetLockCheckFatal.
+(cd "${BUILD_DIR}" && RGAE_LOCKCHECK=abort \
+  ctest --output-on-failure -L concurrency -j "${JOBS}")
+
+step "thread-safety analysis build (clang -Wthread-safety)"
+if command -v clang++ >/dev/null 2>&1; then
+  cmake -S "${SOURCE_DIR}" -B "${BUILD_DIR}-tsa" \
+    -DCMAKE_BUILD_TYPE=Release -DCMAKE_CXX_COMPILER=clang++ -DRGAE_TSA=ON
+  cmake --build "${BUILD_DIR}-tsa" -j "${JOBS}"
+else
+  echo "clang++ not installed; TSA build skipped"
+fi
+
 step "clang-tidy"
 if command -v clang-tidy >/dev/null 2>&1; then
   "${SOURCE_DIR}/scripts/run_clang_tidy.sh" clang-tidy "${BUILD_DIR}" \

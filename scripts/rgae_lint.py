@@ -57,9 +57,31 @@ Enforces invariants that generic tools do not know about:
                       comment in the same window. Unbounded network I/O is
                       how one dead peer pins a worker forever
                       (DESIGN.md §8.7).
+  R10 raw sync     -- in src/ outside util/sync.h, the std synchronization
+                      types (std::mutex and friends, std::lock_guard,
+                      std::unique_lock, std::scoped_lock,
+                      std::condition_variable, and their headers) are
+                      banned: use rgae::Mutex / MutexLock / CondVar from
+                      src/util/sync.h so every lock carries thread-safety
+                      annotations and reports to the lockcheck analyzer
+                      (DESIGN.md §7). A site that genuinely cannot use the
+                      wrapper (lockcheck's own internals) opts out with a
+                      `// Raw sync: <why>` comment on the line or within
+                      the three lines above.
+  R11 guarded-by   -- in src/, a `Mutex` member must either appear in an
+                      `RGAE_GUARDED_BY(<member>)` annotation somewhere in
+                      the same file (it guards data), or carry a
+                      `// Protocol lock:` comment within the three lines
+                      above its declaration (it serializes operations, not
+                      data — e.g. ServeRegistry's swap lock). A mutex that
+                      guards nothing and says nothing is either dead weight
+                      or an unprotected invariant.
 
 Run: python3 scripts/rgae_lint.py [--root DIR]. Exits 1 if any finding.
-Registered as the ctest case `lint_rgae_sources` (label: lint).
+Run: python3 scripts/rgae_lint.py --self-test to lint seeded fixture files
+and verify each rule both fires on a violation and respects its opt-out.
+Registered as the ctest cases `lint_rgae_sources` and `lint_rgae_selftest`
+(label: lint).
 """
 
 import argparse
@@ -97,7 +119,9 @@ USING_STD_RE = re.compile(r"\busing\s+namespace\s+std\b")
 # the worker pool must sit behind a mutex (DESIGN.md §8.4).
 SERVE_SCOPE = "src/serve/"
 SERVE_ANNOTATION = "Externally synchronized"
-SERVE_LOCK_RE = re.compile(r"\b(?:lock_guard|unique_lock|scoped_lock)\s*<")
+SERVE_LOCK_RE = re.compile(
+    r"\b(?:lock_guard|unique_lock|scoped_lock)\s*<|\bMutexLock\b"
+)
 # Top-level (column 0) function definition, Google style.
 SERVE_FUNC_RE = re.compile(r"^[A-Za-z_][\w:<>,*& ]*\(")
 SERVE_CTOR_RE = re.compile(r"\b([A-Za-z_]\w*)::(~?)([A-Za-z_]\w*)\s*\(")
@@ -150,6 +174,30 @@ SOCKET_CALL_RE = re.compile(r"\b(?:recv|send|accept|connect)\s*\(")
 SOCKET_BOUND_RE = re.compile(r"deadline|timeout|poll", re.IGNORECASE)
 SOCKET_NOTE = "Unbounded I/O:"
 SOCKET_NOTE_WINDOW = 3
+
+# R10: raw std synchronization in src/ outside the wrapper itself. The
+# token list covers the types and their headers; `// Raw sync:` opts out a
+# site that cannot go through rgae::Mutex (lockcheck's own internals).
+SYNC_SCOPE = "src/"
+SYNC_ALLOW_FILES = ("src/util/sync.h",)
+SYNC_RAW_RE = re.compile(
+    r"\bstd::(?:recursive_|timed_|shared_)?mutex\b"
+    r"|\bstd::(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b"
+    r"|\bstd::condition_variable(?:_any)?\b"
+    r"|#\s*include\s*<(?:mutex|shared_mutex|condition_variable)>"
+)
+SYNC_NOTE = "Raw sync:"
+SYNC_NOTE_WINDOW = 3
+
+# R11: a Mutex member must guard something (appear in RGAE_GUARDED_BY) or
+# declare itself a protocol lock. Matches member-style declarations only;
+# references/parameters (`Mutex& mu`) don't.
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?Mutex\s+(\w+)\s*(?:RGAE_[A-Z_]+\([^)]*\)\s*)?[{;=]"
+)
+GUARDED_BY_RE = re.compile(r"RGAE_(?:PT_)?GUARDED_BY\(\s*(\w+)\s*\)")
+PROTOCOL_NOTE = "Protocol lock:"
+PROTOCOL_NOTE_WINDOW = 3
 
 
 def strip_comments_and_strings(line):
@@ -293,6 +341,55 @@ def lint_socket_bounds(rel, raw_lines, code_lines, findings):
         )
 
 
+def lint_raw_sync(rel, raw_lines, code_lines, findings):
+    """R10: std synchronization primitives in src/ must go through
+    src/util/sync.h (annotated + lockcheck-instrumented), or justify the
+    raw use with a `// Raw sync:` comment nearby."""
+    if not rel.startswith(SYNC_SCOPE) or rel in SYNC_ALLOW_FILES:
+        return
+    for i, (raw, code) in enumerate(zip(raw_lines, code_lines)):
+        # Includes survive comment stripping; check the raw line so the
+        # `<mutex>` token inside a trailing comment cannot fire.
+        if not SYNC_RAW_RE.search(code):
+            continue
+        lo = max(0, i - SYNC_NOTE_WINDOW)
+        if any(SYNC_NOTE in raw_lines[j] for j in range(lo, i + 1)):
+            continue
+        findings.append(
+            f"{rel}:{i + 1}: [R10] raw std synchronization; use rgae::Mutex"
+            " / MutexLock / CondVar from src/util/sync.h so the lock is "
+            "annotated and lockcheck-visible, or justify with "
+            "`// Raw sync: <why>` (DESIGN.md §7)"
+        )
+
+
+def lint_guarded_by(rel, raw_lines, code_lines, findings):
+    """R11: every `Mutex` member either appears in an RGAE_GUARDED_BY in
+    the same file or carries a `// Protocol lock:` declaration of intent."""
+    if not rel.startswith(SYNC_SCOPE) or rel in SYNC_ALLOW_FILES:
+        return
+    guarded = set()
+    for code in code_lines:
+        for m in GUARDED_BY_RE.finditer(code):
+            guarded.add(m.group(1))
+    for i, code in enumerate(code_lines):
+        m = MUTEX_MEMBER_RE.match(code)
+        if not m:
+            continue
+        name = m.group(1)
+        if name in guarded:
+            continue
+        lo = max(0, i - PROTOCOL_NOTE_WINDOW)
+        if any(PROTOCOL_NOTE in raw_lines[j] for j in range(lo, i + 1)):
+            continue
+        findings.append(
+            f"{rel}:{i + 1}: [R11] Mutex member '{name}' guards no "
+            "RGAE_GUARDED_BY member in this file; annotate the data it "
+            "protects, or mark it `// Protocol lock: <what it serializes>` "
+            "(DESIGN.md §7)"
+        )
+
+
 def lint_file(root, rel, findings):
     path = os.path.join(root, rel)
     with open(path, encoding="utf-8") as f:
@@ -357,6 +454,8 @@ def lint_file(root, rel, findings):
 
     lint_timing(rel, raw_lines, code_lines, findings)
     lint_socket_bounds(rel, raw_lines, code_lines, findings)
+    lint_raw_sync(rel, raw_lines, code_lines, findings)
+    lint_guarded_by(rel, raw_lines, code_lines, findings)
 
     if rel.startswith("src/") and rel.endswith(".h"):
         guard = expected_guard(rel)
@@ -368,12 +467,8 @@ def lint_file(root, rel, findings):
             )
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--root", default=".", help="repository root")
-    args = parser.parse_args()
-    root = os.path.abspath(args.root)
-
+def scan_tree(root):
+    """Lints every source file under `root`'s scan dirs; returns findings."""
     files = []
     for d in SCAN_DIRS:
         for dirpath, dirnames, filenames in os.walk(os.path.join(root, d)):
@@ -384,10 +479,166 @@ def main():
                         os.path.relpath(os.path.join(dirpath, name), root)
                     )
     files.sort()
-
     findings = []
     for rel in files:
         lint_file(root, rel, findings)
+    return files, findings
+
+
+# Seeded fixtures for --self-test: (relative path, contents, rules that MUST
+# fire on the file, rules that must NOT). Each rule gets one violating
+# fixture and one opted-out/clean twin, so the self-test catches both a rule
+# going blind and an opt-out comment losing effect.
+SELF_TEST_FIXTURES = [
+    (
+        "src/fix/raw_sync_bad.cc",
+        '#include "src/fix/raw_sync_bad.h"\n'
+        "#include <mutex>\n"
+        "namespace rgae {\n"
+        "std::mutex g_bad_mu;\n"
+        "void Touch() { std::lock_guard<std::mutex> lock(g_bad_mu); }\n"
+        "}  // namespace rgae\n",
+        ["R10"],
+        [],
+    ),
+    (
+        "src/fix/raw_sync_optout.cc",
+        '#include "src/fix/raw_sync_optout.h"\n'
+        "#include <mutex>  // Raw sync: fixture justifies the raw use.\n"
+        "namespace rgae {\n"
+        "// Raw sync: fixture justifies the raw use.\n"
+        "std::mutex g_justified_mu;\n"
+        "}  // namespace rgae\n",
+        [],
+        ["R10"],
+    ),
+    (
+        "src/fix/unguarded_mutex.h",
+        "#ifndef RGAE_FIX_UNGUARDED_MUTEX_H_\n"
+        "#define RGAE_FIX_UNGUARDED_MUTEX_H_\n"
+        '#include "src/util/sync.h"\n'
+        "namespace rgae {\n"
+        "class Widget {\n"
+        " private:\n"
+        '  Mutex mu_{"Widget.mu"};\n'
+        "  int value_ = 0;\n"
+        "};\n"
+        "}  // namespace rgae\n"
+        "#endif  // RGAE_FIX_UNGUARDED_MUTEX_H_\n",
+        ["R11"],
+        [],
+    ),
+    (
+        "src/fix/guarded_mutex.h",
+        "#ifndef RGAE_FIX_GUARDED_MUTEX_H_\n"
+        "#define RGAE_FIX_GUARDED_MUTEX_H_\n"
+        '#include "src/util/sync.h"\n'
+        "namespace rgae {\n"
+        "class Gadget {\n"
+        " private:\n"
+        '  Mutex mu_{"Gadget.mu"};\n'
+        "  int value_ RGAE_GUARDED_BY(mu_) = 0;\n"
+        "  // Protocol lock: serializes Frob against Wobble.\n"
+        '  Mutex order_mu_{"Gadget.order"};\n'
+        "};\n"
+        "}  // namespace rgae\n"
+        "#endif  // RGAE_FIX_GUARDED_MUTEX_H_\n",
+        [],
+        ["R11"],
+    ),
+    (
+        # R6 must recognize MutexLock as a lock acquisition: a member write
+        # after it is legal in src/serve.
+        "src/serve/fix_mutexlock_write.cc",
+        '#include "src/util/sync.h"\n'
+        "namespace rgae {\n"
+        "namespace serve {\n"
+        "void Fixture::Bump() {\n"
+        "  MutexLock lock(mu_);\n"
+        "  ++count_;\n"
+        "}\n"
+        "}  // namespace serve\n"
+        "}  // namespace rgae\n",
+        [],
+        ["R6"],
+    ),
+    (
+        # ...and still fire with no lock in sight.
+        "src/serve/fix_unlocked_write.cc",
+        '#include "src/util/sync.h"\n'
+        "namespace rgae {\n"
+        "namespace serve {\n"
+        "void Fixture::Bump() {\n"
+        "  ++count_;\n"
+        "}\n"
+        "}  // namespace serve\n"
+        "}  // namespace rgae\n",
+        ["R6"],
+        [],
+    ),
+]
+
+
+def run_self_test():
+    """Writes the seeded fixtures into a temp tree, lints it, and checks
+    every expected rule fired (and no suppressed rule leaked)."""
+    import tempfile
+
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="rgae_lint_selftest_") as root:
+        for rel, content, _, _ in SELF_TEST_FIXTURES:
+            path = os.path.join(root, rel)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(content)
+        _, findings = scan_tree(root)
+
+        by_file = {}
+        for finding in findings:
+            rel = finding.split(":", 1)[0]
+            rule = finding.split("[", 1)[1].split("]", 1)[0]
+            by_file.setdefault(rel, set()).add(rule)
+
+        for rel, _, must_fire, must_not in SELF_TEST_FIXTURES:
+            fired = by_file.get(rel, set())
+            for rule in must_fire:
+                if rule not in fired:
+                    failures.append(
+                        f"self-test: {rel}: expected {rule} to fire, "
+                        f"got {sorted(fired) or 'nothing'}"
+                    )
+            for rule in must_not:
+                if rule in fired:
+                    failures.append(
+                        f"self-test: {rel}: {rule} fired on a clean/"
+                        "opted-out fixture"
+                    )
+
+    for failure in failures:
+        print(failure)
+    status = "FAILED" if failures else "ok"
+    print(
+        f"rgae_lint --self-test: {len(SELF_TEST_FIXTURES)} fixtures, "
+        f"{len(failures)} failure(s) [{status}]",
+        file=sys.stderr,
+    )
+    return 1 if failures else 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=".", help="repository root")
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="lint seeded fixture files and verify rule coverage",
+    )
+    args = parser.parse_args()
+    if args.self_test:
+        return run_self_test()
+    root = os.path.abspath(args.root)
+
+    files, findings = scan_tree(root)
 
     for finding in findings:
         print(finding)

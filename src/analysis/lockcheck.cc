@@ -1,0 +1,262 @@
+#include "src/analysis/lockcheck.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>  // Raw sync: lockcheck cannot use rgae::Mutex (it *is* the hook target).
+#include <set>
+#include <utility>
+
+namespace rgae {
+namespace analysis {
+
+namespace {
+
+// One lock the calling thread currently holds. Identity is the address
+// (distinguishes instances for re-entrancy checks); reporting and the
+// order graph use the site name.
+struct HeldLock {
+  const void* lock;
+  const char* name;
+};
+
+thread_local std::vector<HeldLock> t_held;
+
+// Small sequential thread ids for reports (same idiom as obs/trace).
+std::atomic<uint64_t> g_next_tid{0};
+thread_local uint64_t t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+
+std::string HeldNames(const std::vector<HeldLock>& held) {
+  std::string out = "[";
+  for (size_t i = 0; i < held.size(); ++i) {
+    if (i) out += ", ";
+    out += '"';
+    out += held[i].name;
+    out += '"';
+  }
+  out += "]";
+  return out;
+}
+
+// Where an order edge was first established, for the "other side" of an
+// inversion report.
+struct EdgeInfo {
+  uint64_t tid = 0;
+  std::string held;  // Formatted held-stack names at establishment time.
+};
+
+struct CheckerState {
+  // Raw sync: lockcheck's own guard; never held while acquiring a client
+  // lock, so it cannot participate in the cycles it detects.
+  std::mutex mu;
+  // Acquisition-order graph keyed by site name: edges[a] holds every b
+  // acquired while a was held.
+  std::map<std::string, std::set<std::string>> edges;
+  std::map<std::pair<std::string, std::string>, EdgeInfo> edge_info;
+  std::vector<std::string> reports;
+  LockCheckStats stats;
+};
+
+CheckerState* State() {
+  static CheckerState* s = new CheckerState();  // Never dies.
+  return s;
+}
+
+bool EnvArmed(const char* v) { return v && *v && std::strcmp(v, "0") != 0; }
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{EnvArmed(std::getenv("RGAE_LOCKCHECK"))};
+  return enabled;
+}
+
+std::atomic<bool>& FatalFlag() {
+  static std::atomic<bool> fatal{[] {
+    const char* v = std::getenv("RGAE_LOCKCHECK");
+    return v && std::strcmp(v, "abort") == 0;
+  }()};
+  return fatal;
+}
+
+// Is `to` reachable from `from` in the order graph? Iterative DFS over
+// names; `path` returns one witness chain from -> ... -> to. Caller holds
+// State()->mu.
+bool Reaches(const CheckerState& s, const std::string& from,
+             const std::string& to, std::vector<std::string>* path) {
+  std::set<std::string> visited;
+  std::vector<std::string> stack;  // Current DFS chain, `from` first.
+  struct Frame {
+    std::string node;
+    bool expanded;
+  };
+  std::vector<Frame> work;
+  work.push_back({from, false});
+  while (!work.empty()) {
+    Frame f = work.back();
+    work.pop_back();
+    if (f.expanded) {
+      stack.pop_back();
+      continue;
+    }
+    if (!visited.insert(f.node).second) continue;
+    stack.push_back(f.node);
+    if (f.node == to) {
+      *path = stack;
+      return true;
+    }
+    work.push_back({f.node, true});  // Pop marker for chain maintenance.
+    auto it = s.edges.find(f.node);
+    if (it != s.edges.end()) {
+      for (const std::string& next : it->second) {
+        if (!visited.count(next)) work.push_back({next, false});
+      }
+    }
+  }
+  return false;
+}
+
+// Emits one finding: append to the report log, mirror to stderr, abort if
+// fatal. Caller holds State()->mu (stderr write included, so concurrent
+// findings do not interleave).
+void Report(CheckerState& s, const std::string& line) {
+  s.reports.push_back(line);
+  std::fprintf(stderr, "%s\n", line.c_str());
+  if (FatalFlag().load(std::memory_order_relaxed)) {
+    std::fflush(stderr);
+    std::abort();
+  }
+}
+
+}  // namespace
+
+bool LockCheckEnabled() {
+  return EnabledFlag().load(std::memory_order_relaxed);
+}
+
+void SetLockCheckEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+bool LockCheckFatal() { return FatalFlag().load(std::memory_order_relaxed); }
+
+void SetLockCheckFatal(bool fatal) {
+  FatalFlag().store(fatal, std::memory_order_relaxed);
+}
+
+void LockCheckPreAcquire(const void* lock, const char* name) {
+  // Re-entrancy: same *instance* already held by this thread. Undefined
+  // behavior on std::mutex, so report before the real lock() deadlocks.
+  for (const HeldLock& h : t_held) {
+    if (h.lock == lock) {
+      CheckerState& s = *State();
+      std::lock_guard<std::mutex> g(s.mu);  // Raw sync: lockcheck internals.
+      ++s.stats.reentrant;
+      std::string line = "lockcheck: re-entrant acquisition of \"";
+      line += name;
+      line += "\" (tid ";
+      line += std::to_string(t_tid);
+      line += "); held=";
+      line += HeldNames(t_held);
+      Report(s, line);
+      return;
+    }
+  }
+  if (t_held.empty()) return;  // First lock establishes no order.
+
+  CheckerState& s = *State();
+  std::lock_guard<std::mutex> g(s.mu);  // Raw sync: lockcheck internals.
+  for (const HeldLock& h : t_held) {
+    // Same-name pairs are two instances of one site (e.g. two caches'
+    // "EmbeddingCache.mu"); their relative order is not expressible by
+    // name, so skip rather than self-edge.
+    if (std::strcmp(h.name, name) == 0) continue;
+    std::pair<std::string, std::string> key(h.name, name);
+    if (s.edge_info.count(key)) continue;  // Order already known (checked once).
+
+    // New edge h.name -> name. If `name` already reaches `h.name`, some
+    // thread acquired them in the opposite order: inversion.
+    std::vector<std::string> path;
+    if (Reaches(s, name, h.name, &path)) {
+      ++s.stats.inversions;
+      std::string line = "lockcheck: lock-order inversion: acquiring \"";
+      line += name;
+      line += "\" while holding ";
+      line += HeldNames(t_held);
+      line += " (tid ";
+      line += std::to_string(t_tid);
+      line += "); conflicting prior order ";
+      for (size_t i = 0; i < path.size(); ++i) {
+        if (i) line += " -> ";
+        line += '"';
+        line += path[i];
+        line += '"';
+      }
+      // The first hop of the witness path carries the establishment site.
+      auto info = s.edge_info.find({path[0], path[1]});
+      if (info != s.edge_info.end()) {
+        line += " established with held=";
+        line += info->second.held;
+        line += " (tid ";
+        line += std::to_string(info->second.tid);
+        line += ")";
+      }
+      Report(s, line);
+    }
+    // Record the edge either way: the order is now "known", so the same
+    // inversion is reported once, deterministically, not per occurrence.
+    s.edges[key.first].insert(key.second);
+    s.edge_info[key] = EdgeInfo{t_tid, HeldNames(t_held)};
+    ++s.stats.edges;
+  }
+}
+
+void LockCheckPostAcquire(const void* lock, const char* name) {
+  t_held.push_back(HeldLock{lock, name});
+  CheckerState& s = *State();
+  std::lock_guard<std::mutex> g(s.mu);  // Raw sync: lockcheck internals.
+  ++s.stats.acquisitions;
+}
+
+void LockCheckRelease(const void* lock) {
+  // Search from the top: releases are usually LIFO, but out-of-order
+  // unlocking (hand-over-hand) is legal and handled.
+  for (size_t i = t_held.size(); i > 0; --i) {
+    if (t_held[i - 1].lock == lock) {
+      t_held.erase(t_held.begin() + static_cast<long>(i - 1));
+      return;
+    }
+  }
+  // Release of an untracked lock: acquired while lockcheck was disarmed
+  // (or across a Reset). Ignore — stacks self-correct as locks cycle.
+}
+
+LockCheckStats LockCheckSnapshot() {
+  CheckerState& s = *State();
+  std::lock_guard<std::mutex> g(s.mu);  // Raw sync: lockcheck internals.
+  return s.stats;
+}
+
+std::vector<std::string> LockCheckReports() {
+  CheckerState& s = *State();
+  std::lock_guard<std::mutex> g(s.mu);  // Raw sync: lockcheck internals.
+  return s.reports;
+}
+
+std::vector<std::string> LockCheckHeldStack() {
+  std::vector<std::string> out;
+  out.reserve(t_held.size());
+  for (const HeldLock& h : t_held) out.emplace_back(h.name);
+  return out;
+}
+
+void LockCheckReset() {
+  CheckerState& s = *State();
+  std::lock_guard<std::mutex> g(s.mu);  // Raw sync: lockcheck internals.
+  s.edges.clear();
+  s.edge_info.clear();
+  s.reports.clear();
+  s.stats = LockCheckStats{};
+}
+
+}  // namespace analysis
+}  // namespace rgae

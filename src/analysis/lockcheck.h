@@ -1,0 +1,101 @@
+#ifndef RGAE_ANALYSIS_LOCKCHECK_H_
+#define RGAE_ANALYSIS_LOCKCHECK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rgae {
+namespace analysis {
+
+/// Runtime lock-order / deadlock analyzer (DESIGN.md §7).
+///
+/// `rgae::Mutex` (src/util/sync.h) reports every acquisition and release
+/// here when lockcheck is armed. The analyzer maintains:
+///
+///  - a per-thread stack of currently held locks, and
+///  - a global lock-acquisition-order graph keyed by lock *site name*
+///    (the label each `Mutex` is constructed with), with one directed
+///    edge "A" -> "B" the first time some thread acquires a lock named
+///    "B" while holding one named "A".
+///
+/// Acquiring a lock that can reach a currently held lock in that graph is
+/// an acquisition-order inversion — two threads interleaving those paths
+/// can deadlock — and is reported with both acquisition sites: the current
+/// thread's held stack and the held stack recorded when the conflicting
+/// order was first established. Acquiring a lock already held by the same
+/// thread (undefined behavior on `std::mutex`) is reported as a re-entrant
+/// acquisition. Keying by site name rather than address merges all
+/// instances of a class member into one node, so the graph captures
+/// class-level locking protocols and survives address reuse; two
+/// same-named locks held together are skipped rather than reported (their
+/// relative order is not expressible by name).
+///
+/// Arming: set `RGAE_LOCKCHECK=1` in the environment (any value other
+/// than "0"/empty), or call `SetLockCheckEnabled(true)`.
+/// `RGAE_LOCKCHECK=abort` additionally aborts the process on the first
+/// finding — that is how CI turns a chaos/test run into a hard gate.
+/// Disarmed, the hooks cost one relaxed atomic load per lock operation.
+///
+/// Report format (one line per finding, also mirrored to stderr):
+///
+///   lockcheck: lock-order inversion: acquiring "A" while holding ["B"]
+///     (tid 2); conflicting prior order "A" -> "B" established with
+///     held=["A"] (tid 1)
+///   lockcheck: re-entrant acquisition of "A" (tid 0); held=["A"]
+///
+/// The analyzer itself is thread-safe (one internal raw mutex, never held
+/// while a client lock is being acquired) and tsan-clean; the lockcheck
+/// test suite runs under the `tsan` preset to prove it.
+
+/// True when acquisition/release hooks should be invoked. Hot-path guard:
+/// a single relaxed atomic load, suitable for calling on every lock.
+bool LockCheckEnabled();
+void SetLockCheckEnabled(bool enabled);
+
+/// When fatal, the first finding aborts the process after printing its
+/// report (armed by `RGAE_LOCKCHECK=abort`; tests that seed violations on
+/// purpose turn it off programmatically).
+bool LockCheckFatal();
+void SetLockCheckFatal(bool fatal);
+
+/// Called by `Mutex::Lock` *before* blocking on the native mutex: runs the
+/// re-entrancy check and the order-graph update/cycle check, so an
+/// inversion that would deadlock for real is still reported first.
+void LockCheckPreAcquire(const void* lock, const char* name);
+/// Called by `Mutex::Lock` after the native acquisition succeeds (and by
+/// `CondVar` when a wait re-acquires): pushes onto the held stack.
+void LockCheckPostAcquire(const void* lock, const char* name);
+/// Called by `Mutex::Unlock` (and by `CondVar` when a wait releases):
+/// removes the lock from the held stack.
+void LockCheckRelease(const void* lock);
+
+/// Monotone totals since process start (or the last `LockCheckReset`).
+struct LockCheckStats {
+  int64_t acquisitions = 0;  // Tracked Lock() calls while armed.
+  int64_t edges = 0;         // Distinct order edges recorded.
+  int64_t inversions = 0;    // Lock-order inversions reported.
+  int64_t reentrant = 0;     // Re-entrant acquisitions reported.
+
+  int64_t violations() const { return inversions + reentrant; }
+};
+LockCheckStats LockCheckSnapshot();
+
+/// Every finding reported so far, one formatted line each (see the report
+/// format above). Violations are also printed to stderr as they happen.
+std::vector<std::string> LockCheckReports();
+
+/// Site names of the locks the calling thread currently holds, outermost
+/// first (tests and diagnostics).
+std::vector<std::string> LockCheckHeldStack();
+
+/// Drops the order graph, reports, and counters (tests isolate scenarios
+/// with it). Does not touch other threads' held stacks, so only call it
+/// when no tracked lock is held anywhere.
+void LockCheckReset();
+
+}  // namespace analysis
+}  // namespace rgae
+
+#endif  // RGAE_ANALYSIS_LOCKCHECK_H_

@@ -121,7 +121,7 @@ int ServeFaultInjector::Fire(ServeFault::Type type, int64_t ordinal,
 }
 
 double ServeFaultInjector::OnBatch() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   double stall_ms = 0.0;
   if (Fire(ServeFault::Type::kWorkerStall, ++batches_, "batch", &stall_ms) >
       0) {
@@ -131,7 +131,7 @@ double ServeFaultInjector::OnBatch() {
 }
 
 int ServeFaultInjector::OnOffer() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   double extra = 0.0;
   Fire(ServeFault::Type::kQueueBurst, ++offers_, "offer", &extra);
   counts_.burst_requests += static_cast<int64_t>(extra);
@@ -139,7 +139,7 @@ int ServeFaultInjector::OnOffer() {
 }
 
 bool ServeFaultInjector::OnSwap() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   double unused = 0.0;
   const bool corrupt =
       Fire(ServeFault::Type::kSnapshotCorruptOnSwap, ++swaps_, "swap",
@@ -149,7 +149,7 @@ bool ServeFaultInjector::OnSwap() {
 }
 
 double ServeFaultInjector::OnAccept() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++accepts_;
   double stall_ms = 0.0;
   if (Fire(ServeFault::Type::kAcceptStall, accepts_, "accept", &stall_ms) >
@@ -160,7 +160,7 @@ double ServeFaultInjector::OnAccept() {
 }
 
 NetWriteFault ServeFaultInjector::OnNetWrite() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++net_writes_;
   NetWriteFault fault;
   double unused = 0.0;
@@ -183,12 +183,12 @@ NetWriteFault ServeFaultInjector::OnNetWrite() {
 }
 
 ServeFaultCounts ServeFaultInjector::counts() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counts_;
 }
 
 std::vector<std::string> ServeFaultInjector::log() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return log_;
 }
 

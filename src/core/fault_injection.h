@@ -2,11 +2,11 @@
 #define RGAE_CORE_FAULT_INJECTION_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/tensor/random.h"
+#include "src/util/sync.h"
 
 namespace rgae {
 
@@ -196,17 +196,17 @@ class ServeFaultInjector {
   // Fires every armed, unconsumed event of `type` whose schedule matches
   // `ordinal`; returns how many fired and accumulates their magnitudes.
   int Fire(ServeFault::Type type, int64_t ordinal, const char* trigger,
-           double* magnitude);
+           double* magnitude) RGAE_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<Armed> faults_;
-  int64_t batches_ = 0;
-  int64_t offers_ = 0;
-  int64_t swaps_ = 0;
-  int64_t accepts_ = 0;
-  int64_t net_writes_ = 0;
-  ServeFaultCounts counts_;
-  std::vector<std::string> log_;
+  mutable Mutex mu_{"ServeFaultInjector.mu"};
+  std::vector<Armed> faults_ RGAE_GUARDED_BY(mu_);
+  int64_t batches_ RGAE_GUARDED_BY(mu_) = 0;
+  int64_t offers_ RGAE_GUARDED_BY(mu_) = 0;
+  int64_t swaps_ RGAE_GUARDED_BY(mu_) = 0;
+  int64_t accepts_ RGAE_GUARDED_BY(mu_) = 0;
+  int64_t net_writes_ RGAE_GUARDED_BY(mu_) = 0;
+  ServeFaultCounts counts_ RGAE_GUARDED_BY(mu_);
+  std::vector<std::string> log_ RGAE_GUARDED_BY(mu_);
 };
 
 }  // namespace rgae

@@ -4,9 +4,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
 #include "src/obs/trace.h"
+#include "src/util/sync.h"
 
 namespace rgae {
 namespace obs {
@@ -26,8 +26,8 @@ LogLevel ParseLevel(const char* text, LogLevel fallback) {
 struct LoggerState {
   std::atomic<int> level;
   std::atomic<bool> stderr_enabled{true};
-  std::mutex sink_mu;
-  std::FILE* jsonl = nullptr;
+  Mutex sink_mu{"Logger.sink"};
+  std::FILE* jsonl RGAE_GUARDED_BY(sink_mu) = nullptr;
 
   LoggerState()
       : level(static_cast<int>(
@@ -70,7 +70,7 @@ LogLevel GetLogLevel() {
 
 bool SetLogJsonlPath(const std::string& path) {
   LoggerState& s = State();
-  std::lock_guard<std::mutex> lock(s.sink_mu);
+  MutexLock lock(s.sink_mu);
   if (s.jsonl != nullptr) {
     std::fclose(s.jsonl);
     s.jsonl = nullptr;
@@ -162,7 +162,7 @@ LogRecord::~LogRecord() {
     std::fflush(stderr);
   }
 
-  std::lock_guard<std::mutex> lock(s.sink_mu);
+  MutexLock lock(s.sink_mu);
   if (s.jsonl != nullptr) {
     JsonValue record = JsonValue::MakeObject();
     record.Set("ts_us", JsonValue(NowMicros()));

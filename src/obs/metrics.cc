@@ -43,7 +43,7 @@ void SetEnabled(bool enabled) {
 }
 
 void Histogram::Observe(double v) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (count_ == 0) {
     min_ = v;
     max_ = v;
@@ -57,32 +57,32 @@ void Histogram::Observe(double v) {
 }
 
 int64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return count_;
 }
 
 double Histogram::sum() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sum_;
 }
 
 double Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return min_;
 }
 
 double Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return max_;
 }
 
 double Histogram::mean() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
 }
 
 int64_t Histogram::bucket_count(int i) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return buckets_[i];
 }
 
@@ -99,7 +99,7 @@ int Histogram::BucketIndex(double v) {
 }
 
 void Histogram::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   count_ = 0;
   sum_ = 0.0;
   min_ = 0.0;
@@ -108,7 +108,7 @@ void Histogram::Reset() {
 }
 
 JsonValue Histogram::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   JsonValue out = JsonValue::MakeObject();
   out.Set("count", JsonValue(count_));
   out.Set("sum", JsonValue(sum_));
@@ -135,7 +135,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counter_names_.find(name);
   if (it != counter_names_.end()) return it->second;
   counters_.emplace_back();
@@ -145,7 +145,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauge_names_.find(name);
   if (it != gauge_names_.end()) return it->second;
   gauges_.emplace_back();
@@ -155,7 +155,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 }
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histogram_names_.find(name);
   if (it != histogram_names_.end()) return it->second;
   histograms_.emplace_back();
@@ -165,14 +165,14 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (Counter& c : counters_) c.Reset();
   for (Gauge& g : gauges_) g.Reset();
   for (Histogram& h : histograms_) h.Reset();
 }
 
 JsonValue MetricsRegistry::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   JsonValue out = JsonValue::MakeObject();
   JsonValue counters = JsonValue::MakeObject();
   for (const auto& [name, c] : counter_names_) {

@@ -6,10 +6,10 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "src/obs/json.h"
+#include "src/util/sync.h"
 
 namespace rgae {
 namespace obs {
@@ -79,12 +79,12 @@ class Histogram {
   JsonValue ToJson() const;
 
  private:
-  mutable std::mutex mu_;
-  int64_t count_ = 0;
-  double sum_ = 0.0;
-  double min_ = 0.0;
-  double max_ = 0.0;
-  std::array<int64_t, kNumBuckets> buckets_{};
+  mutable Mutex mu_{"Histogram.mu"};
+  int64_t count_ RGAE_GUARDED_BY(mu_) = 0;
+  double sum_ RGAE_GUARDED_BY(mu_) = 0.0;
+  double min_ RGAE_GUARDED_BY(mu_) = 0.0;
+  double max_ RGAE_GUARDED_BY(mu_) = 0.0;
+  std::array<int64_t, kNumBuckets> buckets_ RGAE_GUARDED_BY(mu_){};
 };
 
 /// Thread-safe global registry of named metrics. Metric objects are
@@ -109,13 +109,16 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::deque<Counter> counters_;
-  std::deque<Gauge> gauges_;
-  std::deque<Histogram> histograms_;
-  std::map<std::string, Counter*> counter_names_;
-  std::map<std::string, Gauge*> gauge_names_;
-  std::map<std::string, Histogram*> histogram_names_;
+  mutable Mutex mu_{"MetricsRegistry.mu"};
+  // Deques give pointer stability; the maps only resolve names to slots.
+  // Metric objects handed out are internally synchronized (atomics or the
+  // Histogram mutex), so callers never need mu_.
+  std::deque<Counter> counters_ RGAE_GUARDED_BY(mu_);
+  std::deque<Gauge> gauges_ RGAE_GUARDED_BY(mu_);
+  std::deque<Histogram> histograms_ RGAE_GUARDED_BY(mu_);
+  std::map<std::string, Counter*> counter_names_ RGAE_GUARDED_BY(mu_);
+  std::map<std::string, Gauge*> gauge_names_ RGAE_GUARDED_BY(mu_);
+  std::map<std::string, Histogram*> histogram_names_ RGAE_GUARDED_BY(mu_);
 };
 
 }  // namespace obs

@@ -49,7 +49,7 @@ Profiler& Profiler::Global() {
 }
 
 Profiler::Node* Profiler::Intern(Node* parent, const char* name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::map<std::string, Node*>& siblings =
       parent == nullptr ? roots_ : parent->children;
   auto it = siblings.find(name);
@@ -111,7 +111,7 @@ void Profiler::AddWork(int64_t flops, int64_t bytes) {
 }
 
 void Profiler::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Retire rather than free: in-flight ScopedTimers still hold pointers
   // into the old tree, and their late EndScope writes must stay valid
   // (they land in the retired tree, which is never reported).
@@ -173,7 +173,7 @@ JsonValue NodeJson(const ProfileNode& node) {
 }  // namespace
 
 std::vector<ProfileNode> Profiler::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<ProfileNode> out;
   out.reserve(roots_.size());
   for (const auto& [name, node] : roots_) {

@@ -5,12 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
+#include "src/util/sync.h"
 
 namespace rgae {
 namespace obs {
@@ -87,10 +87,10 @@ class Profiler {
   Node* Intern(Node* parent, const char* name);
   Node* UnattributedRoot();
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Node>> nodes_;
-  std::vector<std::unique_ptr<Node>> retired_;
-  std::map<std::string, Node*> roots_;
+  mutable Mutex mu_{"Profiler.mu"};
+  std::vector<std::unique_ptr<Node>> nodes_ RGAE_GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Node>> retired_ RGAE_GUARDED_BY(mu_);
+  std::map<std::string, Node*> roots_ RGAE_GUARDED_BY(mu_);
   // Bumped by Reset(); thread-local scope stacks self-clear on mismatch.
   std::atomic<uint64_t> epoch_{1};
 };

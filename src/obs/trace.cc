@@ -59,7 +59,7 @@ int TraceCollector::BeginSpan(const char* name) {
   event.parent = t_span_stack.empty() ? -1 : t_span_stack.back();
   int index;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (events_.size() >= kMaxEvents) {
       ++dropped_;
       return -1;
@@ -77,7 +77,7 @@ void TraceCollector::EndSpan(int index) {
   if (!t_span_stack.empty() && t_span_stack.back() == index) {
     t_span_stack.pop_back();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // A Clear() between Begin and End invalidates the index; skip quietly.
   if (index < static_cast<int>(events_.size())) {
     // Monotonic guard: a span closed on the same steady-clock tick it
@@ -89,22 +89,22 @@ void TraceCollector::EndSpan(int index) {
 }
 
 std::vector<TraceEvent> TraceCollector::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 
 size_t TraceCollector::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_.size();
 }
 
 int64_t TraceCollector::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 void TraceCollector::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.clear();
   dropped_ = 0;
   t_span_stack.clear();
@@ -114,7 +114,7 @@ JsonValue TraceCollector::ChromeTraceJson() const {
   JsonValue doc = JsonValue::MakeObject();
   JsonValue events = JsonValue::MakeArray();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (const TraceEvent& e : events_) {
       JsonValue ev = JsonValue::MakeObject();
       ev.Set("name", JsonValue(e.name));

@@ -2,13 +2,13 @@
 #define RGAE_OBS_TRACE_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/obs/json.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profile.h"
+#include "src/util/sync.h"
 
 namespace rgae {
 namespace obs {
@@ -67,9 +67,9 @@ class TraceCollector {
  private:
   TraceCollector() = default;
 
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
-  int64_t dropped_ = 0;
+  mutable Mutex mu_{"TraceCollector.mu"};
+  std::vector<TraceEvent> events_ RGAE_GUARDED_BY(mu_);
+  int64_t dropped_ RGAE_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII span: opens on construction, closes on destruction. Inactive (two

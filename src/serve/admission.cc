@@ -25,7 +25,7 @@ TokenBucket::TokenBucket(double rate_per_s, double burst)
 
 bool TokenBucket::TryAcquire(Clock::time_point now) {
   if (unlimited()) return true;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!primed_) {
     primed_ = true;
     last_refill_ = now;
@@ -48,7 +48,7 @@ AdmissionController::AdmissionController(const AdmissionOptions& options)
 AdmissionVerdict AdmissionController::Offer(size_t queue_depth,
                                             Clock::time_point now) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.offered;
   }
   BumpObsCounter("serve.offered", 1);
@@ -62,7 +62,7 @@ AdmissionVerdict AdmissionController::Offer(size_t queue_depth,
 
 void AdmissionController::CountOffered() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.offered;
   }
   BumpObsCounter("serve.offered", 1);
@@ -70,7 +70,7 @@ void AdmissionController::CountOffered() {
 
 void AdmissionController::CountAdmitted(int64_t n) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.admitted += n;
   }
   BumpObsCounter("serve.admitted", n);
@@ -78,7 +78,7 @@ void AdmissionController::CountAdmitted(int64_t n) {
 
 void AdmissionController::CountDegraded(int64_t n) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats_.degraded += n;
   }
   BumpObsCounter("serve.degraded", n);
@@ -87,7 +87,7 @@ void AdmissionController::CountDegraded(int64_t n) {
 void AdmissionController::CountShed(ShedReason reason, int64_t n) {
   const char* reason_counter = "serve.shed_queue_full";
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     switch (reason) {
       case ShedReason::kQueueFull:
         stats_.shed_queue_full += n;
@@ -112,7 +112,7 @@ void AdmissionController::CountShed(ShedReason reason, int64_t n) {
 }
 
 AdmissionStats AdmissionController::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

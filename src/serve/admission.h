@@ -3,7 +3,8 @@
 
 #include <chrono>
 #include <cstdint>
-#include <mutex>
+
+#include "src/util/sync.h"
 
 namespace rgae {
 namespace serve {
@@ -89,10 +90,10 @@ class TokenBucket {
  private:
   const double rate_per_s_;
   const double burst_;
-  std::mutex mu_;
-  double tokens_;
-  bool primed_ = false;
-  Clock::time_point last_refill_;
+  Mutex mu_{"TokenBucket.mu"};
+  double tokens_ RGAE_GUARDED_BY(mu_);
+  bool primed_ RGAE_GUARDED_BY(mu_) = false;
+  Clock::time_point last_refill_ RGAE_GUARDED_BY(mu_);
 };
 
 /// Admission policy + disposition accounting for one `ServeEngine`.
@@ -130,8 +131,8 @@ class AdmissionController {
  private:
   const AdmissionOptions options_;
   TokenBucket bucket_;
-  mutable std::mutex mu_;
-  AdmissionStats stats_;
+  mutable Mutex mu_{"AdmissionController.mu"};
+  AdmissionStats stats_ RGAE_GUARDED_BY(mu_);
 };
 
 }  // namespace serve

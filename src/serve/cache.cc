@@ -8,7 +8,7 @@ namespace rgae {
 namespace serve {
 
 bool EmbeddingCache::Get(int node, CachedEntry* out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(node);
   if (it == index_.end()) {
     ++counters_.misses;
@@ -23,7 +23,7 @@ bool EmbeddingCache::Get(int node, CachedEntry* out) {
 }
 
 bool EmbeddingCache::PeekAny(int node, CachedEntry* out, bool* stale) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = index_.find(node);
   if (it != index_.end()) {
     *out = it->second->entry;
@@ -44,7 +44,7 @@ bool EmbeddingCache::PeekAny(int node, CachedEntry* out, bool* stale) const {
 
 void EmbeddingCache::Put(int node, CachedEntry entry) {
   if (capacity_ <= 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto st = stale_index_.find(node);
   if (st != stale_index_.end()) {  // The fresh row supersedes its stale copy.
     stale_.erase(st->second);
@@ -67,7 +67,7 @@ void EmbeddingCache::Put(int node, CachedEntry entry) {
 }
 
 void EmbeddingCache::Invalidate(const std::vector<int>& nodes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (int node : nodes) {
     auto it = index_.find(node);
     if (it == index_.end()) continue;
@@ -92,7 +92,7 @@ void EmbeddingCache::Invalidate(const std::vector<int>& nodes) {
 }
 
 void EmbeddingCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const int64_t dropped = static_cast<int64_t>(lru_.size());
   counters_.invalidations += dropped;
   if (obs::Enabled() && dropped > 0) {
@@ -107,17 +107,17 @@ void EmbeddingCache::Clear() {
 }
 
 int EmbeddingCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int>(lru_.size());
 }
 
 int EmbeddingCache::stale_size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int>(stale_.size());
 }
 
 CacheCounters EmbeddingCache::counters() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return counters_;
 }
 

@@ -4,8 +4,9 @@
 #include <cstdint>
 #include <list>
 #include <map>
-#include <mutex>
 #include <vector>
+
+#include "src/util/sync.h"
 
 namespace rgae {
 namespace serve {
@@ -84,16 +85,17 @@ class EmbeddingCache {
   };
 
   const int capacity_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_{"EmbeddingCache.mu"};
   // Most-recently-used at the front; map values point into the list.
-  std::list<Slot> lru_;
-  std::map<int, std::list<Slot>::iterator> index_;
+  std::list<Slot> lru_ RGAE_GUARDED_BY(mu_);
+  std::map<int, std::list<Slot>::iterator> index_ RGAE_GUARDED_BY(mu_);
   // Invalidated entries, most-recently-used first; LRU-bounded at
   // capacity_. Mutable so the logically-const PeekAny can refresh a stale
   // row's recency under mu_.
-  mutable std::list<Slot> stale_;
-  mutable std::map<int, std::list<Slot>::iterator> stale_index_;
-  CacheCounters counters_;
+  mutable std::list<Slot> stale_ RGAE_GUARDED_BY(mu_);
+  mutable std::map<int, std::list<Slot>::iterator> stale_index_
+      RGAE_GUARDED_BY(mu_);
+  CacheCounters counters_ RGAE_GUARDED_BY(mu_);
 };
 
 }  // namespace serve

@@ -62,7 +62,7 @@ ServeEngine::~ServeEngine() {
   // exit only once the queue is empty, so teardown observes every request.
   std::vector<Request> shed;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     stop_ = true;
     if (GlobalStopRequested()) {
       // Cooperative stop (SIGINT/SIGTERM via bench_common): shed the
@@ -81,7 +81,7 @@ ServeEngine::~ServeEngine() {
       ResolveShed(&request, QueryStatus::kShedShutdown);
     }
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -121,7 +121,7 @@ std::future<QueryResult> ServeEngine::OfferOne(int node, Deadline deadline) {
   AdmissionVerdict verdict = AdmissionVerdict::kAdmitted;
   bool shutting_down = false;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     if (stop_) {
       shutting_down = true;
     } else {
@@ -138,7 +138,7 @@ std::future<QueryResult> ServeEngine::OfferOne(int node, Deadline deadline) {
     return result;
   }
   if (verdict == AdmissionVerdict::kAdmitted) {
-    queue_cv_.notify_one();
+    queue_cv_.NotifyOne();
     return result;
   }
 
@@ -177,19 +177,19 @@ QueryResult ServeEngine::QueryBlocking(int node) { return Query(node).get(); }
 
 std::vector<int> ServeEngine::MutateGraph(const AttributedGraph& next) {
   RGAE_SPAN("serve.mutate");
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   const std::vector<int> invalidated = forward_.UpdateGraph(next);
   cache_.Invalidate(invalidated);
   return invalidated;
 }
 
 AttributedGraph ServeEngine::CurrentGraph() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   return forward_.graph();
 }
 
 ModelSnapshot ServeEngine::SnapshotCopy() const {
-  std::lock_guard<std::mutex> lock(state_mu_);
+  MutexLock lock(state_mu_);
   return forward_.snapshot();
 }
 
@@ -206,8 +206,10 @@ void ServeEngine::WorkerLoop() {
   for (;;) {
     std::vector<Request> batch;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      MutexLock lock(queue_mu_);
+      queue_cv_.Wait(queue_mu_, [this]() RGAE_REQUIRES(queue_mu_) {
+        return stop_ || !queue_.empty();
+      });
       if (queue_.empty()) return;  // Stopped and fully drained.
       const size_t take = std::min(static_cast<size_t>(std::max(
                                        1, options_.max_batch)),
@@ -290,7 +292,7 @@ void ServeEngine::ProcessBatch(std::vector<Request>* batch) {
   // invalidation (coherence, engine.h).
   Matrix z, p;
   {
-    std::lock_guard<std::mutex> lock(state_mu_);
+    MutexLock lock(state_mu_);
     z = forward_.EmbedRows(miss_nodes);
     if (has_head_) p = SoftAssignRows(forward_.snapshot(), z);
     for (size_t m = 0; m < miss_nodes.size(); ++m) {

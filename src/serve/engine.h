@@ -3,11 +3,9 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -18,6 +16,7 @@
 #include "src/serve/cache.h"
 #include "src/serve/forward.h"
 #include "src/serve/snapshot.h"
+#include "src/util/sync.h"
 
 namespace rgae {
 namespace serve {
@@ -179,16 +178,20 @@ class ServeEngine {
   const bool has_head_;
 
   // Guards forward_ and the serving graph; cache inserts and invalidations
-  // also happen under it (coherence, see class comment).
-  mutable std::mutex state_mu_;
-  ForwardEngine forward_;
+  // also happen under it (coherence, see class comment). Never held while
+  // queue_mu_ is taken (workers drop queue_mu_ before computing), so the
+  // two are unordered in the lockcheck graph.
+  mutable Mutex state_mu_{"ServeEngine.state"};
+  ForwardEngine forward_ RGAE_GUARDED_BY(state_mu_);
+  // Internally synchronized; inserts/invalidations additionally run under
+  // state_mu_ for graph coherence (probes do not).
   EmbeddingCache cache_;
   AdmissionController admission_;
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Request> queue_;
-  bool stop_ = false;
+  Mutex queue_mu_{"ServeEngine.queue"};
+  CondVar queue_cv_;
+  std::deque<Request> queue_ RGAE_GUARDED_BY(queue_mu_);
+  bool stop_ RGAE_GUARDED_BY(queue_mu_) = false;
 
   std::atomic<int64_t> queries_{0};
   std::atomic<int64_t> batches_{0};

@@ -41,8 +41,10 @@ struct UpdateStats {
 /// scale by both endpoint degrees.
 ///
 /// Externally synchronized: this class performs no locking. `ServeEngine`
-/// guards all access through its state mutex; single-threaded callers
-/// (tests, bench warm-up) may use it directly.
+/// guards all access through its state mutex — its `forward_` member is
+/// `RGAE_GUARDED_BY(state_mu_)`, so under Clang the compiler enforces the
+/// contract that this comment used to merely state. Single-threaded
+/// callers (tests, bench warm-up) may still use the class directly.
 class ForwardEngine {
  public:
   /// Builds all stages eagerly with a full forward pass.

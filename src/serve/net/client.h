@@ -66,7 +66,10 @@ struct NetClientStats {
 ///
 /// Externally synchronized: one connection carrying one request/reply
 /// exchange at a time, owned by one thread (the bench spawns one client
-/// per simulated user). Reconnects lazily with exponential backoff +
+/// per simulated user). Deliberately holds no `rgae::Mutex` — the single
+/// -owner contract is the synchronization, so there is nothing for
+/// `RGAE_GUARDED_BY` to say; sharing one client across threads is a caller
+/// bug, not a locking gap. Reconnects lazily with exponential backoff +
 /// seeded jitter; retries only on transport-level failure, since a
 /// structured server reply — including a shed — means the request was
 /// counted by the tenant's admission control and must not be re-offered.

@@ -30,14 +30,14 @@ NetServer::NetServer(TenantRouter* router, const NetServerOptions& options)
 NetServer::~NetServer() { Stop(); }
 
 bool NetServer::Start(std::string* error) {
-  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  MutexLock lock(lifecycle_mu_);
   if (started_) {
     if (error != nullptr) *error = "server already started";
     return false;
   }
   listener_ = ListenOn(options_.port, options_.accept_backlog, error);
   if (!listener_.valid()) return false;
-  port_ = BoundPort(listener_.fd());
+  port_.store(BoundPort(listener_.fd()), std::memory_order_release);
   started_ = true;
   acceptor_ = std::thread(&NetServer::AcceptorLoop, this);
   const int n = std::max(1, options_.num_workers);
@@ -50,11 +50,11 @@ bool NetServer::Start(std::string* error) {
 
 void NetServer::Drain() {
   draining_.store(true, std::memory_order_release);
-  conn_cv_.notify_all();
+  conn_cv_.NotifyAll();
 }
 
 void NetServer::Stop() {
-  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  MutexLock lock(lifecycle_mu_);
   if (stopped_) return;
   Drain();
   if (acceptor_.joinable()) acceptor_.join();
@@ -65,7 +65,7 @@ void NetServer::Stop() {
   // Connections still queued were never picked up; close them outright.
   std::vector<int> orphans;
   {
-    std::lock_guard<std::mutex> conn_lock(conn_mu_);
+    MutexLock conn_lock(conn_mu_);
     orphans.assign(conn_queue_.begin(), conn_queue_.end());
     conn_queue_.clear();
   }
@@ -79,7 +79,7 @@ bool NetServer::StopRequested() const {
 }
 
 NetServerStats NetServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   return stats_;
 }
 
@@ -99,12 +99,12 @@ void NetServer::AcceptorLoop() {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.accepted;
     }
     bool admitted = false;
     {
-      std::lock_guard<std::mutex> lock(conn_mu_);
+      MutexLock lock(conn_mu_);
       if (conn_queue_.size() <
           static_cast<size_t>(std::max(1, options_.max_pending_conns))) {
         conn_queue_.push_back(conn.Release());
@@ -112,13 +112,13 @@ void NetServer::AcceptorLoop() {
       }
     }
     if (admitted) {
-      conn_cv_.notify_one();
+      conn_cv_.NotifyOne();
       continue;
     }
     // Pool saturated: structured kBusy reply, then close — the acceptor
     // never blocks behind slow workers.
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.rejected_conns;
     }
     WriteError(conn, 0, WireErrorCode::kBusy, "connection pool saturated");
@@ -126,15 +126,15 @@ void NetServer::AcceptorLoop() {
 }
 
 void NetServer::WorkerLoop() {
-  const auto slice = std::chrono::duration<double>(options_.poll_slice_s);
   for (;;) {
     int fd = -1;
     {
-      std::unique_lock<std::mutex> lock(conn_mu_);
-      conn_cv_.wait_for(lock, slice, [this] {
-        return !conn_queue_.empty() ||
-               draining_.load(std::memory_order_acquire);
-      });
+      MutexLock lock(conn_mu_);
+      conn_cv_.WaitFor(conn_mu_, options_.poll_slice_s,
+                       [this]() RGAE_REQUIRES(conn_mu_) {
+                         return !conn_queue_.empty() ||
+                                draining_.load(std::memory_order_acquire);
+                       });
       if (conn_queue_.empty()) {
         if (StopRequested()) return;
         continue;
@@ -163,7 +163,7 @@ void NetServer::ServeConnection(Socket conn) {
         // reply with a structured error, then close.
         WireErrorCode code = WireErrorCode::kBadMagic;
         {
-          std::lock_guard<std::mutex> lock(stats_mu_);
+          MutexLock lock(stats_mu_);
           if (status == DecodeStatus::kBadMagic) {
             ++stats_.bad_magic;
           } else if (status == DecodeStatus::kBadLength) {
@@ -180,7 +180,7 @@ void NetServer::ServeConnection(Socket conn) {
       }
       buffer.erase(0, consumed);
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.frames;
       }
       if (!HandleFrame(conn, frame)) {
@@ -212,7 +212,7 @@ void NetServer::ServeConnection(Socket conn) {
           break;
         }
         if (!budget.expired()) continue;  // Just a poll slice; keep waiting.
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         if (mid_frame) {
           ++stats_.shed_slow_client;
         } else {
@@ -226,7 +226,7 @@ void NetServer::ServeConnection(Socket conn) {
       break;
     }
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   ++stats_.closed_conns;
 }
 
@@ -234,7 +234,7 @@ bool NetServer::HandleFrame(const Socket& conn, const Frame& frame) {
   switch (frame.type) {
     case static_cast<uint32_t>(FrameType::kPing): {
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.pings;
       }
       return WriteFrame(conn, FrameType::kPong, frame.request_id,
@@ -245,7 +245,7 @@ bool NetServer::HandleFrame(const Socket& conn, const Frame& frame) {
     default: {
       // Unknown type on an intact stream: per-request error, stay open.
       {
-        std::lock_guard<std::mutex> lock(stats_mu_);
+        MutexLock lock(stats_mu_);
         ++stats_.bad_type;
       }
       return WriteError(conn, frame.request_id, WireErrorCode::kBadType,
@@ -256,12 +256,12 @@ bool NetServer::HandleFrame(const Socket& conn, const Frame& frame) {
 
 bool NetServer::HandleQuery(const Socket& conn, const Frame& frame) {
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(stats_mu_);
     ++stats_.queries;
   }
   if (StopRequested()) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.drained_rejects;
     }
     WriteError(conn, frame.request_id, WireErrorCode::kShuttingDown,
@@ -271,7 +271,7 @@ bool NetServer::HandleQuery(const Socket& conn, const Frame& frame) {
   QueryPayload query;
   if (!DecodeQuery(frame.payload, &query)) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.bad_payload;
     }
     return WriteError(conn, frame.request_id, WireErrorCode::kBadPayload,
@@ -280,7 +280,7 @@ bool NetServer::HandleQuery(const Socket& conn, const Frame& frame) {
   ServeRegistry* registry = router_->Route(query.tenant);
   if (registry == nullptr) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.unknown_tenant;
     }
     return WriteError(conn, frame.request_id, WireErrorCode::kUnknownTenant,
@@ -289,7 +289,7 @@ bool NetServer::HandleQuery(const Socket& conn, const Frame& frame) {
   const std::shared_ptr<ServeEngine> engine = registry->engine();
   if (query.node < 0 || query.node >= engine->num_nodes()) {
     {
-      std::lock_guard<std::mutex> lock(stats_mu_);
+      MutexLock lock(stats_mu_);
       ++stats_.bad_node;
     }
     return WriteError(conn, frame.request_id, WireErrorCode::kBadNode,
@@ -344,7 +344,7 @@ bool NetServer::WriteFrame(const Socket& conn, FrameType type,
   } else {
     status = SendAll(conn.fd(), frame.data(), frame.size(), budget);
   }
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(stats_mu_);
   if (status == IoStatus::kTimeout) {
     // The peer cannot drain its response: shed the slow client.
     ++stats_.shed_slow_client;

@@ -2,10 +2,8 @@
 #define RGAE_SERVE_NET_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,6 +12,7 @@
 #include "src/serve/net/socket.h"
 #include "src/serve/net/tenant_router.h"
 #include "src/serve/net/wire.h"
+#include "src/util/sync.h"
 
 namespace rgae {
 namespace serve {
@@ -112,8 +111,11 @@ class NetServer {
   /// `*error`) if the port cannot be bound.
   bool Start(std::string* error = nullptr);
 
-  /// The bound listening port (valid after a successful `Start`).
-  uint16_t port() const { return port_; }
+  /// The bound listening port (valid after a successful `Start`). Atomic so
+  /// a thread that learned of the start through another channel (a test
+  /// harness handing the server to clients) reads it without racing
+  /// `Start`.
+  uint16_t port() const { return port_.load(std::memory_order_acquire); }
 
   /// Stops accepting new connections and lets in-flight frames finish.
   void Drain();
@@ -146,23 +148,28 @@ class NetServer {
   TenantRouter* const router_;
   const NetServerOptions options_;
 
-  // Serializes Start/Stop and guards the lifecycle fields below.
-  std::mutex lifecycle_mu_;
+  // Serializes Start/Stop and guards the lifecycle fields below. Stop
+  // takes conn_mu_ while holding it (orphan cleanup), never the reverse.
+  Mutex lifecycle_mu_ RGAE_ACQUIRED_BEFORE(conn_mu_){"NetServer.lifecycle"};
+  // Written by Start before the acceptor spawns, closed by Stop after the
+  // join — the thread lifecycle orders accesses, so AcceptorLoop reads it
+  // without the lock and it stays unannotated.
   Socket listener_;
-  uint16_t port_ = 0;
+  std::atomic<uint16_t> port_{0};
   std::atomic<bool> draining_{false};
-  bool started_ = false;
-  bool stopped_ = false;
+  bool started_ RGAE_GUARDED_BY(lifecycle_mu_) = false;
+  bool stopped_ RGAE_GUARDED_BY(lifecycle_mu_) = false;
 
-  std::mutex conn_mu_;
-  std::condition_variable conn_cv_;
-  std::deque<int> conn_queue_;  // Accepted fds awaiting a worker.
+  Mutex conn_mu_{"NetServer.conn"};
+  CondVar conn_cv_;
+  // Accepted fds awaiting a worker.
+  std::deque<int> conn_queue_ RGAE_GUARDED_BY(conn_mu_);
 
-  mutable std::mutex stats_mu_;
-  NetServerStats stats_;
+  mutable Mutex stats_mu_{"NetServer.stats"};
+  NetServerStats stats_ RGAE_GUARDED_BY(stats_mu_);
 
-  std::thread acceptor_;
-  std::vector<std::thread> workers_;
+  std::thread acceptor_ RGAE_GUARDED_BY(lifecycle_mu_);
+  std::vector<std::thread> workers_ RGAE_GUARDED_BY(lifecycle_mu_);
 };
 
 }  // namespace net

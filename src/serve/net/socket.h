@@ -30,7 +30,10 @@ enum class IoStatus {
 const char* IoStatusName(IoStatus status);
 
 /// Owning RAII handle for one socket fd. Move-only; closes on destruction.
-/// Externally synchronized: a handle belongs to one thread at a time.
+/// Externally synchronized: a handle belongs to one thread at a time — the
+/// fd is plain data with a single owner, so there is no mutex here for
+/// `RGAE_GUARDED_BY` to name; handing one fd to two threads is a caller
+/// bug (`NetServer` moves each accepted fd to exactly one worker).
 class Socket {
  public:
   Socket() = default;

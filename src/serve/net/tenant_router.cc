@@ -26,7 +26,7 @@ bool TenantRouter::AddTenant(const std::string& name, ModelSnapshot snapshot,
     }
     return false;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (tenants_.find(name) != tenants_.end()) {
     if (error != nullptr) *error = "tenant '" + name + "' already registered";
     return false;
@@ -37,13 +37,13 @@ bool TenantRouter::AddTenant(const std::string& name, ModelSnapshot snapshot,
 }
 
 ServeRegistry* TenantRouter::Route(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = tenants_.find(name);
   return it == tenants_.end() ? nullptr : it->second.get();
 }
 
 std::vector<std::string> TenantRouter::TenantNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(tenants_.size());
   for (const auto& [name, registry] : tenants_) names.push_back(name);
@@ -51,7 +51,7 @@ std::vector<std::string> TenantRouter::TenantNames() const {
 }
 
 int TenantRouter::num_tenants() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return static_cast<int>(tenants_.size());
 }
 

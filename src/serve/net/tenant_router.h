@@ -3,12 +3,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/serve/registry.h"
 #include "src/serve/snapshot.h"
+#include "src/util/sync.h"
 
 namespace rgae {
 namespace serve {
@@ -46,9 +46,12 @@ class TenantRouter {
   int num_tenants() const;
 
  private:
-  mutable std::mutex mu_;
-  // std::map: deterministic iteration for TenantNames (lint R2).
-  std::map<std::string, std::unique_ptr<ServeRegistry>> tenants_;
+  mutable Mutex mu_{"TenantRouter.mu"};
+  // std::map: deterministic iteration for TenantNames (lint R2). The map is
+  // guarded; the registries it points to are internally synchronized and
+  // handed out as raw pointers (never removed, see class comment).
+  std::map<std::string, std::unique_ptr<ServeRegistry>> tenants_
+      RGAE_GUARDED_BY(mu_);
 };
 
 }  // namespace net

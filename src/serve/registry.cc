@@ -14,7 +14,7 @@ ServeRegistry::ServeRegistry(ModelSnapshot snapshot,
       current_(std::make_shared<ServeEngine>(std::move(snapshot), options)) {}
 
 std::shared_ptr<ServeEngine> ServeRegistry::engine() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return current_;
 }
 
@@ -23,7 +23,7 @@ bool ServeRegistry::Swap(ModelSnapshot candidate, std::string* error) {
   // `retired` is declared before the swap lock so the lock releases first
   // and a slow drain of the outgoing engine cannot stall mutations.
   std::shared_ptr<ServeEngine> retired;
-  std::lock_guard<std::mutex> swap_lock(swap_mu_);
+  MutexLock swap_lock(swap_mu_);
 
   if (options_.faults != nullptr && options_.faults->OnSwap()) {
     // Chaos: corrupt the candidate before validation; the swap must be
@@ -37,7 +37,7 @@ bool ServeRegistry::Swap(ModelSnapshot candidate, std::string* error) {
   if (!ValidateSnapshot(candidate, &why)) {
     if (error != nullptr) *error = why;
     RGAE_COUNT("serve.swap_rejected");
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.rejected_swaps;
     return false;
   }
@@ -46,7 +46,7 @@ bool ServeRegistry::Swap(ModelSnapshot candidate, std::string* error) {
   // flip, so there is never a moment without a servable engine.
   auto fresh = std::make_shared<ServeEngine>(std::move(candidate), options_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     retired = std::move(current_);
     current_ = std::move(fresh);
     ++stats_.swaps;
@@ -62,7 +62,7 @@ bool ServeRegistry::SwapFromFile(const std::string& path, std::string* error) {
   if (!LoadSnapshot(path, &candidate, &why)) {
     if (error != nullptr) *error = why;
     RGAE_COUNT("serve.swap_rejected");
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++stats_.rejected_swaps;
     return false;
   }
@@ -73,10 +73,10 @@ std::vector<int> ServeRegistry::MutateGraph(const AttributedGraph& next) {
   // Holding swap_mu_ pins the generation: the mutation and its cache
   // invalidations land entirely on the engine that is current for the whole
   // call, never on one retired mid-mutation.
-  std::lock_guard<std::mutex> swap_lock(swap_mu_);
+  MutexLock swap_lock(swap_mu_);
   std::shared_ptr<ServeEngine> engine;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     engine = current_;
     ++stats_.mutations;
   }
@@ -88,7 +88,7 @@ AttributedGraph ServeRegistry::CurrentGraph() const {
 }
 
 RegistryStats ServeRegistry::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

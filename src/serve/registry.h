@@ -3,13 +3,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "src/graph/graph.h"
 #include "src/serve/engine.h"
 #include "src/serve/snapshot.h"
+#include "src/util/sync.h"
 
 namespace rgae {
 namespace serve {
@@ -88,14 +88,15 @@ class ServeRegistry {
  private:
   const ServeOptions options_;
 
-  // Serializes Swap/SwapFromFile against MutateGraph. Never held while a
-  // query runs, and released before a retired engine destructs.
-  std::mutex swap_mu_;
+  // Protocol lock: guards no members. Serializes Swap/SwapFromFile against
+  // MutateGraph. Never held while a query runs, and released before a
+  // retired engine destructs. Always taken before mu_ (never the reverse).
+  Mutex swap_mu_ RGAE_ACQUIRED_BEFORE(mu_){"ServeRegistry.swap"};
 
   // Guards current_ and stats_; held only for pointer/struct copies.
-  mutable std::mutex mu_;
-  std::shared_ptr<ServeEngine> current_;
-  RegistryStats stats_;
+  mutable Mutex mu_{"ServeRegistry.mu"};
+  std::shared_ptr<ServeEngine> current_ RGAE_GUARDED_BY(mu_);
+  RegistryStats stats_ RGAE_GUARDED_BY(mu_);
 };
 
 }  // namespace serve

@@ -759,6 +759,41 @@ TEST(NetServerLifecycleTest, StopWithoutTrafficIsClean) {
   EXPECT_EQ(server.stats().accepted, 0);
 }
 
+// Regression: `port_` used to be a plain uint16_t written under the
+// lifecycle mutex in Start() but read lock-free by port() — a data race when
+// a client thread polls for the bound port while the server starts. It is
+// now an atomic with release/acquire ordering; this test drives exactly
+// that cross-thread pattern so a TSan run (the `tsan` preset builds this
+// suite) flags any regression to a plain field.
+TEST(NetServerLifecycleTest, PortIsSafelyReadableWhileStarting) {
+  TestStack stack;
+  NetServer server(&stack.router, FastServerOptions());
+  ASSERT_EQ(server.port(), 0);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint16_t> observed{0};
+  std::thread poller([&]() {
+    // Spin until the bound port becomes visible; every read must be either
+    // 0 (not yet started) or the final port — never a torn value.
+    while (!done.load(std::memory_order_acquire)) {
+      uint16_t p = server.port();
+      if (p != 0) {
+        observed.store(p, std::memory_order_release);
+        return;
+      }
+      std::this_thread::yield();
+    }
+  });
+  const bool started = server.Start();
+  const uint16_t bound = server.port();
+  if (!started || bound == 0) done.store(true, std::memory_order_release);
+  poller.join();
+  ASSERT_TRUE(started);
+  ASSERT_GT(bound, 0);
+  EXPECT_EQ(observed.load(), bound);
+  server.Stop();
+}
+
 TEST(NetServerLifecycleTest, StartTwiceFails) {
   TestStack stack;
   NetServer server(&stack.router, FastServerOptions());
