@@ -16,6 +16,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <functional>
+
 #include "bench/bench_common.h"
 
 #include "src/clustering/assignments.h"
@@ -23,6 +26,7 @@
 #include "src/core/operators.h"
 #include "src/eval/datasets.h"
 #include "src/graph/generators.h"
+#include "src/kernels/dispatch.h"
 #include "src/metrics/hungarian.h"
 #include "src/models/model_factory.h"
 #include "src/tensor/optimizer.h"
@@ -187,6 +191,109 @@ void RunCalibratedProfilePass(rgae_bench::BenchObs* obs) {
   obs->SetExtra("profile_expect", std::move(expect));
 }
 
+// Mean microseconds per call of `fn` over `reps` timed runs (one untimed
+// warmup). steady_clock directly: this sweep compares ISA tiers against
+// each other inside one process, so the obs histograms (which aggregate
+// across the whole run) are the wrong tool.
+double TimeOpUs(int reps, const std::function<void()>& fn) {
+  fn();
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) fn();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - start).count() /
+         static_cast<double>(reps);
+}
+
+// Per-kernel per-ISA timing sweep. Pins each compiled-and-supported ISA
+// tier in turn with SetIsaForTesting, times a fixed workload per kernel
+// through the public Matrix/CsrMatrix/clustering entry points (the wired
+// dispatch path, not the raw stubs), and restores the startup selection.
+// Emits the `kernel_isa_timings` JSON section
+// (scripts/check_bench_json.py --run-profile validates it) and prints the
+// table the README's performance section quotes.
+void RunIsaSweep(rgae_bench::BenchObs* obs) {
+  const rgae::kernels::Isa selected = rgae::kernels::SelectedIsa();
+  const std::vector<rgae::kernels::Isa> isas = rgae::kernels::SupportedIsas();
+
+  // Fixed workloads, sized so the slowest tier stays in the milliseconds.
+  const rgae::AttributedGraph g = MakeGraph(800);
+  const rgae::CsrMatrix filter = g.NormalizedAdjacency();
+  const rgae::Matrix x = g.features();
+  rgae::Rng rng(13);
+  const rgae::Matrix a = GaussianMatrix(256, 256, 1.0, rng);
+  const rgae::Matrix b = GaussianMatrix(256, 256, 1.0, rng);
+  const rgae::Matrix z = GaussianMatrix(800, 16, 1.0, rng);
+  const rgae::Matrix centers = GaussianMatrix(7, 16, 1.0, rng);
+  const rgae::Matrix big = GaussianMatrix(512, 512, 1.0, rng);
+  rgae::Parameter param(GaussianMatrix(256, 256, 1.0, rng));
+  param.grad = GaussianMatrix(256, 256, 1.0, rng);
+  rgae::Adam adam({&param}, {});
+
+  struct Op {
+    const char* name;
+    int reps;
+    std::function<void()> run;
+  };
+  const Op ops[] = {
+      {"dense_matmul", 8,
+       [&] { benchmark::DoNotOptimize(MatMul(a, b)); }},
+      {"matmul_trans_a", 8,
+       [&] { benchmark::DoNotOptimize(MatMulTransA(a, b)); }},
+      {"matmul_trans_b", 8,
+       [&] { benchmark::DoNotOptimize(MatMulTransB(a, b)); }},
+      {"spmm", 8,
+       [&] { benchmark::DoNotOptimize(filter.Multiply(x)); }},
+      {"student_t", 8,
+       [&] { benchmark::DoNotOptimize(StudentTAssignments(z, centers)); }},
+      {"reduce_sum", 16, [&] { benchmark::DoNotOptimize(big.Sum()); }},
+      {"adam_step", 16, [&] { adam.Step(); }},
+  };
+
+  // us[op][isa name] -> mean microseconds.
+  rgae::obs::JsonValue kernels_json = rgae::obs::JsonValue::MakeObject();
+  std::printf("\nkernel ISA sweep (us/op; selected: %s)\n",
+              rgae::kernels::IsaName(selected));
+  std::printf("  %-16s", "kernel");
+  for (rgae::kernels::Isa isa : isas) {
+    std::printf(" %10s", rgae::kernels::IsaName(isa));
+  }
+  std::printf(" %10s\n", "best/scal");
+  for (const Op& op : ops) {
+    rgae::obs::JsonValue us = rgae::obs::JsonValue::MakeObject();
+    rgae::obs::JsonValue speedup = rgae::obs::JsonValue::MakeObject();
+    double scalar_us = 0.0, best_us = 0.0;
+    std::printf("  %-16s", op.name);
+    for (rgae::kernels::Isa isa : isas) {
+      rgae::kernels::SetIsaForTesting(isa);
+      const double t = TimeOpUs(op.reps, op.run);
+      if (isa == rgae::kernels::Isa::kScalar) scalar_us = t;
+      best_us = t;  // SupportedIsas() ascends; the last tier is the widest.
+      us.Set(rgae::kernels::IsaName(isa), rgae::obs::JsonValue(t));
+      speedup.Set(rgae::kernels::IsaName(isa),
+                  rgae::obs::JsonValue(t > 0.0 ? scalar_us / t : 0.0));
+      std::printf(" %10.1f", t);
+    }
+    std::printf(" %9.2fx\n",
+                best_us > 0.0 ? scalar_us / best_us : 0.0);
+    rgae::obs::JsonValue entry = rgae::obs::JsonValue::MakeObject();
+    entry.Set("us", std::move(us));
+    entry.Set("speedup_vs_scalar", std::move(speedup));
+    kernels_json.Set(op.name, std::move(entry));
+  }
+  rgae::kernels::SetIsaForTesting(selected);
+
+  rgae::obs::JsonValue sweep = rgae::obs::JsonValue::MakeObject();
+  sweep.Set("selected_isa",
+            rgae::obs::JsonValue(rgae::kernels::IsaName(selected)));
+  rgae::obs::JsonValue isa_list = rgae::obs::JsonValue::MakeArray();
+  for (rgae::kernels::Isa isa : isas) {
+    isa_list.Append(rgae::obs::JsonValue(rgae::kernels::IsaName(isa)));
+  }
+  sweep.Set("isas", std::move(isa_list));
+  sweep.Set("kernels", std::move(kernels_json));
+  obs->SetExtra("kernel_isa_timings", std::move(sweep));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -196,7 +303,10 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
-  if (obs.json_requested()) RunCalibratedProfilePass(&obs);
+  if (obs.json_requested()) {
+    RunIsaSweep(&obs);
+    RunCalibratedProfilePass(&obs);
+  }
   benchmark::Shutdown();
   return 0;
 }

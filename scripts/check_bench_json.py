@@ -38,7 +38,11 @@ validates the profiler contract: a non-empty `profile` calling-context tree,
 per-kernel FLOP totals matching the closed-form `profile_expect` numbers the
 bench emits from its calibrated fixed-workload pass EXACTLY (cost-model
 drift between src/ and the bench is a hard failure, not a tolerance), at
-least one node with a positive achieved GFLOP/s, and a positive peak RSS.
+least one node with a positive achieved GFLOP/s, a positive peak RSS, and
+the `kernel_isa_timings` ISA sweep (per-kernel timings under every
+compiled-and-supported SIMD tier, consistent with the document's
+`kernel_isa`). Every document, regardless of mode, must carry `kernel_isa`
+naming the dispatching ISA its numbers were produced under.
 Exit status 0 means every document is schema-valid; violations are listed
 on stderr.
 
@@ -58,6 +62,10 @@ import os
 
 SCHEMA = "rgae.bench.v1"
 JOURNAL_SCHEMA = "rgae.journal.v1"
+
+# Every ISA the kernel dispatcher can select (src/kernels/dispatch.h); the
+# `kernel_isa` field of every document must name one of these.
+KERNEL_ISAS = ["scalar", "avx2", "avx512"]
 
 TRIAL_REQUIRED = [
     "model", "dataset", "variant", "trial", "seed", "seconds", "scores",
@@ -516,6 +524,57 @@ class Checker:
             self.expect(self.is_num(allocs) and allocs > 0,
                         "$.memory.matrix_allocs",
                         "bench ran kernels but counted no matrix buffers")
+        self.check_isa_timings(doc)
+
+    def check_isa_timings(self, doc):
+        """The `kernel_isa_timings` section of bench_micro_ops --json runs:
+        per-kernel mean microseconds under every compiled-and-supported ISA
+        tier plus the speedup each tier achieves over the scalar reference.
+        """
+        where = "$.kernel_isa_timings"
+        sweep = doc.get("kernel_isa_timings")
+        if not self.expect(isinstance(sweep, dict), where,
+                           "missing (bench did not run its ISA sweep)"):
+            return
+        self.expect(sweep.get("selected_isa") == doc.get("kernel_isa"),
+                    f"{where}.selected_isa",
+                    f"{sweep.get('selected_isa')!r} disagrees with the "
+                    f"document's kernel_isa {doc.get('kernel_isa')!r}")
+        isas = sweep.get("isas")
+        if not self.expect(
+                isinstance(isas, list) and isas and
+                all(i in KERNEL_ISAS for i in isas) and
+                isas[0] == "scalar",
+                f"{where}.isas",
+                f"must be a non-empty list of {KERNEL_ISAS} starting with "
+                f"'scalar', got {isas!r}"):
+            return
+        kernels = sweep.get("kernels")
+        if not self.expect(isinstance(kernels, dict) and kernels,
+                           f"{where}.kernels", "missing or empty"):
+            return
+        for name, entry in kernels.items():
+            kwhere = f"{where}.kernels[{name!r}]"
+            if not self.expect(isinstance(entry, dict), kwhere,
+                               "not an object"):
+                continue
+            for section in ("us", "speedup_vs_scalar"):
+                block = entry.get(section)
+                swhere = f"{kwhere}.{section}"
+                if not self.expect(isinstance(block, dict), swhere,
+                                   "missing or not an object"):
+                    continue
+                self.expect(sorted(block) == sorted(isas), swhere,
+                            f"ISA keys {sorted(block)} != swept {sorted(isas)}")
+                for isa, v in block.items():
+                    self.expect(self.is_num(v) and v > 0,
+                                f"{swhere}[{isa!r}]",
+                                f"must be a positive number, got {v!r}")
+            speedup = entry.get("speedup_vs_scalar")
+            if isinstance(speedup, dict):
+                self.expect(speedup.get("scalar") == 1.0,
+                            f"{kwhere}.speedup_vs_scalar['scalar']",
+                            "scalar-vs-scalar speedup must be exactly 1")
 
     def check_loadtest_level(self, level, where):
         if not self.expect(isinstance(level, dict), where, "not an object"):
@@ -891,6 +950,9 @@ class Checker:
                             f"$.metrics.{section}", "missing or not an object")
             for name, hist in (metrics.get("histograms") or {}).items():
                 self.check_histogram(hist, f"$.metrics.histograms[{name!r}]")
+        self.expect(doc.get("kernel_isa") in KERNEL_ISAS, "$.kernel_isa",
+                    f"must be one of {KERNEL_ISAS}, got "
+                    f"{doc.get('kernel_isa')!r}")
         self.check_memory_block(doc.get("memory"))
         self.check_profile_block(doc.get("profile"))
         dropped = doc.get("dropped_trace_events")

@@ -19,8 +19,15 @@ cmake -S "${SOURCE_DIR}" -B "${BUILD_DIR}" \
 step "build"
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 
-step "ctest (unit + schema tests)"
+step "ctest (unit + schema tests, auto-selected kernel ISA)"
 (cd "${BUILD_DIR}" && ctest --output-on-failure -LE lint -j "${JOBS}")
+
+step "ctest under RGAE_KERNEL=scalar (kernel reference tier)"
+# The full suite re-runs with every kernel stub pinned to its scalar
+# reference implementation: golden numbers and behaviour must not depend on
+# which SIMD tier the host machine happens to support (DESIGN.md §9).
+(cd "${BUILD_DIR}" && RGAE_KERNEL=scalar \
+  ctest --output-on-failure -LE lint -j "${JOBS}")
 
 step "ctest -L lint (registered lint cases)"
 (cd "${BUILD_DIR}" && ctest --output-on-failure -L lint)
@@ -63,8 +70,6 @@ step "rgae_lint"
 python3 "${SOURCE_DIR}/scripts/rgae_lint.py" --root "${SOURCE_DIR}"
 
 step "bench JSON schema check"
-"${BUILD_DIR}/bench/bench_micro_ops" --json \
-  --benchmark_filter=/200 --benchmark_min_time=0.05 >/dev/null
 python3 "${SOURCE_DIR}/scripts/check_bench_json.py" \
   --run "${BUILD_DIR}/bench/bench_micro_ops" \
   --benchmark_filter=/200 --benchmark_min_time=0.05

@@ -12,7 +12,9 @@ field) and diffs it against a committed `rgae.bench_baseline.v1` file:
                     calibrated profile tree (EXACT — any drift between the
                     cost models in src/ and the closed-form expectations is
                     a hard failure), per-kernel inclusive wall time
-                    (latency band), peak RSS (resource band)
+                    (latency band), peak RSS (resource band), per-kernel
+                    widest-ISA speedup from the `kernel_isa_timings` sweep
+                    (info — recorded, never gated)
     serve           per-phase p99 latency (latency band) and throughput
                     (throughput band), peak RSS
     table5_runtime  per-(model, dataset, variant) trial seconds — mean and
@@ -130,6 +132,17 @@ def extract_metrics(doc):
             add(f"profile.{name}.inclusive_us", "latency", t["inclusive_us"])
         for name, want in (doc.get("profile_expect") or {}).items():
             add(f"expect.{name}.flops", "exact", want)
+        # ISA sweep: record each kernel's widest-tier speedup over the
+        # scalar reference. Info-kind (never gated) — the achievable
+        # speedup is a property of the host CPU, not of the code — and
+        # keyed "best" rather than per-ISA so a baseline recorded on an
+        # AVX-512 box still has coverage on an SSE-only one.
+        sweep = doc.get("kernel_isa_timings") or {}
+        isas = sweep.get("isas") or []
+        for kname, entry in sorted((sweep.get("kernels") or {}).items()):
+            speedup = (entry or {}).get("speedup_vs_scalar") or {}
+            if isas and is_num(speedup.get(isas[-1])):
+                add(f"isa.{kname}.best_speedup", "info", speedup[isas[-1]])
     elif bench == "serve":
         serve = doc.get("serve") or {}
         for phase in serve.get("phases") or []:

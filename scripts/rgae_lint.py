@@ -76,6 +76,15 @@ Enforces invariants that generic tools do not know about:
                       data — e.g. ServeRegistry's swap lock). A mutex that
                       guards nothing and says nothing is either dead weight
                       or an unprotected invariant.
+  R12 simd scope   -- raw SIMD intrinsics (an <immintrin.h>/<x86intrin.h>
+                      include or an _mm*/__m128/__m256/__m512 token) are
+                      banned outside src/kernels/: vector code must live in
+                      the per-ISA kernel tiers behind a KernelStub so the
+                      determinism contract and the RGAE_KERNEL override
+                      stay airtight (DESIGN.md §9). A site that genuinely
+                      needs an intrinsic elsewhere opts out with a
+                      `// Raw SIMD: <why>` comment on the line or within
+                      the three lines above.
 
 Run: python3 scripts/rgae_lint.py [--root DIR]. Exits 1 if any finding.
 Run: python3 scripts/rgae_lint.py --self-test to lint seeded fixture files
@@ -198,6 +207,18 @@ MUTEX_MEMBER_RE = re.compile(
 GUARDED_BY_RE = re.compile(r"RGAE_(?:PT_)?GUARDED_BY\(\s*(\w+)\s*\)")
 PROTOCOL_NOTE = "Protocol lock:"
 PROTOCOL_NOTE_WINDOW = 3
+
+# R12: raw SIMD stays inside the kernel library. Intrinsic calls start with
+# _mm (possibly _mm256_/_mm512_), vector types are __m128/__m256/__m512
+# variants, and the headers are the *intrin.h family.
+SIMD_ALLOW_PREFIX = "src/kernels/"
+SIMD_RAW_RE = re.compile(
+    r"\b_mm(?:\d+)?_\w+\s*\("
+    r"|\b__m(?:128|256|512)[a-z]*\b"
+    r"|#\s*include\s*<(?:imm|x86|avx|emm|xmm|smm|wmm)[a-z0-9]*intrin\.h>"
+)
+SIMD_NOTE = "Raw SIMD:"
+SIMD_NOTE_WINDOW = 3
 
 
 def strip_comments_and_strings(line):
@@ -363,6 +384,25 @@ def lint_raw_sync(rel, raw_lines, code_lines, findings):
         )
 
 
+def lint_simd_scope(rel, raw_lines, code_lines, findings):
+    """R12: raw SIMD intrinsics belong to src/kernels/ — everything else
+    reaches vector code through the dispatched kernel stubs."""
+    if rel.startswith(SIMD_ALLOW_PREFIX):
+        return
+    for i, code in enumerate(code_lines):
+        if not SIMD_RAW_RE.search(code):
+            continue
+        lo = max(0, i - SIMD_NOTE_WINDOW)
+        if any(SIMD_NOTE in raw_lines[j] for j in range(lo, i + 1)):
+            continue
+        findings.append(
+            f"{rel}:{i + 1}: [R12] raw SIMD intrinsic outside src/kernels/;"
+            " add the op to the kernel library behind a KernelStub (scalar"
+            " reference + per-ISA tiers), or justify with"
+            " `// Raw SIMD: <why>` (DESIGN.md §9)"
+        )
+
+
 def lint_guarded_by(rel, raw_lines, code_lines, findings):
     """R11: every `Mutex` member either appears in an RGAE_GUARDED_BY in
     the same file or carries a `// Protocol lock:` declaration of intent."""
@@ -439,7 +479,10 @@ def lint_file(root, rel, findings):
                 "repo-rooted; use \"src/...\"-style paths"
             )
 
-        if RAW_NEW_RE.search(code) and "Never dies." not in raw:
+        # `#include <new>` is not a raw new.
+        is_include = code.lstrip().startswith("#") and "include" in code
+        if RAW_NEW_RE.search(code) and not is_include \
+                and "Never dies." not in raw:
             findings.append(
                 f"{loc}: [R4] raw new; use std::make_unique or a container "
                 "(leak-once singletons must carry a `// Never dies.` note)"
@@ -456,6 +499,7 @@ def lint_file(root, rel, findings):
     lint_socket_bounds(rel, raw_lines, code_lines, findings)
     lint_raw_sync(rel, raw_lines, code_lines, findings)
     lint_guarded_by(rel, raw_lines, code_lines, findings)
+    lint_simd_scope(rel, raw_lines, code_lines, findings)
 
     if rel.startswith("src/") and rel.endswith(".h"):
         guard = expected_guard(rel)
@@ -575,6 +619,46 @@ SELF_TEST_FIXTURES = [
         "}  // namespace rgae\n",
         ["R6"],
         [],
+    ),
+    (
+        "src/fix/raw_simd_bad.cc",
+        '#include "src/fix/raw_simd_bad.h"\n'
+        "#include <immintrin.h>\n"
+        "namespace rgae {\n"
+        "double SumFour(const double* p) {\n"
+        "  __m256d v = _mm256_loadu_pd(p);\n"
+        "  return p[0] + p[1];\n"
+        "}\n"
+        "}  // namespace rgae\n",
+        ["R12"],
+        [],
+    ),
+    (
+        # The same tokens are legal inside src/kernels/ (tier TUs) and
+        # elsewhere under a `// Raw SIMD:` justification.
+        "src/kernels/fix_simd_tier.cc",
+        '#include "src/kernels/fix_simd_tier.h"\n'
+        "#include <immintrin.h>\n"
+        "namespace rgae {\n"
+        "namespace kernels {\n"
+        "double SumFour(const double* p) {\n"
+        "  __m256d v = _mm256_loadu_pd(p);\n"
+        "  return p[0] + p[1];\n"
+        "}\n"
+        "}  // namespace kernels\n"
+        "}  // namespace rgae\n",
+        [],
+        ["R12"],
+    ),
+    (
+        "src/fix/raw_simd_optout.cc",
+        '#include "src/fix/raw_simd_optout.h"\n'
+        "namespace rgae {\n"
+        "// Raw SIMD: fixture justifies a one-off prefetch intrinsic.\n"
+        "void Warm(const double* p) { _mm_prefetch(p, 1); }\n"
+        "}  // namespace rgae\n",
+        [],
+        ["R12"],
     ),
 ]
 

@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/kernels/kernels.h"
 #include "src/obs/trace.h"
 
 namespace rgae {
@@ -40,15 +41,7 @@ Matrix StudentTAssignments(const Matrix& z, const Matrix& centers) {
                           static_cast<int64_t>(k) * d +
                           static_cast<int64_t>(n) * k));
   Matrix p(n, k);
-  for (int i = 0; i < n; ++i) {
-    double sum = 0.0;
-    for (int j = 0; j < k; ++j) {
-      const double u = 1.0 / (1.0 + RowSquaredDistance(z, i, centers, j));
-      p(i, j) = u;
-      sum += u;
-    }
-    for (int j = 0; j < k; ++j) p(i, j) /= sum;
-  }
+  kernels::StudentT(z.data(), n, d, centers.data(), k, p.data());
   return p;
 }
 
@@ -87,25 +80,8 @@ Matrix GaussianSoftAssignments(const Matrix& z, const Matrix& centers,
                    8LL * (static_cast<int64_t>(n) * d +
                           2LL * k * d + static_cast<int64_t>(n) * k));
   Matrix p(n, k);
-  std::vector<double> logits(k);
-  for (int i = 0; i < n; ++i) {
-    double row_max = -1e300;
-    for (int j = 0; j < k; ++j) {
-      double s = 0.0;
-      for (int c = 0; c < d; ++c) {
-        const double diff = z(i, c) - centers(j, c);
-        s += diff * diff / std::max(variances(j, c), 1e-6);
-      }
-      logits[j] = -0.5 * s;
-      row_max = std::max(row_max, logits[j]);
-    }
-    double sum = 0.0;
-    for (int j = 0; j < k; ++j) {
-      p(i, j) = std::exp(logits[j] - row_max);
-      sum += p(i, j);
-    }
-    for (int j = 0; j < k; ++j) p(i, j) /= sum;
-  }
+  kernels::Gaussian(z.data(), n, d, centers.data(), variances.data(), k,
+                    p.data());
   return p;
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "src/clustering/assignments.h"
+#include "src/kernels/kernels.h"
 #include "src/obs/trace.h"
 
 namespace rgae {
@@ -21,21 +22,12 @@ XiResult OperatorXi(const Matrix& soft_assignments, const XiOptions& options) {
   result.lambda1.resize(n);
   result.lambda2.resize(n);
   const double alpha2 = options.EffectiveAlpha2();
+  // First and second high-confidence scores (Eqs. 16-17).
+  kernels::TopTwo(soft_assignments.data(), n, k, result.lambda1.data(),
+                  result.lambda2.data());
   for (int i = 0; i < n; ++i) {
-    // First and second high-confidence scores (Eqs. 16-17).
-    double l1 = -std::numeric_limits<double>::max();
-    double l2 = -std::numeric_limits<double>::max();
-    for (int j = 0; j < k; ++j) {
-      const double p = soft_assignments(i, j);
-      if (p > l1) {
-        l2 = l1;
-        l1 = p;
-      } else if (p > l2) {
-        l2 = p;
-      }
-    }
-    result.lambda1[i] = l1;
-    result.lambda2[i] = l2;
+    const double l1 = result.lambda1[i];
+    const double l2 = result.lambda2[i];
     const bool pass1 = !options.use_alpha1 || l1 >= options.alpha1;
     const bool pass2 = !options.use_alpha2 || (l1 - l2) >= alpha2;
     if (pass1 && pass2) result.omega.push_back(i);

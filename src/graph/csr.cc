@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 
+#include "src/kernels/kernels.h"
 #include "src/obs/trace.h"
 
 namespace rgae {
@@ -78,14 +79,8 @@ Matrix CsrMatrix::Multiply(const Matrix& x) const {
                           static_cast<int64_t>(rows_) * x.cols()));
   assert(cols_ == x.rows());
   Matrix out(rows_, x.cols());
-  for (int r = 0; r < rows_; ++r) {
-    double* out_row = out.row(r);
-    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const double v = values_[k];
-      const double* x_row = x.row(col_idx_[k]);
-      for (int c = 0; c < x.cols(); ++c) out_row[c] += v * x_row[c];
-    }
-  }
+  kernels::Spmm(row_ptr_.data(), col_idx_.data(), values_.data(), rows_,
+                x.data(), x.cols(), out.data());
   return out;
 }
 
@@ -96,14 +91,8 @@ Matrix CsrMatrix::MultiplyTransposed(const Matrix& x) const {
                           static_cast<int64_t>(cols_) * x.cols()));
   assert(rows_ == x.rows());
   Matrix out(cols_, x.cols());
-  for (int r = 0; r < rows_; ++r) {
-    const double* x_row = x.row(r);
-    for (int k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
-      const double v = values_[k];
-      double* out_row = out.row(col_idx_[k]);
-      for (int c = 0; c < x.cols(); ++c) out_row[c] += v * x_row[c];
-    }
-  }
+  kernels::SpmmScatter(row_ptr_.data(), col_idx_.data(), values_.data(),
+                       rows_, x.data(), x.cols(), out.data());
   return out;
 }
 

@@ -1,0 +1,60 @@
+#ifndef RGAE_KERNELS_ALIGNED_H_
+#define RGAE_KERNELS_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace rgae {
+namespace kernels {
+
+/// Alignment of every dense numeric buffer, in bytes. One AVX-512 register
+/// (and one cache line) is 64 bytes, so a buffer starting on this boundary
+/// lets the flat kernels (reductions, Adam) use aligned vector loads from
+/// element 0 without per-call checks.
+inline constexpr size_t kBufferAlignment = 64;
+
+/// The number of bytes actually allocated for `entries` doubles:
+/// std::aligned_alloc requires the size to be a multiple of the alignment,
+/// so the payload is rounded up to whole 64-byte lines. The obs memstat
+/// counters report this padded size — the true allocation, not the nominal
+/// 8 bytes/entry payload.
+inline constexpr size_t AlignedBufferBytes(size_t entries) {
+  const size_t bytes = entries * sizeof(double);
+  return (bytes + kBufferAlignment - 1) / kBufferAlignment * kBufferAlignment;
+}
+
+/// Minimal C++17 allocator backed by std::aligned_alloc. Only the pieces
+/// std::vector needs; equality is stateless.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}  // NOLINT(runtime/explicit)
+
+  T* allocate(size_t n) {
+    if (n == 0) return nullptr;
+    const size_t bytes = (n * sizeof(T) + kBufferAlignment - 1) /
+                         kBufferAlignment * kBufferAlignment;
+    void* p = std::aligned_alloc(kBufferAlignment, bytes);
+    if (p == nullptr) throw std::bad_alloc();
+    return static_cast<T*>(p);
+  }
+  void deallocate(T* p, size_t) { std::free(p); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const { return true; }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const { return false; }
+};
+
+/// 64-byte-aligned double buffer: the storage type of rgae::Matrix.
+using AlignedVector = std::vector<double, AlignedAllocator<double>>;
+
+}  // namespace kernels
+}  // namespace rgae
+
+#endif  // RGAE_KERNELS_ALIGNED_H_

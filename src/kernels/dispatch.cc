@@ -1,0 +1,142 @@
+#include "src/kernels/dispatch.h"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <cpuid.h>
+#endif
+
+namespace rgae {
+namespace kernels {
+
+namespace {
+
+#if defined(__x86_64__) || defined(__i386__)
+
+// XCR0 bits the OS must have enabled for the corresponding register state.
+constexpr uint64_t kXcr0Ymm = 0x6;           // XMM + YMM.
+constexpr uint64_t kXcr0Zmm = 0xe0 | 0x6;    // + opmask, ZMM0-15, ZMM16-31.
+
+uint64_t ReadXcr0() {
+  uint32_t eax = 0, edx = 0;
+  // xgetbv with ecx=0; the xsave intrinsic needs -mxsave, plain asm does not.
+  asm volatile("xgetbv" : "=a"(eax), "=d"(edx) : "c"(0));
+  return (static_cast<uint64_t>(edx) << 32) | eax;
+}
+
+/// CPUID + XCR0 probe, independent of what this build compiled.
+Isa DetectCpuIsa() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return Isa::kScalar;
+  const bool osxsave = (ecx & bit_OSXSAVE) != 0;
+  if (!osxsave) return Isa::kScalar;
+  const uint64_t xcr0 = ReadXcr0();
+  if ((xcr0 & kXcr0Ymm) != kXcr0Ymm) return Isa::kScalar;
+  unsigned eax7 = 0, ebx7 = 0, ecx7 = 0, edx7 = 0;
+  if (__get_cpuid_count(7, 0, &eax7, &ebx7, &ecx7, &edx7) == 0) {
+    return Isa::kScalar;
+  }
+  const bool avx2 = (ebx7 & bit_AVX2) != 0;
+  const bool avx512f = (ebx7 & bit_AVX512F) != 0;
+  if (avx512f && (xcr0 & kXcr0Zmm) == kXcr0Zmm) return Isa::kAvx512;
+  if (avx2) return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+#else  // Non-x86: only the scalar tier exists.
+
+Isa DetectCpuIsa() { return Isa::kScalar; }
+
+#endif
+
+/// What this *build* carries, set by the CMake per-file arch-flag guards.
+Isa BestCompiledIsa() {
+#if defined(RGAE_KERNELS_HAVE_AVX512)
+  return Isa::kAvx512;
+#elif defined(RGAE_KERNELS_HAVE_AVX2)
+  return Isa::kAvx2;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+Isa ClampToSupported(Isa isa) {
+  const Isa best = BestSupportedIsa();
+  return IsaLevel(isa) <= IsaLevel(best) ? isa : best;
+}
+
+/// First-use selection: RGAE_KERNEL override (clamped), else best
+/// supported. Unknown override strings fall back to auto-detection.
+Isa InitialIsa() {
+  const char* env = std::getenv("RGAE_KERNEL");
+  Isa requested;
+  if (env != nullptr && IsaFromName(env, &requested)) {
+    return ClampToSupported(requested);
+  }
+  return BestSupportedIsa();
+}
+
+std::atomic<Isa>& SelectedIsaCell() {
+  static std::atomic<Isa> cell{InitialIsa()};
+  return cell;
+}
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "scalar";
+}
+
+bool IsaFromName(const std::string& name, Isa* out) {
+  if (name == "scalar") {
+    *out = Isa::kScalar;
+    return true;
+  }
+  if (name == "avx2") {
+    *out = Isa::kAvx2;
+    return true;
+  }
+  if (name == "avx512") {
+    *out = Isa::kAvx512;
+    return true;
+  }
+  return false;
+}
+
+Isa BestSupportedIsa() {
+  static const Isa best = [] {
+    const Isa cpu = DetectCpuIsa();
+    const Isa compiled = BestCompiledIsa();
+    return IsaLevel(cpu) <= IsaLevel(compiled) ? cpu : compiled;
+  }();
+  return best;
+}
+
+std::vector<Isa> SupportedIsas() {
+  const int best = IsaLevel(BestSupportedIsa());
+  std::vector<Isa> out{Isa::kScalar};
+  if (best >= IsaLevel(Isa::kAvx2)) out.push_back(Isa::kAvx2);
+  if (best >= IsaLevel(Isa::kAvx512)) out.push_back(Isa::kAvx512);
+  return out;
+}
+
+Isa SelectedIsa() {
+  return SelectedIsaCell().load(std::memory_order_relaxed);
+}
+
+void SetIsaForTesting(Isa isa) {
+  SelectedIsaCell().store(ClampToSupported(isa), std::memory_order_relaxed);
+}
+
+}  // namespace kernels
+}  // namespace rgae

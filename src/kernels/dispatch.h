@@ -1,0 +1,76 @@
+#ifndef RGAE_KERNELS_DISPATCH_H_
+#define RGAE_KERNELS_DISPATCH_H_
+
+#include <string>
+#include <vector>
+
+namespace rgae {
+namespace kernels {
+
+/// Instruction-set tiers a kernel stub can carry, ordered from the portable
+/// reference upward. The scalar tier is always present and stays
+/// bit-identical to the pre-dispatch loops, so golden-number tests pin it
+/// (DESIGN.md §9).
+enum class Isa {
+  kScalar = 0,
+  kAvx2 = 1,
+  kAvx512 = 2,
+};
+
+/// Numeric tier for ordering comparisons and the metrics gauge:
+/// scalar=0, avx2=1, avx512=2.
+inline constexpr int IsaLevel(Isa isa) { return static_cast<int>(isa); }
+
+/// "scalar" / "avx2" / "avx512".
+const char* IsaName(Isa isa);
+
+/// Parses an `RGAE_KERNEL` value. Returns true and sets *out on an exact
+/// match; unknown strings return false (the caller falls back to auto).
+bool IsaFromName(const std::string& name, Isa* out);
+
+/// The best tier this build *and* this CPU support: compiled-in variants
+/// intersected with CPUID/XCR0 feature bits. Scalar on non-x86 or when the
+/// compiler lacked the arch flags.
+Isa BestSupportedIsa();
+
+/// Every tier usable in this process, ascending (always starts with
+/// kScalar). The equivalence suite and the bench ISA sweep iterate this.
+std::vector<Isa> SupportedIsas();
+
+/// The tier every stub resolves to. Decided once on first use: the
+/// `RGAE_KERNEL=scalar|avx2|avx512` environment override (clamped down to
+/// BestSupportedIsa if the machine cannot honor it), otherwise
+/// BestSupportedIsa. Cheap to call from kernel wrappers (one relaxed
+/// atomic load after initialization).
+Isa SelectedIsa();
+
+/// Test/bench hook: redirects every stub to `isa` (clamped to
+/// BestSupportedIsa) from now on. Product code never calls this — the
+/// supported override path is the RGAE_KERNEL environment variable.
+void SetIsaForTesting(Isa isa);
+
+/// A runtime-dispatched kernel in the style of ATen's DispatchStub: one
+/// function pointer per ISA tier, resolved against SelectedIsa on every
+/// call. Tiers a build does not compile (or an op does not specialize)
+/// stay null and fall through to the next lower tier; scalar must always
+/// be set. Resolution is two predictable branches on top of the atomic
+/// load in SelectedIsa — noise next to any kernel body, and re-reading it
+/// per call is what lets SetIsaForTesting retarget live stubs.
+template <typename Fn>
+struct KernelStub {
+  Fn scalar = nullptr;
+  Fn avx2 = nullptr;
+  Fn avx512 = nullptr;
+
+  Fn Get() const {
+    const Isa isa = SelectedIsa();
+    if (isa == Isa::kAvx512 && avx512 != nullptr) return avx512;
+    if (IsaLevel(isa) >= IsaLevel(Isa::kAvx2) && avx2 != nullptr) return avx2;
+    return scalar;
+  }
+};
+
+}  // namespace kernels
+}  // namespace rgae
+
+#endif  // RGAE_KERNELS_DISPATCH_H_

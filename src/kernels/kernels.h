@@ -1,0 +1,191 @@
+#ifndef RGAE_KERNELS_KERNELS_H_
+#define RGAE_KERNELS_KERNELS_H_
+
+#include <cstdint>
+
+#include "src/kernels/dispatch.h"
+
+namespace rgae {
+namespace kernels {
+
+/// The SIMD kernel library: every hot inner loop of the tensor, graph,
+/// clustering, optimizer, loss, and Ξ layers behind a KernelStub with a
+/// scalar reference plus AVX2/AVX-512 variants (DESIGN.md §9).
+///
+/// Conventions shared by every op:
+///  - Raw pointers + dimensions only; no Matrix/CsrMatrix dependency, so
+///    the tensor layer can sit on top without an include cycle.
+///  - Output buffers that are accumulated into (`MatMul`, `MatMulTransA`,
+///    `Spmm*`) must be zero-filled by the caller; kernels that overwrite
+///    every entry (`MatMulTransB`, softmax, top-two) need no zeroing.
+///  - Determinism contract: a given (op, ISA, shape) always performs
+///    floating-point operations in one fixed order — repeated calls are
+///    bit-identical. Every op except the flat reductions and the BCE
+///    sweep is additionally bit-identical *across* ISAs because the
+///    vector variants preserve the scalar per-element operation order
+///    (they vectorize across independent output elements, never across a
+///    summation chain, and never use FMA). `Sum`/`SumSquares`/`Dot` are
+///    true horizontal reductions, so their vector variants use fixed
+///    lane-blocked accumulators instead: deterministic per ISA, within a
+///    small documented ULP bound of scalar (see tests/kernels_test.cc).
+///  - `Sum`/`SumSquares`/`Dot`/`AdamStep` AVX-512 variants use aligned
+///    loads from element 0: their buffers must start on a 64-byte
+///    boundary, which rgae::Matrix storage guarantees (aligned.h).
+///    All other ops tolerate arbitrary alignment (unaligned loads).
+
+// ---------------------------------------------------------------------------
+// Op signatures.
+// ---------------------------------------------------------------------------
+
+/// out(m,n) += a(m,k) * b(k,n). Zero a-entries are skipped (the training
+/// loops multiply by sparse-ish masks); out must be pre-zeroed.
+using MatMulFn = void (*)(const double* a, const double* b, double* out,
+                          int m, int k, int n);
+
+/// One row of MatMul: out_row(n) += a_row(k) * b(k,n), same per-element
+/// order as the full op (the serve incremental path depends on this).
+using MatMulRowFn = void (*)(const double* a_row, const double* b,
+                             double* out_row, int k, int n);
+
+/// out(m,n) += aᵀ * b with a stored (k,m), b (k,n); out pre-zeroed.
+using MatMulTransAFn = void (*)(const double* a, const double* b, double* out,
+                                int k, int m, int n);
+
+/// out(m,n) = a(m,k) * bᵀ with b stored (n,k). Overwrites out.
+using MatMulTransBFn = void (*)(const double* a, const double* b, double* out,
+                                int m, int k, int n);
+
+/// One CSR row times a dense matrix: out_row(x_cols) += Σ vals[i] *
+/// x(cols[i], :) over the row's `count` stored entries; out_row pre-zeroed.
+using SpmmRowFn = void (*)(const int* cols, const double* vals, int count,
+                           const double* x, int x_cols, double* out_row);
+
+/// Full SpMM: out(rows, x_cols) += S * x for CSR S; out pre-zeroed.
+/// Row r's bits equal a SpmmRowFn call on that row.
+using SpmmFn = void (*)(const int* row_ptr, const int* col_idx,
+                        const double* vals, int rows, const double* x,
+                        int x_cols, double* out);
+
+/// Scattered SpMM (Sᵀ * x): out(cols, x_cols) += Σ_r Σ_k vals[k] *
+/// x(r, :) into out row col_idx[k]; out pre-zeroed.
+using SpmmScatterFn = void (*)(const int* row_ptr, const int* col_idx,
+                               const double* vals, int rows, const double* x,
+                               int x_cols, double* out);
+
+/// Flat reductions over `n` entries.
+using SumFn = double (*)(const double* p, int64_t n);
+using DotFn = double (*)(const double* a, const double* b, int64_t n);
+
+/// Student-t soft assignments: p(n,k) from embeddings z(n,d) and centers
+/// (k,d). Overwrites p.
+using StudentTFn = void (*)(const double* z, int n, int d,
+                            const double* centers, int k, double* p);
+
+/// Gaussian soft assignments with per-cluster diagonal variances (k,d),
+/// log-sum-exp normalized per row. Overwrites p(n,k).
+using GaussianFn = void (*)(const double* z, int n, int d,
+                            const double* centers, const double* variances,
+                            int k, double* p);
+
+/// One fused Adam step over `n` elements (bc1/bc2 are the bias
+/// corrections 1-β^t, precomputed by the optimizer).
+using AdamStepFn = void (*)(double* value, const double* grad, double* m1,
+                            double* m2, int64_t n, double beta1, double beta2,
+                            double lr, double eps, double bc1, double bc2);
+
+/// The InnerProductBce base sweep: Σ softplus(s_i) over the dense logits.
+/// Transcendental-bound (log1p/exp), so the vector tiers alias scalar and
+/// the result is bit-identical across ISAs.
+using BceSweepFn = double (*)(const double* s, int64_t n);
+
+/// Operator Ξ's per-row top-two scan over p(n,k): lambda1/lambda2 (each
+/// length n) receive the largest and second-largest entry of every row.
+/// Comparison-only, hence exact on every ISA. Requires k >= 2.
+using TopTwoFn = void (*)(const double* p, int n, int k, double* lambda1,
+                          double* lambda2);
+
+// ---------------------------------------------------------------------------
+// Dispatch wrappers — what product code calls. Each resolves its
+// KernelStub against SelectedIsa() per call.
+// ---------------------------------------------------------------------------
+
+void MatMul(const double* a, const double* b, double* out, int m, int k,
+            int n);
+void MatMulRow(const double* a_row, const double* b, double* out_row, int k,
+               int n);
+void MatMulTransA(const double* a, const double* b, double* out, int k, int m,
+                  int n);
+void MatMulTransB(const double* a, const double* b, double* out, int m, int k,
+                  int n);
+void SpmmRow(const int* cols, const double* vals, int count, const double* x,
+             int x_cols, double* out_row);
+void Spmm(const int* row_ptr, const int* col_idx, const double* vals,
+          int rows, const double* x, int x_cols, double* out);
+void SpmmScatter(const int* row_ptr, const int* col_idx, const double* vals,
+                 int rows, const double* x, int x_cols, double* out);
+double Sum(const double* p, int64_t n);
+double SumSquares(const double* p, int64_t n);
+double Dot(const double* a, const double* b, int64_t n);
+void StudentT(const double* z, int n, int d, const double* centers, int k,
+              double* p);
+void Gaussian(const double* z, int n, int d, const double* centers,
+              const double* variances, int k, double* p);
+void AdamStep(double* value, const double* grad, double* m1, double* m2,
+              int64_t n, double beta1, double beta2, double lr, double eps,
+              double bc1, double bc2);
+double BceSweep(const double* s, int64_t n);
+void TopTwo(const double* p, int n, int k, double* lambda1, double* lambda2);
+
+// ---------------------------------------------------------------------------
+// Per-ISA implementations, one translation unit each (kernels_scalar.cc,
+// kernels_avx2.cc, kernels_avx512.cc — the latter two compiled with
+// per-file arch flags and registered only when the toolchain has them).
+// Exposed so the equivalence suite can pin any tier directly.
+// ---------------------------------------------------------------------------
+
+#define RGAE_DECLARE_KERNEL_TIER(ns)                                          \
+  namespace ns {                                                              \
+  void MatMul(const double* a, const double* b, double* out, int m, int k,    \
+              int n);                                                         \
+  void MatMulRow(const double* a_row, const double* b, double* out_row,       \
+                 int k, int n);                                               \
+  void MatMulTransA(const double* a, const double* b, double* out, int k,     \
+                    int m, int n);                                            \
+  void MatMulTransB(const double* a, const double* b, double* out, int m,     \
+                    int k, int n);                                            \
+  void SpmmRow(const int* cols, const double* vals, int count,                \
+               const double* x, int x_cols, double* out_row);                 \
+  void Spmm(const int* row_ptr, const int* col_idx, const double* vals,       \
+            int rows, const double* x, int x_cols, double* out);              \
+  void SpmmScatter(const int* row_ptr, const int* col_idx,                    \
+                   const double* vals, int rows, const double* x, int x_cols, \
+                   double* out);                                              \
+  double Sum(const double* p, int64_t n);                                     \
+  double SumSquares(const double* p, int64_t n);                              \
+  double Dot(const double* a, const double* b, int64_t n);                    \
+  void StudentT(const double* z, int n, int d, const double* centers, int k,  \
+                double* p);                                                   \
+  void Gaussian(const double* z, int n, int d, const double* centers,         \
+                const double* variances, int k, double* p);                   \
+  void AdamStep(double* value, const double* grad, double* m1, double* m2,    \
+                int64_t n, double beta1, double beta2, double lr, double eps, \
+                double bc1, double bc2);                                      \
+  double BceSweep(const double* s, int64_t n);                                \
+  void TopTwo(const double* p, int n, int k, double* lambda1,                 \
+              double* lambda2);                                               \
+  }  // namespace ns
+
+RGAE_DECLARE_KERNEL_TIER(scalar)
+#if defined(RGAE_KERNELS_HAVE_AVX2)
+RGAE_DECLARE_KERNEL_TIER(avx2)
+#endif
+#if defined(RGAE_KERNELS_HAVE_AVX512)
+RGAE_DECLARE_KERNEL_TIER(avx512)
+#endif
+
+#undef RGAE_DECLARE_KERNEL_TIER
+
+}  // namespace kernels
+}  // namespace rgae
+
+#endif  // RGAE_KERNELS_KERNELS_H_

@@ -1,0 +1,422 @@
+// AVX2 tier (compiled with -mavx2 -ffp-contract=off; this TU is the only
+// 256-bit island besides kernels_avx512.cc, enforced by lint R12).
+//
+// Vectorization strategy (DESIGN.md §9): vectorize across *independent
+// output elements* — output columns of a matmul/SpMM row, clusters of a
+// softmax row, elements of an Adam sweep — never across a summation
+// chain, and never with FMA (mul+add keeps scalar rounding). Each output
+// element therefore accumulates its contributions in exactly the scalar
+// order, and every op in this file except Sum/SumSquares/Dot is
+// bit-identical to the scalar tier. The three flat reductions are true
+// horizontal sums; they use a fixed two-register blocking (deterministic,
+// but a different association than scalar — see the ULP-bound test).
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <limits>
+
+#include "src/kernels/kernels.h"
+
+namespace rgae {
+namespace kernels {
+namespace avx2 {
+
+namespace {
+
+constexpr int kGemmRowBlock = 4;  // Register-accumulator rows per GEMM tile.
+
+/// Lane sum in a fixed order: ((l0 + l1) + l2) + l3.
+double HsumOrdered(__m256d v) {
+  alignas(32) double lane[4];
+  _mm256_store_pd(lane, v);
+  return ((lane[0] + lane[1]) + lane[2]) + lane[3];
+}
+
+/// Strided gather of one column `c` from four consecutive rows of a
+/// row-major (rows, stride) block starting at `r0`.
+inline __m256d GatherColumn(const double* base, size_t stride, int c) {
+  return _mm256_set_pd(base[3 * stride + c], base[2 * stride + c],
+                       base[1 * stride + c], base[c]);
+}
+
+/// The micro-GEMM tile: `mr` (≤ kGemmRowBlock) rows of a times all of b,
+/// accumulated into out with register accumulators over 8-column tiles.
+/// Per output element the k-chain is ascending with the aik == 0.0 skip,
+/// i.e. scalar::MatMulRow bit for bit.
+void GemmRowBlock(const double* a, const double* b, double* out, int mr,
+                  int k, int n) {
+  int j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m256d acc[kGemmRowBlock][2];
+    for (int r = 0; r < mr; ++r) {
+      acc[r][0] = _mm256_loadu_pd(out + static_cast<size_t>(r) * n + j);
+      acc[r][1] = _mm256_loadu_pd(out + static_cast<size_t>(r) * n + j + 4);
+    }
+    for (int kk = 0; kk < k; ++kk) {
+      const double* b_row = b + static_cast<size_t>(kk) * n + j;
+      const __m256d b0 = _mm256_loadu_pd(b_row);
+      const __m256d b1 = _mm256_loadu_pd(b_row + 4);
+      for (int r = 0; r < mr; ++r) {
+        const double aik = a[static_cast<size_t>(r) * k + kk];
+        if (aik == 0.0) continue;
+        const __m256d av = _mm256_set1_pd(aik);
+        acc[r][0] = _mm256_add_pd(acc[r][0], _mm256_mul_pd(av, b0));
+        acc[r][1] = _mm256_add_pd(acc[r][1], _mm256_mul_pd(av, b1));
+      }
+    }
+    for (int r = 0; r < mr; ++r) {
+      _mm256_storeu_pd(out + static_cast<size_t>(r) * n + j, acc[r][0]);
+      _mm256_storeu_pd(out + static_cast<size_t>(r) * n + j + 4, acc[r][1]);
+    }
+  }
+  for (; j < n; ++j) {
+    for (int r = 0; r < mr; ++r) {
+      double s = out[static_cast<size_t>(r) * n + j];
+      for (int kk = 0; kk < k; ++kk) {
+        const double aik = a[static_cast<size_t>(r) * k + kk];
+        if (aik == 0.0) continue;
+        s += aik * b[static_cast<size_t>(kk) * n + j];
+      }
+      out[static_cast<size_t>(r) * n + j] = s;
+    }
+  }
+}
+
+}  // namespace
+
+void MatMulRow(const double* a_row, const double* b, double* out_row, int k,
+               int n) {
+  GemmRowBlock(a_row, b, out_row, 1, k, n);
+}
+
+void MatMul(const double* a, const double* b, double* out, int m, int k,
+            int n) {
+  int i = 0;
+  for (; i + kGemmRowBlock <= m; i += kGemmRowBlock) {
+    GemmRowBlock(a + static_cast<size_t>(i) * k, b,
+                 out + static_cast<size_t>(i) * n, kGemmRowBlock, k, n);
+  }
+  if (i < m) {
+    GemmRowBlock(a + static_cast<size_t>(i) * k, b,
+                 out + static_cast<size_t>(i) * n, m - i, k, n);
+  }
+}
+
+void MatMulTransA(const double* a, const double* b, double* out, int k, int m,
+                  int n) {
+  // Scalar loop structure (k outer) with the j sweep widened to 4 lanes;
+  // each out element still sees its k-contributions in ascending order.
+  for (int kk = 0; kk < k; ++kk) {
+    const double* a_row = a + static_cast<size_t>(kk) * m;
+    const double* b_row = b + static_cast<size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const double aki = a_row[i];
+      if (aki == 0.0) continue;
+      double* out_row = out + static_cast<size_t>(i) * n;
+      const __m256d av = _mm256_set1_pd(aki);
+      int j = 0;
+      for (; j + 4 <= n; j += 4) {
+        const __m256d o = _mm256_loadu_pd(out_row + j);
+        const __m256d bv = _mm256_loadu_pd(b_row + j);
+        _mm256_storeu_pd(out_row + j,
+                         _mm256_add_pd(o, _mm256_mul_pd(av, bv)));
+      }
+      for (; j < n; ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+}
+
+void MatMulTransB(const double* a, const double* b, double* out, int m, int k,
+                  int n) {
+  // Four dot products (four b rows) in flight per vector; the k-chain of
+  // each output element stays sequential, so no cross-ISA drift.
+  for (int i = 0; i < m; ++i) {
+    const double* a_row = a + static_cast<size_t>(i) * k;
+    double* out_row = out + static_cast<size_t>(i) * n;
+    int j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const double* b_block = b + static_cast<size_t>(j) * k;
+      __m256d acc = _mm256_setzero_pd();
+      for (int kk = 0; kk < k; ++kk) {
+        const __m256d av = _mm256_set1_pd(a_row[kk]);
+        const __m256d bv = GatherColumn(b_block, k, kk);
+        acc = _mm256_add_pd(acc, _mm256_mul_pd(av, bv));
+      }
+      _mm256_storeu_pd(out_row + j, acc);
+    }
+    for (; j < n; ++j) {
+      const double* b_row = b + static_cast<size_t>(j) * k;
+      double s = 0.0;
+      for (int kk = 0; kk < k; ++kk) s += a_row[kk] * b_row[kk];
+      out_row[j] = s;
+    }
+  }
+}
+
+void SpmmRow(const int* cols, const double* vals, int count, const double* x,
+             int x_cols, double* out_row) {
+  int c = 0;
+  for (; c + 8 <= x_cols; c += 8) {
+    __m256d acc0 = _mm256_loadu_pd(out_row + c);
+    __m256d acc1 = _mm256_loadu_pd(out_row + c + 4);
+    for (int k = 0; k < count; ++k) {
+      const __m256d vv = _mm256_set1_pd(vals[k]);
+      const double* x_row = x + static_cast<size_t>(cols[k]) * x_cols + c;
+      acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(vv, _mm256_loadu_pd(x_row)));
+      acc1 = _mm256_add_pd(acc1,
+                           _mm256_mul_pd(vv, _mm256_loadu_pd(x_row + 4)));
+    }
+    _mm256_storeu_pd(out_row + c, acc0);
+    _mm256_storeu_pd(out_row + c + 4, acc1);
+  }
+  for (; c < x_cols; ++c) {
+    double s = out_row[c];
+    for (int k = 0; k < count; ++k) {
+      s += vals[k] * x[static_cast<size_t>(cols[k]) * x_cols + c];
+    }
+    out_row[c] = s;
+  }
+}
+
+void Spmm(const int* row_ptr, const int* col_idx, const double* vals,
+          int rows, const double* x, int x_cols, double* out) {
+  for (int r = 0; r < rows; ++r) {
+    SpmmRow(col_idx + row_ptr[r], vals + row_ptr[r],
+            row_ptr[r + 1] - row_ptr[r], x, x_cols,
+            out + static_cast<size_t>(r) * x_cols);
+  }
+}
+
+void SpmmScatter(const int* row_ptr, const int* col_idx, const double* vals,
+                 int rows, const double* x, int x_cols, double* out) {
+  for (int r = 0; r < rows; ++r) {
+    const double* x_row = x + static_cast<size_t>(r) * x_cols;
+    for (int k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const __m256d vv = _mm256_set1_pd(vals[k]);
+      double* out_row = out + static_cast<size_t>(col_idx[k]) * x_cols;
+      int c = 0;
+      for (; c + 4 <= x_cols; c += 4) {
+        const __m256d o = _mm256_loadu_pd(out_row + c);
+        const __m256d xv = _mm256_loadu_pd(x_row + c);
+        _mm256_storeu_pd(out_row + c,
+                         _mm256_add_pd(o, _mm256_mul_pd(vv, xv)));
+      }
+      for (; c < x_cols; ++c) out_row[c] += vals[k] * x_row[c];
+    }
+  }
+}
+
+double Sum(const double* p, int64_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(p + i));
+    acc1 = _mm256_add_pd(acc1, _mm256_loadu_pd(p + i + 4));
+  }
+  double s = HsumOrdered(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) s += p[i];
+  return s;
+}
+
+double SumSquares(const double* p, int64_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256d v0 = _mm256_loadu_pd(p + i);
+    const __m256d v1 = _mm256_loadu_pd(p + i + 4);
+    acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(v0, v0));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(v1, v1));
+  }
+  double s = HsumOrdered(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) s += p[i] * p[i];
+  return s;
+}
+
+double Dot(const double* a, const double* b, int64_t n) {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_add_pd(
+        acc0, _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i)));
+    acc1 = _mm256_add_pd(acc1, _mm256_mul_pd(_mm256_loadu_pd(a + i + 4),
+                                             _mm256_loadu_pd(b + i + 4)));
+  }
+  double s = HsumOrdered(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void StudentT(const double* z, int n, int d, const double* centers, int k,
+              double* p) {
+  const __m256d ones = _mm256_set1_pd(1.0);
+  for (int i = 0; i < n; ++i) {
+    const double* z_row = z + static_cast<size_t>(i) * d;
+    double* p_row = p + static_cast<size_t>(i) * k;
+    int j = 0;
+    // Four clusters in flight; each (i,j) distance chain runs over c in
+    // scalar order.
+    for (; j + 4 <= k; j += 4) {
+      const double* c_block = centers + static_cast<size_t>(j) * d;
+      __m256d dist = _mm256_setzero_pd();
+      for (int c = 0; c < d; ++c) {
+        const __m256d zv = _mm256_set1_pd(z_row[c]);
+        const __m256d cv = GatherColumn(c_block, d, c);
+        const __m256d diff = _mm256_sub_pd(zv, cv);
+        dist = _mm256_add_pd(dist, _mm256_mul_pd(diff, diff));
+      }
+      const __m256d u = _mm256_div_pd(ones, _mm256_add_pd(ones, dist));
+      _mm256_storeu_pd(p_row + j, u);
+    }
+    for (; j < k; ++j) {
+      const double* c_row = centers + static_cast<size_t>(j) * d;
+      double dist = 0.0;
+      for (int c = 0; c < d; ++c) {
+        const double diff = z_row[c] - c_row[c];
+        dist += diff * diff;
+      }
+      p_row[j] = 1.0 / (1.0 + dist);
+    }
+    double sum = 0.0;
+    for (int jj = 0; jj < k; ++jj) sum += p_row[jj];
+    for (int jj = 0; jj < k; ++jj) p_row[jj] /= sum;
+  }
+}
+
+void Gaussian(const double* z, int n, int d, const double* centers,
+              const double* variances, int k, double* p) {
+  const __m256d eps = _mm256_set1_pd(1e-6);
+  const __m256d half = _mm256_set1_pd(-0.5);
+  for (int i = 0; i < n; ++i) {
+    const double* z_row = z + static_cast<size_t>(i) * d;
+    double* p_row = p + static_cast<size_t>(i) * k;
+    int j = 0;
+    for (; j + 4 <= k; j += 4) {
+      const double* c_block = centers + static_cast<size_t>(j) * d;
+      const double* v_block = variances + static_cast<size_t>(j) * d;
+      __m256d s = _mm256_setzero_pd();
+      for (int c = 0; c < d; ++c) {
+        const __m256d zv = _mm256_set1_pd(z_row[c]);
+        const __m256d diff = _mm256_sub_pd(zv, GatherColumn(c_block, d, c));
+        const __m256d sq = _mm256_mul_pd(diff, diff);
+        const __m256d var = _mm256_max_pd(GatherColumn(v_block, d, c), eps);
+        s = _mm256_add_pd(s, _mm256_div_pd(sq, var));
+      }
+      _mm256_storeu_pd(p_row + j, _mm256_mul_pd(half, s));
+    }
+    for (; j < k; ++j) {
+      const double* c_row = centers + static_cast<size_t>(j) * d;
+      const double* v_row = variances + static_cast<size_t>(j) * d;
+      double s = 0.0;
+      for (int c = 0; c < d; ++c) {
+        const double diff = z_row[c] - c_row[c];
+        s += diff * diff / std::max(v_row[c], 1e-6);
+      }
+      p_row[j] = -0.5 * s;
+    }
+    double row_max = -1e300;
+    for (int jj = 0; jj < k; ++jj) row_max = std::max(row_max, p_row[jj]);
+    double sum = 0.0;
+    for (int jj = 0; jj < k; ++jj) {
+      p_row[jj] = std::exp(p_row[jj] - row_max);
+      sum += p_row[jj];
+    }
+    for (int jj = 0; jj < k; ++jj) p_row[jj] /= sum;
+  }
+}
+
+void AdamStep(double* value, const double* grad, double* m1, double* m2,
+              int64_t n, double beta1, double beta2, double lr, double eps,
+              double bc1, double bc2) {
+  const __m256d b1v = _mm256_set1_pd(beta1);
+  const __m256d b2v = _mm256_set1_pd(beta2);
+  const __m256d c1v = _mm256_set1_pd(1.0 - beta1);
+  const __m256d c2v = _mm256_set1_pd(1.0 - beta2);
+  const __m256d bc1v = _mm256_set1_pd(bc1);
+  const __m256d bc2v = _mm256_set1_pd(bc2);
+  const __m256d lrv = _mm256_set1_pd(lr);
+  const __m256d epsv = _mm256_set1_pd(eps);
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d g = _mm256_loadu_pd(grad + i);
+    const __m256d m1v = _mm256_add_pd(
+        _mm256_mul_pd(b1v, _mm256_loadu_pd(m1 + i)), _mm256_mul_pd(c1v, g));
+    _mm256_storeu_pd(m1 + i, m1v);
+    // ((1-β₂)·g)·g, left to right, matching the scalar expression.
+    const __m256d m2v =
+        _mm256_add_pd(_mm256_mul_pd(b2v, _mm256_loadu_pd(m2 + i)),
+                      _mm256_mul_pd(_mm256_mul_pd(c2v, g), g));
+    _mm256_storeu_pd(m2 + i, m2v);
+    const __m256d mhat = _mm256_div_pd(m1v, bc1v);
+    const __m256d vhat = _mm256_div_pd(m2v, bc2v);
+    const __m256d upd = _mm256_div_pd(
+        _mm256_mul_pd(lrv, mhat), _mm256_add_pd(_mm256_sqrt_pd(vhat), epsv));
+    _mm256_storeu_pd(value + i, _mm256_sub_pd(_mm256_loadu_pd(value + i),
+                                              upd));
+  }
+  for (; i < n; ++i) {
+    m1[i] = beta1 * m1[i] + (1.0 - beta1) * grad[i];
+    m2[i] = beta2 * m2[i] + (1.0 - beta2) * grad[i] * grad[i];
+    const double mhat = m1[i] / bc1;
+    const double vhat = m2[i] / bc2;
+    value[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+double BceSweep(const double* s, int64_t n) {
+  // Transcendental-bound (log1p + exp per entry): the vector tier aliases
+  // the scalar reference so the loss stays bit-identical across ISAs.
+  return scalar::BceSweep(s, n);
+}
+
+void TopTwo(const double* p, int n, int k, double* lambda1, double* lambda2) {
+  if (k < 4) {
+    scalar::TopTwo(p, n, k, lambda1, lambda2);
+    return;
+  }
+  for (int i = 0; i < n; ++i) {
+    const double* row = p + static_cast<size_t>(i) * k;
+    __m256d max1 = _mm256_set1_pd(-std::numeric_limits<double>::max());
+    __m256d max2 = max1;
+    int j = 0;
+    for (; j + 4 <= k; j += 4) {
+      const __m256d x = _mm256_loadu_pd(row + j);
+      // Whichever of (running max, x) loses gets a shot at second place.
+      const __m256d demoted = _mm256_min_pd(max1, x);
+      max1 = _mm256_max_pd(max1, x);
+      max2 = _mm256_max_pd(max2, demoted);
+    }
+    alignas(32) double cand[8];
+    _mm256_store_pd(cand, max1);
+    _mm256_store_pd(cand + 4, max2);
+    double l1 = -std::numeric_limits<double>::max();
+    double l2 = -std::numeric_limits<double>::max();
+    for (int c = 0; c < 8; ++c) {
+      const double v = cand[c];
+      if (v > l1) {
+        l2 = l1;
+        l1 = v;
+      } else if (v > l2) {
+        l2 = v;
+      }
+    }
+    for (; j < k; ++j) {
+      const double v = row[j];
+      if (v > l1) {
+        l2 = l1;
+        l1 = v;
+      } else if (v > l2) {
+        l2 = v;
+      }
+    }
+    lambda1[i] = l1;
+    lambda2[i] = l2;
+  }
+}
+
+}  // namespace avx2
+}  // namespace kernels
+}  // namespace rgae

@@ -1,0 +1,259 @@
+// AVX-512 tier (compiled with -mavx512f -ffp-contract=off). Same
+// order-preserving vectorization contract as kernels_avx2.cc: vector
+// lanes span independent output elements, summation chains stay
+// sequential, no FMA — so the GEMM/SpMM/Adam ops below are bit-identical
+// to the scalar tier, and the flat reductions use a fixed two-register
+// blocking (deterministic, documented ULP bound vs scalar).
+//
+// Only the ops that are bandwidth- or GEMM-bound get genuine 512-bit
+// bodies; the gather-heavy ops (transposed-B matmul, soft assignments,
+// top-two, scatter) see no win from wider registers on this access
+// pattern and delegate to the AVX2 tier so every op is still callable
+// through the avx512 namespace.
+
+#include <immintrin.h>
+
+#include <cmath>
+
+#include "src/kernels/kernels.h"
+
+namespace rgae {
+namespace kernels {
+namespace avx512 {
+
+namespace {
+
+constexpr int kGemmRowBlock = 4;  // Register-accumulator rows per GEMM tile.
+
+/// Lane sum in a fixed order: (((l0+l1)+l2)+...)+l7.
+double HsumOrdered(__m512d v) {
+  alignas(64) double lane[8];
+  _mm512_store_pd(lane, v);
+  double s = lane[0];
+  for (int i = 1; i < 8; ++i) s += lane[i];
+  return s;
+}
+
+/// `mr` (≤ kGemmRowBlock) rows of a times all of b with one zmm
+/// accumulator per row over 8-column tiles. Per output element the
+/// k-chain is ascending with the aik == 0.0 skip — scalar bits.
+void GemmRowBlock(const double* a, const double* b, double* out, int mr,
+                  int k, int n) {
+  int j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m512d acc[kGemmRowBlock];
+    for (int r = 0; r < mr; ++r) {
+      acc[r] = _mm512_loadu_pd(out + static_cast<size_t>(r) * n + j);
+    }
+    for (int kk = 0; kk < k; ++kk) {
+      const __m512d bv = _mm512_loadu_pd(b + static_cast<size_t>(kk) * n + j);
+      for (int r = 0; r < mr; ++r) {
+        const double aik = a[static_cast<size_t>(r) * k + kk];
+        if (aik == 0.0) continue;
+        acc[r] = _mm512_add_pd(acc[r],
+                               _mm512_mul_pd(_mm512_set1_pd(aik), bv));
+      }
+    }
+    for (int r = 0; r < mr; ++r) {
+      _mm512_storeu_pd(out + static_cast<size_t>(r) * n + j, acc[r]);
+    }
+  }
+  for (; j < n; ++j) {
+    for (int r = 0; r < mr; ++r) {
+      double s = out[static_cast<size_t>(r) * n + j];
+      for (int kk = 0; kk < k; ++kk) {
+        const double aik = a[static_cast<size_t>(r) * k + kk];
+        if (aik == 0.0) continue;
+        s += aik * b[static_cast<size_t>(kk) * n + j];
+      }
+      out[static_cast<size_t>(r) * n + j] = s;
+    }
+  }
+}
+
+}  // namespace
+
+void MatMulRow(const double* a_row, const double* b, double* out_row, int k,
+               int n) {
+  GemmRowBlock(a_row, b, out_row, 1, k, n);
+}
+
+void MatMul(const double* a, const double* b, double* out, int m, int k,
+            int n) {
+  int i = 0;
+  for (; i + kGemmRowBlock <= m; i += kGemmRowBlock) {
+    GemmRowBlock(a + static_cast<size_t>(i) * k, b,
+                 out + static_cast<size_t>(i) * n, kGemmRowBlock, k, n);
+  }
+  if (i < m) {
+    GemmRowBlock(a + static_cast<size_t>(i) * k, b,
+                 out + static_cast<size_t>(i) * n, m - i, k, n);
+  }
+}
+
+void MatMulTransA(const double* a, const double* b, double* out, int k, int m,
+                  int n) {
+  for (int kk = 0; kk < k; ++kk) {
+    const double* a_row = a + static_cast<size_t>(kk) * m;
+    const double* b_row = b + static_cast<size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const double aki = a_row[i];
+      if (aki == 0.0) continue;
+      double* out_row = out + static_cast<size_t>(i) * n;
+      const __m512d av = _mm512_set1_pd(aki);
+      int j = 0;
+      for (; j + 8 <= n; j += 8) {
+        const __m512d o = _mm512_loadu_pd(out_row + j);
+        const __m512d bv = _mm512_loadu_pd(b_row + j);
+        _mm512_storeu_pd(out_row + j,
+                         _mm512_add_pd(o, _mm512_mul_pd(av, bv)));
+      }
+      for (; j < n; ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+}
+
+void MatMulTransB(const double* a, const double* b, double* out, int m, int k,
+                  int n) {
+  avx2::MatMulTransB(a, b, out, m, k, n);
+}
+
+void SpmmRow(const int* cols, const double* vals, int count, const double* x,
+             int x_cols, double* out_row) {
+  int c = 0;
+  for (; c + 16 <= x_cols; c += 16) {
+    __m512d acc0 = _mm512_loadu_pd(out_row + c);
+    __m512d acc1 = _mm512_loadu_pd(out_row + c + 8);
+    for (int k = 0; k < count; ++k) {
+      const __m512d vv = _mm512_set1_pd(vals[k]);
+      const double* x_row = x + static_cast<size_t>(cols[k]) * x_cols + c;
+      acc0 = _mm512_add_pd(acc0, _mm512_mul_pd(vv, _mm512_loadu_pd(x_row)));
+      acc1 = _mm512_add_pd(acc1,
+                           _mm512_mul_pd(vv, _mm512_loadu_pd(x_row + 8)));
+    }
+    _mm512_storeu_pd(out_row + c, acc0);
+    _mm512_storeu_pd(out_row + c + 8, acc1);
+  }
+  for (; c < x_cols; ++c) {
+    double s = out_row[c];
+    for (int k = 0; k < count; ++k) {
+      s += vals[k] * x[static_cast<size_t>(cols[k]) * x_cols + c];
+    }
+    out_row[c] = s;
+  }
+}
+
+void Spmm(const int* row_ptr, const int* col_idx, const double* vals,
+          int rows, const double* x, int x_cols, double* out) {
+  for (int r = 0; r < rows; ++r) {
+    SpmmRow(col_idx + row_ptr[r], vals + row_ptr[r],
+            row_ptr[r + 1] - row_ptr[r], x, x_cols,
+            out + static_cast<size_t>(r) * x_cols);
+  }
+}
+
+void SpmmScatter(const int* row_ptr, const int* col_idx, const double* vals,
+                 int rows, const double* x, int x_cols, double* out) {
+  avx2::SpmmScatter(row_ptr, col_idx, vals, rows, x, x_cols, out);
+}
+
+double Sum(const double* p, int64_t n) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  int64_t i = 0;
+  // Aligned loads: p must start on a 64-byte boundary (kernels.h contract).
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm512_add_pd(acc0, _mm512_load_pd(p + i));
+    acc1 = _mm512_add_pd(acc1, _mm512_load_pd(p + i + 8));
+  }
+  double s = HsumOrdered(_mm512_add_pd(acc0, acc1));
+  for (; i < n; ++i) s += p[i];
+  return s;
+}
+
+double SumSquares(const double* p, int64_t n) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m512d v0 = _mm512_load_pd(p + i);
+    const __m512d v1 = _mm512_load_pd(p + i + 8);
+    acc0 = _mm512_add_pd(acc0, _mm512_mul_pd(v0, v0));
+    acc1 = _mm512_add_pd(acc1, _mm512_mul_pd(v1, v1));
+  }
+  double s = HsumOrdered(_mm512_add_pd(acc0, acc1));
+  for (; i < n; ++i) s += p[i] * p[i];
+  return s;
+}
+
+double Dot(const double* a, const double* b, int64_t n) {
+  __m512d acc0 = _mm512_setzero_pd();
+  __m512d acc1 = _mm512_setzero_pd();
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm512_add_pd(
+        acc0, _mm512_mul_pd(_mm512_load_pd(a + i), _mm512_load_pd(b + i)));
+    acc1 = _mm512_add_pd(acc1, _mm512_mul_pd(_mm512_load_pd(a + i + 8),
+                                             _mm512_load_pd(b + i + 8)));
+  }
+  double s = HsumOrdered(_mm512_add_pd(acc0, acc1));
+  for (; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void StudentT(const double* z, int n, int d, const double* centers, int k,
+              double* p) {
+  avx2::StudentT(z, n, d, centers, k, p);
+}
+
+void Gaussian(const double* z, int n, int d, const double* centers,
+              const double* variances, int k, double* p) {
+  avx2::Gaussian(z, n, d, centers, variances, k, p);
+}
+
+void AdamStep(double* value, const double* grad, double* m1, double* m2,
+              int64_t n, double beta1, double beta2, double lr, double eps,
+              double bc1, double bc2) {
+  const __m512d b1v = _mm512_set1_pd(beta1);
+  const __m512d b2v = _mm512_set1_pd(beta2);
+  const __m512d c1v = _mm512_set1_pd(1.0 - beta1);
+  const __m512d c2v = _mm512_set1_pd(1.0 - beta2);
+  const __m512d bc1v = _mm512_set1_pd(bc1);
+  const __m512d bc2v = _mm512_set1_pd(bc2);
+  const __m512d lrv = _mm512_set1_pd(lr);
+  const __m512d epsv = _mm512_set1_pd(eps);
+  int64_t i = 0;
+  // Aligned loads: all four buffers are Matrix storage (64-byte aligned).
+  for (; i + 8 <= n; i += 8) {
+    const __m512d g = _mm512_load_pd(grad + i);
+    const __m512d m1v = _mm512_add_pd(
+        _mm512_mul_pd(b1v, _mm512_load_pd(m1 + i)), _mm512_mul_pd(c1v, g));
+    _mm512_store_pd(m1 + i, m1v);
+    const __m512d m2v =
+        _mm512_add_pd(_mm512_mul_pd(b2v, _mm512_load_pd(m2 + i)),
+                      _mm512_mul_pd(_mm512_mul_pd(c2v, g), g));
+    _mm512_store_pd(m2 + i, m2v);
+    const __m512d mhat = _mm512_div_pd(m1v, bc1v);
+    const __m512d vhat = _mm512_div_pd(m2v, bc2v);
+    const __m512d upd = _mm512_div_pd(
+        _mm512_mul_pd(lrv, mhat), _mm512_add_pd(_mm512_sqrt_pd(vhat), epsv));
+    _mm512_store_pd(value + i, _mm512_sub_pd(_mm512_load_pd(value + i), upd));
+  }
+  for (; i < n; ++i) {
+    m1[i] = beta1 * m1[i] + (1.0 - beta1) * grad[i];
+    m2[i] = beta2 * m2[i] + (1.0 - beta2) * grad[i] * grad[i];
+    const double mhat = m1[i] / bc1;
+    const double vhat = m2[i] / bc2;
+    value[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+double BceSweep(const double* s, int64_t n) { return scalar::BceSweep(s, n); }
+
+void TopTwo(const double* p, int n, int k, double* lambda1, double* lambda2) {
+  avx2::TopTwo(p, n, k, lambda1, lambda2);
+}
+
+}  // namespace avx512
+}  // namespace kernels
+}  // namespace rgae

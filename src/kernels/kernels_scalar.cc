@@ -1,0 +1,202 @@
+// Scalar reference tier. Every loop here is the pre-dispatch
+// implementation moved verbatim from matrix.cc / csr.cc / assignments.cc /
+// optimizer.cc / autograd.cc / operators.cc: same loop order, same
+// zero-skips, same accumulation chains. Golden-number tests pin these bits
+// (DESIGN.md §9), so behavior changes belong in a new tier, never here.
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/kernels/kernels.h"
+
+namespace rgae {
+namespace kernels {
+namespace scalar {
+
+void MatMulRow(const double* a_row, const double* b, double* out_row, int k,
+               int n) {
+  for (int kk = 0; kk < k; ++kk) {
+    const double aik = a_row[kk];
+    if (aik == 0.0) continue;
+    const double* b_row = b + static_cast<size_t>(kk) * n;
+    for (int j = 0; j < n; ++j) out_row[j] += aik * b_row[j];
+  }
+}
+
+void MatMul(const double* a, const double* b, double* out, int m, int k,
+            int n) {
+  // i-k-j order: streams through b and out rows for cache friendliness.
+  for (int i = 0; i < m; ++i) {
+    MatMulRow(a + static_cast<size_t>(i) * k, b,
+              out + static_cast<size_t>(i) * n, k, n);
+  }
+}
+
+void MatMulTransA(const double* a, const double* b, double* out, int k, int m,
+                  int n) {
+  for (int kk = 0; kk < k; ++kk) {
+    const double* a_row = a + static_cast<size_t>(kk) * m;
+    const double* b_row = b + static_cast<size_t>(kk) * n;
+    for (int i = 0; i < m; ++i) {
+      const double aki = a_row[i];
+      if (aki == 0.0) continue;
+      double* out_row = out + static_cast<size_t>(i) * n;
+      for (int j = 0; j < n; ++j) out_row[j] += aki * b_row[j];
+    }
+  }
+}
+
+void MatMulTransB(const double* a, const double* b, double* out, int m, int k,
+                  int n) {
+  for (int i = 0; i < m; ++i) {
+    const double* a_row = a + static_cast<size_t>(i) * k;
+    double* out_row = out + static_cast<size_t>(i) * n;
+    for (int j = 0; j < n; ++j) {
+      const double* b_row = b + static_cast<size_t>(j) * k;
+      double s = 0.0;
+      for (int kk = 0; kk < k; ++kk) s += a_row[kk] * b_row[kk];
+      out_row[j] = s;
+    }
+  }
+}
+
+void SpmmRow(const int* cols, const double* vals, int count, const double* x,
+             int x_cols, double* out_row) {
+  for (int k = 0; k < count; ++k) {
+    const double v = vals[k];
+    const double* x_row = x + static_cast<size_t>(cols[k]) * x_cols;
+    for (int c = 0; c < x_cols; ++c) out_row[c] += v * x_row[c];
+  }
+}
+
+void Spmm(const int* row_ptr, const int* col_idx, const double* vals,
+          int rows, const double* x, int x_cols, double* out) {
+  for (int r = 0; r < rows; ++r) {
+    SpmmRow(col_idx + row_ptr[r], vals + row_ptr[r],
+            row_ptr[r + 1] - row_ptr[r], x, x_cols,
+            out + static_cast<size_t>(r) * x_cols);
+  }
+}
+
+void SpmmScatter(const int* row_ptr, const int* col_idx, const double* vals,
+                 int rows, const double* x, int x_cols, double* out) {
+  for (int r = 0; r < rows; ++r) {
+    const double* x_row = x + static_cast<size_t>(r) * x_cols;
+    for (int k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
+      const double v = vals[k];
+      double* out_row = out + static_cast<size_t>(col_idx[k]) * x_cols;
+      for (int c = 0; c < x_cols; ++c) out_row[c] += v * x_row[c];
+    }
+  }
+}
+
+double Sum(const double* p, int64_t n) {
+  double s = 0.0;
+  for (int64_t i = 0; i < n; ++i) s += p[i];
+  return s;
+}
+
+double SumSquares(const double* p, int64_t n) {
+  double s = 0.0;
+  for (int64_t i = 0; i < n; ++i) s += p[i] * p[i];
+  return s;
+}
+
+double Dot(const double* a, const double* b, int64_t n) {
+  double s = 0.0;
+  for (int64_t i = 0; i < n; ++i) s += a[i] * b[i];
+  return s;
+}
+
+void StudentT(const double* z, int n, int d, const double* centers, int k,
+              double* p) {
+  for (int i = 0; i < n; ++i) {
+    const double* z_row = z + static_cast<size_t>(i) * d;
+    double* p_row = p + static_cast<size_t>(i) * k;
+    double sum = 0.0;
+    for (int j = 0; j < k; ++j) {
+      const double* c_row = centers + static_cast<size_t>(j) * d;
+      double dist = 0.0;
+      for (int c = 0; c < d; ++c) {
+        const double diff = z_row[c] - c_row[c];
+        dist += diff * diff;
+      }
+      const double u = 1.0 / (1.0 + dist);
+      p_row[j] = u;
+      sum += u;
+    }
+    for (int j = 0; j < k; ++j) p_row[j] /= sum;
+  }
+}
+
+void Gaussian(const double* z, int n, int d, const double* centers,
+              const double* variances, int k, double* p) {
+  for (int i = 0; i < n; ++i) {
+    const double* z_row = z + static_cast<size_t>(i) * d;
+    double* p_row = p + static_cast<size_t>(i) * k;
+    double row_max = -1e300;
+    // p_row doubles as logit scratch until the exp pass below.
+    for (int j = 0; j < k; ++j) {
+      const double* c_row = centers + static_cast<size_t>(j) * d;
+      const double* v_row = variances + static_cast<size_t>(j) * d;
+      double s = 0.0;
+      for (int c = 0; c < d; ++c) {
+        const double diff = z_row[c] - c_row[c];
+        s += diff * diff / std::max(v_row[c], 1e-6);
+      }
+      p_row[j] = -0.5 * s;
+      row_max = std::max(row_max, p_row[j]);
+    }
+    double sum = 0.0;
+    for (int j = 0; j < k; ++j) {
+      p_row[j] = std::exp(p_row[j] - row_max);
+      sum += p_row[j];
+    }
+    for (int j = 0; j < k; ++j) p_row[j] /= sum;
+  }
+}
+
+void AdamStep(double* value, const double* grad, double* m1, double* m2,
+              int64_t n, double beta1, double beta2, double lr, double eps,
+              double bc1, double bc2) {
+  for (int64_t i = 0; i < n; ++i) {
+    m1[i] = beta1 * m1[i] + (1.0 - beta1) * grad[i];
+    m2[i] = beta2 * m2[i] + (1.0 - beta2) * grad[i] * grad[i];
+    const double mhat = m1[i] / bc1;
+    const double vhat = m2[i] / bc2;
+    value[i] -= lr * mhat / (std::sqrt(vhat) + eps);
+  }
+}
+
+double BceSweep(const double* s, int64_t n) {
+  double loss = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    // Numerically stable softplus: log(1 + exp(x)).
+    loss += std::log1p(std::exp(-std::abs(s[i]))) + std::max(s[i], 0.0);
+  }
+  return loss;
+}
+
+void TopTwo(const double* p, int n, int k, double* lambda1, double* lambda2) {
+  for (int i = 0; i < n; ++i) {
+    const double* row = p + static_cast<size_t>(i) * k;
+    double l1 = -std::numeric_limits<double>::max();
+    double l2 = -std::numeric_limits<double>::max();
+    for (int j = 0; j < k; ++j) {
+      const double v = row[j];
+      if (v > l1) {
+        l2 = l1;
+        l1 = v;
+      } else if (v > l2) {
+        l2 = v;
+      }
+    }
+    lambda1[i] = l1;
+    lambda2[i] = l2;
+  }
+}
+
+}  // namespace scalar
+}  // namespace kernels
+}  // namespace rgae

@@ -6,6 +6,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/kernels/aligned.h"
+
 namespace rgae {
 namespace obs {
 
@@ -58,8 +60,11 @@ namespace memstat_internal {
 
 void RecordMatrixAlloc(size_t entries) {
   g_matrix_allocs.fetch_add(1, std::memory_order_relaxed);
-  g_matrix_bytes.fetch_add(static_cast<int64_t>(entries) * 8,
-                           std::memory_order_relaxed);
+  // True allocation size: AlignedVector rounds every buffer up to whole
+  // 64-byte lines (kernels/aligned.h), so report that, not entries * 8.
+  g_matrix_bytes.fetch_add(
+      static_cast<int64_t>(kernels::AlignedBufferBytes(entries)),
+      std::memory_order_relaxed);
 }
 
 void RecordTapeNode(size_t value_entries) {

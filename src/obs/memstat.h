@@ -24,8 +24,10 @@ int64_t ReadPeakRssBytes();
 int64_t ReadCurrentRssBytes();
 
 /// Cumulative allocation counters since process start (or the last
-/// `ResetMemCounters`). `matrix_bytes`/`tape_bytes` count the double
-/// payloads (8 bytes per entry), not allocator overhead.
+/// `ResetMemCounters`). `matrix_bytes` counts the true aligned buffer
+/// footprint (entry payload rounded up to whole 64-byte lines, see
+/// kernels/aligned.h); `tape_bytes` counts the double payloads (8 bytes
+/// per entry). Neither includes allocator bookkeeping overhead.
 struct MemCounters {
   int64_t matrix_allocs = 0;
   int64_t matrix_bytes = 0;

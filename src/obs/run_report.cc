@@ -1,6 +1,7 @@
 #include "src/obs/run_report.h"
 
 #include "src/core/health.h"
+#include "src/kernels/dispatch.h"
 #include "src/obs/memstat.h"
 #include "src/obs/metrics.h"
 #include "src/obs/profile.h"
@@ -152,6 +153,14 @@ JsonValue BenchDocument(const std::string& bench_name,
   JsonValue trials = JsonValue::MakeArray();
   for (JsonValue& report : trial_reports) trials.Append(std::move(report));
   doc.Set("trials", std::move(trials));
+  // The ISA every kernel stub dispatched to while this document's numbers
+  // were produced ("scalar" / "avx2" / "avx512"), exported both as a
+  // top-level field and as the kernel.isa_level gauge.
+  const kernels::Isa isa = kernels::SelectedIsa();
+  doc.Set("kernel_isa", JsonValue(kernels::IsaName(isa)));
+  MetricsRegistry::Global()
+      .GetGauge("kernel.isa_level")
+      ->Set(static_cast<double>(kernels::IsaLevel(isa)));
   // Memory first: MemoryReportJson refreshes the mem.* gauges, which the
   // metrics snapshot below should include.
   doc.Set("memory", MemoryReportJson());

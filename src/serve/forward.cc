@@ -5,6 +5,7 @@
 #include <set>
 #include <utility>
 
+#include "src/kernels/kernels.h"
 #include "src/obs/trace.h"
 
 namespace rgae {
@@ -12,22 +13,17 @@ namespace serve {
 
 namespace {
 
-// Row-restricted counterparts of the training kernels. The inner loops
-// mirror rgae::MatMul (i-k-j order with the aik == 0.0 skip) and
-// CsrMatrix::Multiply (accumulation over the CSR row range) instruction for
-// instruction, so a recomputed row carries exactly the bits a full-pass row
-// would — the incremental path never drifts from the reference forward.
+// Row-restricted counterparts of the training kernels, built on the same
+// MatMulRow/SpmmRow stubs the full ops dispatch to (kernels.h). The stub
+// contract guarantees a row's bits equal that row of the full op under
+// whatever ISA is selected, so a recomputed row carries exactly the bits a
+// full-pass row would — the incremental path never drifts from the
+// reference forward.
 
 void MatMulRowInto(const Matrix& a, const Matrix& b, int i, Matrix* out) {
   double* out_row = out->row(i);
   std::fill(out_row, out_row + out->cols(), 0.0);
-  const double* a_row = a.row(i);
-  for (int k = 0; k < a.cols(); ++k) {
-    const double aik = a_row[k];
-    if (aik == 0.0) continue;
-    const double* b_row = b.row(k);
-    for (int j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
-  }
+  kernels::MatMulRow(a.row(i), b.data(), out_row, a.cols(), b.cols());
 }
 
 void SpmmRowInto(const CsrMatrix& s, const Matrix& x, int r, Matrix* out) {
@@ -36,11 +32,8 @@ void SpmmRowInto(const CsrMatrix& s, const Matrix& x, int r, Matrix* out) {
   const std::vector<int>& row_ptr = s.row_ptr();
   const std::vector<int>& col_idx = s.col_idx();
   const std::vector<double>& values = s.values();
-  for (int k = row_ptr[r]; k < row_ptr[r + 1]; ++k) {
-    const double v = values[k];
-    const double* x_row = x.row(col_idx[k]);
-    for (int c = 0; c < x.cols(); ++c) out_row[c] += v * x_row[c];
-  }
+  kernels::SpmmRow(col_idx.data() + row_ptr[r], values.data() + row_ptr[r],
+                   row_ptr[r + 1] - row_ptr[r], x.data(), x.cols(), out_row);
 }
 
 void ReluRow(Matrix* m, int r) {

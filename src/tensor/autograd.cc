@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "src/analysis/shape.h"
+#include "src/kernels/kernels.h"
 #include "src/obs/memstat.h"
 #include "src/obs/trace.h"
 
@@ -270,11 +271,8 @@ Var Tape::InnerProductBceLoss(Var z, const CsrMatrix* target,
                    5LL * nrows * nrows, 8LL * nrows * nrows);
   // Base: every entry as a negative (target 0). Then fix up the stored
   // positives. bce(s,0) = softplus(s), bce(s,1) = softplus(s) - s.
-  double loss = 0.0;
-  for (int i = 0; i < nrows; ++i) {
-    const double* srow = n.aux.row(i);
-    for (int j = 0; j < nrows; ++j) loss += Softplus(srow[j]);
-  }
+  double loss = kernels::BceSweep(n.aux.data(),
+                                  static_cast<int64_t>(n.aux.size()));
   const auto& rp = target->row_ptr();
   const auto& ci = target->col_idx();
   const auto& tv = target->values();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/kernels/kernels.h"
 #include "src/obs/trace.h"
 
 namespace rgae {
@@ -40,9 +41,7 @@ double Matrix::Sum() const {
   // Cost model: 1 flop/entry, 8 bytes/entry read (DESIGN.md §6.6).
   RGAE_KERNEL_WORK("kernel.reduce", static_cast<int64_t>(data_.size()),
                    static_cast<int64_t>(data_.size()) * 8);
-  double s = 0.0;
-  for (double v : data_) s += v;
-  return s;
+  return kernels::Sum(data_.data(), static_cast<int64_t>(data_.size()));
 }
 
 double Matrix::FrobeniusNorm() const {
@@ -50,9 +49,8 @@ double Matrix::FrobeniusNorm() const {
   // Cost model: 2 flops/entry (multiply + accumulate), 8 bytes/entry read.
   RGAE_KERNEL_WORK("kernel.reduce", static_cast<int64_t>(data_.size()) * 2,
                    static_cast<int64_t>(data_.size()) * 8);
-  double s = 0.0;
-  for (double v : data_) s += v * v;
-  return std::sqrt(s);
+  return std::sqrt(
+      kernels::SumSquares(data_.data(), static_cast<int64_t>(data_.size())));
 }
 
 double Matrix::RowSquaredNorm(int r) const {
@@ -87,17 +85,8 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
              static_cast<int64_t>(a.rows()) * b.cols()));
   assert(a.cols() == b.rows());
   Matrix out(a.rows(), b.cols());
-  // i-k-j loop order: streams through b and out rows for cache friendliness.
-  for (int i = 0; i < a.rows(); ++i) {
-    double* out_row = out.row(i);
-    const double* a_row = a.row(i);
-    for (int k = 0; k < a.cols(); ++k) {
-      const double aik = a_row[k];
-      if (aik == 0.0) continue;
-      const double* b_row = b.row(k);
-      for (int j = 0; j < b.cols(); ++j) out_row[j] += aik * b_row[j];
-    }
-  }
+  kernels::MatMul(a.data(), b.data(), out.data(), a.rows(), a.cols(),
+                  b.cols());
   return out;
 }
 
@@ -111,16 +100,8 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
              static_cast<int64_t>(a.cols()) * b.cols()));
   assert(a.rows() == b.rows());
   Matrix out(a.cols(), b.cols());
-  for (int k = 0; k < a.rows(); ++k) {
-    const double* a_row = a.row(k);
-    const double* b_row = b.row(k);
-    for (int i = 0; i < a.cols(); ++i) {
-      const double aki = a_row[i];
-      if (aki == 0.0) continue;
-      double* out_row = out.row(i);
-      for (int j = 0; j < b.cols(); ++j) out_row[j] += aki * b_row[j];
-    }
-  }
+  kernels::MatMulTransA(a.data(), b.data(), out.data(), a.rows(), a.cols(),
+                        b.cols());
   return out;
 }
 
@@ -134,16 +115,8 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
              static_cast<int64_t>(a.rows()) * b.rows()));
   assert(a.cols() == b.cols());
   Matrix out(a.rows(), b.rows());
-  for (int i = 0; i < a.rows(); ++i) {
-    const double* a_row = a.row(i);
-    double* out_row = out.row(i);
-    for (int j = 0; j < b.rows(); ++j) {
-      const double* b_row = b.row(j);
-      double s = 0.0;
-      for (int k = 0; k < a.cols(); ++k) s += a_row[k] * b_row[k];
-      out_row[j] = s;
-    }
-  }
+  kernels::MatMulTransB(a.data(), b.data(), out.data(), a.rows(), a.cols(),
+                        b.rows());
   return out;
 }
 
@@ -193,11 +166,7 @@ double Dot(const Matrix& a, const Matrix& b) {
   RGAE_KERNEL_WORK("kernel.reduce", static_cast<int64_t>(a.size()) * 2,
                    static_cast<int64_t>(a.size()) * 16);
   assert(a.rows() == b.rows() && a.cols() == b.cols());
-  const double* pa = a.data();
-  const double* pb = b.data();
-  double s = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) s += pa[i] * pb[i];
-  return s;
+  return kernels::Dot(a.data(), b.data(), static_cast<int64_t>(a.size()));
 }
 
 double CosineSimilarity(const Matrix& a, const Matrix& b) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "src/kernels/aligned.h"
 #include "src/obs/memstat.h"
 
 namespace rgae {
@@ -30,8 +31,9 @@ class Matrix {
   }
 
   /// Creates a matrix from a flat row-major buffer (size must be rows*cols).
-  Matrix(int rows, int cols, std::vector<double> data)
-      : rows_(rows), cols_(cols), data_(std::move(data)) {
+  /// The entries are copied into aligned storage.
+  Matrix(int rows, int cols, const std::vector<double>& data)
+      : rows_(rows), cols_(cols), data_(data.begin(), data.end()) {
     assert(data_.size() == static_cast<size_t>(rows) * cols);
     obs::CountMatrixAlloc(data_.size());
   }
@@ -90,7 +92,9 @@ class Matrix {
  private:
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<double> data_;
+  // 64-byte-aligned storage (kernels/aligned.h): the flat kernels'
+  // AVX-512 variants rely on aligned loads from data()[0].
+  kernels::AlignedVector data_;
 };
 
 /// out = a * b (standard matrix product). Shapes: (m,k)x(k,n) -> (m,n).

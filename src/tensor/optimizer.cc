@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "src/kernels/kernels.h"
 #include "src/obs/trace.h"
 
 namespace rgae {
@@ -22,18 +23,10 @@ void Adam::Step() {
   const double bc1 = 1.0 - std::pow(options_.beta1, step_);
   const double bc2 = 1.0 - std::pow(options_.beta2, step_);
   for (Parameter* p : params_) {
-    double* v = p->value.data();
-    const double* g = p->grad.data();
-    double* m1 = p->adam_m.data();
-    double* m2 = p->adam_v.data();
-    for (size_t i = 0; i < p->value.size(); ++i) {
-      m1[i] = options_.beta1 * m1[i] + (1.0 - options_.beta1) * g[i];
-      m2[i] = options_.beta2 * m2[i] + (1.0 - options_.beta2) * g[i] * g[i];
-      const double mhat = m1[i] / bc1;
-      const double vhat = m2[i] / bc2;
-      v[i] -= options_.learning_rate * mhat /
-              (std::sqrt(vhat) + options_.epsilon);
-    }
+    kernels::AdamStep(p->value.data(), p->grad.data(), p->adam_m.data(),
+                      p->adam_v.data(), static_cast<int64_t>(p->value.size()),
+                      options_.beta1, options_.beta2, options_.learning_rate,
+                      options_.epsilon, bc1, bc2);
   }
 }
 
